@@ -1,0 +1,469 @@
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// section (Figures 6-12), plus validation benches for the theory
+// (Theorems 2, 3, 5) and ablation benches for the design choices called
+// out in DESIGN.md. Each figure benchmark regenerates the corresponding
+// data table on the simulated deployment and prints it once; the
+// benchmark time measures the cost of producing one data point sweep.
+//
+// The benches use a short virtual measurement interval per point so the
+// whole suite stays fast; cmd/rtpbench regenerates the figures with
+// longer, lower-variance runs.
+package rtpb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rtpb"
+	"rtpb/internal/core"
+	"rtpb/internal/experiments"
+	"rtpb/internal/sched"
+	"rtpb/internal/temporal"
+	"rtpb/internal/trace"
+)
+
+// rtpbSimCluster aliases the public cluster type for the bench helpers.
+type rtpbSimCluster = rtpb.SimCluster
+
+func newSimCluster(seed int64) (*rtpbSimCluster, error) {
+	return rtpb.NewSimCluster(rtpb.SimClusterConfig{
+		Seed: seed,
+		Link: rtpb.LinkParams{Delay: 3 * time.Millisecond},
+	})
+}
+
+func demoObjectSpec(name string) rtpb.ObjectSpec {
+	return rtpb.ObjectSpec{
+		Name:         name,
+		Size:         32,
+		UpdatePeriod: 40 * time.Millisecond,
+		Constraint: rtpb.ExternalConstraint{
+			DeltaP: 50 * time.Millisecond,
+			DeltaB: 250 * time.Millisecond,
+		},
+	}
+}
+
+// benchDuration is the virtual measurement interval per data point.
+const benchDuration = 2 * time.Second
+
+var printOnce sync.Map
+
+// printFigure emits the regenerated table once per benchmark name.
+func printFigure(b *testing.B, fig *trace.Figure) {
+	b.Helper()
+	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
+		fmt.Println()
+		fmt.Print(fig.Render())
+	}
+}
+
+func benchFigure(b *testing.B, gen func(int64, time.Duration) (*trace.Figure, error)) {
+	b.Helper()
+	var fig *trace.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := gen(1, benchDuration)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig = f
+	}
+	printFigure(b, fig)
+}
+
+func BenchmarkFigure6ResponseTimeWithAC(b *testing.B) {
+	benchFigure(b, experiments.Figure6)
+}
+
+func BenchmarkFigure7ResponseTimeNoAC(b *testing.B) {
+	benchFigure(b, experiments.Figure7)
+}
+
+func BenchmarkFigure8DistanceVsLoss(b *testing.B) {
+	benchFigure(b, experiments.Figure8)
+}
+
+func BenchmarkFigure9DistanceWithAC(b *testing.B) {
+	benchFigure(b, experiments.Figure9)
+}
+
+func BenchmarkFigure10DistanceNoAC(b *testing.B) {
+	benchFigure(b, experiments.Figure10)
+}
+
+func BenchmarkFigure11InconsistencyNormal(b *testing.B) {
+	benchFigure(b, experiments.Figure11)
+}
+
+func BenchmarkFigure12InconsistencyCompressed(b *testing.B) {
+	benchFigure(b, experiments.Figure12)
+}
+
+// BenchmarkTheorem2PhaseVarianceBounds validates Theorem 2 empirically:
+// across random task sets, the measured phase variance under EDF and RM
+// never exceeds the analytic bounds x·p−e and (x·p)/(n(2^{1/n}−1))−e.
+func BenchmarkTheorem2PhaseVarianceBounds(b *testing.B) {
+	var worstEDF, worstRM float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i) + 1))
+		ts := randomBenchTaskSet(rng, 2+rng.Intn(5), 0.8)
+		u := ts.Utilization()
+		for _, policy := range []sched.Policy{sched.PolicyEDF, sched.PolicyRM} {
+			if policy == sched.PolicyRM && !sched.FeasibleRM(ts) {
+				continue
+			}
+			tr, err := sched.Simulate(ts, policy, time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for task := range ts {
+				v, ok := tr.PhaseVariance(task, 0)
+				if !ok {
+					continue
+				}
+				var bound time.Duration
+				if policy == sched.PolicyEDF {
+					bound = sched.PhaseVarianceBoundEDF(ts[task], u)
+				} else {
+					bound = sched.PhaseVarianceBoundRM(ts[task], u, len(ts))
+				}
+				if v > bound {
+					b.Fatalf("Theorem 2 violated: %s v=%v > bound %v for %+v",
+						policy, v, bound, ts[task])
+				}
+				ratio := 0.0
+				if bound > 0 {
+					ratio = float64(v) / float64(bound)
+				}
+				if policy == sched.PolicyEDF && ratio > worstEDF {
+					worstEDF = ratio
+				}
+				if policy == sched.PolicyRM && ratio > worstRM {
+					worstRM = ratio
+				}
+			}
+		}
+	}
+	b.ReportMetric(worstEDF, "worstEDFratio")
+	b.ReportMetric(worstRM, "worstRMratio")
+}
+
+// BenchmarkTheorem3ZeroPhaseVariance validates Theorem 3: under the
+// pinwheel scheduler S_r, every task set within Σe/p ≤ n(2^{1/n}−1) shows
+// exactly zero phase variance after the transient.
+func BenchmarkTheorem3ZeroPhaseVariance(b *testing.B) {
+	checked := 0
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i) + 100))
+		ts := randomBenchTaskSet(rng, 2+rng.Intn(5), 0.6)
+		if !sched.ZeroPhaseVarianceAchievable(ts) {
+			continue
+		}
+		tr, err := sched.Simulate(ts, sched.PolicyDCS, time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for task := range ts {
+			if v, ok := tr.PhaseVariance(task, 2); ok {
+				checked++
+				if v != 0 {
+					b.Fatalf("Theorem 3 violated: v=%v under S_r for %+v", v, ts[task])
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(checked), "tasksChecked")
+}
+
+// BenchmarkTheorem5BackupWindow validates the Theorem 5 admission rule on
+// the live protocol: with the update period at the admitted value
+// (half the window, per §4.3) the backup never violates its external
+// bound on a lossless link, while a run whose constraint demands an
+// infeasible window (δ ≤ ℓ) is rejected outright.
+func BenchmarkTheorem5BackupWindow(b *testing.B) {
+	violations := 0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(experiments.Params{
+			Seed:             int64(i) + 1,
+			Delay:            2 * time.Millisecond,
+			Jitter:           time.Millisecond,
+			Ell:              5 * time.Millisecond,
+			Objects:          4,
+			ObjectSize:       32,
+			ClientPeriod:     40 * time.Millisecond,
+			DeltaP:           50 * time.Millisecond,
+			Window:           100 * time.Millisecond,
+			Scheduling:       core.ScheduleNormal,
+			AdmissionControl: true,
+			Duration:         benchDuration,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		violations += r.Excursions
+	}
+	if violations != 0 {
+		b.Fatalf("lossless runs produced %d consistency excursions; Theorem 5 schedule failed", violations)
+	}
+	b.ReportMetric(0, "violations")
+}
+
+// BenchmarkAblationSlackFactor compares the paper's half-window update
+// period against scheduling at the Theorem 5 boundary (no slack):
+// without slack, message loss pushes the backup out of its window far
+// more often.
+func BenchmarkAblationSlackFactor(b *testing.B) {
+	run := func(slack float64, seed int64) time.Duration {
+		r, err := experiments.Run(experiments.Params{
+			Seed:             seed,
+			Delay:            2 * time.Millisecond,
+			Jitter:           time.Millisecond,
+			Loss:             0.1,
+			Ell:              5 * time.Millisecond,
+			Objects:          16,
+			ObjectSize:       64,
+			ClientPeriod:     25 * time.Millisecond,
+			DeltaP:           30 * time.Millisecond,
+			Window:           60 * time.Millisecond,
+			Scheduling:       core.ScheduleNormal,
+			AdmissionControl: true,
+			SlackFactor:      slack,
+			Duration:         benchDuration,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r.InconsistencyTotal
+	}
+	var half, full time.Duration
+	for i := 0; i < b.N; i++ {
+		half += run(0.5, int64(i)+1)
+		full += run(1.0, int64(i)+1)
+	}
+	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
+		fmt.Printf("\nAblation (slack factor, 10%% loss): inconsistency with r=(δ−ℓ)/2: %v; with r=δ−ℓ: %v\n",
+			half/time.Duration(b.N), full/time.Duration(b.N))
+	}
+	if full <= half {
+		b.Fatalf("no-slack schedule (%v) not worse than half-window schedule (%v) under loss", full, half)
+	}
+}
+
+// BenchmarkAblationGapRecovery compares backup-initiated retransmission
+// (the §4.3 design) against dropping it. Reproduction finding: because
+// RTPB updates carry the object's full state, the very message whose
+// arrival reveals a sequence gap has already healed the backup, so
+// gap-triggered retransmission changes inconsistency only marginally
+// (it helps when a client write lands between the trigger update's send
+// and the retransmission). The bench asserts the two designs stay within
+// 25% of each other, documenting that the ACK-less protocol does not
+// depend on the recovery path for its guarantees.
+func BenchmarkAblationGapRecovery(b *testing.B) {
+	run := func(disable bool, seed int64) time.Duration {
+		r, err := experiments.Run(experiments.Params{
+			Seed:               seed,
+			Delay:              2 * time.Millisecond,
+			Jitter:             time.Millisecond,
+			Loss:               0.15,
+			Ell:                5 * time.Millisecond,
+			Objects:            16,
+			ObjectSize:         64,
+			ClientPeriod:       25 * time.Millisecond,
+			DeltaP:             30 * time.Millisecond,
+			Window:             60 * time.Millisecond,
+			Scheduling:         core.ScheduleNormal,
+			AdmissionControl:   true,
+			DisableGapRecovery: disable,
+			Duration:           benchDuration,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r.InconsistencyTotal
+	}
+	var with, without time.Duration
+	for i := 0; i < b.N; i++ {
+		with += run(false, int64(i)+1)
+		without += run(true, int64(i)+1)
+	}
+	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
+		fmt.Printf("\nAblation (gap recovery, 15%% loss): inconsistency with retransmission: %v; without: %v\n",
+			with/time.Duration(b.N), without/time.Duration(b.N))
+	}
+	hi, lo := with, without
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if lo*5 < hi*4 { // more than 25% apart
+		b.Fatalf("gap-recovery ablation diverged beyond noise: with=%v without=%v", with, without)
+	}
+}
+
+// BenchmarkAblationDecoupling compares RTPB's decoupled update scheduling
+// against write-through replication: write-through couples transmission
+// load to client write rate, inflating client response time under load.
+func BenchmarkAblationDecoupling(b *testing.B) {
+	run := func(mode core.SchedulingMode, seed int64) time.Duration {
+		r, err := experiments.Run(experiments.Params{
+			Seed:             seed,
+			Delay:            2 * time.Millisecond,
+			Jitter:           time.Millisecond,
+			Ell:              5 * time.Millisecond,
+			Objects:          32,
+			ObjectSize:       64,
+			ClientPeriod:     10 * time.Millisecond, // fast writers
+			DeltaP:           50 * time.Millisecond,
+			Window:           70 * time.Millisecond,
+			Scheduling:       mode,
+			AdmissionControl: false, // same offered load on both sides
+			Duration:         benchDuration,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Duration(r.Response.Mean())
+	}
+	var decoupled, writeThrough time.Duration
+	for i := 0; i < b.N; i++ {
+		decoupled += run(core.ScheduleNormal, int64(i)+1)
+		writeThrough += run(core.ScheduleWriteThrough, int64(i)+1)
+	}
+	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
+		fmt.Printf("\nAblation (decoupling, 32 fast writers): mean response decoupled: %v; write-through: %v\n",
+			decoupled/time.Duration(b.N), writeThrough/time.Duration(b.N))
+	}
+	if writeThrough <= decoupled {
+		b.Fatalf("write-through (%v) not slower than decoupled scheduling (%v)", writeThrough, decoupled)
+	}
+}
+
+// BenchmarkHybridCriticalObjects measures the hybrid active/passive path
+// (the paper's §7 future work): writes to Critical objects wait for
+// backup acknowledgement, paying a round trip that plain RTPB objects
+// avoid. Run on a 3ms link, the critical path must cost at least 2×3ms
+// more than the passive path.
+func BenchmarkHybridCriticalObjects(b *testing.B) {
+	var critMean, plainMean time.Duration
+	for i := 0; i < b.N; i++ {
+		cluster, err := newHybridCluster(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var crit, plain trace.DurationStats
+		writer := cluster.WriteEvery("crit", 40*time.Millisecond, func(k int) []byte { return []byte{byte(k)} })
+		writer2 := cluster.WriteEvery("plain", 40*time.Millisecond, func(k int) []byte { return []byte{byte(k)} })
+		cluster.Primary.OnClientDone = func(name string, lat time.Duration) {
+			if name == "crit" {
+				crit.Add(lat)
+			} else {
+				plain.Add(lat)
+			}
+		}
+		cluster.RunFor(benchDuration)
+		writer.Stop()
+		writer2.Stop()
+		critMean = crit.Mean()
+		plainMean = plain.Mean()
+	}
+	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
+		fmt.Printf("\nHybrid path: mean response critical=%v (acked), plain=%v (passive)\n",
+			critMean, plainMean)
+	}
+	// The acked path pays ~one round trip (2×3ms) more; allow 1ms of
+	// queueing overlap between the two measurements.
+	if critMean < plainMean+5*time.Millisecond {
+		b.Fatalf("critical mean %v not ≈ a round trip above plain %v", critMean, plainMean)
+	}
+}
+
+func newHybridCluster(seed int64) (*rtpbSimCluster, error) {
+	cluster, err := newSimCluster(seed)
+	if err != nil {
+		return nil, err
+	}
+	critSpec := demoObjectSpec("crit")
+	critSpec.Critical = true
+	if d := cluster.Register(critSpec); !d.Accepted {
+		return nil, fmt.Errorf("crit rejected: %s", d.Reason)
+	}
+	if d := cluster.Register(demoObjectSpec("plain")); !d.Accepted {
+		return nil, fmt.Errorf("plain rejected: %s", d.Reason)
+	}
+	return cluster, nil
+}
+
+// BenchmarkComparisonActiveVsPassive regenerates the passive-vs-active
+// response-time comparison (the quantitative form of the paper's
+// Section 6.1 argument and the substrate for its hybrid future work).
+func BenchmarkComparisonActiveVsPassive(b *testing.B) {
+	benchFigure(b, experiments.CompareFigure)
+}
+
+// BenchmarkLivePhaseVariance regenerates the live phase-variance
+// measurement: the jitter of the running primary's update transmissions
+// (Definition 1 on the real protocol) against the Inequality 2.1 bound.
+func BenchmarkLivePhaseVariance(b *testing.B) {
+	benchFigure(b, experiments.PhaseVarianceFigure)
+}
+
+// BenchmarkProtocolThroughput measures raw protocol cost: virtual-time
+// simulation events processed per wall second for a standard cluster.
+func BenchmarkProtocolThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(experiments.Params{
+			Seed:             int64(i) + 1,
+			Delay:            2 * time.Millisecond,
+			Jitter:           time.Millisecond,
+			Loss:             0.05,
+			Ell:              5 * time.Millisecond,
+			Objects:          16,
+			ObjectSize:       256,
+			ClientPeriod:     20 * time.Millisecond,
+			DeltaP:           30 * time.Millisecond,
+			Window:           60 * time.Millisecond,
+			Scheduling:       core.ScheduleNormal,
+			AdmissionControl: true,
+			Duration:         benchDuration,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randomBenchTaskSet(rng *rand.Rand, n int, maxUtil float64) sched.TaskSet {
+	periods := []time.Duration{
+		4 * time.Millisecond, 5 * time.Millisecond, 8 * time.Millisecond,
+		10 * time.Millisecond, 16 * time.Millisecond, 20 * time.Millisecond,
+		25 * time.Millisecond, 40 * time.Millisecond, 50 * time.Millisecond,
+	}
+	ts := make(sched.TaskSet, 0, n)
+	remaining := maxUtil
+	for i := 0; i < n; i++ {
+		share := remaining / float64(n-i) * (0.5 + rng.Float64())
+		if share > remaining {
+			share = remaining
+		}
+		p := periods[rng.Intn(len(periods))]
+		e := time.Duration(share * float64(p)).Truncate(100 * time.Microsecond)
+		if e < 100*time.Microsecond {
+			e = 100 * time.Microsecond
+		}
+		if e > p {
+			e = p
+		}
+		remaining -= float64(e) / float64(p)
+		if remaining < 0 {
+			remaining = 0
+		}
+		ts = append(ts, sched.Task{Name: fmt.Sprintf("t%d", i), Period: p, WCET: e})
+	}
+	return ts
+}
+
+// Silence unused-import lint if temporal constants ever become unused in
+// future edits; the compile-time reference documents the dependency of
+// the harness on the temporal model.
+var _ = temporal.Theorem5

@@ -1,0 +1,153 @@
+// Command rtpbctl drives a running rtpbd primary through its control
+// interface: register objects, declare inter-object constraints, write
+// and read values, and query status.
+//
+//	rtpbctl -addr 127.0.0.1:7777 register alt 64 40ms 50ms 200ms
+//	rtpbctl -addr 127.0.0.1:7777 relate accel lift 60ms
+//	rtpbctl -addr 127.0.0.1:7777 write alt "9000 ft"
+//	rtpbctl -addr 127.0.0.1:7777 read alt
+//	rtpbctl -addr 127.0.0.1:7777 status
+//	rtpbctl -addr 127.0.0.1:7777 bench alt 40ms 5s   # periodic writes
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rtpb/internal/ctl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rtpbctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rtpbctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7777", "primary's control address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|bench> args...")
+	}
+
+	// Validate the subcommand before touching the network.
+	sub := strings.ToLower(rest[0])
+	arity := map[string]struct {
+		n     int
+		usage string
+	}{
+		"register": {6, "register <name> <size> <period> <deltaP> <deltaB>"},
+		"relate":   {4, "relate <nameI> <nameJ> <deltaIJ>"},
+		"write":    {3, "write <name> <value>"},
+		"read":     {2, "read <name>"},
+		"status":   {1, "status"},
+		"bench":    {4, "bench <name> <period> <duration>"},
+	}
+	want, known := arity[sub]
+	if !known {
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+	if len(rest) != want.n {
+		return fmt.Errorf("usage: %s", want.usage)
+	}
+
+	c, err := ctl.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch sub {
+	case "register":
+		return doPrint(c, "REGISTER "+strings.Join(rest[1:], " "))
+	case "relate":
+		return doPrint(c, "RELATE "+strings.Join(rest[1:], " "))
+	case "write":
+		return doPrint(c, "WRITE "+rest[1]+" "+base64.StdEncoding.EncodeToString([]byte(rest[2])))
+	case "read":
+		reply, err := c.Do("READ " + rest[1])
+		if err != nil {
+			return err
+		}
+		return printRead(reply)
+	case "status":
+		return doPrint(c, "STATUS")
+	default: // bench
+		return bench(c, rest[1], rest[2], rest[3])
+	}
+}
+
+func doPrint(c *ctl.Client, line string) error {
+	reply, err := c.Do(line)
+	if err != nil {
+		return err
+	}
+	fmt.Println(reply)
+	if strings.HasPrefix(reply, "ERR") || strings.HasPrefix(reply, "REJECT") {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func printRead(reply string) error {
+	fields := strings.Fields(reply)
+	if len(fields) == 3 && fields[0] == "OK" {
+		value, err := base64.StdEncoding.DecodeString(fields[1])
+		if err == nil {
+			fmt.Printf("%q version=%s\n", value, fields[2])
+			return nil
+		}
+	}
+	fmt.Println(reply)
+	return nil
+}
+
+// bench issues periodic writes for a while and reports the response-time
+// distribution seen by this client.
+func bench(c *ctl.Client, name, periodStr, durStr string) error {
+	period, err := time.ParseDuration(periodStr)
+	if err != nil {
+		return err
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(dur)
+	var latencies []time.Duration
+	payload := []byte(fmt.Sprintf("bench-%d", time.Now().UnixNano()))
+	for i := 0; time.Now().Before(deadline); i++ {
+		start := time.Now()
+		reply, err := c.Write(name, payload)
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(reply, "OK") {
+			return fmt.Errorf("write %d failed: %s", i, reply)
+		}
+		latencies = append(latencies, time.Since(start))
+		time.Sleep(time.Until(start.Add(period)))
+	}
+	if len(latencies) == 0 {
+		return fmt.Errorf("no writes completed")
+	}
+	var total, worst time.Duration
+	for _, l := range latencies {
+		total += l
+		if l > worst {
+			worst = l
+		}
+	}
+	fmt.Printf("writes=%d mean=%v max=%v\n",
+		len(latencies), total/time.Duration(len(latencies)), worst)
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no subcommand", nil, "usage"},
+		{"unknown subcommand", []string{"-addr", "127.0.0.1:1", "frobnicate"}, "unknown subcommand"},
+		{"register arity", []string{"-addr", "127.0.0.1:1", "register", "x"}, "usage: register"},
+		{"write arity", []string{"-addr", "127.0.0.1:1", "write", "x"}, "usage: write"},
+		{"read arity", []string{"-addr", "127.0.0.1:1", "read"}, "usage: read"},
+		{"relate arity", []string{"-addr", "127.0.0.1:1", "relate", "a"}, "usage: relate"},
+		{"bench arity", []string{"-addr", "127.0.0.1:1", "bench", "x"}, "usage: bench"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunDialFailure(t *testing.T) {
+	// Port 1 on localhost is almost certainly closed; Dial must fail
+	// fast and surface the error.
+	err := run([]string{"-addr", "127.0.0.1:1", "status"})
+	if err == nil {
+		t.Fatal("expected dial error")
+	}
+}

@@ -1,0 +1,218 @@
+// Command rtpbd runs one RTPB replica — primary or backup — over real UDP
+// sockets, with the identical protocol stack the simulation uses. The
+// primary additionally exposes the line-oriented control interface of
+// internal/ctl for client registrations and writes (the stand-in for the
+// paper's Mach IPC API); drive it with cmd/rtpbctl.
+//
+// A two-host (or two-terminal) deployment:
+//
+//	rtpbd -role backup  -listen 127.0.0.1:7001 -peer 127.0.0.1:7000
+//	rtpbd -role primary -listen 127.0.0.1:7000 -peer 127.0.0.1:7001 -ctl 127.0.0.1:7777
+//	rtpbctl -addr 127.0.0.1:7777 register alt 64 40ms 50ms 200ms
+//	rtpbctl -addr 127.0.0.1:7777 write alt "9000ft"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtpb"
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/ctl"
+	"rtpb/internal/failover"
+	"rtpb/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("rtpbd: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rtpbd", flag.ContinueOnError)
+	role := fs.String("role", "", "replica role: primary or backup (required)")
+	listen := fs.String("listen", "127.0.0.1:7000", "UDP address to listen on")
+	peer := fs.String("peer", "", "peer replica's UDP address (required)")
+	ctlAddr := fs.String("ctl", "127.0.0.1:7777", "control listener address (primary only)")
+	ell := fs.Duration("ell", 5*time.Millisecond, "communication delay bound ℓ")
+	mode := fs.String("mode", "normal", "update scheduling: normal or compressed")
+	noAdmission := fs.Bool("no-admission", false, "disable admission control (experiments only)")
+	heartbeat := fs.Bool("heartbeat", true, "run the heartbeat failure detector")
+	mtu := fs.Int("mtu", 0, "fragment updates larger than this (0 = no fragmentation layer)")
+	verbose := fs.Bool("v", false, "log protocol events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *role != "primary" && *role != "backup" {
+		return fmt.Errorf("-role must be primary or backup")
+	}
+	if *peer == "" {
+		return fmt.Errorf("-peer is required")
+	}
+	scheduling := rtpb.ScheduleNormal
+	switch *mode {
+	case "normal":
+	case "compressed":
+		scheduling = rtpb.ScheduleCompressed
+	default:
+		return fmt.Errorf("-mode must be normal or compressed")
+	}
+
+	clk := clock.NewReal()
+	defer clk.Stop()
+	transport, err := netsim.NewUDP(clk, *listen)
+	if err != nil {
+		return err
+	}
+	defer transport.Close()
+	var port *rtpb.PortProtocol
+	if *mtu > 0 {
+		port, err = rtpb.NewStackMTU(transport, clk, *mtu)
+	} else {
+		port, err = rtpb.NewStack(transport)
+	}
+	if err != nil {
+		return err
+	}
+	// The peer flag names the peer's UDP socket; the RTPB protocol itself
+	// is demultiplexed on the x-kernel port protocol's well-known port, so
+	// the full participant address is "<ip:udpport>:<rtpbport>".
+	cfg := core.Config{
+		Clock:                   clk,
+		Port:                    port,
+		Peer:                    rtpb.Addr(fmt.Sprintf("%s:%d", *peer, rtpb.RTPBPort)),
+		Ell:                     *ell,
+		Scheduling:              scheduling,
+		DisableAdmissionControl: *noAdmission,
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	switch *role {
+	case "primary":
+		return runPrimary(clk, cfg, *ctlAddr, *heartbeat, *verbose, sig, transport.LocalAddr())
+	default:
+		return runBackup(clk, cfg, *heartbeat, *verbose, sig, transport.LocalAddr())
+	}
+}
+
+func runPrimary(clk *clock.RealClock, cfg core.Config, ctlAddr string, heartbeat, verbose bool, sig chan os.Signal, local string) error {
+	errCh := make(chan error, 1)
+	var primary *core.Primary
+	var ctlSrv *ctl.Server
+	clk.Post(func() {
+		p, err := core.NewPrimary(cfg)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		primary = p
+		if verbose {
+			p.OnSend = func(_ uint32, name string, seq uint64, _ time.Time) {
+				log.Printf("send update %s seq=%d", name, seq)
+			}
+			p.OnRetransmitRequest = func(id uint32) {
+				log.Printf("retransmit request for object %d", id)
+			}
+		}
+		if heartbeat {
+			var det *failover.Detector
+			det, err = failover.NewDetector(clk, failover.DefaultDetectorConfig(), p.SendPing, func() {
+				log.Printf("backup declared DEAD; update events cancelled, probing for recovery")
+				p.SetBackupAlive(false)
+				// Keep probing so a restarted backup is re-integrated
+				// automatically.
+				clk.Schedule(2*time.Second, func() {
+					det.Reset()
+					det.Start()
+				})
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			p.OnPingAck = func(seq uint64) {
+				if !p.BackupAlive() {
+					log.Printf("backup responding again; resuming with state transfer")
+					p.SetBackupAlive(true)
+				}
+				det.OnAck(seq)
+			}
+			det.Start()
+		}
+		errCh <- nil
+	})
+	if err := <-errCh; err != nil {
+		return err
+	}
+	srv, err := ctl.NewServer(clk, primary, ctlAddr)
+	if err != nil {
+		return err
+	}
+	ctlSrv = srv
+	defer ctlSrv.Close()
+	log.Printf("primary up: rtpb on udp %s, control on tcp %s, peer %s", local, ctlSrv.Addr(), cfg.Peer)
+	<-sig
+	log.Printf("shutting down")
+	done := make(chan struct{})
+	clk.Post(func() { primary.Stop(); close(done) })
+	<-done
+	return nil
+}
+
+func runBackup(clk *clock.RealClock, cfg core.Config, heartbeat, verbose bool, sig chan os.Signal, local string) error {
+	errCh := make(chan error, 1)
+	var backup *core.Backup
+	clk.Post(func() {
+		b, err := core.NewBackup(cfg)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		backup = b
+		if verbose {
+			b.OnApply = func(_ uint32, name string, seq uint64, version, _ time.Time) {
+				log.Printf("apply %s seq=%d version=%s", name, seq, version.Format(time.RFC3339Nano))
+			}
+			b.OnGap = func(id uint32, have, got uint64) {
+				log.Printf("gap on object %d: have seq %d, got %d; requesting retransmit", id, have, got)
+			}
+		}
+		if heartbeat {
+			var det *failover.Detector
+			det, err = failover.NewDetector(clk, failover.DefaultDetectorConfig(), b.SendPing, func() {
+				log.Printf("PRIMARY DECLARED DEAD — a full deployment would promote now " +
+					"(see examples/failover for the takeover); probing for recovery")
+				clk.Schedule(2*time.Second, func() {
+					det.Reset()
+					det.Start()
+				})
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			b.OnPingAck = det.OnAck
+			det.Start()
+		}
+		errCh <- nil
+	})
+	if err := <-errCh; err != nil {
+		return err
+	}
+	log.Printf("backup up: rtpb on udp %s, peer %s", local, cfg.Peer)
+	<-sig
+	log.Printf("shutting down")
+	done := make(chan struct{})
+	clk.Post(func() { backup.Stop(); close(done) })
+	<-done
+	return nil
+}

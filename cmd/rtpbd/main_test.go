@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidatesFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing role", []string{"-peer", "x:1"}, "-role"},
+		{"bad role", []string{"-role", "observer", "-peer", "x:1"}, "-role"},
+		{"missing peer", []string{"-role", "primary"}, "-peer"},
+		{"bad mode", []string{"-role", "primary", "-peer", "x:1", "-mode", "turbo"}, "-mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnparseableFlags(t *testing.T) {
+	if err := run([]string{"-ell", "soon"}); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command rtpbench regenerates the paper's evaluation figures (Section 5)
+// on the simulated RTPB deployment and prints each as a data table or CSV.
+//
+// Usage:
+//
+//	rtpbench                    # all figures, table output
+//	rtpbench -figure 8          # one figure
+//	rtpbench -csv               # CSV output
+//	rtpbench -duration 30s      # longer measurement interval per point
+//	rtpbench -seed 7            # different random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtpb/internal/experiments"
+	"rtpb/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rtpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rtpbench", flag.ContinueOnError)
+	figure := fs.Int("figure", 0, "figure number to regenerate (6-12, 13 = live phase variance, 14 = active-vs-passive comparison); 0 means all")
+	seed := fs.Int64("seed", 1, "random seed for loss and jitter")
+	duration := fs.Duration("duration", 10*time.Second, "virtual measurement interval per data point")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	plot := fs.Bool("plot", false, "render an ASCII chart under each table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type gen func(int64, time.Duration) (*trace.Figure, error)
+	gens := map[int]gen{
+		6:  experiments.Figure6,
+		7:  experiments.Figure7,
+		8:  experiments.Figure8,
+		9:  experiments.Figure9,
+		10: experiments.Figure10,
+		11: experiments.Figure11,
+		12: experiments.Figure12,
+		// 13 and 14 are not paper figures: 13 is this reproduction's
+		// live phase-variance measurement (Definition 1 observed on the
+		// running protocol, against the Inequality 2.1 bound); 14 is the
+		// passive-vs-active response-time comparison that quantifies the
+		// related-work argument of Section 6.1.
+		13: experiments.PhaseVarianceFigure,
+		14: experiments.CompareFigure,
+	}
+
+	var figures []*trace.Figure
+	if *figure == 0 {
+		all, err := experiments.Figures(*seed, *duration)
+		if err != nil {
+			return err
+		}
+		figures = all
+	} else {
+		g, ok := gens[*figure]
+		if !ok {
+			return fmt.Errorf("no such figure %d (want 6-14)", *figure)
+		}
+		f, err := g(*seed, *duration)
+		if err != nil {
+			return err
+		}
+		figures = []*trace.Figure{f}
+	}
+
+	for i, f := range figures {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s", f.Name, f.Title, f.CSV())
+		} else {
+			fmt.Print(f.Render())
+		}
+		if *plot {
+			fmt.Println()
+			fmt.Print(f.Plot(64, 16))
+		}
+	}
+	return nil
+}

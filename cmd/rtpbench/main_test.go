@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFigure(t *testing.T) {
+	err := run([]string{"-figure", "99"})
+	if err == nil || !strings.Contains(err.Error(), "no such figure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-duration", "bogus"}); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+func TestRunSingleFigureSmokes(t *testing.T) {
+	// A tiny virtual interval keeps this fast; output goes to stdout.
+	if err := run([]string{"-figure", "13", "-duration", "500ms"}); err != nil {
+		t.Fatalf("figure 13: %v", err)
+	}
+	if err := run([]string{"-figure", "8", "-duration", "250ms", "-csv"}); err != nil {
+		t.Fatalf("figure 8 csv: %v", err)
+	}
+}

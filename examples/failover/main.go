@@ -1,0 +1,136 @@
+// Failover: the full Section 4.4 story — heartbeat failure detection,
+// takeover by the backup, name-service update, standby client activation,
+// and recruitment of a replacement backup.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rtpb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := rtpb.NewSimCluster(rtpb.SimClusterConfig{
+		Seed: 21,
+		Link: rtpb.LinkParams{Delay: 2 * time.Millisecond, Jitter: time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	names := rtpb.NewNameService()
+	if err := names.Set("turbine", "primary:7000", 1); err != nil {
+		return err
+	}
+
+	if d := cluster.Register(rtpb.ObjectSpec{
+		Name:         "rpm",
+		Size:         8,
+		UpdatePeriod: 40 * time.Millisecond,
+		Constraint: rtpb.ExternalConstraint{
+			DeltaP: 50 * time.Millisecond,
+			DeltaB: 250 * time.Millisecond,
+		},
+	}); !d.Accepted {
+		return fmt.Errorf("rejected: %s", d.Reason)
+	}
+
+	// The backup pings the primary and promotes itself when the primary
+	// goes silent.
+	var promoted *rtpb.Primary
+	detector, err := rtpb.NewDetector(cluster.Clock, rtpb.DefaultDetectorConfig(),
+		cluster.Backup.SendPing,
+		func() {
+			at := cluster.Clock.Now()
+			p, perr := rtpb.Promote(cluster.Backup, rtpb.PromoteOptions{
+				Service:  "turbine",
+				SelfAddr: "backup:7000",
+				Names:    names,
+				PrimaryConfig: rtpb.Config{
+					Clock: cluster.Clock,
+					Port:  cluster.BackupPort(),
+					Ell:   5 * time.Millisecond,
+				},
+				ActivateClient: func(*rtpb.Primary) {
+					fmt.Printf("t=%s  standby client application activated on the backup host\n",
+						at.Format("05.000"))
+				},
+			})
+			if perr != nil {
+				log.Fatalf("promotion failed: %v", perr)
+			}
+			promoted = p
+			fmt.Printf("t=%s  backup promoted itself to primary (epoch %d)\n",
+				at.Format("05.000"), p.Epoch())
+		})
+	if err != nil {
+		return err
+	}
+	cluster.Backup.OnPingAck = detector.OnAck
+	detector.Start()
+
+	// Phase 1: normal operation.
+	writer := cluster.WriteEvery("rpm", 40*time.Millisecond, func(i int) []byte {
+		return []byte(fmt.Sprintf("%d", 3000+i))
+	})
+	cluster.RunFor(2 * time.Second)
+	v, _, _ := cluster.Backup.Value("rpm")
+	fmt.Printf("t=%s  replicating normally; backup holds rpm=%s\n",
+		cluster.Clock.Now().Format("05.000"), v)
+
+	// Phase 2: the primary host dies.
+	writer.Stop()
+	cluster.CrashPrimary()
+	fmt.Printf("t=%s  PRIMARY CRASHED\n", cluster.Clock.Now().Format("05.000"))
+	cluster.RunFor(2 * time.Second)
+	if promoted == nil {
+		return fmt.Errorf("failover never happened")
+	}
+	addr, epoch, _ := names.Lookup("turbine")
+	fmt.Printf("t=%s  name service now points at %s (epoch %d)\n",
+		cluster.Clock.Now().Format("05.000"), addr, epoch)
+	rec, _, _ := promoted.Value("rpm")
+	fmt.Printf("t=%s  new primary serves recovered state rpm=%s\n",
+		cluster.Clock.Now().Format("05.000"), rec)
+
+	// Phase 3: the new primary keeps serving clients while it waits to
+	// recruit, then a fresh backup node joins.
+	newWriter := cluster.WriteEveryTo(promoted, "rpm", 40*time.Millisecond, func(i int) []byte {
+		return []byte(fmt.Sprintf("%d", 5000+i))
+	})
+	recruitPort, err := cluster.AddHost("recruit")
+	if err != nil {
+		return err
+	}
+	recruit, err := rtpb.NewBackup(rtpb.Config{
+		Clock: cluster.Clock,
+		Port:  recruitPort,
+		Peer:  "backup:7000",
+		Ell:   5 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rtpb.Recruit(promoted, "recruit:7000"); err != nil {
+		return err
+	}
+	cluster.RunFor(2 * time.Second)
+	newWriter.Stop()
+	rv, _, ok := recruit.Value("rpm")
+	if !ok {
+		return fmt.Errorf("recruited backup holds no state")
+	}
+	fmt.Printf("t=%s  recruited backup replicating again; holds rpm=%s (epoch %d)\n",
+		cluster.Clock.Now().Format("05.000"), rv, recruit.Epoch())
+	fmt.Println("failover complete: detect → promote → recover → recruit")
+	return nil
+}

@@ -1,0 +1,3 @@
+module rtpb
+
+go 1.23

@@ -1,0 +1,114 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealClockRunsScheduledEvent(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	done := make(chan struct{})
+	r.Post(func() {
+		r.Schedule(5*time.Millisecond, func() { close(done) })
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("scheduled event did not fire")
+	}
+}
+
+func TestRealClockPostFromManyGoroutines(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	const n = 100
+	var ran atomic.Int32
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go r.Post(func() {
+			if ran.Add(1) == n {
+				close(done)
+			}
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("only %d/%d posted callbacks ran", ran.Load(), n)
+	}
+}
+
+func TestRealClockSerialExecution(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	// If callbacks overlapped, the unsynchronized counter below would race
+	// (and fail under -race) or lose increments.
+	counter := 0
+	done := make(chan struct{})
+	const n = 50
+	for i := 0; i < n; i++ {
+		go r.Post(func() {
+			counter++
+			if counter == n {
+				close(done)
+			}
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("counter = %d, want %d", counter, n)
+	}
+}
+
+func TestRealClockOrderingOfTimers(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	var got []int
+	done := make(chan struct{})
+	r.Post(func() {
+		r.Schedule(30*time.Millisecond, func() {
+			got = append(got, 2)
+			close(done)
+		})
+		r.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timers did not fire")
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("firing order = %v, want [1 2]", got)
+	}
+}
+
+func TestRealClockCancel(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	fired := make(chan struct{}, 1)
+	done := make(chan struct{})
+	r.Post(func() {
+		e := r.Schedule(50*time.Millisecond, func() { fired <- struct{}{} })
+		e.Cancel()
+		r.Schedule(100*time.Millisecond, func() { close(done) })
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sentinel event did not fire")
+	}
+	select {
+	case <-fired:
+		t.Fatal("cancelled event fired")
+	default:
+	}
+}
+
+func TestRealClockStopIsIdempotent(t *testing.T) {
+	r := NewReal()
+	r.Stop()
+	r.Stop()
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/sched"
+	"rtpb/internal/temporal"
+)
+
+// Decision is the outcome of admission control for one registration,
+// including the QoS-negotiation feedback of Section 4.2.
+type Decision struct {
+	// Accepted reports whether the object was admitted.
+	Accepted bool
+	// ObjectID is the assigned identifier when accepted.
+	ObjectID uint32
+	// Reason explains a rejection.
+	Reason string
+	// SuggestedDeltaB, when non-zero, is a δ_i^B the service estimates it
+	// could accept instead, for the client to renegotiate with.
+	SuggestedDeltaB time.Duration
+	// UpdatePeriod is the admitted backup-update period r_i.
+	UpdatePeriod time.Duration
+}
+
+// object is the primary's bookkeeping for one admitted object.
+type object struct {
+	id   uint32
+	spec ObjectSpec
+
+	// updatePeriod is r_i, the period of the backup-update task actually
+	// scheduled (under SchedTestDCS this is the S_r-specialized period).
+	updatePeriod time.Duration
+	// nominalPeriod is the constraint-derived period before pinwheel
+	// specialization: SlackFactor·(δ−ℓ) capped by inter-object bounds.
+	nominalPeriod time.Duration
+	// interBounds are δ_ij bounds from inter-object constraints naming
+	// this object; they cap both p_i (checked at admission) and r_i.
+	interBounds []time.Duration
+
+	// Replicated state.
+	value   []byte
+	version time.Time
+	hasData bool
+	seq     uint64
+
+	// lastSentVersion is the version carried by the most recent update
+	// transmission.
+	lastSentVersion time.Time
+	lastSentSeq     uint64
+
+	// task is the periodic update task under normal scheduling.
+	task *clock.Periodic
+
+	// pendingAcks holds critical writes awaiting backup acknowledgement,
+	// keyed by the update's sequence number.
+	pendingAcks map[uint64]*pendingAck
+}
+
+// admission owns the primary's object table and implements the admission
+// tests of Section 4.2.
+type admission struct {
+	cfg     *Config
+	objects map[uint32]*object
+	byName  map[string]uint32
+	inter   []temporal.InterObjectConstraint
+	nextID  uint32
+}
+
+func newAdmission(cfg *Config) *admission {
+	return &admission{
+		cfg:     cfg,
+		objects: make(map[uint32]*object),
+		byName:  make(map[string]uint32),
+		nextID:  1,
+	}
+}
+
+// externalPeriod derives r_i from the external constraint:
+// SlackFactor·(δ_i − ℓ), the paper's choice of half the Theorem 5 maximum
+// to leave room for loss compensation.
+func (a *admission) externalPeriod(c temporal.ExternalConstraint) time.Duration {
+	window := c.Delta() - a.cfg.Ell
+	return time.Duration(a.cfg.SlackFactor * float64(window))
+}
+
+// effectivePeriod caps an object's external-constraint period with its
+// inter-object bounds (Theorem 6 at the backup: r ≤ δ_ij with v' = 0).
+// The SlackFactor applies to the inter-object bounds too, for the same
+// reason it applies to the external window (Section 4.3): updates ride an
+// unreliable transport, and halving the period leaves room to absorb a
+// lost message without breaking the bound.
+func (a *admission) effectivePeriod(ext time.Duration, interBounds []time.Duration) time.Duration {
+	r := ext
+	for _, b := range interBounds {
+		sb := time.Duration(a.cfg.SlackFactor * float64(b))
+		if sb < r {
+			r = sb
+		}
+	}
+	return r
+}
+
+// taskSet builds the schedulability-test task set for the current table
+// plus any extra candidate objects: per object, the backup-update task
+// (period r_i, cost of one transmission) and the client-service task
+// (period p_i, cost of one client write).
+func (a *admission) taskSet(extra ...*object) sched.TaskSet {
+	ts := make(sched.TaskSet, 0, 2*(len(a.objects)+len(extra)))
+	replicas := time.Duration(a.cfg.replicaCount())
+	add := func(o *object) {
+		ts = append(ts,
+			sched.Task{
+				Name:   o.spec.Name + "/update",
+				Period: o.updatePeriod,
+				WCET:   replicas * a.cfg.Costs.sendCost(o.spec.Size),
+			},
+			sched.Task{
+				Name:   o.spec.Name + "/client",
+				Period: o.spec.UpdatePeriod,
+				WCET:   a.cfg.Costs.clientCost(o.spec.Size),
+			})
+		if o.spec.Critical {
+			// The hybrid path transmits synchronously on every client
+			// write, on top of the periodic update task.
+			ts = append(ts, sched.Task{
+				Name:   o.spec.Name + "/sync",
+				Period: o.spec.UpdatePeriod,
+				WCET:   replicas * a.cfg.Costs.sendCost(o.spec.Size),
+			})
+		}
+	}
+	for _, o := range a.objects {
+		add(o)
+	}
+	for _, o := range extra {
+		add(o)
+	}
+	return ts
+}
+
+// admit runs the Section 4.2 admission pipeline for a registration. On
+// acceptance the object is inserted into the table.
+func (a *admission) admit(spec ObjectSpec) (*object, Decision) {
+	reject := func(reason string, suggest time.Duration) (*object, Decision) {
+		return nil, Decision{Accepted: false, Reason: reason, SuggestedDeltaB: suggest}
+	}
+	if err := spec.Validate(); err != nil {
+		return reject(err.Error(), 0)
+	}
+	if _, dup := a.byName[spec.Name]; dup {
+		return reject(fmt.Sprintf("object %q already registered", spec.Name), 0)
+	}
+
+	// Test 1: the client's update period must keep the primary's copy
+	// within δ_i^P (p_i ≤ δ_i^P).
+	if spec.UpdatePeriod > spec.Constraint.DeltaP {
+		return reject(fmt.Sprintf("client period %v exceeds δP %v",
+			spec.UpdatePeriod, spec.Constraint.DeltaP), 0)
+	}
+
+	// Test 2: the primary-backup window must exceed the communication
+	// delay bound (δ_i = δB − δP > ℓ), or no transmission schedule can
+	// keep the backup consistent.
+	if spec.Constraint.Delta() <= a.cfg.Ell {
+		suggest := spec.Constraint.DeltaP + 2*a.cfg.Ell + spec.UpdatePeriod
+		return reject(fmt.Sprintf("window δ=%v does not exceed ℓ=%v",
+			spec.Constraint.Delta(), a.cfg.Ell), suggest)
+	}
+
+	cand := &object{
+		id:   a.nextID,
+		spec: spec,
+	}
+	cand.updatePeriod = a.effectivePeriod(a.externalPeriod(spec.Constraint), nil)
+	cand.nominalPeriod = cand.updatePeriod
+	if a.cfg.Scheduling == ScheduleWriteThrough {
+		// Write-through couples transmissions to client writes, so the
+		// schedulability test must account for one transmission per
+		// client period (capped by the external bound).
+		if spec.UpdatePeriod < cand.updatePeriod {
+			cand.updatePeriod = spec.UpdatePeriod
+		}
+	}
+	if cand.updatePeriod <= 0 {
+		suggest := spec.Constraint.DeltaP + 2*a.cfg.Ell + spec.UpdatePeriod
+		return reject("derived update period is not positive", suggest)
+	}
+	// The update task's cost must fit its period at all.
+	if a.cfg.Costs.sendCost(spec.Size) > cand.updatePeriod {
+		return reject(fmt.Sprintf("update transmission cost %v exceeds period %v",
+			a.cfg.Costs.sendCost(spec.Size), cand.updatePeriod), 0)
+	}
+
+	// Test 3: schedulability of all update and client-service tasks with
+	// the candidate added (the paper's rate-monotonic test).
+	if !a.cfg.DisableAdmissionControl && !a.cfg.SchedTest.feasible(a.taskSet(cand)) {
+		return reject(
+			fmt.Sprintf("update task set unschedulable with %d objects", len(a.objects)+1),
+			a.suggestDeltaB(spec))
+	}
+
+	a.objects[cand.id] = cand
+	a.byName[spec.Name] = cand.id
+	a.nextID++
+
+	// Under the DCS test, admission does not merely check Theorem 3's
+	// condition — it applies the S_r pinwheel specialization, replacing
+	// every object's update period with a harmonic one ≤ its nominal
+	// period, so the transmission schedule itself achieves (near-)zero
+	// phase variance.
+	if a.cfg.SchedTest == SchedTestDCS && !a.cfg.DisableAdmissionControl {
+		if err := a.applyDCS(); err != nil {
+			delete(a.objects, cand.id)
+			delete(a.byName, spec.Name)
+			_ = a.applyDCS() // restore the previous assignment
+			return reject(err.Error(), a.suggestDeltaB(spec))
+		}
+	}
+	return cand, Decision{
+		Accepted:     true,
+		ObjectID:     cand.id,
+		UpdatePeriod: cand.updatePeriod,
+	}
+}
+
+// applyDCS specializes every object's update period with Han & Lin's S_r
+// (SpecializeSr) starting from the nominal, constraint-derived periods.
+// Specialized periods never exceed the nominals, so every temporal
+// constraint keeps holding.
+func (a *admission) applyDCS() error {
+	if len(a.objects) == 0 {
+		return nil
+	}
+	ids := make([]uint32, 0, len(a.objects))
+	ts := make(sched.TaskSet, 0, len(a.objects))
+	for id, o := range a.objects {
+		ids = append(ids, id)
+		ts = append(ts, sched.Task{
+			Name:   o.spec.Name + "/update",
+			Period: o.nominalPeriod,
+			WCET:   time.Duration(a.cfg.replicaCount()) * a.cfg.Costs.sendCost(o.spec.Size),
+		})
+	}
+	spec, ok := sched.SpecializeSr(ts)
+	if !ok {
+		return fmt.Errorf("S_r specialization infeasible with %d objects", len(a.objects))
+	}
+	for i, id := range ids {
+		a.objects[id].updatePeriod = spec[i].Period
+	}
+	return nil
+}
+
+// suggestDeltaB searches for a larger δ_i^B that would pass the
+// schedulability test, doubling the window up to a cap; zero means none
+// found.
+func (a *admission) suggestDeltaB(spec ObjectSpec) time.Duration {
+	for scale := 2; scale <= 64; scale *= 2 {
+		try := spec
+		try.Constraint.DeltaB = spec.Constraint.DeltaP +
+			time.Duration(scale)*spec.Constraint.Delta()
+		cand := &object{spec: try}
+		cand.updatePeriod = a.externalPeriod(try.Constraint)
+		if cand.updatePeriod <= 0 {
+			continue
+		}
+		if a.cfg.SchedTest.feasible(a.taskSet(cand)) {
+			return try.Constraint.DeltaB
+		}
+	}
+	return 0
+}
+
+// admitInterObject applies an inter-object constraint to two admitted
+// objects (Section 4.2, last paragraph): each constraint is converted
+// into per-object period bounds — p ≤ δ_ij at the primary, r ≤ δ_ij at
+// the backup — and the tightened update tasks must remain schedulable.
+// On success the constraint is recorded and both objects' update periods
+// are tightened in place.
+func (a *admission) admitInterObject(c temporal.InterObjectConstraint) (Decision, error) {
+	if err := c.Validate(); err != nil {
+		return Decision{Accepted: false, Reason: err.Error()}, err
+	}
+	oi, err := a.byNameOrErr(c.I)
+	if err != nil {
+		return Decision{Accepted: false, Reason: err.Error()}, err
+	}
+	oj, err := a.byNameOrErr(c.J)
+	if err != nil {
+		return Decision{Accepted: false, Reason: err.Error()}, err
+	}
+
+	boundI, boundJ := temporal.ConvertInterObject(c)
+	// Primary-side check: the client update periods must fit within δ_ij.
+	if oi.spec.UpdatePeriod > boundI || oj.spec.UpdatePeriod > boundJ {
+		reason := fmt.Sprintf("client periods %v/%v exceed δ_ij %v",
+			oi.spec.UpdatePeriod, oj.spec.UpdatePeriod, c.Delta)
+		return Decision{Accepted: false, Reason: reason}, fmt.Errorf("%w: %s", ErrRejected, reason)
+	}
+
+	// Backup-side check: tighten r_i, r_j to δ_ij and retest
+	// schedulability with the tightened set.
+	tightI := a.effectivePeriod(a.externalPeriod(oi.spec.Constraint), append(oi.interBounds, boundI))
+	tightJ := a.effectivePeriod(a.externalPeriod(oj.spec.Constraint), append(oj.interBounds, boundJ))
+	savedI, savedJ := oi.updatePeriod, oj.updatePeriod
+	savedNomI, savedNomJ := oi.nominalPeriod, oj.nominalPeriod
+	oi.updatePeriod, oj.updatePeriod = tightI, tightJ
+	oi.nominalPeriod, oj.nominalPeriod = tightI, tightJ
+	rollback := func() {
+		oi.updatePeriod, oj.updatePeriod = savedI, savedJ
+		oi.nominalPeriod, oj.nominalPeriod = savedNomI, savedNomJ
+		if a.cfg.SchedTest == SchedTestDCS && !a.cfg.DisableAdmissionControl {
+			_ = a.applyDCS()
+		}
+	}
+	if !a.cfg.DisableAdmissionControl && !a.cfg.SchedTest.feasible(a.taskSet()) {
+		rollback()
+		reason := fmt.Sprintf("update tasks unschedulable with δ_ij=%v", c.Delta)
+		return Decision{Accepted: false, Reason: reason}, fmt.Errorf("%w: %s", ErrRejected, reason)
+	}
+	if a.cfg.SchedTest == SchedTestDCS && !a.cfg.DisableAdmissionControl {
+		if err := a.applyDCS(); err != nil {
+			rollback()
+			return Decision{Accepted: false, Reason: err.Error()}, fmt.Errorf("%w: %s", ErrRejected, err.Error())
+		}
+	}
+	oi.interBounds = append(oi.interBounds, boundI)
+	oj.interBounds = append(oj.interBounds, boundJ)
+	a.inter = append(a.inter, c)
+	return Decision{Accepted: true}, nil
+}
+
+func (a *admission) byNameOrErr(name string) (*object, error) {
+	id, ok := a.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	return a.objects[id], nil
+}
+
+// utilization reports the admitted task set's total CPU utilization.
+func (a *admission) utilization() float64 {
+	return a.taskSet().Utilization()
+}

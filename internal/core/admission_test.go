@@ -1,0 +1,264 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rtpb/internal/temporal"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func testConfig() *Config {
+	cfg := &Config{
+		Ell:         ms(5),
+		SlackFactor: 0.5,
+		Costs:       DefaultCosts(),
+	}
+	return cfg
+}
+
+func spec(name string, period, deltaP, deltaB time.Duration) ObjectSpec {
+	return ObjectSpec{
+		Name:         name,
+		Size:         64,
+		UpdatePeriod: period,
+		Constraint:   temporal.ExternalConstraint{DeltaP: deltaP, DeltaB: deltaB},
+	}
+}
+
+func TestAdmitAcceptsFeasibleObject(t *testing.T) {
+	a := newAdmission(testConfig())
+	o, d := a.admit(spec("x", ms(40), ms(50), ms(150)))
+	if !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	if o.id != d.ObjectID || d.ObjectID == 0 {
+		t.Fatalf("object id %d vs decision %d", o.id, d.ObjectID)
+	}
+	// r = 0.5·(δB−δP−ℓ) = 0.5·(100−5)ms = 47.5ms
+	if want := time.Duration(0.5 * float64(ms(95))); d.UpdatePeriod != want {
+		t.Fatalf("UpdatePeriod = %v, want %v", d.UpdatePeriod, want)
+	}
+}
+
+func TestAdmitRejectsPeriodBeyondDeltaP(t *testing.T) {
+	a := newAdmission(testConfig())
+	_, d := a.admit(spec("x", ms(60), ms(50), ms(150)))
+	if d.Accepted {
+		t.Fatal("accepted object with p > δP")
+	}
+	if !strings.Contains(d.Reason, "exceeds δP") {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+}
+
+func TestAdmitRejectsWindowBelowEll(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ell = ms(20)
+	a := newAdmission(cfg)
+	_, d := a.admit(spec("x", ms(40), ms(50), ms(65))) // δ = 15ms < ℓ
+	if d.Accepted {
+		t.Fatal("accepted object with δ ≤ ℓ")
+	}
+	if d.SuggestedDeltaB == 0 {
+		t.Fatal("no QoS suggestion on window rejection")
+	}
+	if d.SuggestedDeltaB <= ms(65) {
+		t.Fatalf("suggestion %v not larger than requested δB", d.SuggestedDeltaB)
+	}
+}
+
+func TestAdmitRejectsDuplicateName(t *testing.T) {
+	a := newAdmission(testConfig())
+	if _, d := a.admit(spec("x", ms(40), ms(50), ms(150))); !d.Accepted {
+		t.Fatalf("first admit rejected: %s", d.Reason)
+	}
+	if _, d := a.admit(spec("x", ms(40), ms(50), ms(150))); d.Accepted {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestAdmitRejectsInvalidSpec(t *testing.T) {
+	a := newAdmission(testConfig())
+	bad := []ObjectSpec{
+		{},
+		spec("", ms(40), ms(50), ms(150)),
+		{Name: "x", UpdatePeriod: ms(10), Size: -1,
+			Constraint: temporal.ExternalConstraint{DeltaP: ms(50), DeltaB: ms(150)}},
+		spec("x", 0, ms(50), ms(150)),
+		spec("x", ms(40), ms(50), ms(40)), // δB < δP
+	}
+	for i, s := range bad {
+		if _, d := a.admit(s); d.Accepted {
+			t.Fatalf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestAdmissionCapacityGateKeeping(t *testing.T) {
+	// With admission control, the accepted count stops at the CPU's
+	// schedulable capacity; without it, everything is admitted.
+	mk := func(disable bool) int {
+		cfg := testConfig()
+		cfg.DisableAdmissionControl = disable
+		a := newAdmission(cfg)
+		accepted := 0
+		for i := 0; i < 200; i++ {
+			name := "obj" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			_, d := a.admit(spec(name, ms(20), ms(25), ms(60)))
+			if d.Accepted {
+				accepted++
+			}
+		}
+		return accepted
+	}
+	withAC := mk(false)
+	withoutAC := mk(true)
+	if withAC >= 200 {
+		t.Fatalf("admission control accepted all %d objects", withAC)
+	}
+	if withoutAC != 200 {
+		t.Fatalf("disabled admission control still rejected: %d/200", withoutAC)
+	}
+	if withAC < 5 {
+		t.Fatalf("admission control admitted only %d objects; capacity model too tight", withAC)
+	}
+}
+
+func TestAdmissionSchedulabilityRejectionSuggestsLargerWindow(t *testing.T) {
+	cfg := testConfig()
+	a := newAdmission(cfg)
+	// Fill most of the capacity with tight-window objects.
+	admitted := 0
+	var lastReject Decision
+	for i := 0; i < 200; i++ {
+		name := "o" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		_, d := a.admit(spec(name, ms(10), ms(12), ms(20)))
+		if d.Accepted {
+			admitted++
+		} else {
+			lastReject = d
+			break
+		}
+	}
+	if lastReject.Accepted || lastReject.Reason == "" {
+		t.Fatalf("never hit a schedulability rejection (admitted %d)", admitted)
+	}
+	if !strings.Contains(lastReject.Reason, "unschedulable") {
+		t.Fatalf("reason = %q", lastReject.Reason)
+	}
+	if lastReject.SuggestedDeltaB == 0 {
+		t.Fatal("no suggested δB for schedulability rejection")
+	}
+}
+
+func TestUtilizationGrowsWithObjects(t *testing.T) {
+	a := newAdmission(testConfig())
+	u0 := a.utilization()
+	a.admit(spec("x", ms(40), ms(50), ms(150)))
+	u1 := a.utilization()
+	a.admit(spec("y", ms(40), ms(50), ms(150)))
+	u2 := a.utilization()
+	if !(u0 == 0 && u1 > u0 && u2 > u1) {
+		t.Fatalf("utilizations not increasing: %v %v %v", u0, u1, u2)
+	}
+}
+
+func TestInterObjectAdmissionTightensPeriods(t *testing.T) {
+	a := newAdmission(testConfig())
+	// External windows allow r = 147.5ms; δ_ij = 30ms must tighten both.
+	a.admit(spec("i", ms(20), ms(50), ms(350)))
+	a.admit(spec("j", ms(20), ms(50), ms(350)))
+	d, err := a.admitInterObject(temporal.InterObjectConstraint{I: "i", J: "j", Delta: ms(30)})
+	if err != nil || !d.Accepted {
+		t.Fatalf("inter-object admission failed: %v %s", err, d.Reason)
+	}
+	oi, _ := a.byNameOrErr("i")
+	oj, _ := a.byNameOrErr("j")
+	// SlackFactor 0.5 applies to the inter-object bound: r = δ_ij/2.
+	if oi.updatePeriod != ms(15) || oj.updatePeriod != ms(15) {
+		t.Fatalf("periods = %v/%v, want 15ms/15ms", oi.updatePeriod, oj.updatePeriod)
+	}
+}
+
+func TestInterObjectAdmissionKeepsTighterExternalPeriod(t *testing.T) {
+	a := newAdmission(testConfig())
+	// External window gives r = 0.5·(100−5) = 47.5ms, tighter than δ_ij.
+	a.admit(spec("i", ms(20), ms(50), ms(150)))
+	a.admit(spec("j", ms(20), ms(50), ms(150)))
+	d, err := a.admitInterObject(temporal.InterObjectConstraint{I: "i", J: "j", Delta: ms(200)})
+	if err != nil || !d.Accepted {
+		t.Fatalf("inter-object admission failed: %v %s", err, d.Reason)
+	}
+	oi, _ := a.byNameOrErr("i")
+	if want := time.Duration(0.5 * float64(ms(95))); oi.updatePeriod != want {
+		t.Fatalf("period loosened to %v, want %v", oi.updatePeriod, want)
+	}
+}
+
+func TestInterObjectAdmissionRejectsClientPeriodOverDelta(t *testing.T) {
+	a := newAdmission(testConfig())
+	a.admit(spec("i", ms(40), ms(50), ms(150)))
+	a.admit(spec("j", ms(40), ms(50), ms(150)))
+	_, err := a.admitInterObject(temporal.InterObjectConstraint{I: "i", J: "j", Delta: ms(30)})
+	if err == nil {
+		t.Fatal("accepted δ_ij below client periods")
+	}
+}
+
+func TestInterObjectAdmissionUnknownObject(t *testing.T) {
+	a := newAdmission(testConfig())
+	a.admit(spec("i", ms(40), ms(50), ms(150)))
+	if _, err := a.admitInterObject(temporal.InterObjectConstraint{I: "i", J: "ghost", Delta: ms(100)}); err == nil {
+		t.Fatal("accepted constraint naming unknown object")
+	}
+}
+
+func TestInterObjectAdmissionRollsBackOnUnschedulable(t *testing.T) {
+	cfg := testConfig()
+	// Exact response-time analysis admits the two heavy objects below;
+	// the utilization-bound default would reject them at registration
+	// before the inter-object path under test is reached.
+	cfg.SchedTest = SchedTestRMExact
+	a := newAdmission(cfg)
+	// Large objects make update transmissions expensive (size drives
+	// cost); loose external windows keep them schedulable.
+	big := func(name string) ObjectSpec {
+		s := spec(name, ms(20), ms(40), ms(2000))
+		s.Size = 4 << 20 // illegal? size*2ns = 16.8ms per op
+		s.Size = 4 << 20
+		return s
+	}
+	if _, d := a.admit(big("i")); !d.Accepted {
+		t.Fatalf("i rejected: %s", d.Reason)
+	}
+	if _, d := a.admit(big("j")); !d.Accepted {
+		t.Fatalf("j rejected: %s", d.Reason)
+	}
+	oi, _ := a.byNameOrErr("i")
+	before := oi.updatePeriod
+	// δ_ij = 25ms cannot fit two ~8.6ms transmissions plus client work.
+	_, err := a.admitInterObject(temporal.InterObjectConstraint{I: "i", J: "j", Delta: ms(25)})
+	if err == nil {
+		t.Fatal("accepted unschedulable inter-object constraint")
+	}
+	if oi.updatePeriod != before {
+		t.Fatalf("period not rolled back: %v vs %v", oi.updatePeriod, before)
+	}
+	if len(oi.interBounds) != 0 {
+		t.Fatal("rejected constraint left bounds behind")
+	}
+}
+
+func TestSchedTestVariants(t *testing.T) {
+	for _, st := range []SchedTest{SchedTestRMExact, SchedTestRMBound, SchedTestEDF, SchedTestDCS} {
+		cfg := testConfig()
+		cfg.SchedTest = st
+		a := newAdmission(cfg)
+		if _, d := a.admit(spec("x", ms(40), ms(50), ms(150))); !d.Accepted {
+			t.Fatalf("test %d rejected trivially feasible object: %s", st, d.Reason)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtpb/internal/temporal"
+	"rtpb/internal/wire"
+	"rtpb/internal/xkernel"
+)
+
+// backupObject is the backup's replica of one object. Updates are ordered
+// by (epoch, seq): a new primary starts its sequence numbers afresh, so
+// its first update must supersede any sequence number from the previous
+// epoch.
+type backupObject struct {
+	id      uint32
+	spec    ObjectSpec
+	value   []byte
+	version time.Time
+	epoch   uint32
+	seq     uint64
+	hasData bool
+}
+
+// supersedes reports whether an inbound (epoch, seq) pair is newer than
+// the object's current state.
+func (o *backupObject) supersedes(epoch uint32, seq uint64) bool {
+	if !o.hasData {
+		return true
+	}
+	if epoch != o.epoch {
+		return epoch > o.epoch
+	}
+	return seq > o.seq
+}
+
+// Backup is the RTPB backup replica: it reserves space for registered
+// objects, applies update messages, detects sequence gaps and requests
+// retransmission, answers heartbeats, and can surrender its state for
+// promotion to primary after a failover.
+type Backup struct {
+	cfg     Config
+	port    *xkernel.PortProtocol
+	sess    xkernel.Session
+	objects map[uint32]*backupObject
+	byName  map[string]uint32
+	running bool
+	pingSeq uint64
+	epoch   uint32
+
+	// OnApply, when set, observes every applied update.
+	OnApply func(objectID uint32, name string, seq uint64, version, appliedAt time.Time)
+	// OnGap, when set, observes detected sequence gaps (lost updates).
+	OnGap func(objectID uint32, haveSeq, gotSeq uint64)
+	// OnRegister, when set, observes object registrations from the
+	// primary.
+	OnRegister func(spec ObjectSpec)
+	// OnPingAck, when set, receives heartbeat acknowledgements.
+	OnPingAck func(seq uint64)
+	// OnPing, when set, observes inbound pings (an ack is always sent).
+	OnPing func(seq uint64)
+	// OnStateTransfer, when set, observes applied state transfers.
+	OnStateTransfer func(epoch uint32, objects int)
+}
+
+var _ xkernel.Upper = (*Backup)(nil)
+
+// NewBackup builds a backup replica listening on the RTPB port.
+func NewBackup(cfg Config) (*Backup, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	b := &Backup{
+		cfg:     cfg,
+		port:    cfg.Port,
+		objects: make(map[uint32]*backupObject),
+		byName:  make(map[string]uint32),
+		running: true,
+	}
+	if err := cfg.Port.EnablePort(cfg.LocalPort, b); err != nil {
+		return nil, err
+	}
+	if cfg.Peer != "" {
+		sess, err := cfg.Port.OpenFrom(cfg.LocalPort, cfg.Peer)
+		if err != nil {
+			cfg.Port.DisablePort(cfg.LocalPort)
+			return nil, fmt.Errorf("core: open primary session: %w", err)
+		}
+		b.sess = sess
+	}
+	return b, nil
+}
+
+// Stop releases the port binding.
+func (b *Backup) Stop() {
+	if !b.running {
+		return
+	}
+	b.running = false
+	b.port.DisablePort(b.cfg.LocalPort)
+	if b.sess != nil {
+		b.sess.Close()
+	}
+}
+
+// Running reports whether the backup is serving.
+func (b *Backup) Running() bool { return b.running }
+
+// SendPing emits one heartbeat to the primary and returns its sequence
+// number (driven by the failure detector).
+func (b *Backup) SendPing() uint64 {
+	b.pingSeq++
+	b.send(&wire.Ping{Seq: b.pingSeq, From: wire.RoleBackup})
+	return b.pingSeq
+}
+
+// Demux implements xkernel.Upper: inbound RTPB datagrams.
+func (b *Backup) Demux(m *xkernel.Message, from xkernel.Addr) error {
+	if !b.running {
+		return nil
+	}
+	msg, err := wire.Decode(m.Bytes())
+	if err != nil {
+		return err // malformed: drop
+	}
+	switch t := msg.(type) {
+	case *wire.Register:
+		b.handleRegister(t)
+	case *wire.Update:
+		b.handleUpdate(t)
+	case *wire.Ping:
+		if b.OnPing != nil {
+			b.OnPing(t.Seq)
+		}
+		b.send(&wire.PingAck{Seq: t.Seq, From: wire.RoleBackup})
+	case *wire.PingAck:
+		if b.OnPingAck != nil {
+			b.OnPingAck(t.Seq)
+		}
+	case *wire.StateTransfer:
+		b.handleStateTransfer(t)
+	}
+	return nil
+}
+
+// observeEpoch applies the fencing rule: messages from an epoch older
+// than one this backup has heard from are stale (a zombie primary after a
+// takeover) and must be ignored; a newer epoch is adopted. Epoch 0 is
+// "unstamped" and always accepted, so pre-takeover traffic flows.
+func (b *Backup) observeEpoch(epoch uint32) bool {
+	if epoch == 0 {
+		return true
+	}
+	if epoch < b.epoch {
+		return false
+	}
+	b.epoch = epoch
+	return true
+}
+
+func (b *Backup) handleRegister(t *wire.Register) {
+	if !b.observeEpoch(t.Epoch) {
+		return
+	}
+	o, exists := b.objects[t.ObjectID]
+	if !exists || o.spec.Name == "" {
+		// New object, or a placeholder created by an update/state
+		// transfer that outran the registration: install the spec.
+		spec := ObjectSpec{
+			Name:         t.Name,
+			Size:         int(t.Size),
+			UpdatePeriod: t.Period,
+			Constraint: temporal.ExternalConstraint{
+				DeltaP: t.DeltaP,
+				DeltaB: t.DeltaB,
+			},
+		}
+		if !exists {
+			o = &backupObject{
+				id:    t.ObjectID,
+				value: make([]byte, 0, t.Size),
+			}
+			b.objects[t.ObjectID] = o
+		}
+		o.spec = spec
+		b.byName[t.Name] = t.ObjectID
+		if b.OnRegister != nil {
+			b.OnRegister(spec)
+		}
+	}
+	// Registration replies are idempotent; re-ack duplicates so a lost
+	// reply does not strand the primary's retry loop.
+	b.send(&wire.RegisterReply{ObjectID: t.ObjectID, Accepted: true})
+}
+
+func (b *Backup) handleUpdate(t *wire.Update) {
+	if !b.observeEpoch(t.Epoch) {
+		return
+	}
+	if t.AckRequested {
+		// Acknowledge even duplicates: a retransmission means our
+		// previous ack was lost in transit.
+		b.send(&wire.UpdateAck{ObjectID: t.ObjectID, Seq: t.Seq})
+	}
+	o, ok := b.objects[t.ObjectID]
+	if !ok {
+		// Update for an object whose registration was lost: recover by
+		// creating a placeholder entry; the spec arrives with the
+		// primary's registration retry.
+		o = &backupObject{id: t.ObjectID}
+		b.objects[t.ObjectID] = o
+	}
+	if !o.supersedes(t.Epoch, t.Seq) {
+		return // duplicate or reordered-stale transmission
+	}
+	if o.hasData && t.Epoch == o.epoch && t.Seq > o.seq+1 {
+		// Sequence gap within the epoch: at least one update was lost.
+		if b.OnGap != nil {
+			b.OnGap(o.id, o.seq, t.Seq)
+		}
+		if !b.cfg.DisableGapRecovery {
+			b.send(&wire.RetransmitRequest{ObjectID: o.id, LastSeq: o.seq})
+		}
+	}
+	b.apply(o, t.Epoch, t.Seq, time.Unix(0, t.Version), t.Payload)
+}
+
+func (b *Backup) apply(o *backupObject, epoch uint32, seq uint64, version time.Time, payload []byte) {
+	o.epoch = epoch
+	o.seq = seq
+	o.version = version
+	o.value = append(o.value[:0], payload...)
+	o.hasData = true
+	if b.OnApply != nil {
+		b.OnApply(o.id, o.spec.Name, seq, version, b.cfg.Clock.Now())
+	}
+}
+
+func (b *Backup) handleStateTransfer(t *wire.StateTransfer) {
+	if !b.observeEpoch(t.Epoch) {
+		return
+	}
+	applied := 0
+	for _, e := range t.Entries {
+		o, ok := b.objects[e.ObjectID]
+		if !ok {
+			o = &backupObject{id: e.ObjectID}
+			b.objects[e.ObjectID] = o
+		}
+		if !o.supersedes(t.Epoch, e.Seq) {
+			continue
+		}
+		b.apply(o, t.Epoch, e.Seq, time.Unix(0, e.Version), e.Payload)
+		applied++
+	}
+	b.send(&wire.StateTransferAck{Epoch: t.Epoch, Objects: uint32(applied)})
+	if b.OnStateTransfer != nil {
+		b.OnStateTransfer(t.Epoch, applied)
+	}
+}
+
+func (b *Backup) send(msg wire.Message) {
+	if b.sess == nil {
+		return
+	}
+	_ = b.sess.Push(xkernel.NewMessage(wire.Encode(msg)))
+}
+
+// Value returns the backup's current copy of an object by name.
+func (b *Backup) Value(name string) (data []byte, version time.Time, ok bool) {
+	id, found := b.byName[name]
+	if !found {
+		return nil, time.Time{}, false
+	}
+	o := b.objects[id]
+	if !o.hasData {
+		return nil, time.Time{}, false
+	}
+	cp := make([]byte, len(o.value))
+	copy(cp, o.value)
+	return cp, o.version, true
+}
+
+// Objects reports the number of known objects.
+func (b *Backup) Objects() int { return len(b.objects) }
+
+// Specs returns the registered object specs, keyed by name. A promoted
+// replica re-registers these with its own admission controller.
+func (b *Backup) Specs() []ObjectSpec {
+	out := make([]ObjectSpec, 0, len(b.byName))
+	for _, id := range b.byName {
+		out = append(out, b.objects[id].spec)
+	}
+	return out
+}
+
+// State snapshots the backup's replicated values for promotion: the new
+// primary seeds its object table from this.
+func (b *Backup) State() []wire.StateEntry {
+	out := make([]wire.StateEntry, 0, len(b.objects))
+	for _, o := range b.objects {
+		if !o.hasData {
+			continue
+		}
+		payload := make([]byte, len(o.value))
+		copy(payload, o.value)
+		out = append(out, wire.StateEntry{
+			ObjectID: o.id,
+			Seq:      o.seq,
+			Version:  o.version.UnixNano(),
+			Payload:  payload,
+		})
+	}
+	return out
+}
+
+// SnapshotEntry is one object's full state for promotion: the registered
+// spec plus the last replicated value.
+type SnapshotEntry struct {
+	// Spec is the object's registration.
+	Spec ObjectSpec
+	// Value is the last applied payload (nil if none arrived).
+	Value []byte
+	// Version is the value's timestamp.
+	Version time.Time
+	// HasData reports whether any update was ever applied.
+	HasData bool
+}
+
+// Snapshot captures every registered object's spec and replicated value,
+// the input to failover promotion.
+func (b *Backup) Snapshot() []SnapshotEntry {
+	out := make([]SnapshotEntry, 0, len(b.byName))
+	for _, id := range b.byName {
+		o := b.objects[id]
+		e := SnapshotEntry{Spec: o.spec, Version: o.version, HasData: o.hasData}
+		if o.hasData {
+			e.Value = append([]byte(nil), o.value...)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Epoch reports the epoch of the last state transfer seen (zero if none).
+func (b *Backup) Epoch() uint32 { return b.epoch }
+
+// SeedObject installs replicated state into a promoted primary's table.
+// It is the bridge used by the failover orchestrator: after the backup's
+// specs are re-registered on the new primary, each object's last known
+// value is seeded so clients resume from the most recent replicated
+// state.
+func (p *Primary) SeedObject(name string, value []byte, version time.Time) error {
+	o, err := p.adm.byNameOrErr(name)
+	if err != nil {
+		return err
+	}
+	o.value = append([]byte(nil), value...)
+	o.version = version
+	o.hasData = true
+	return nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/netsim"
+	"rtpb/internal/xkernel"
+)
+
+// testCluster is a two-replica RTPB deployment on a simulated network,
+// the standard fixture for end-to-end protocol tests.
+type testCluster struct {
+	clk     *clock.SimClock
+	net     *netsim.Network
+	primary *Primary
+	backup  *Backup
+	pEP     *netsim.Endpoint
+	bEP     *netsim.Endpoint
+}
+
+type clusterOpts struct {
+	seed    int64
+	link    netsim.LinkParams
+	ell     time.Duration
+	mutateP func(*Config)
+	mutateB func(*Config)
+}
+
+func stackOn(t *testing.T, net *netsim.Network, host string) (*xkernel.PortProtocol, *netsim.Endpoint) {
+	t.Helper()
+	ep, err := net.Endpoint(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := xkernel.BuildGraph([]xkernel.Spec{
+		{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
+		{Name: "driver", Build: xkernel.DriverFactory(ep)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := g.Protocol("uport")
+	return p.(*xkernel.PortProtocol), ep
+}
+
+func newTestCluster(t *testing.T, opts clusterOpts) *testCluster {
+	t.Helper()
+	clk := clock.NewSim()
+	net := netsim.New(clk, opts.seed)
+	if err := net.SetDefaultLink(opts.link); err != nil {
+		t.Fatal(err)
+	}
+	pPort, pEP := stackOn(t, net, "primary")
+	bPort, bEP := stackOn(t, net, "backup")
+
+	ell := opts.ell
+	if ell == 0 {
+		ell = opts.link.Bound()
+		if ell == 0 {
+			ell = time.Millisecond
+		}
+	}
+	pCfg := Config{
+		Clock: clk,
+		Port:  pPort,
+		Peer:  "backup:7000",
+		Ell:   ell,
+	}
+	bCfg := Config{
+		Clock: clk,
+		Port:  bPort,
+		Peer:  "primary:7000",
+		Ell:   ell,
+	}
+	if opts.mutateP != nil {
+		opts.mutateP(&pCfg)
+	}
+	if opts.mutateB != nil {
+		opts.mutateB(&bCfg)
+	}
+	primary, err := NewPrimary(pCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := NewBackup(bCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testCluster{clk: clk, net: net, primary: primary, backup: backup, pEP: pEP, bEP: bEP}
+}
+
+// registerOK registers a spec on the primary and fails the test on
+// rejection, then runs the clock briefly so the backup learns about it.
+func (c *testCluster) registerOK(t *testing.T, s ObjectSpec) Decision {
+	t.Helper()
+	d := c.primary.Register(s)
+	if !d.Accepted {
+		t.Fatalf("registration of %q rejected: %s", s.Name, d.Reason)
+	}
+	c.clk.RunFor(5 * time.Millisecond)
+	return d
+}
+
+// writeEvery drives periodic client writes for an object until the
+// returned stop function is called.
+func (c *testCluster) writeEvery(name string, period time.Duration, payload func(i int) []byte) *clock.Periodic {
+	i := 0
+	return clock.NewPeriodic(c.clk, 0, period, func() {
+		i++
+		c.primary.ClientWrite(name, payload(i), nil)
+	})
+}

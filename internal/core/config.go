@@ -1,0 +1,293 @@
+// Package core implements the paper's contribution: the Real-Time
+// Primary-Backup (RTPB) replication protocol. A Primary accepts client
+// writes, performs admission control on each object's temporal-consistency
+// constraints (Section 4.2), and schedules decoupled update transmissions
+// to a Backup (Section 4.3) so that external and inter-object temporal
+// consistency hold at both replicas; a Backup applies updates, detects
+// gaps, requests retransmissions, and can be promoted on primary failure
+// (Section 4.4). Both are written as x-kernel anchor protocols over the
+// port protocol, exactly like the paper's stack (Figure 5): RTPB → UDP →
+// driver.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/sched"
+	"rtpb/internal/temporal"
+	"rtpb/internal/xkernel"
+)
+
+// SchedulingMode selects how the primary schedules update transmissions.
+type SchedulingMode int
+
+const (
+	// ScheduleNormal sends each object's update every
+	// SlackFactor·(δ_i − ℓ), the paper's default with built-in slack for
+	// message loss.
+	ScheduleNormal SchedulingMode = iota + 1
+	// ScheduleCompressed sends "as many updates to backup as the
+	// resources allow" [Mehra et al.], cycling round-robin through the
+	// admitted objects on the CPU's spare capacity.
+	ScheduleCompressed
+	// ScheduleWriteThrough transmits an update to the backup for every
+	// client write, abandoning the paper's decoupling of client updates
+	// from backup updates. It exists as an ablation baseline: it couples
+	// the transmission load to the client write rate, which is exactly
+	// what RTPB's decoupled scheduler avoids.
+	ScheduleWriteThrough
+)
+
+// String returns the mode name.
+func (m SchedulingMode) String() string {
+	switch m {
+	case ScheduleNormal:
+		return "normal"
+	case ScheduleCompressed:
+		return "compressed"
+	case ScheduleWriteThrough:
+		return "write-through"
+	default:
+		return fmt.Sprintf("SchedulingMode(%d)", int(m))
+	}
+}
+
+// RTPBPort is the well-known port the RTPB protocol is enabled on, the
+// analogue of the paper's anchor-protocol demux key.
+const RTPBPort uint16 = 7000
+
+// CostModel maps protocol operations to processor time on the replica's
+// CPU. The defaults approximate the paper's prototype scale: sub-
+// millisecond client operations and update transmissions that grow with
+// object size.
+type CostModel struct {
+	// ClientOp is the CPU cost of servicing one client write, excluding
+	// the per-byte copy cost.
+	ClientOp time.Duration
+	// UpdateSend is the fixed CPU cost of transmitting one update.
+	UpdateSend time.Duration
+	// PerByte is the additional CPU cost per payload byte for both
+	// client writes and update transmissions.
+	PerByte time.Duration
+}
+
+// DefaultCosts returns the cost model used by the evaluation harness.
+func DefaultCosts() CostModel {
+	return CostModel{
+		ClientOp:   200 * time.Microsecond,
+		UpdateSend: 400 * time.Microsecond,
+		PerByte:    2 * time.Nanosecond,
+	}
+}
+
+// clientCost reports the CPU cost of a client write of size bytes.
+func (c CostModel) clientCost(size int) time.Duration {
+	return c.ClientOp + time.Duration(size)*c.PerByte
+}
+
+// sendCost reports the CPU cost of one update transmission of size bytes.
+func (c CostModel) sendCost(size int) time.Duration {
+	return c.UpdateSend + time.Duration(size)*c.PerByte
+}
+
+// Config configures a Primary or Backup replica.
+type Config struct {
+	// Clock drives all timers; required.
+	Clock clock.Clock
+	// Port is the port protocol the RTPB anchor protocol is enabled on;
+	// required.
+	Port *xkernel.PortProtocol
+	// LocalPort is the port RTPB listens on; defaults to RTPBPort.
+	LocalPort uint16
+	// Peer is the other replica's address ("host:port"). For a primary
+	// with multiple backups (the paper's future-work extension), list
+	// them all in Peers instead (Peer, when set, is merged in).
+	Peer xkernel.Addr
+	// Peers are the backup replicas' addresses (primary only). Update
+	// transmissions are broadcast to every live peer, and the admission
+	// controller charges one transmission cost per peer.
+	Peers []xkernel.Addr
+	// Ell is ℓ, the upper bound on one-way communication delay between
+	// the replicas; required for admission control.
+	Ell time.Duration
+	// SlackFactor scales the update period below the Theorem 5 maximum:
+	// r_i = SlackFactor·(δ_i − ℓ). The paper uses 1/2 "so that the
+	// primary can retransmit updates to compensate for message loss".
+	// Defaults to 0.5; must be in (0, 1].
+	SlackFactor float64
+	// Scheduling selects normal or compressed update scheduling;
+	// defaults to ScheduleNormal.
+	Scheduling SchedulingMode
+	// DisableAdmissionControl admits every object regardless of the
+	// schedulability tests, reproducing the paper's "without admission
+	// control" experiments (Figures 7 and 10).
+	DisableAdmissionControl bool
+	// Costs is the CPU cost model; zero value means DefaultCosts.
+	Costs CostModel
+	// SchedTest selects the schedulability test used at admission;
+	// defaults to rate-monotonic response-time analysis, matching the
+	// paper's use of the rate-monotonic algorithm.
+	SchedTest SchedTest
+	// RegisterRetries is how many times a registration forwarded to the
+	// backup is retried without a reply before giving up; defaults to 5.
+	RegisterRetries int
+	// RegisterTimeout is the per-try reply timeout; defaults to 4·Ell or
+	// 20ms, whichever is larger.
+	RegisterTimeout time.Duration
+	// DisableGapRecovery stops the backup from requesting retransmission
+	// when it detects a sequence gap. It exists as an ablation baseline
+	// for the paper's backup-initiated retransmission design (§4.3).
+	DisableGapRecovery bool
+	// CriticalAckTimeout is how long a critical write waits for backup
+	// acknowledgements before retransmitting; defaults to 4·Ell or 20ms.
+	CriticalAckTimeout time.Duration
+	// CriticalMaxRetries bounds retransmissions of a critical write
+	// before it fails with ErrAckTimeout; defaults to 5.
+	CriticalMaxRetries int
+}
+
+// ErrAckTimeout is returned to a critical write's callback when the
+// backups did not acknowledge within CriticalMaxRetries retransmissions.
+var ErrAckTimeout = errors.New("core: critical write not acknowledged")
+
+// SchedTest selects the admission-time schedulability test.
+type SchedTest int
+
+const (
+	// SchedTestRMBound uses the Liu & Layland rate-monotonic utilization
+	// bound, the test the paper names ("a schedulability test based on
+	// the rate-monotonic scheduling algorithm"). It is the default: by
+	// capping utilization at n(2^{1/n}−1) it also keeps queueing at the
+	// primary low, which is what makes Figure 6 flat.
+	SchedTestRMBound SchedTest = iota
+	// SchedTestRMExact uses rate-monotonic response-time analysis; it
+	// admits up to ~100% utilization at the cost of higher queueing.
+	SchedTestRMExact
+	// SchedTestEDF uses the EDF density test.
+	SchedTestEDF
+	// SchedTestDCS uses the pinwheel S_r specialization test (Theorem 3),
+	// under which update-task phase variance is zero.
+	SchedTestDCS
+)
+
+// feasible applies the configured test to the task set.
+func (t SchedTest) feasible(ts sched.TaskSet) bool {
+	switch t {
+	case SchedTestRMExact:
+		return sched.FeasibleRMExact(ts)
+	case SchedTestEDF:
+		return sched.FeasibleEDF(ts)
+	case SchedTestDCS:
+		return sched.FeasibleDCSExact(ts)
+	default:
+		return sched.FeasibleRM(ts)
+	}
+}
+
+// Errors returned by replica construction and registration.
+var (
+	ErrNoClock     = errors.New("core: config needs a Clock")
+	ErrNoPort      = errors.New("core: config needs a Port protocol")
+	ErrBadSlack    = errors.New("core: SlackFactor must be in (0, 1]")
+	ErrUnknownName = errors.New("core: unknown object")
+	ErrRejected    = errors.New("core: object rejected by admission control")
+	ErrStopped     = errors.New("core: replica stopped")
+)
+
+func (c *Config) normalize() error {
+	if c.Clock == nil {
+		return ErrNoClock
+	}
+	if c.Port == nil {
+		return ErrNoPort
+	}
+	if c.LocalPort == 0 {
+		c.LocalPort = RTPBPort
+	}
+	if c.SlackFactor == 0 {
+		c.SlackFactor = 0.5
+	}
+	if c.SlackFactor < 0 || c.SlackFactor > 1 {
+		return ErrBadSlack
+	}
+	if c.Scheduling == 0 {
+		c.Scheduling = ScheduleNormal
+	}
+	if c.Costs == (CostModel{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.Ell < 0 {
+		return fmt.Errorf("core: negative ℓ %v", c.Ell)
+	}
+	if c.RegisterRetries == 0 {
+		c.RegisterRetries = 5
+	}
+	if c.RegisterTimeout == 0 {
+		c.RegisterTimeout = max(4*c.Ell, 20*time.Millisecond)
+	}
+	if c.CriticalAckTimeout == 0 {
+		c.CriticalAckTimeout = max(4*c.Ell, 20*time.Millisecond)
+	}
+	if c.CriticalMaxRetries == 0 {
+		c.CriticalMaxRetries = 5
+	}
+	if c.Peer != "" {
+		merged := make([]xkernel.Addr, 0, len(c.Peers)+1)
+		merged = append(merged, c.Peer)
+		for _, a := range c.Peers {
+			if a != c.Peer {
+				merged = append(merged, a)
+			}
+		}
+		c.Peers = merged
+	}
+	return nil
+}
+
+// replicaCount reports how many backups the primary transmits to (at
+// least 1 so cost accounting stays meaningful for a primary awaiting its
+// first recruit).
+func (c *Config) replicaCount() int {
+	if len(c.Peers) > 1 {
+		return len(c.Peers)
+	}
+	return 1
+}
+
+// ObjectSpec is a client's declaration of an object at registration time
+// (Section 4.2): its size, the period the client promises to update it
+// with, and its external temporal-consistency constraint.
+type ObjectSpec struct {
+	// Name identifies the object to clients.
+	Name string
+	// Size is the reserved size in bytes.
+	Size int
+	// UpdatePeriod is p_i, the period of the client's update task.
+	UpdatePeriod time.Duration
+	// Constraint holds δ_i^P and δ_i^B.
+	Constraint temporal.ExternalConstraint
+	// Critical selects the hybrid active/passive path (the paper's §7
+	// future work): every client write to a critical object is
+	// synchronously transmitted with an acknowledgement request, and the
+	// client's response waits until every live backup has confirmed —
+	// active-replication semantics for this object, passive for the
+	// rest. Admission charges the extra per-write transmission.
+	Critical bool
+}
+
+// Validate checks the spec.
+func (s ObjectSpec) Validate() error {
+	if s.Name == "" {
+		return errors.New("core: object needs a name")
+	}
+	if s.Size < 0 {
+		return fmt.Errorf("core: object %q has negative size", s.Name)
+	}
+	if s.UpdatePeriod <= 0 {
+		return fmt.Errorf("core: object %q has non-positive update period", s.Name)
+	}
+	return s.Constraint.Validate()
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/netsim"
+	"rtpb/internal/sched"
+)
+
+// TestDCSAdmissionAssignsHarmonicPeriods verifies that SchedTestDCS does
+// not merely check Theorem 3's condition but installs the S_r-specialized
+// (harmonic) update periods.
+func TestDCSAdmissionAssignsHarmonicPeriods(t *testing.T) {
+	cfg := testConfig()
+	cfg.SchedTest = SchedTestDCS
+	a := newAdmission(cfg)
+	// Three objects with deliberately non-harmonic nominal periods
+	// (windows chosen so SlackFactor·(δ−ℓ) differ awkwardly).
+	windows := []time.Duration{ms(45), ms(77), ms(133)}
+	for i, w := range windows {
+		s := spec("o"+string(rune('a'+i)), ms(20), ms(25), ms(25)+w)
+		if _, d := a.admit(s); !d.Accepted {
+			t.Fatalf("object %d rejected: %s", i, d.Reason)
+		}
+	}
+	var periods []time.Duration
+	for _, o := range a.objects {
+		if o.updatePeriod > o.nominalPeriod {
+			t.Fatalf("specialized period %v exceeds nominal %v (constraint would break)",
+				o.updatePeriod, o.nominalPeriod)
+		}
+		periods = append(periods, o.updatePeriod)
+	}
+	for i := range periods {
+		for j := range periods {
+			a, b := periods[i], periods[j]
+			if a > b {
+				a, b = b, a
+			}
+			if b%a != 0 {
+				t.Fatalf("periods %v not harmonic", periods)
+			}
+		}
+	}
+}
+
+// TestDCSAdmissionLiveSendsExactlyPeriodic verifies the point of the
+// exercise: under DCS admission, a lightly loaded primary's update
+// transmissions show (near-)zero phase variance against the specialized
+// period.
+func TestDCSAdmissionLiveSendsExactlyPeriodic(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{
+		seed: 71,
+		link: netsim.LinkParams{Delay: ms(2)},
+		mutateP: func(cfg *Config) {
+			cfg.SchedTest = SchedTestDCS
+		},
+	})
+	d := c.registerOK(t, spec("x", ms(40), ms(50), ms(200)))
+	rX, ok := c.primary.UpdatePeriod("x")
+	if !ok {
+		t.Fatal("no update period")
+	}
+	if rX != d.UpdatePeriod {
+		// The decision reports the pre-specialization period of the
+		// single object (with one object, specialization is identity).
+		t.Fatalf("period %v vs decision %v", rX, d.UpdatePeriod)
+	}
+	var sends []time.Duration
+	base := c.clk.Now()
+	c.primary.OnSend = func(_ uint32, _ string, _ uint64, _ time.Time) {
+		sends = append(sends, c.clk.Now().Sub(base))
+	}
+	stop := c.writeEvery("x", ms(40), func(i int) []byte { return []byte{byte(i)} })
+	defer stop.Stop()
+	c.clk.RunFor(2 * time.Second)
+	v, okV := sched.MeasuredPhaseVariance(sends, rX, 1)
+	if !okV {
+		t.Fatalf("too few sends: %d", len(sends))
+	}
+	// The only jitter source is a client op occupying the FIFO CPU.
+	if v > DefaultCosts().ClientOp+ms(1) {
+		t.Fatalf("live phase variance %v under DCS admission", v)
+	}
+}
+
+// TestDCSAdmissionRejectsWhenSpecializationInfeasible drives density past
+// 1 after specialization.
+func TestDCSAdmissionRejectsWhenSpecializationInfeasible(t *testing.T) {
+	cfg := testConfig()
+	cfg.SchedTest = SchedTestDCS
+	a := newAdmission(cfg)
+	admitted, rejected := 0, 0
+	for i := 0; i < 300; i++ {
+		name := "o" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		s := spec(name, ms(10), ms(12), ms(20)) // tight windows, heavy set
+		if _, d := a.admit(s); d.Accepted {
+			admitted++
+		} else {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("DCS admission never rejected (admitted %d)", admitted)
+	}
+	if admitted == 0 {
+		t.Fatal("DCS admission rejected everything")
+	}
+	// The surviving assignment must still be harmonic and feasible.
+	ts := make(sched.TaskSet, 0, admitted)
+	for _, o := range a.objects {
+		ts = append(ts, sched.Task{Name: o.spec.Name, Period: o.updatePeriod,
+			WCET: cfg.Costs.sendCost(o.spec.Size)})
+	}
+	density := 0.0
+	for _, task := range ts {
+		density += float64(task.WCET) / float64(task.Period)
+	}
+	if density > 1.0001 {
+		t.Fatalf("post-rejection density %.4f exceeds 1", density)
+	}
+}

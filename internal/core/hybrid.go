@@ -1,0 +1,164 @@
+package core
+
+import (
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/cpu"
+	"rtpb/internal/wire"
+	"rtpb/internal/xkernel"
+)
+
+// This file implements the hybrid active/passive path the paper lists as
+// future work (Section 7): objects registered with Critical=true get
+// active-replication write semantics — the client's response waits until
+// every live backup acknowledges the update — while the rest of the
+// object table keeps RTPB's decoupled passive scheduling. The two styles
+// coexist in one primary, sharing the CPU, the wire format, and the
+// failure detector.
+
+// pendingAck tracks one critical write awaiting acknowledgement.
+type pendingAck struct {
+	seq     uint64
+	version time.Time
+	payload []byte
+	waiting map[xkernel.Addr]bool
+	arrival time.Time
+	done    func(latency time.Duration, err error)
+	retry   *clock.Event
+	retries int
+}
+
+// startCriticalWrite transmits the just-installed value with an
+// acknowledgement request and registers the pending completion. It runs
+// on the clock executor after the client op's CPU cost.
+func (p *Primary) startCriticalWrite(o *object, arrival time.Time, done func(time.Duration, error)) {
+	finish := func(lat time.Duration, err error) {
+		if done != nil {
+			done(lat, err)
+		}
+	}
+	waiting := make(map[xkernel.Addr]bool)
+	for _, pr := range p.peers {
+		if pr.alive {
+			waiting[pr.addr] = true
+		}
+	}
+	if len(waiting) == 0 {
+		// No live backup: degrade to local completion, like the paper's
+		// primary continuing service while recruiting.
+		finish(p.clk.Now().Sub(arrival), nil)
+		return
+	}
+	o.seq++
+	pa := &pendingAck{
+		seq:     o.seq,
+		version: o.version,
+		payload: append([]byte(nil), o.value...),
+		waiting: waiting,
+		arrival: arrival,
+		done:    done,
+	}
+	if o.pendingAcks == nil {
+		o.pendingAcks = make(map[uint64]*pendingAck)
+	}
+	o.pendingAcks[pa.seq] = pa
+	p.transmitCritical(o, pa)
+}
+
+// transmitCritical pays the CPU cost and emits the acked update to every
+// peer still waited on, then arms the retransmission timer. Critical
+// transmissions use the high-priority CPU class: the client is blocked on
+// them.
+func (p *Primary) transmitCritical(o *object, pa *pendingAck) {
+	if !p.running {
+		return
+	}
+	cost := time.Duration(len(pa.waiting)) * p.cfg.Costs.sendCost(len(pa.payload))
+	p.proc.Submit(cpu.High, cost, func() {
+		if !p.running || o.pendingAcks[pa.seq] != pa {
+			return // completed or abandoned while queued
+		}
+		o.lastSentSeq = pa.seq
+		o.lastSentVersion = pa.version
+		msg := &wire.Update{
+			Epoch:        p.epoch,
+			ObjectID:     o.id,
+			Seq:          pa.seq,
+			Version:      pa.version.UnixNano(),
+			AckRequested: true,
+			Payload:      pa.payload,
+		}
+		encoded := wire.Encode(msg)
+		for addr := range pa.waiting {
+			if pr := p.peerByAddr(addr); pr != nil {
+				_ = pr.sess.Push(xkernel.NewMessage(encoded))
+			}
+		}
+		if p.OnSend != nil {
+			p.OnSend(o.id, o.spec.Name, pa.seq, pa.version)
+		}
+		pa.retry = p.clk.Schedule(p.cfg.CriticalAckTimeout, func() {
+			p.criticalTimeout(o, pa)
+		})
+	})
+}
+
+func (p *Primary) criticalTimeout(o *object, pa *pendingAck) {
+	if o.pendingAcks[pa.seq] != pa {
+		return
+	}
+	pa.retries++
+	if pa.retries >= p.cfg.CriticalMaxRetries {
+		delete(o.pendingAcks, pa.seq)
+		if pa.done != nil {
+			pa.done(p.clk.Now().Sub(pa.arrival), ErrAckTimeout)
+		}
+		return
+	}
+	p.transmitCritical(o, pa)
+}
+
+// handleUpdateAck feeds a backup's acknowledgement into the pending
+// critical write it answers.
+func (p *Primary) handleUpdateAck(from xkernel.Addr, t *wire.UpdateAck) {
+	o, ok := p.adm.objects[t.ObjectID]
+	if !ok || o.pendingAcks == nil {
+		return
+	}
+	pa, ok := o.pendingAcks[t.Seq]
+	if !ok {
+		return // late ack after completion
+	}
+	delete(pa.waiting, from)
+	if len(pa.waiting) > 0 {
+		return
+	}
+	p.completeCritical(o, pa, nil)
+}
+
+func (p *Primary) completeCritical(o *object, pa *pendingAck, err error) {
+	delete(o.pendingAcks, pa.seq)
+	if pa.retry != nil {
+		pa.retry.Cancel()
+	}
+	if pa.done != nil {
+		pa.done(p.clk.Now().Sub(pa.arrival), err)
+	}
+}
+
+// dropPeerFromCriticalWaits removes a dead peer from every pending
+// critical write so the client is not held hostage by a failed backup.
+func (p *Primary) dropPeerFromCriticalWaits(addr xkernel.Addr) {
+	for _, o := range p.adm.objects {
+		for _, pa := range o.pendingAcks {
+			if !pa.waiting[addr] {
+				continue
+			}
+			delete(pa.waiting, addr)
+			if len(pa.waiting) == 0 {
+				p.completeCritical(o, pa, nil)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rtpb/internal/netsim"
+)
+
+func criticalSpec(name string) ObjectSpec {
+	s := spec(name, ms(40), ms(50), ms(250))
+	s.Critical = true
+	return s
+}
+
+func TestCriticalWriteWaitsForBackupAck(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{seed: 51, link: netsim.LinkParams{Delay: ms(3)}})
+	c.registerOK(t, criticalSpec("x"))
+
+	var lat time.Duration
+	done := false
+	c.primary.ClientWrite("x", []byte("v"), func(l time.Duration, err error) {
+		if err != nil {
+			t.Fatalf("critical write failed: %v", err)
+		}
+		lat, done = l, true
+	})
+	c.clk.RunFor(ms(50))
+	if !done {
+		t.Fatal("critical write never completed")
+	}
+	// The response includes a full round trip: ≥ 2×3ms link delay.
+	if lat < 6*time.Millisecond {
+		t.Fatalf("critical latency %v below one round trip", lat)
+	}
+	if v, _, ok := c.backup.Value("x"); !ok || string(v) != "v" {
+		t.Fatalf("backup value = %q ok=%v", v, ok)
+	}
+}
+
+func TestNonCriticalWriteDoesNotWait(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{seed: 52, link: netsim.LinkParams{Delay: ms(3)}})
+	c.registerOK(t, spec("x", ms(40), ms(50), ms(250)))
+	var lat time.Duration
+	c.primary.ClientWrite("x", []byte("v"), func(l time.Duration, err error) { lat = l })
+	c.clk.RunFor(ms(50))
+	if lat >= 6*time.Millisecond {
+		t.Fatalf("passive write latency %v includes a round trip", lat)
+	}
+}
+
+func TestCriticalWriteSurvivesLossViaRetransmission(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{
+		seed: 53,
+		link: netsim.LinkParams{Delay: ms(2), LossProb: 0.3},
+	})
+	c.registerOK(t, criticalSpec("x"))
+	completed, failed := 0, 0
+	for i := 0; i < 20; i++ {
+		c.primary.ClientWrite("x", []byte{byte(i)}, func(_ time.Duration, err error) {
+			if err != nil {
+				failed++
+			} else {
+				completed++
+			}
+		})
+		c.clk.RunFor(200 * time.Millisecond)
+	}
+	// At 30% loss per leg an attempt commits with p≈0.49; five attempts
+	// leave ≈3% failure per write — the bulk must succeed.
+	if completed < 17 {
+		t.Fatalf("completed=%d failed=%d; retransmission ineffective", completed, failed)
+	}
+}
+
+func TestCriticalWriteFailsAfterMaxRetries(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{seed: 54, link: netsim.LinkParams{Delay: ms(2)}})
+	c.registerOK(t, criticalSpec("x"))
+	c.net.Partition("primary", "backup")
+	var gotErr error
+	done := false
+	c.primary.ClientWrite("x", []byte("v"), func(_ time.Duration, err error) {
+		gotErr, done = err, true
+	})
+	c.clk.RunFor(2 * time.Second)
+	if !done {
+		t.Fatal("critical write never resolved under partition")
+	}
+	if !errors.Is(gotErr, ErrAckTimeout) {
+		t.Fatalf("err = %v, want ErrAckTimeout", gotErr)
+	}
+}
+
+func TestCriticalWriteDegradesWhenBackupDeclaredDead(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{seed: 55, link: netsim.LinkParams{Delay: ms(2)}})
+	c.registerOK(t, criticalSpec("x"))
+	c.primary.SetBackupAlive(false)
+	var lat time.Duration
+	var gotErr error
+	done := false
+	c.primary.ClientWrite("x", []byte("v"), func(l time.Duration, err error) {
+		lat, gotErr, done = l, err, true
+	})
+	c.clk.RunFor(ms(50))
+	if !done || gotErr != nil {
+		t.Fatalf("degraded write done=%v err=%v", done, gotErr)
+	}
+	if lat >= 6*time.Millisecond {
+		t.Fatalf("degraded write latency %v should be local-only", lat)
+	}
+}
+
+func TestPeerDeathReleasesInFlightCriticalWrite(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{seed: 56, link: netsim.LinkParams{Delay: ms(2)}})
+	c.registerOK(t, criticalSpec("x"))
+	c.net.Partition("primary", "backup")
+	done := false
+	c.primary.ClientWrite("x", []byte("v"), func(_ time.Duration, err error) { done = true })
+	c.clk.RunFor(ms(30)) // in flight, unacked
+	if done {
+		t.Fatal("write completed while partitioned")
+	}
+	// The failure detector declares the backup dead: the write must be
+	// released rather than burning through all retries.
+	c.primary.SetBackupAlive(false)
+	c.clk.RunFor(ms(10))
+	if !done {
+		t.Fatal("peer death did not release the pending critical write")
+	}
+}
+
+func TestHybridMixedObjectTable(t *testing.T) {
+	// Critical and passive objects coexist; each keeps its semantics.
+	c := newTestCluster(t, clusterOpts{seed: 57, link: netsim.LinkParams{Delay: ms(3)}})
+	c.registerOK(t, criticalSpec("crit"))
+	c.registerOK(t, spec("plain", ms(40), ms(50), ms(250)))
+	var critLat, plainLat time.Duration
+	c.primary.ClientWrite("crit", []byte("c"), func(l time.Duration, err error) { critLat = l })
+	c.primary.ClientWrite("plain", []byte("p"), func(l time.Duration, err error) { plainLat = l })
+	c.clk.RunFor(500 * time.Millisecond)
+	if critLat < 6*time.Millisecond {
+		t.Fatalf("critical latency %v lacks round trip", critLat)
+	}
+	if plainLat >= 6*time.Millisecond {
+		t.Fatalf("plain latency %v includes round trip", plainLat)
+	}
+	for _, name := range []string{"crit", "plain"} {
+		if _, _, ok := c.backup.Value(name); !ok {
+			t.Fatalf("backup missing %q", name)
+		}
+	}
+}
+
+func TestCriticalAdmissionChargesExtraTask(t *testing.T) {
+	count := func(critical bool) int {
+		cfg := testConfig()
+		a := newAdmission(cfg)
+		admitted := 0
+		for i := 0; i < 100; i++ {
+			s := spec("o"+string(rune('a'+i%26))+string(rune('0'+i/26)), ms(20), ms(25), ms(60))
+			s.Critical = critical
+			if _, d := a.admit(s); d.Accepted {
+				admitted++
+			}
+		}
+		return admitted
+	}
+	passive := count(false)
+	critical := count(true)
+	if critical >= passive {
+		t.Fatalf("critical capacity (%d) not below passive capacity (%d)", critical, passive)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/netsim"
+)
+
+func TestWriteThroughTransmitsPerClientWrite(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{
+		seed: 31,
+		link: netsim.LinkParams{Delay: ms(2)},
+		mutateP: func(cfg *Config) {
+			cfg.Scheduling = ScheduleWriteThrough
+		},
+	})
+	c.registerOK(t, spec("x", ms(40), ms(50), ms(400)))
+	sends := 0
+	c.primary.OnSend = func(uint32, string, uint64, time.Time) { sends++ }
+	writes := 0
+	stop := c.writeEvery("x", ms(40), func(i int) []byte { writes++; return []byte{byte(i)} })
+	c.clk.RunFor(time.Second)
+	stop.Stop()
+	c.clk.RunFor(ms(50)) // let the final write's transmission drain
+	if sends != writes {
+		t.Fatalf("write-through sent %d updates for %d writes", sends, writes)
+	}
+}
+
+func TestWriteThroughAdmissionUsesClientPeriod(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scheduling = ScheduleWriteThrough
+	a := newAdmission(cfg)
+	// Loose external window (would give r = 172.5ms) but fast client
+	// writes: the schedulability test must see the client period.
+	_, d := a.admit(spec("x", ms(10), ms(50), ms(400)))
+	if !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	if d.UpdatePeriod != ms(10) {
+		t.Fatalf("write-through update period = %v, want client period 10ms", d.UpdatePeriod)
+	}
+}
+
+func TestDisableGapRecoverySuppressesRetransmitRequests(t *testing.T) {
+	run := func(disable bool) (gaps, retransmits int) {
+		c := newTestCluster(t, clusterOpts{
+			seed: 33,
+			link: netsim.LinkParams{Delay: ms(2), LossProb: 0.3},
+			mutateB: func(cfg *Config) {
+				cfg.DisableGapRecovery = disable
+			},
+		})
+		c.registerOK(t, spec("x", ms(40), ms(50), ms(200)))
+		c.backup.OnGap = func(uint32, uint64, uint64) { gaps++ }
+		c.primary.OnRetransmitRequest = func(uint32) { retransmits++ }
+		stop := c.writeEvery("x", ms(20), func(i int) []byte { return []byte{byte(i)} })
+		defer stop.Stop()
+		c.clk.RunFor(3 * time.Second)
+		return gaps, retransmits
+	}
+	gaps, retransmits := run(false)
+	if gaps == 0 || retransmits == 0 {
+		t.Fatalf("baseline run: gaps=%d retransmits=%d, want both > 0", gaps, retransmits)
+	}
+	gaps, retransmits = run(true)
+	if gaps == 0 {
+		t.Fatal("ablated run detected no gaps at 30% loss")
+	}
+	if retransmits != 0 {
+		t.Fatalf("ablated run still sent %d retransmit requests", retransmits)
+	}
+}
+
+func TestSchedulingModeStrings(t *testing.T) {
+	if ScheduleNormal.String() != "normal" ||
+		ScheduleCompressed.String() != "compressed" ||
+		ScheduleWriteThrough.String() != "write-through" {
+		t.Fatal("SchedulingMode.String mismatch")
+	}
+	if SchedulingMode(77).String() != "SchedulingMode(77)" {
+		t.Fatalf("unknown mode String() = %q", SchedulingMode(77).String())
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/netsim"
+	"rtpb/internal/xkernel"
+)
+
+// multiCluster is a primary with several backups on one simulated fabric.
+type multiCluster struct {
+	clk     *clock.SimClock
+	net     *netsim.Network
+	primary *Primary
+	backups []*Backup
+	eps     []*netsim.Endpoint
+}
+
+func newMultiCluster(t *testing.T, nBackups int, mutateP func(*Config)) *multiCluster {
+	t.Helper()
+	clk := clock.NewSim()
+	net := netsim.New(clk, 91)
+	if err := net.SetDefaultLink(netsim.LinkParams{Delay: ms(2)}); err != nil {
+		t.Fatal(err)
+	}
+	pPort, _ := stackOn(t, net, "primary")
+	peers := make([]xkernel.Addr, nBackups)
+	bPorts := make([]*xkernel.PortProtocol, nBackups)
+	eps := make([]*netsim.Endpoint, nBackups)
+	for i := 0; i < nBackups; i++ {
+		host := "backup" + string(rune('A'+i))
+		bPorts[i], eps[i] = stackOn(t, net, host)
+		peers[i] = xkernel.Addr(host + ":7000")
+	}
+	pCfg := Config{Clock: clk, Port: pPort, Peers: peers, Ell: ms(5)}
+	if mutateP != nil {
+		mutateP(&pCfg)
+	}
+	primary, err := NewPrimary(pCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := &multiCluster{clk: clk, net: net, primary: primary, eps: eps}
+	for i := 0; i < nBackups; i++ {
+		b, err := NewBackup(Config{
+			Clock: clk, Port: bPorts[i], Peer: "primary:7000", Ell: ms(5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc.backups = append(mc.backups, b)
+	}
+	return mc
+}
+
+func TestMultiBackupBroadcastReplication(t *testing.T) {
+	mc := newMultiCluster(t, 3, nil)
+	if d := mc.primary.Register(spec("x", ms(40), ms(50), ms(250))); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	mc.clk.RunFor(ms(50))
+	w := clock.NewPeriodic(mc.clk, 0, ms(40), func() {
+		mc.primary.ClientWrite("x", []byte("v"), nil)
+	})
+	mc.clk.RunFor(time.Second)
+	w.Stop()
+	for i, b := range mc.backups {
+		if v, _, ok := b.Value("x"); !ok || string(v) != "v" {
+			t.Fatalf("backup %d missing value: %q ok=%v", i, v, ok)
+		}
+	}
+	if got := len(mc.primary.Peers()); got != 3 {
+		t.Fatalf("Peers() = %d, want 3", got)
+	}
+}
+
+func TestMultiBackupSurvivesOnePeerDeath(t *testing.T) {
+	mc := newMultiCluster(t, 2, nil)
+	if d := mc.primary.Register(spec("x", ms(40), ms(50), ms(250))); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	mc.clk.RunFor(ms(50))
+	w := clock.NewPeriodic(mc.clk, 0, ms(40), func() {
+		mc.primary.ClientWrite("x", []byte("v"), nil)
+	})
+	defer w.Stop()
+	mc.clk.RunFor(500 * time.Millisecond)
+
+	// Backup A dies; the primary is told and keeps replicating to B.
+	mc.backups[0].Stop()
+	mc.eps[0].SetDown(true)
+	mc.primary.SetPeerAlive("backupA:7000", false)
+	if mc.primary.PeerAlive("backupA:7000") {
+		t.Fatal("peer A still marked alive")
+	}
+	if !mc.primary.BackupAlive() {
+		t.Fatal("primary believes all backups dead with B alive")
+	}
+	_, verBefore, _ := mc.backups[1].Value("x")
+	mc.clk.RunFor(500 * time.Millisecond)
+	_, verAfter, _ := mc.backups[1].Value("x")
+	if !verAfter.After(verBefore) {
+		t.Fatal("surviving backup stopped receiving updates")
+	}
+}
+
+func TestMultiBackupPeerRecoveryGetsStateTransfer(t *testing.T) {
+	mc := newMultiCluster(t, 2, nil)
+	if d := mc.primary.Register(spec("x", ms(40), ms(50), ms(250))); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	mc.clk.RunFor(ms(50))
+	mc.primary.SetPeerAlive("backupA:7000", false)
+	mc.primary.ClientWrite("x", []byte("while-A-dead"), nil)
+	mc.clk.RunFor(200 * time.Millisecond)
+	if _, _, ok := mc.backups[0].Value("x"); ok {
+		t.Fatal("dead-marked peer received updates")
+	}
+	transfers := 0
+	mc.backups[0].OnStateTransfer = func(uint32, int) { transfers++ }
+	mc.primary.SetPeerAlive("backupA:7000", true)
+	mc.clk.RunFor(100 * time.Millisecond)
+	if transfers != 1 {
+		t.Fatalf("state transfers to recovered peer = %d, want 1", transfers)
+	}
+	if v, _, ok := mc.backups[0].Value("x"); !ok || string(v) != "while-A-dead" {
+		t.Fatalf("recovered peer state = %q ok=%v", v, ok)
+	}
+}
+
+func TestAddPeerMidRun(t *testing.T) {
+	mc := newMultiCluster(t, 1, nil)
+	if d := mc.primary.Register(spec("x", ms(40), ms(50), ms(250))); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	mc.primary.ClientWrite("x", []byte("pre-join"), nil)
+	mc.clk.RunFor(200 * time.Millisecond)
+
+	// A third host joins as an extra backup.
+	cPort, _ := stackOn(t, mc.net, "backupC")
+	extra, err := NewBackup(Config{Clock: mc.clk, Port: cPort, Peer: "primary:7000", Ell: ms(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.primary.AddPeer("backupC:7000"); err != nil {
+		t.Fatal(err)
+	}
+	mc.clk.RunFor(100 * time.Millisecond)
+	if v, _, ok := extra.Value("x"); !ok || string(v) != "pre-join" {
+		t.Fatalf("joined peer missing state transfer: %q ok=%v", v, ok)
+	}
+	if len(extra.Specs()) != 1 {
+		t.Fatalf("joined peer has %d specs, want 1", len(extra.Specs()))
+	}
+	// Future updates reach it too.
+	mc.primary.ClientWrite("x", []byte("post-join"), nil)
+	mc.clk.RunFor(300 * time.Millisecond)
+	if v, _, _ := extra.Value("x"); string(v) != "post-join" {
+		t.Fatalf("joined peer not receiving updates: %q", v)
+	}
+	// Duplicate joins are rejected.
+	if err := mc.primary.AddPeer("backupC:7000"); err == nil {
+		t.Fatal("duplicate AddPeer succeeded")
+	}
+}
+
+func TestRemovePeerStopsTraffic(t *testing.T) {
+	mc := newMultiCluster(t, 2, nil)
+	if d := mc.primary.Register(spec("x", ms(40), ms(50), ms(250))); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	mc.clk.RunFor(ms(50))
+	mc.primary.RemovePeer("backupA:7000")
+	if got := len(mc.primary.Peers()); got != 1 {
+		t.Fatalf("Peers() = %d after removal, want 1", got)
+	}
+	mc.primary.ClientWrite("x", []byte("v"), nil)
+	mc.clk.RunFor(300 * time.Millisecond)
+	if _, _, ok := mc.backups[0].Value("x"); ok {
+		t.Fatal("removed peer received updates")
+	}
+	if v, _, ok := mc.backups[1].Value("x"); !ok || string(v) != "v" {
+		t.Fatalf("remaining peer missing updates: %q ok=%v", v, ok)
+	}
+}
+
+func TestMultiBackupAdmissionChargesPerReplica(t *testing.T) {
+	count := func(nBackups int) int {
+		mc := newMultiCluster(t, nBackups, nil)
+		admitted := 0
+		for i := 0; i < 100; i++ {
+			name := "o" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			if d := mc.primary.Register(spec(name, ms(20), ms(25), ms(60))); d.Accepted {
+				admitted++
+			}
+		}
+		return admitted
+	}
+	one := count(1)
+	three := count(3)
+	if three >= one {
+		t.Fatalf("3-backup capacity (%d) not below 1-backup capacity (%d)", three, one)
+	}
+}
+
+func TestPerPeerHeartbeats(t *testing.T) {
+	mc := newMultiCluster(t, 2, nil)
+	type ack struct {
+		from xkernel.Addr
+		seq  uint64
+	}
+	var acks []ack
+	mc.primary.OnPingAckFrom = func(from xkernel.Addr, seq uint64) {
+		acks = append(acks, ack{from, seq})
+	}
+	seqA, err := mc.primary.SendPingTo("backupA:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqB, err := mc.primary.SendPingTo("backupB:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.primary.SendPingTo("ghost:7000"); err == nil {
+		t.Fatal("ping to unknown peer succeeded")
+	}
+	mc.clk.RunFor(ms(20))
+	if len(acks) != 2 {
+		t.Fatalf("acks = %+v, want 2", acks)
+	}
+	seen := map[xkernel.Addr]uint64{}
+	for _, a := range acks {
+		seen[a.from] = a.seq
+	}
+	if seen["backupA:7000"] != seqA || seen["backupB:7000"] != seqB {
+		t.Fatalf("per-peer ack mismatch: %+v (sent %d/%d)", acks, seqA, seqB)
+	}
+}

@@ -1,0 +1,644 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/cpu"
+	"rtpb/internal/temporal"
+	"rtpb/internal/wire"
+	"rtpb/internal/xkernel"
+)
+
+// replicaPeer is the primary's bookkeeping for one backup replica. The
+// paper's prototype uses a single backup; supporting several is listed as
+// future work and implemented here: updates and state transfers are
+// broadcast to every live peer, registrations and heartbeats are tracked
+// per peer.
+type replicaPeer struct {
+	addr       xkernel.Addr
+	sess       xkernel.Session
+	alive      bool
+	pingSeq    uint64
+	registered map[uint32]bool
+}
+
+// Primary is the RTPB primary replica: it services client writes,
+// enforces admission control, and schedules decoupled update
+// transmissions to its backups. All methods must be called on the clock
+// executor (callbacks, or Post for external goroutines), matching the
+// serial execution model of the protocol graph.
+type Primary struct {
+	cfg  Config
+	clk  clock.Clock
+	proc *cpu.Resource
+	adm  *admission
+	port *xkernel.PortProtocol
+
+	peers   []*replicaPeer
+	running bool
+	epoch   uint32
+
+	pumpActive bool
+	pumpOrder  []uint32
+	pumpNext   int
+
+	// OnSend, when set, observes every update transmission (after the
+	// CPU cost, at the instant the datagram enters the network). With
+	// multiple backups it fires once per transmission, not per peer.
+	OnSend func(objectID uint32, name string, seq uint64, version time.Time)
+	// OnClientDone, when set, observes every completed client write with
+	// its response time.
+	OnClientDone func(name string, latency time.Duration)
+	// OnRetransmitRequest, when set, observes backup retransmission
+	// requests.
+	OnRetransmitRequest func(objectID uint32)
+	// OnPingAck, when set, receives heartbeat acknowledgements from any
+	// peer (single-backup deployments).
+	OnPingAck func(seq uint64)
+	// OnPingAckFrom, when set, receives heartbeat acknowledgements with
+	// the responding peer's address (multi-backup deployments).
+	OnPingAckFrom func(from xkernel.Addr, seq uint64)
+	// OnPing, when set, observes inbound pings (an ack is always sent).
+	OnPing func(seq uint64)
+	// OnStateTransferAck, when set, observes a backup's state-transfer
+	// acknowledgement.
+	OnStateTransferAck func(epoch uint32, objects int)
+}
+
+var _ xkernel.Upper = (*Primary)(nil)
+
+// NewPrimary builds a primary replica and enables it on the port
+// protocol's RTPB port.
+func NewPrimary(cfg Config) (*Primary, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	p := &Primary{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		proc:    cpu.New(cfg.Clock),
+		port:    cfg.Port,
+		running: true,
+		epoch:   1,
+	}
+	p.adm = newAdmission(&p.cfg)
+	if err := cfg.Port.EnablePort(cfg.LocalPort, p); err != nil {
+		return nil, err
+	}
+	for _, addr := range cfg.Peers {
+		if err := p.addPeerLocked(addr); err != nil {
+			p.Stop()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *Primary) addPeerLocked(addr xkernel.Addr) error {
+	for _, pr := range p.peers {
+		if pr.addr == addr {
+			return fmt.Errorf("core: peer %s already attached", addr)
+		}
+	}
+	sess, err := p.port.OpenFrom(p.cfg.LocalPort, addr)
+	if err != nil {
+		return fmt.Errorf("core: open backup session to %s: %w", addr, err)
+	}
+	p.peers = append(p.peers, &replicaPeer{
+		addr:       addr,
+		sess:       sess,
+		alive:      true,
+		registered: make(map[uint32]bool),
+	})
+	return nil
+}
+
+// Stop cancels every periodic task and releases the port binding.
+func (p *Primary) Stop() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	for _, o := range p.adm.objects {
+		if o.task != nil {
+			o.task.Stop()
+		}
+	}
+	p.port.DisablePort(p.cfg.LocalPort)
+	for _, pr := range p.peers {
+		pr.sess.Close()
+	}
+}
+
+// Running reports whether the primary is serving.
+func (p *Primary) Running() bool { return p.running }
+
+// Epoch reports the primary's current epoch (incremented by failovers).
+func (p *Primary) Epoch() uint32 { return p.epoch }
+
+// SetEpoch installs the epoch a promoted replica inherited.
+func (p *Primary) SetEpoch(e uint32) { p.epoch = e }
+
+// Utilization reports the admitted task set's planned CPU utilization.
+func (p *Primary) Utilization() float64 { return p.adm.utilization() }
+
+// Objects reports the number of admitted objects.
+func (p *Primary) Objects() int { return len(p.adm.objects) }
+
+// Peers reports the attached backup addresses.
+func (p *Primary) Peers() []xkernel.Addr {
+	out := make([]xkernel.Addr, len(p.peers))
+	for i, pr := range p.peers {
+		out[i] = pr.addr
+	}
+	return out
+}
+
+// CPU exposes the primary's processor model (for experiment probes).
+func (p *Primary) CPU() *cpu.Resource { return p.proc }
+
+// Register runs admission control for spec (Section 4.2). On acceptance
+// the object's update task is scheduled and the registration is forwarded
+// to every backup (with bounded retries) so they can reserve space.
+func (p *Primary) Register(spec ObjectSpec) Decision {
+	if !p.running {
+		return Decision{Accepted: false, Reason: ErrStopped.Error()}
+	}
+	o, d := p.adm.admit(spec)
+	if !d.Accepted {
+		return d
+	}
+	p.startUpdateTask(o)
+	if p.cfg.SchedTest == SchedTestDCS {
+		// S_r specialization may have re-assigned other objects' periods.
+		for _, other := range p.adm.objects {
+			p.retimeUpdateTask(other)
+		}
+	}
+	for _, pr := range p.peers {
+		p.forwardRegistration(pr, o, p.cfg.RegisterRetries)
+	}
+	return d
+}
+
+// RegisterInterObject admits an inter-object temporal constraint between
+// two registered objects, tightening their update tasks as needed
+// (Section 3 / Section 4.2).
+func (p *Primary) RegisterInterObject(c temporal.InterObjectConstraint) (Decision, error) {
+	if !p.running {
+		return Decision{Accepted: false, Reason: ErrStopped.Error()}, ErrStopped
+	}
+	d, err := p.adm.admitInterObject(c)
+	if err != nil {
+		return d, err
+	}
+	// Tightened (and possibly re-specialized) periods take effect on the
+	// running tasks.
+	if p.cfg.SchedTest == SchedTestDCS {
+		for _, o := range p.adm.objects {
+			p.retimeUpdateTask(o)
+		}
+	} else {
+		for _, name := range []string{c.I, c.J} {
+			if o, err := p.adm.byNameOrErr(name); err == nil {
+				p.retimeUpdateTask(o)
+			}
+		}
+	}
+	return d, nil
+}
+
+func (p *Primary) startUpdateTask(o *object) {
+	switch p.cfg.Scheduling {
+	case ScheduleCompressed:
+		p.pumpOrder = append(p.pumpOrder, o.id)
+		return
+	case ScheduleWriteThrough:
+		return // transmissions ride on client writes
+	}
+	// Spread initial offsets implicitly: the task starts one period out.
+	o.task = clock.NewPeriodic(p.clk, o.updatePeriod, o.updatePeriod, func() {
+		p.transmit(o, cpu.Low)
+	})
+}
+
+func (p *Primary) retimeUpdateTask(o *object) {
+	if o.task != nil {
+		o.task.SetPeriod(o.updatePeriod)
+	}
+}
+
+// forwardRegistration sends the object's registration to one backup and
+// retries until that backup's RegisterReply arrives or retries are
+// exhausted.
+func (p *Primary) forwardRegistration(pr *replicaPeer, o *object, retriesLeft int) {
+	if pr.registered[o.id] || retriesLeft <= 0 || !p.running {
+		return
+	}
+	p.sendTo(pr, &wire.Register{
+		Epoch:    p.epoch,
+		ObjectID: o.id,
+		Name:     o.spec.Name,
+		Size:     uint32(o.spec.Size),
+		Period:   o.spec.UpdatePeriod,
+		DeltaP:   o.spec.Constraint.DeltaP,
+		DeltaB:   o.spec.Constraint.DeltaB,
+	})
+	p.clk.Schedule(p.cfg.RegisterTimeout, func() {
+		p.forwardRegistration(pr, o, retriesLeft-1)
+	})
+}
+
+// ClientWrite services one client write: the value is installed after the
+// CPU cost of the operation, and done (optional) observes the response
+// time. The version timestamp is the write's arrival instant — the moment
+// the client sampled the external world.
+func (p *Primary) ClientWrite(name string, data []byte, done func(latency time.Duration, err error)) {
+	finish := func(lat time.Duration, err error) {
+		if done != nil {
+			done(lat, err)
+		}
+	}
+	if !p.running {
+		finish(0, ErrStopped)
+		return
+	}
+	o, err := p.adm.byNameOrErr(name)
+	if err != nil {
+		finish(0, err)
+		return
+	}
+	arrival := p.clk.Now()
+	value := make([]byte, len(data))
+	copy(value, data)
+	// Client writes share the FIFO low-priority class with update
+	// transmissions: on an overloaded, admission-control-disabled primary
+	// the growing update backlog is exactly what degrades client response
+	// time (the Figure 7 effect). The high-priority class is reserved for
+	// loss recovery.
+	p.proc.Submit(cpu.Low, p.cfg.Costs.clientCost(len(data)), func() {
+		o.value = value
+		o.version = arrival
+		o.hasData = true
+		if o.spec.Critical {
+			// Hybrid path: the response waits for backup acknowledgement
+			// (startCriticalWrite completes the callback).
+			p.startCriticalWrite(o, arrival, func(lat time.Duration, err error) {
+				if err == nil && p.OnClientDone != nil {
+					p.OnClientDone(name, lat)
+				}
+				finish(lat, err)
+			})
+			p.maybeStartPump()
+			return
+		}
+		lat := p.clk.Now().Sub(arrival)
+		if p.OnClientDone != nil {
+			p.OnClientDone(name, lat)
+		}
+		finish(lat, nil)
+		if p.cfg.Scheduling == ScheduleWriteThrough {
+			p.transmit(o, cpu.Low)
+		}
+		p.maybeStartPump()
+	})
+}
+
+// anyPeerAlive reports whether at least one backup is believed alive.
+func (p *Primary) anyPeerAlive() bool {
+	for _, pr := range p.peers {
+		if pr.alive {
+			return true
+		}
+	}
+	return false
+}
+
+// transmit queues one update transmission for the object on the CPU and
+// sends it when the CPU grants the time. Retransmissions requested by a
+// backup run in the high-priority class so loss recovery is not delayed
+// by the regular update backlog.
+func (p *Primary) transmit(o *object, prio cpu.Priority) {
+	if !p.running || !o.hasData || !p.anyPeerAlive() {
+		return
+	}
+	p.proc.Submit(prio, p.cfg.Costs.sendCost(len(o.value)), func() {
+		p.sendUpdateNow(o)
+	})
+}
+
+// sendUpdateNow emits the update datagram carrying the object's current
+// state to every live backup; it must run after the CPU cost has been
+// paid.
+func (p *Primary) sendUpdateNow(o *object) {
+	if !p.running || !o.hasData || !p.anyPeerAlive() {
+		return
+	}
+	o.seq++
+	o.lastSentSeq = o.seq
+	o.lastSentVersion = o.version
+	p.broadcast(&wire.Update{
+		Epoch:    p.epoch,
+		ObjectID: o.id,
+		Seq:      o.seq,
+		Version:  o.version.UnixNano(),
+		Payload:  o.value,
+	})
+	if p.OnSend != nil {
+		p.OnSend(o.id, o.spec.Name, o.seq, o.version)
+	}
+}
+
+// maybeStartPump starts the compressed-scheduling pump if it should run:
+// compressed mode, data available, a backup alive.
+func (p *Primary) maybeStartPump() {
+	if p.cfg.Scheduling != ScheduleCompressed || p.pumpActive || !p.running || !p.anyPeerAlive() {
+		return
+	}
+	p.pumpActive = true
+	p.pumpStep()
+}
+
+// pumpStep transmits the next object in round-robin order and chains the
+// following transmission — the "schedule as many updates as the resources
+// allow" discipline of compressed scheduling.
+func (p *Primary) pumpStep() {
+	if !p.running || !p.anyPeerAlive() || p.cfg.Scheduling != ScheduleCompressed {
+		p.pumpActive = false
+		return
+	}
+	o := p.nextPumpObject()
+	if o == nil {
+		p.pumpActive = false
+		return
+	}
+	p.proc.Submit(cpu.Low, p.cfg.Costs.sendCost(len(o.value)), func() {
+		p.sendUpdateNow(o)
+		p.pumpStep()
+	})
+}
+
+func (p *Primary) nextPumpObject() *object {
+	for tries := 0; tries < len(p.pumpOrder); tries++ {
+		id := p.pumpOrder[p.pumpNext%len(p.pumpOrder)]
+		p.pumpNext++
+		if o, ok := p.adm.objects[id]; ok && o.hasData {
+			return o
+		}
+	}
+	return nil
+}
+
+// SetPeerAlive informs the primary of one backup's liveness (driven by a
+// failure detector). Declaring a peer dead stops transmissions to it; a
+// peer coming (back) alive receives a full state transfer (Section 4.4).
+func (p *Primary) SetPeerAlive(addr xkernel.Addr, alive bool) {
+	pr := p.peerByAddr(addr)
+	if pr == nil || pr.alive == alive {
+		return
+	}
+	pr.alive = alive
+	if alive {
+		p.sendStateTransferTo(pr)
+		p.maybeStartPump()
+	} else {
+		// Do not hold critical writes hostage to a dead backup.
+		p.dropPeerFromCriticalWaits(addr)
+	}
+}
+
+// SetBackupAlive applies SetPeerAlive to every attached backup — the
+// single-backup deployments of the paper use this form.
+func (p *Primary) SetBackupAlive(alive bool) {
+	for _, pr := range p.peers {
+		p.SetPeerAlive(pr.addr, alive)
+	}
+}
+
+// BackupAlive reports whether any backup is believed alive.
+func (p *Primary) BackupAlive() bool { return p.anyPeerAlive() }
+
+// PeerAlive reports the liveness of one attached backup.
+func (p *Primary) PeerAlive(addr xkernel.Addr) bool {
+	if pr := p.peerByAddr(addr); pr != nil {
+		return pr.alive
+	}
+	return false
+}
+
+func (p *Primary) peerByAddr(addr xkernel.Addr) *replicaPeer {
+	for _, pr := range p.peers {
+		if pr.addr == addr {
+			return pr
+		}
+	}
+	return nil
+}
+
+// AddPeer attaches an additional backup replica: its session opens, all
+// registrations are replayed to it, and a state transfer brings it
+// current.
+func (p *Primary) AddPeer(addr xkernel.Addr) error {
+	if !p.running {
+		return ErrStopped
+	}
+	if err := p.addPeerLocked(addr); err != nil {
+		return err
+	}
+	pr := p.peers[len(p.peers)-1]
+	for _, o := range p.adm.objects {
+		p.forwardRegistration(pr, o, p.cfg.RegisterRetries)
+	}
+	p.sendStateTransferTo(pr)
+	p.maybeStartPump()
+	return nil
+}
+
+// RemovePeer detaches a backup replica (e.g. one that failed
+// permanently).
+func (p *Primary) RemovePeer(addr xkernel.Addr) {
+	for i, pr := range p.peers {
+		if pr.addr == addr {
+			pr.sess.Close()
+			p.peers = append(p.peers[:i], p.peers[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetPeer replaces the entire peer set with one new backup (used by the
+// single-backup failover path when recruiting a replacement).
+func (p *Primary) SetPeer(peer xkernel.Addr) error {
+	if !p.running {
+		return ErrStopped
+	}
+	old := p.peers
+	p.peers = nil
+	if err := p.addPeerLocked(peer); err != nil {
+		p.peers = old
+		return err
+	}
+	for _, pr := range old {
+		pr.sess.Close()
+	}
+	pr := p.peers[0]
+	for _, o := range p.adm.objects {
+		p.forwardRegistration(pr, o, p.cfg.RegisterRetries)
+	}
+	p.sendStateTransferTo(pr)
+	p.maybeStartPump()
+	return nil
+}
+
+// SendStateTransfer pushes the full object table to every live backup.
+func (p *Primary) SendStateTransfer() {
+	for _, pr := range p.peers {
+		if pr.alive {
+			p.sendStateTransferTo(pr)
+		}
+	}
+}
+
+func (p *Primary) sendStateTransferTo(pr *replicaPeer) {
+	st := &wire.StateTransfer{Epoch: p.epoch}
+	for _, o := range p.adm.objects {
+		if !o.hasData {
+			continue
+		}
+		st.Entries = append(st.Entries, wire.StateEntry{
+			ObjectID: o.id,
+			Seq:      o.seq,
+			Version:  o.version.UnixNano(),
+			Payload:  o.value,
+		})
+	}
+	p.sendTo(pr, st)
+}
+
+// SendPing emits one heartbeat to the first attached backup and returns
+// its sequence number (the single-backup form used by the paper's
+// deployment; multi-backup deployments use SendPingTo per peer).
+func (p *Primary) SendPing() uint64 {
+	if len(p.peers) == 0 {
+		return 0
+	}
+	seq, _ := p.SendPingTo(p.peers[0].addr)
+	return seq
+}
+
+// SendPingTo emits one heartbeat to the named backup and returns its
+// per-peer sequence number.
+func (p *Primary) SendPingTo(addr xkernel.Addr) (uint64, error) {
+	pr := p.peerByAddr(addr)
+	if pr == nil {
+		return 0, fmt.Errorf("core: no peer %s", addr)
+	}
+	pr.pingSeq++
+	p.sendTo(pr, &wire.Ping{Seq: pr.pingSeq, From: wire.RolePrimary})
+	return pr.pingSeq, nil
+}
+
+// Demux implements xkernel.Upper: inbound RTPB datagrams from the port
+// protocol.
+func (p *Primary) Demux(m *xkernel.Message, from xkernel.Addr) error {
+	msg, err := wire.Decode(m.Bytes())
+	if err != nil {
+		return err // malformed datagram: drop
+	}
+	switch t := msg.(type) {
+	case *wire.RetransmitRequest:
+		if p.OnRetransmitRequest != nil {
+			p.OnRetransmitRequest(t.ObjectID)
+		}
+		if o, ok := p.adm.objects[t.ObjectID]; ok {
+			p.transmit(o, cpu.High)
+		}
+	case *wire.RegisterReply:
+		if pr := p.peerByAddr(from); pr != nil && t.Accepted {
+			pr.registered[t.ObjectID] = true
+		}
+	case *wire.Ping:
+		if p.OnPing != nil {
+			p.OnPing(t.Seq)
+		}
+		p.replyTo(from, &wire.PingAck{Seq: t.Seq, From: wire.RolePrimary})
+	case *wire.PingAck:
+		if p.OnPingAck != nil {
+			p.OnPingAck(t.Seq)
+		}
+		if p.OnPingAckFrom != nil {
+			p.OnPingAckFrom(from, t.Seq)
+		}
+	case *wire.StateTransferAck:
+		if p.OnStateTransferAck != nil {
+			p.OnStateTransferAck(t.Epoch, int(t.Objects))
+		}
+	case *wire.UpdateAck:
+		p.handleUpdateAck(from, t)
+	}
+	return nil
+}
+
+// broadcast sends a message to every live peer.
+func (p *Primary) broadcast(msg wire.Message) {
+	encoded := wire.Encode(msg)
+	for _, pr := range p.peers {
+		if pr.alive {
+			_ = pr.sess.Push(xkernel.NewMessage(encoded))
+		}
+	}
+}
+
+// sendTo sends a message to one peer regardless of its liveness mark
+// (registration retries and recruitment probes must reach a peer we have
+// not heard from yet).
+func (p *Primary) sendTo(pr *replicaPeer, msg wire.Message) {
+	_ = pr.sess.Push(xkernel.NewMessage(wire.Encode(msg)))
+}
+
+// replyTo answers a sender that may not be an attached peer (e.g. a ping
+// from a replica probing us).
+func (p *Primary) replyTo(addr xkernel.Addr, msg wire.Message) {
+	if pr := p.peerByAddr(addr); pr != nil {
+		p.sendTo(pr, msg)
+		return
+	}
+	sess, err := p.port.OpenFrom(p.cfg.LocalPort, addr)
+	if err != nil {
+		return
+	}
+	defer sess.Close()
+	_ = sess.Push(xkernel.NewMessage(wire.Encode(msg)))
+}
+
+// Value returns the primary's current copy of an object.
+func (p *Primary) Value(name string) (data []byte, version time.Time, ok bool) {
+	o, err := p.adm.byNameOrErr(name)
+	if err != nil || !o.hasData {
+		return nil, time.Time{}, false
+	}
+	cp := make([]byte, len(o.value))
+	copy(cp, o.value)
+	return cp, o.version, true
+}
+
+// Spec returns the registered spec for an object name.
+func (p *Primary) Spec(name string) (ObjectSpec, bool) {
+	o, err := p.adm.byNameOrErr(name)
+	if err != nil {
+		return ObjectSpec{}, false
+	}
+	return o.spec, true
+}
+
+// UpdatePeriod reports the admitted backup-update period r_i of an
+// object.
+func (p *Primary) UpdatePeriod(name string) (time.Duration, bool) {
+	o, err := p.adm.byNameOrErr(name)
+	if err != nil {
+		return 0, false
+	}
+	return o.updatePeriod, true
+}

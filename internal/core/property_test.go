@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rtpb/internal/temporal"
+)
+
+// TestSupersedesIsLexicographic checks the backup's update-ordering
+// relation: (epoch, seq) pairs are compared lexicographically, which is
+// what makes a new primary's fresh sequence numbers supersede the old
+// primary's high ones.
+func TestSupersedesIsLexicographic(t *testing.T) {
+	f := func(e1, e2 uint32, s1, s2 uint64) bool {
+		o := &backupObject{epoch: e1, seq: s1, hasData: true}
+		got := o.supersedes(e2, s2)
+		want := e2 > e1 || (e2 == e1 && s2 > s1)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupersedesIrreflexiveAndAsymmetric checks the relation is a strict
+// order on distinct states: nothing supersedes itself, and if a
+// supersedes b then b does not supersede a.
+func TestSupersedesIrreflexiveAndAsymmetric(t *testing.T) {
+	f := func(e1, e2 uint32, s1, s2 uint64) bool {
+		a := &backupObject{epoch: e1, seq: s1, hasData: true}
+		b := &backupObject{epoch: e2, seq: s2, hasData: true}
+		if a.supersedes(e1, s1) {
+			return false // reflexive
+		}
+		ab := a.supersedes(e2, s2)
+		ba := b.supersedes(e1, s1)
+		if e1 == e2 && s1 == s2 {
+			return !ab && !ba
+		}
+		return ab != ba // exactly one direction wins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupersedesAlwaysTrueWithoutData pins the bootstrap rule: an object
+// that never applied anything accepts any stamped state.
+func TestSupersedesAlwaysTrueWithoutData(t *testing.T) {
+	f := func(e uint32, s uint64) bool {
+		o := &backupObject{}
+		return o.supersedes(e, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionDecisionConsistency: for arbitrary (period, δP, δB)
+// triples, an accepted object always satisfies the paper's admission
+// inequalities, and the derived update period always satisfies Theorem 5.
+func TestAdmissionDecisionConsistency(t *testing.T) {
+	cfg := testConfig()
+	f := func(p16, dp16, db16 uint16) bool {
+		a := newAdmission(cfg)
+		period := time.Duration(p16%200+1) * time.Millisecond
+		deltaP := time.Duration(dp16%200+1) * time.Millisecond
+		deltaB := deltaP + time.Duration(db16%400)*time.Millisecond
+		s := ObjectSpec{
+			Name:         "x",
+			Size:         64,
+			UpdatePeriod: period,
+			Constraint:   temporal.ExternalConstraint{DeltaP: deltaP, DeltaB: deltaB},
+		}
+		_, d := a.admit(s)
+		if !d.Accepted {
+			return true // rejections are allowed to be conservative
+		}
+		window := deltaB - deltaP
+		return period <= deltaP && // Test 1
+			window > cfg.Ell && // Test 2
+			d.UpdatePeriod > 0 &&
+			d.UpdatePeriod <= window-cfg.Ell // Theorem 5 with slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package cpu models the replica server's processor as a single serially
+// scheduled resource with two priority classes. The paper's evaluation
+// depends on processor contention at the primary: client requests and
+// backup-update transmissions share one CPU, so admitting too many objects
+// (Figure 7) saturates it and client response time explodes, while
+// admission control (Figure 6) keeps utilization bounded. Compressed
+// scheduling (Figure 12) is "schedule as many updates to backup as the
+// resources allow": an update pump that chains one transmission after
+// another through the low-priority class of this resource.
+package cpu
+
+import (
+	"time"
+
+	"rtpb/internal/clock"
+)
+
+// Priority is the scheduling class of submitted work.
+type Priority int
+
+const (
+	// High is used for client-facing work (request handling).
+	High Priority = iota + 1
+	// Low is used for background work (update transmissions).
+	Low
+)
+
+// Resource is a non-preemptive two-level priority FIFO processor.
+type Resource struct {
+	clk  clock.Clock
+	high []work
+	low  []work
+
+	running  bool
+	busy     time.Duration
+	started  time.Time
+	lastIdle time.Time
+}
+
+type work struct {
+	cost time.Duration
+	fn   func()
+}
+
+// New returns an idle resource driven by clk.
+func New(clk clock.Clock) *Resource {
+	return &Resource{clk: clk, lastIdle: clk.Now()}
+}
+
+// Submit enqueues work that occupies the processor for cost and then runs
+// fn. fn runs on the clock executor at the work's completion instant.
+// Zero-cost work still round-trips through the queue, preserving ordering.
+func (r *Resource) Submit(p Priority, cost time.Duration, fn func()) {
+	if cost < 0 {
+		cost = 0
+	}
+	w := work{cost: cost, fn: fn}
+	if p == High {
+		r.high = append(r.high, w)
+	} else {
+		r.low = append(r.low, w)
+	}
+	if !r.running {
+		r.dispatch()
+	}
+}
+
+func (r *Resource) dispatch() {
+	var w work
+	switch {
+	case len(r.high) > 0:
+		w, r.high = r.high[0], r.high[1:]
+	case len(r.low) > 0:
+		w, r.low = r.low[0], r.low[1:]
+	default:
+		r.running = false
+		r.lastIdle = r.clk.Now()
+		return
+	}
+	r.running = true
+	r.busy += w.cost
+	r.clk.Schedule(w.cost, func() {
+		if w.fn != nil {
+			w.fn()
+		}
+		r.dispatch()
+	})
+}
+
+// QueueLen reports the number of queued (not yet started) work items.
+func (r *Resource) QueueLen() int { return len(r.high) + len(r.low) }
+
+// Busy reports whether the processor is executing work right now.
+func (r *Resource) Busy() bool { return r.running }
+
+// BusyTime reports the cumulative processor time consumed by completed
+// and in-progress work.
+func (r *Resource) BusyTime() time.Duration { return r.busy }

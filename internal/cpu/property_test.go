@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+)
+
+// TestWorkConservation checks the resource is work-conserving: for any
+// submission pattern, total busy time equals the sum of costs, and the
+// makespan equals the last arrival's backlog (no idling while work is
+// queued, no time invented).
+func TestWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		clk := clock.NewSim()
+		r := New(clk)
+		var total time.Duration
+		var lastDone time.Time
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			// Random arrival spacing and cost, random priority.
+			clk.RunFor(time.Duration(rng.Intn(5)) * time.Millisecond)
+			cost := time.Duration(rng.Intn(8)+1) * time.Millisecond
+			total += cost
+			prio := High
+			if rng.Intn(2) == 0 {
+				prio = Low
+			}
+			r.Submit(prio, cost, func() { lastDone = clk.Now() })
+		}
+		clk.RunFor(time.Second)
+		if r.BusyTime() != total {
+			t.Fatalf("trial %d: BusyTime %v != Σcosts %v", trial, r.BusyTime(), total)
+		}
+		if r.QueueLen() != 0 || r.Busy() {
+			t.Fatalf("trial %d: resource not drained", trial)
+		}
+		if lastDone.IsZero() {
+			t.Fatalf("trial %d: no completions", trial)
+		}
+		// The makespan is bounded below by the total service demand: the
+		// CPU cannot finish all work earlier than Σcosts after the first
+		// arrival (which is at or after the epoch).
+		if lastDone.Sub(clock.SimEpoch) < total {
+			t.Fatalf("trial %d: last completion %v before Σcosts %v elapsed",
+				trial, lastDone.Sub(clock.SimEpoch), total)
+		}
+	}
+}
+
+// TestHighClassNeverWaitsBehindQueuedLow: whenever a High item is
+// submitted, every Low item that has not yet started runs after it.
+func TestHighClassNeverWaitsBehindQueuedLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		clk := clock.NewSim()
+		r := New(clk)
+		type done struct {
+			prio    Priority
+			submit  int
+			finish  time.Time
+			started bool
+		}
+		var log []*done
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			prio := High
+			if rng.Intn(3) > 0 {
+				prio = Low
+			}
+			d := &done{prio: prio, submit: i}
+			log = append(log, d)
+			cost := time.Duration(rng.Intn(4)+1) * time.Millisecond
+			r.Submit(prio, cost, func() { d.finish = clk.Now() })
+		}
+		clk.RunFor(time.Second)
+		// Within each class, completion order follows submission order.
+		var lastHigh, lastLow time.Time
+		for _, d := range log {
+			switch d.prio {
+			case High:
+				if d.finish.Before(lastHigh) {
+					t.Fatalf("trial %d: High completions out of FIFO order", trial)
+				}
+				lastHigh = d.finish
+			case Low:
+				if d.finish.Before(lastLow) {
+					t.Fatalf("trial %d: Low completions out of FIFO order", trial)
+				}
+				lastLow = d.finish
+			}
+		}
+		// Every High submitted in the same batch finishes before any Low
+		// except the one already occupying the CPU (index 0 if Low).
+		var worstHigh time.Time
+		for _, d := range log {
+			if d.prio == High && d.finish.After(worstHigh) {
+				worstHigh = d.finish
+			}
+		}
+		for i, d := range log {
+			if d.prio == Low && i > 0 && d.finish.Before(worstHigh) {
+				t.Fatalf("trial %d: queued Low %d finished before a High", trial, i)
+			}
+		}
+	}
+}

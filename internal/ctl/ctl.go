@@ -1,0 +1,275 @@
+// Package ctl is the client-facing control interface of the rtpbd daemon:
+// a line-oriented TCP protocol playing the role the Mach IPC-based RTPB
+// API plays in the paper (the client application is co-located with the
+// primary and talks to the server through a local endpoint).
+//
+// Protocol (one request line, one response line, UTF-8):
+//
+//	REGISTER <name> <size> <period> <deltaP> <deltaB>
+//	  → OK <id> <updatePeriod>       on admission
+//	  → REJECT <reason...> [| suggest <deltaB>]
+//	RELATE <nameI> <nameJ> <deltaIJ>
+//	  → OK | REJECT <reason...>
+//	WRITE <name> <base64-value>
+//	  → OK <latency> | ERR <reason...>
+//	READ <name>
+//	  → OK <base64-value> <version-rfc3339nano> | ERR not found
+//	STATUS
+//	  → OK objects=<n> utilization=<u> epoch=<e> backupAlive=<bool>
+//
+// Durations use Go syntax (40ms, 1s).
+package ctl
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/temporal"
+)
+
+// Server exposes a Primary on a TCP control socket. Commands are posted
+// onto the replica's clock executor, preserving the protocol's serial
+// execution model.
+type Server struct {
+	clk     clock.Clock
+	primary *core.Primary
+	ln      net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewServer starts the control listener on addr ("host:port", ":0" for
+// ephemeral).
+func NewServer(clk clock.Clock, primary *core.Primary, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: listen %q: %w", addr, err)
+	}
+	s := &Server{
+		clk:     clk,
+		primary: primary,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listener's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all client connections.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 2*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		reply := s.dispatch(line)
+		if _, err := fmt.Fprintln(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one command on the clock executor and waits for its
+// reply.
+func (s *Server) dispatch(line string) string {
+	replyCh := make(chan string, 1)
+	s.clk.Post(func() {
+		s.handle(line, func(reply string) { replyCh <- reply })
+	})
+	select {
+	case r := <-replyCh:
+		return r
+	case <-time.After(10 * time.Second):
+		return "ERR control command timed out"
+	}
+}
+
+// handle executes a command on the executor; reply must be called exactly
+// once (possibly later, for WRITE).
+func (s *Server) handle(line string, reply func(string)) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "REGISTER":
+		reply(s.register(fields[1:]))
+	case "RELATE":
+		reply(s.relate(fields[1:]))
+	case "WRITE":
+		s.write(fields[1:], reply)
+	case "READ":
+		reply(s.read(fields[1:]))
+	case "STATUS":
+		reply(fmt.Sprintf("OK objects=%d utilization=%.4f epoch=%d backupAlive=%v",
+			s.primary.Objects(), s.primary.Utilization(), s.primary.Epoch(), s.primary.BackupAlive()))
+	default:
+		reply("ERR unknown command " + cmd)
+	}
+}
+
+func (s *Server) register(args []string) string {
+	if len(args) != 5 {
+		return "ERR usage: REGISTER <name> <size> <period> <deltaP> <deltaB>"
+	}
+	size, err := strconv.Atoi(args[1])
+	if err != nil {
+		return "ERR bad size: " + err.Error()
+	}
+	var durs [3]time.Duration
+	for i, a := range args[2:] {
+		d, err := time.ParseDuration(a)
+		if err != nil {
+			return "ERR bad duration: " + err.Error()
+		}
+		durs[i] = d
+	}
+	d := s.primary.Register(core.ObjectSpec{
+		Name:         args[0],
+		Size:         size,
+		UpdatePeriod: durs[0],
+		Constraint:   temporal.ExternalConstraint{DeltaP: durs[1], DeltaB: durs[2]},
+	})
+	if !d.Accepted {
+		if d.SuggestedDeltaB > 0 {
+			return fmt.Sprintf("REJECT %s | suggest %v", d.Reason, d.SuggestedDeltaB)
+		}
+		return "REJECT " + d.Reason
+	}
+	return fmt.Sprintf("OK %d %v", d.ObjectID, d.UpdatePeriod)
+}
+
+func (s *Server) relate(args []string) string {
+	if len(args) != 3 {
+		return "ERR usage: RELATE <nameI> <nameJ> <deltaIJ>"
+	}
+	delta, err := time.ParseDuration(args[2])
+	if err != nil {
+		return "ERR bad duration: " + err.Error()
+	}
+	d, err := s.primary.RegisterInterObject(temporal.InterObjectConstraint{
+		I: args[0], J: args[1], Delta: delta,
+	})
+	if err != nil {
+		return "REJECT " + d.Reason
+	}
+	return "OK"
+}
+
+func (s *Server) write(args []string, reply func(string)) {
+	if len(args) != 2 {
+		reply("ERR usage: WRITE <name> <base64-value>")
+		return
+	}
+	value, err := base64.StdEncoding.DecodeString(args[1])
+	if err != nil {
+		reply("ERR bad base64: " + err.Error())
+		return
+	}
+	s.primary.ClientWrite(args[0], value, func(lat time.Duration, err error) {
+		if err != nil {
+			reply("ERR " + err.Error())
+			return
+		}
+		reply(fmt.Sprintf("OK %v", lat))
+	})
+}
+
+func (s *Server) read(args []string) string {
+	if len(args) != 1 {
+		return "ERR usage: READ <name>"
+	}
+	value, version, ok := s.primary.Value(args[0])
+	if !ok {
+		return "ERR not found"
+	}
+	return fmt.Sprintf("OK %s %s",
+		base64.StdEncoding.EncodeToString(value), version.Format(time.RFC3339Nano))
+}
+
+// Client is a minimal control-protocol client used by cmd/rtpbctl and the
+// tests.
+type Client struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// Dial connects to a control server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: dial %q: %w", addr, err)
+	}
+	return &Client{conn: conn, rd: bufio.NewReader(conn)}, nil
+}
+
+// Do sends one command line and returns the reply line.
+func (c *Client) Do(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return "", err
+	}
+	reply, err := c.rd.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(reply), nil
+}
+
+// Write is a convenience wrapper for the WRITE command.
+func (c *Client) Write(name string, value []byte) (string, error) {
+	return c.Do("WRITE " + name + " " + base64.StdEncoding.EncodeToString(value))
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

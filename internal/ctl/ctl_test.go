@@ -1,0 +1,166 @@
+package ctl
+
+import (
+	"encoding/base64"
+	"strings"
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/netsim"
+	"rtpb/internal/xkernel"
+)
+
+// startPrimary brings up a real-clock primary over real UDP plus its
+// control server, returning a connected client.
+func startPrimary(t *testing.T) (*Client, func()) {
+	t.Helper()
+	clk := clock.NewReal()
+	tr, err := netsim.NewUDP(clk, "127.0.0.1:0")
+	if err != nil {
+		clk.Stop()
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	g, err := xkernel.BuildGraph([]xkernel.Spec{
+		{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
+		{Name: "driver", Build: xkernel.DriverFactory(tr)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, _ := g.Protocol("uport")
+
+	var primary *core.Primary
+	errCh := make(chan error, 1)
+	clk.Post(func() {
+		p, err := core.NewPrimary(core.Config{
+			Clock: clk,
+			Port:  pp.(*xkernel.PortProtocol),
+			// No peer: the control interface works standalone.
+			Ell: 5 * time.Millisecond,
+		})
+		primary = p
+		errCh <- err
+	})
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(clk, primary, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, func() {
+		cl.Close()
+		srv.Close()
+		tr.Close()
+		clk.Stop()
+	}
+}
+
+func TestControlRegisterWriteReadStatus(t *testing.T) {
+	cl, shutdown := startPrimary(t)
+	defer shutdown()
+
+	reply, err := cl.Do("REGISTER alt 64 40ms 50ms 200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("REGISTER reply = %q", reply)
+	}
+
+	reply, err = cl.Write("alt", []byte("9000 ft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("WRITE reply = %q", reply)
+	}
+
+	reply, err = cl.Do("READ alt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(reply)
+	if len(fields) != 3 || fields[0] != "OK" {
+		t.Fatalf("READ reply = %q", reply)
+	}
+	value, err := base64.StdEncoding.DecodeString(fields[1])
+	if err != nil || string(value) != "9000 ft" {
+		t.Fatalf("READ value = %q err=%v", value, err)
+	}
+
+	reply, err = cl.Do("STATUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "objects=1") {
+		t.Fatalf("STATUS reply = %q", reply)
+	}
+}
+
+func TestControlRejectionAndErrors(t *testing.T) {
+	cl, shutdown := startPrimary(t)
+	defer shutdown()
+
+	cases := []struct {
+		cmd  string
+		want string
+	}{
+		{"REGISTER bad 64 60ms 50ms 200ms", "REJECT"}, // p > δP
+		{"REGISTER x 64 40ms", "ERR usage"},
+		{"REGISTER x notanum 40ms 50ms 200ms", "ERR bad size"},
+		{"REGISTER x 64 40ms 50ms bogus", "ERR bad duration"},
+		{"WRITE ghost aGk=", "ERR"},
+		{"WRITE ghost not-base64!", "ERR bad base64"},
+		{"READ ghost", "ERR not found"},
+		{"RELATE a b 10ms", "REJECT"},
+		{"FROB x", "ERR unknown command"},
+	}
+	for _, tc := range cases {
+		reply, err := cl.Do(tc.cmd)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.cmd, err)
+		}
+		if !strings.HasPrefix(reply, tc.want) {
+			t.Fatalf("%q reply = %q, want prefix %q", tc.cmd, reply, tc.want)
+		}
+	}
+}
+
+func TestControlRelate(t *testing.T) {
+	cl, shutdown := startPrimary(t)
+	defer shutdown()
+	for _, name := range []string{"a", "b"} {
+		if reply, _ := cl.Do("REGISTER " + name + " 8 20ms 40ms 400ms"); !strings.HasPrefix(reply, "OK") {
+			t.Fatalf("register %s: %q", name, reply)
+		}
+	}
+	reply, err := cl.Do("RELATE a b 60ms")
+	if err != nil || reply != "OK" {
+		t.Fatalf("RELATE reply = %q err=%v", reply, err)
+	}
+}
+
+func TestControlMultipleClients(t *testing.T) {
+	cl1, shutdown := startPrimary(t)
+	defer shutdown()
+	if reply, _ := cl1.Do("REGISTER shared 8 40ms 50ms 200ms"); !strings.HasPrefix(reply, "OK") {
+		t.Fatalf("register: %q", reply)
+	}
+	// A second client sees the same object table.
+	cl2, err := Dial(strings.TrimPrefix(cl1.conn.RemoteAddr().String(), ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	reply, err := cl2.Do("STATUS")
+	if err != nil || !strings.Contains(reply, "objects=1") {
+		t.Fatalf("second client STATUS = %q err=%v", reply, err)
+	}
+}

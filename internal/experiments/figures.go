@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rtpb/internal/core"
+	"rtpb/internal/trace"
+)
+
+// Experiment parameter defaults shared by the figures. The link models a
+// LAN: 2ms propagation, 1ms jitter, ℓ = 5ms given to admission control.
+const (
+	linkDelay  = 2 * time.Millisecond
+	linkJitter = 1 * time.Millisecond
+	ell        = 5 * time.Millisecond
+	deltaP     = 50 * time.Millisecond
+)
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// objectCounts is the x axis of the object-sweep figures (6, 7, 9, 10).
+var objectCounts = []int{4, 8, 16, 24, 32, 40, 48, 56, 64}
+
+// windowSizes is the window-size series of Figures 6, 7, 9, 10.
+var windowSizes = []time.Duration{30 * time.Millisecond, 50 * time.Millisecond, 70 * time.Millisecond}
+
+// lossPoints is the x axis of the loss-sweep figures (8, 11, 12).
+var lossPoints = []float64{0, 0.02, 0.05, 0.10, 0.15, 0.20}
+
+// responseVsObjects renders Figures 6 and 7: mean client response time as
+// a function of the number of objects offered, one series per window
+// size, with or without admission control.
+func responseVsObjects(seed int64, admission bool, duration time.Duration) (*trace.Figure, error) {
+	name, title := "Figure 6", "client response time with admission control"
+	if !admission {
+		name, title = "Figure 7", "client response time without admission control"
+	}
+	fig := &trace.Figure{
+		Name:   name,
+		Title:  title,
+		XLabel: "objects offered",
+		YLabel: "mean response time (ms)",
+	}
+	for _, n := range objectCounts {
+		fig.X = append(fig.X, float64(n))
+	}
+	for wi, w := range windowSizes {
+		s := trace.Series{Label: fmt.Sprintf("window=%dms", w/time.Millisecond)}
+		for _, n := range objectCounts {
+			r, err := Run(Params{
+				Seed:             seed + int64(wi*1000+n),
+				Delay:            linkDelay,
+				Jitter:           linkJitter,
+				Ell:              ell,
+				Objects:          n,
+				ObjectSize:       64,
+				ClientPeriod:     50 * time.Millisecond,
+				DeltaP:           deltaP,
+				Window:           w,
+				Scheduling:       core.ScheduleNormal,
+				AdmissionControl: admission,
+				Duration:         duration,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, msf(r.Response.Mean()))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure6 reproduces the paper's Figure 6: with admission control the
+// number of objects has little impact on response time, and larger
+// windows give better response times.
+func Figure6(seed int64, duration time.Duration) (*trace.Figure, error) {
+	return responseVsObjects(seed, true, duration)
+}
+
+// Figure7 reproduces Figure 7: without admission control, response time
+// increases dramatically once the offered objects exceed the window
+// size's capacity.
+func Figure7(seed int64, duration time.Duration) (*trace.Figure, error) {
+	return responseVsObjects(seed, false, duration)
+}
+
+// Figure8 reproduces Figure 8: average maximum primary-backup distance as
+// a function of message-loss probability, one series per client write
+// rate. Distance is near zero without loss and grows with both loss rate
+// and write rate.
+func Figure8(seed int64, duration time.Duration) (*trace.Figure, error) {
+	fig := &trace.Figure{
+		Name:   "Figure 8",
+		Title:  "average maximum primary/backup distance vs message loss",
+		XLabel: "loss probability",
+		YLabel: "avg max distance (ms)",
+		X:      lossPoints,
+	}
+	for ci, cp := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond} {
+		s := trace.Series{Label: fmt.Sprintf("write rate=%.1f/s", 1000/float64(cp/time.Millisecond))}
+		for li, loss := range lossPoints {
+			r, err := Run(Params{
+				Seed:             seed + int64(ci*100+li),
+				Delay:            linkDelay,
+				Jitter:           linkJitter,
+				Loss:             loss,
+				Ell:              ell,
+				Objects:          16,
+				ObjectSize:       64,
+				ClientPeriod:     cp,
+				DeltaP:           250 * time.Millisecond,
+				Window:           300 * time.Millisecond,
+				Scheduling:       core.ScheduleNormal,
+				AdmissionControl: true,
+				Duration:         duration,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, msf(r.Distance.AvgMax()))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// distanceVsObjects renders Figures 9 and 10: average maximum distance as
+// a function of the number of objects, with or without admission control.
+func distanceVsObjects(seed int64, admission bool, duration time.Duration) (*trace.Figure, error) {
+	name, title := "Figure 9", "avg max primary/backup distance with admission control"
+	if !admission {
+		name, title = "Figure 10", "avg max primary/backup distance without admission control"
+	}
+	fig := &trace.Figure{
+		Name:   name,
+		Title:  title,
+		XLabel: "objects offered",
+		YLabel: "avg max distance (ms)",
+	}
+	for _, n := range objectCounts {
+		fig.X = append(fig.X, float64(n))
+	}
+	for wi, w := range windowSizes {
+		s := trace.Series{Label: fmt.Sprintf("window=%dms", w/time.Millisecond)}
+		for _, n := range objectCounts {
+			r, err := Run(Params{
+				Seed:             seed + int64(wi*1000+n),
+				Delay:            linkDelay,
+				Jitter:           linkJitter,
+				Loss:             0.02,
+				Ell:              ell,
+				Objects:          n,
+				ObjectSize:       64,
+				ClientPeriod:     50 * time.Millisecond,
+				DeltaP:           deltaP,
+				Window:           w,
+				Scheduling:       core.ScheduleNormal,
+				AdmissionControl: admission,
+				Duration:         duration,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, msf(r.StaleDistance.AvgMax()))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure9 reproduces Figure 9: with admission control the object count
+// has little impact on the average maximum distance.
+func Figure9(seed int64, duration time.Duration) (*trace.Figure, error) {
+	return distanceVsObjects(seed, true, duration)
+}
+
+// Figure10 reproduces Figure 10: without admission control the distance
+// grows once the object count exceeds the window's capacity.
+func Figure10(seed int64, duration time.Duration) (*trace.Figure, error) {
+	return distanceVsObjects(seed, false, duration)
+}
+
+// inconsistencyVsLoss renders Figures 11 and 12: mean duration of backup
+// inconsistency (time beyond δ_i^B per excursion) as a function of loss
+// probability, one series per window size, under normal or compressed
+// scheduling.
+func inconsistencyVsLoss(seed int64, mode core.SchedulingMode, duration time.Duration) (*trace.Figure, error) {
+	name, title := "Figure 11", "duration of backup inconsistency (normal scheduling)"
+	if mode == core.ScheduleCompressed {
+		name, title = "Figure 12", "duration of backup inconsistency (compressed scheduling)"
+	}
+	fig := &trace.Figure{
+		Name:   name,
+		Title:  title,
+		XLabel: "loss probability",
+		YLabel: "inconsistency duration per object (ms over run)",
+		X:      lossPoints[1:], // zero loss yields no excursions by design
+	}
+	for wi, w := range []time.Duration{40 * time.Millisecond, 60 * time.Millisecond, 80 * time.Millisecond} {
+		s := trace.Series{Label: fmt.Sprintf("window=%dms", w/time.Millisecond)}
+		for li, loss := range lossPoints[1:] {
+			r, err := Run(Params{
+				Seed:             seed + int64(wi*100+li),
+				Delay:            linkDelay,
+				Jitter:           linkJitter,
+				Loss:             loss,
+				Ell:              ell,
+				Objects:          24,
+				ObjectSize:       64,
+				ClientPeriod:     25 * time.Millisecond,
+				DeltaP:           30 * time.Millisecond,
+				Window:           w,
+				Scheduling:       mode,
+				AdmissionControl: true,
+				Duration:         duration,
+			})
+			if err != nil {
+				return nil, err
+			}
+			perObject := time.Duration(0)
+			if r.Admitted > 0 {
+				perObject = r.InconsistencyTotal / time.Duration(r.Admitted)
+			}
+			s.Y = append(s.Y, msf(perObject))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure11 reproduces Figure 11: under normal scheduling, larger windows
+// mean less frequent updates and therefore longer inconsistency
+// durations.
+func Figure11(seed int64, duration time.Duration) (*trace.Figure, error) {
+	return inconsistencyVsLoss(seed, core.ScheduleNormal, duration)
+}
+
+// Figure12 reproduces Figure 12: under compressed scheduling the update
+// frequency is set by CPU capacity, not window size, so larger windows
+// mean *shorter* inconsistency durations — the opposite of Figure 11.
+func Figure12(seed int64, duration time.Duration) (*trace.Figure, error) {
+	return inconsistencyVsLoss(seed, core.ScheduleCompressed, duration)
+}
+
+// Figures runs every figure generator at the given seed/duration, in
+// paper order.
+func Figures(seed int64, duration time.Duration) ([]*trace.Figure, error) {
+	type gen func(int64, time.Duration) (*trace.Figure, error)
+	gens := []gen{Figure6, Figure7, Figure8, Figure9, Figure10, Figure11, Figure12}
+	out := make([]*trace.Figure, 0, len(gens))
+	for _, g := range gens {
+		f, err := g(seed, duration)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

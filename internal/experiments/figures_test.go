@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/trace"
+)
+
+// shapeDuration keeps the figure-shape tests fast; the assertions below
+// are chosen to be robust at this measurement length.
+const shapeDuration = 2 * time.Second
+
+func series(t *testing.T, f *trace.Figure, label string) []float64 {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s.Y
+		}
+	}
+	t.Fatalf("figure %s has no series %q (have %v)", f.Name, label, f.Series)
+	return nil
+}
+
+// TestFigure7Shape pins the paper's headline admission-control result:
+// without admission control, response time explodes past each window's
+// capacity, and the blow-up point moves right as the window grows.
+func TestFigure7Shape(t *testing.T) {
+	f, err := Figure7(1, shapeDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w30 := series(t, f, "window=30ms")
+	w70 := series(t, f, "window=70ms")
+	// At 4 objects everything is fast; at 64 objects the 30ms window is
+	// catastrophically overloaded.
+	if w30[0] > 5 {
+		t.Fatalf("w30 at 4 objects = %.2fms, want fast", w30[0])
+	}
+	last := len(w30) - 1
+	if w30[last] < 100*w30[0] {
+		t.Fatalf("w30 blow-up missing: %.2f → %.2f ms", w30[0], w30[last])
+	}
+	// The larger window blows up later (compare at 40 offered objects,
+	// index 5: w30 overloaded, w70 still fine).
+	if w30[5] < 50 {
+		t.Fatalf("w30 at 40 objects = %.2fms, expected overloaded", w30[5])
+	}
+	if w70[5] > 50 {
+		t.Fatalf("w70 at 40 objects = %.2fms, expected still fine", w70[5])
+	}
+}
+
+// TestFigure6Shape pins the with-admission-control contrast: response
+// stays within single-digit milliseconds across the whole sweep.
+func TestFigure6Shape(t *testing.T) {
+	f, err := Figure6(1, shapeDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		for i, y := range s.Y {
+			if y > 20 {
+				t.Fatalf("%s at x=%v: %.2fms with admission control", s.Label, f.X[i], y)
+			}
+		}
+	}
+}
+
+// TestFigure8Shape pins the distance metric's three properties: zero at
+// zero loss, growth with loss, and ordering by write rate at high loss.
+func TestFigure8Shape(t *testing.T) {
+	f, err := Figure8(1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := series(t, f, "write rate=20.0/s")
+	slow := series(t, f, "write rate=5.0/s")
+	if fast[0] != 0 || slow[0] != 0 {
+		t.Fatalf("distance at zero loss = %.2f/%.2f, want 0", fast[0], slow[0])
+	}
+	last := len(fast) - 1
+	if fast[last] <= fast[0] {
+		t.Fatalf("fast-writer distance did not grow with loss: %v", fast)
+	}
+	if fast[last] < slow[last] {
+		t.Fatalf("write-rate ordering inverted at max loss: fast=%.2f slow=%.2f",
+			fast[last], slow[last])
+	}
+}
+
+// TestFigure11And12OppositeWindowTrends pins the paper's most distinctive
+// result: the effect of window size on inconsistency duration reverses
+// between normal and compressed scheduling.
+func TestFigure11And12OppositeWindowTrends(t *testing.T) {
+	f11, err := Figure11(1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12, err := Figure12(1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the highest-loss point (most signal).
+	last := len(f11.X) - 1
+	n40 := series(t, f11, "window=40ms")[last]
+	n80 := series(t, f11, "window=80ms")[last]
+	c40 := series(t, f12, "window=40ms")[last]
+	c80 := series(t, f12, "window=80ms")[last]
+	if !(n80 > n40) {
+		t.Fatalf("normal scheduling: larger window not worse (40ms=%.2f, 80ms=%.2f)", n40, n80)
+	}
+	if !(c40 > c80) {
+		t.Fatalf("compressed scheduling: larger window not better (40ms=%.2f, 80ms=%.2f)", c40, c80)
+	}
+	// And compressed is far less inconsistent overall.
+	if c40 > n40 {
+		t.Fatalf("compressed (%.2f) worse than normal (%.2f) at same window", c40, n40)
+	}
+}

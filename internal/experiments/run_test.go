@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/core"
+)
+
+func baseParams() Params {
+	return Params{
+		Seed:             1,
+		Delay:            2 * time.Millisecond,
+		Jitter:           time.Millisecond,
+		Ell:              5 * time.Millisecond,
+		Objects:          8,
+		ObjectSize:       64,
+		ClientPeriod:     50 * time.Millisecond,
+		DeltaP:           50 * time.Millisecond,
+		Window:           50 * time.Millisecond,
+		Scheduling:       core.ScheduleNormal,
+		AdmissionControl: true,
+		Duration:         3 * time.Second,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	r, err := Run(baseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Admitted != 8 {
+		t.Fatalf("admitted %d/8", r.Admitted)
+	}
+	if r.Response.Count() == 0 {
+		t.Fatal("no response samples")
+	}
+	if r.Sends == 0 || r.Applies == 0 {
+		t.Fatalf("sends=%d applies=%d", r.Sends, r.Applies)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Fatalf("utilization = %v", r.Utilization)
+	}
+	if r.Excursions != 0 {
+		t.Fatalf("lossless run had %d inconsistency excursions (total %v)",
+			r.Excursions, r.InconsistencyTotal)
+	}
+}
+
+func TestRunRejectsNonPositiveDuration(t *testing.T) {
+	p := baseParams()
+	p.Duration = 0
+	if _, err := Run(p); err == nil {
+		t.Fatal("accepted zero duration")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	p := baseParams()
+	p.Loss = 0.1
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sends != b.Sends || a.Applies != b.Applies || a.Gaps != b.Gaps ||
+		a.Distance.AvgMax() != b.Distance.AvgMax() ||
+		a.Response.Mean() != b.Response.Mean() {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestLossIncreasesDistanceAndGaps(t *testing.T) {
+	clean, err := Run(baseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := baseParams()
+	p.Loss = 0.2
+	lossy, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Gaps == 0 {
+		t.Fatal("20% loss produced no gaps")
+	}
+	if clean.Gaps != 0 {
+		t.Fatalf("lossless run produced %d gaps", clean.Gaps)
+	}
+	if lossy.Distance.AvgMax() <= clean.Distance.AvgMax() {
+		t.Fatalf("distance under loss %v not above lossless %v",
+			lossy.Distance.AvgMax(), clean.Distance.AvgMax())
+	}
+}
+
+func TestAdmissionControlCapsAdmitted(t *testing.T) {
+	p := baseParams()
+	p.Objects = 64
+	p.Window = 30 * time.Millisecond
+	withAC, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AdmissionControl = false
+	withoutAC, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withAC.Admitted >= 64 {
+		t.Fatalf("admission control admitted all %d", withAC.Admitted)
+	}
+	if withoutAC.Admitted != 64 {
+		t.Fatalf("disabled admission control admitted %d/64", withoutAC.Admitted)
+	}
+	// The overloaded, uncontrolled run must show much worse response.
+	if withoutAC.Response.Mean() < 4*withAC.Response.Mean() {
+		t.Fatalf("overload response %v not ≫ controlled %v",
+			withoutAC.Response.Mean(), withAC.Response.Mean())
+	}
+	if withoutAC.Utilization <= 1 {
+		t.Fatalf("uncontrolled utilization %v not overloaded", withoutAC.Utilization)
+	}
+}
+
+func TestLivePhaseVarianceWithinUniversalBound(t *testing.T) {
+	p := baseParams()
+	p.Objects = 16
+	r, err := MeasurePhaseVariance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Objects != 16 {
+		t.Fatalf("objects = %d", r.Objects)
+	}
+	if r.MaxMeasured > r.UniversalBound {
+		t.Fatalf("live phase variance %v exceeds p−e = %v", r.MaxMeasured, r.UniversalBound)
+	}
+	if r.MeanMeasured > r.MaxMeasured {
+		t.Fatalf("mean %v exceeds max %v", r.MeanMeasured, r.MaxMeasured)
+	}
+	if r.UpdatePeriod <= 0 {
+		t.Fatalf("update period = %v", r.UpdatePeriod)
+	}
+}
+
+func TestActivePassiveComparisonShape(t *testing.T) {
+	clean, err := CompareActivePassive(1, 0, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := CompareActivePassive(1, 0.2, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passive responds locally: faster than active even on a clean link.
+	if clean.PassiveResponse.Mean() >= clean.ActiveResponse.Mean() {
+		t.Fatalf("passive mean %v not below active %v on clean link",
+			clean.PassiveResponse.Mean(), clean.ActiveResponse.Mean())
+	}
+	// Active pays at least one round trip (2×2ms) for atomic delivery.
+	if clean.ActiveResponse.Mean() < 4*time.Millisecond {
+		t.Fatalf("active mean %v below one round trip", clean.ActiveResponse.Mean())
+	}
+	// Loss inflates active response but not passive.
+	if lossy.ActiveResponse.Mean() <= clean.ActiveResponse.Mean() {
+		t.Fatalf("active response did not grow with loss: %v vs %v",
+			lossy.ActiveResponse.Mean(), clean.ActiveResponse.Mean())
+	}
+	diff := lossy.PassiveResponse.Mean() - clean.PassiveResponse.Mean()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Fatalf("passive response moved %v with loss; decoupling broken", diff)
+	}
+	if clean.ActiveCommits == 0 || lossy.ActiveCommits == 0 {
+		t.Fatal("no active commits recorded")
+	}
+}
+
+func TestCompressedIncreasesSendRate(t *testing.T) {
+	p := baseParams()
+	normal, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Scheduling = core.ScheduleCompressed
+	compressed, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Sends <= 2*normal.Sends {
+		t.Fatalf("compressed sends %d not ≫ normal %d", compressed.Sends, normal.Sends)
+	}
+}

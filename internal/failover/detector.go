@@ -1,0 +1,179 @@
+// Package failover implements the failure detection and recovery
+// machinery of Section 4.4: a ping/ack heartbeat detector with timeout and
+// retry, a name service recording which replica currently serves as
+// primary, and the promotion procedure that turns a backup into the new
+// primary (update the name service, activate the standby client
+// application, seed the new primary's table from replicated state, and
+// wait to recruit a new backup).
+package failover
+
+import (
+	"errors"
+	"time"
+
+	"rtpb/internal/clock"
+)
+
+// DetectorConfig tunes the heartbeat failure detector.
+type DetectorConfig struct {
+	// Interval is the ping period.
+	Interval time.Duration
+	// Timeout is how long to wait for a ping's ack before counting a
+	// miss and resending.
+	Timeout time.Duration
+	// MaxMisses is the number of consecutive unanswered pings after
+	// which the peer is declared dead.
+	MaxMisses int
+}
+
+// DefaultDetectorConfig returns the configuration used by the examples
+// and the evaluation harness.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		Interval:  50 * time.Millisecond,
+		Timeout:   30 * time.Millisecond,
+		MaxMisses: 3,
+	}
+}
+
+// Validate checks the configuration.
+func (c DetectorConfig) Validate() error {
+	switch {
+	case c.Interval <= 0:
+		return errors.New("failover: non-positive ping interval")
+	case c.Timeout <= 0:
+		return errors.New("failover: non-positive ack timeout")
+	case c.MaxMisses <= 0:
+		return errors.New("failover: MaxMisses must be at least 1")
+	}
+	return nil
+}
+
+// Detector drives the heartbeat exchange for one replica: it periodically
+// invokes send (which transmits a Ping and returns its sequence number),
+// expects OnAck for that sequence within Timeout, resends on timeout, and
+// declares the peer dead after MaxMisses consecutive unanswered pings.
+type Detector struct {
+	clk    clock.Clock
+	cfg    DetectorConfig
+	send   func() uint64
+	onDead func()
+
+	task       *clock.Periodic
+	timeout    *clock.Event
+	awaiting   uint64
+	hasPending bool
+	misses     int
+	alive      bool
+	running    bool
+}
+
+// NewDetector builds a stopped detector; call Start to begin pinging.
+// send must transmit a heartbeat and return its sequence number; onDead
+// fires once when the peer is declared dead.
+func NewDetector(clk clock.Clock, cfg DetectorConfig, send func() uint64, onDead func()) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{clk: clk, cfg: cfg, send: send, onDead: onDead, alive: true}, nil
+}
+
+// Start begins the periodic heartbeat. It is a no-op if already running.
+func (d *Detector) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.alive = true
+	d.misses = 0
+	d.task = clock.NewPeriodic(d.clk, 0, d.cfg.Interval, d.ping)
+}
+
+// Stop cancels heartbeats and timeouts.
+func (d *Detector) Stop() {
+	if !d.running {
+		return
+	}
+	d.running = false
+	d.task.Stop()
+	if d.timeout != nil {
+		d.timeout.Cancel()
+		d.timeout = nil
+	}
+	d.hasPending = false
+}
+
+// Alive reports the detector's current view of the peer.
+func (d *Detector) Alive() bool { return d.alive }
+
+// Running reports whether the detector is active.
+func (d *Detector) Running() bool { return d.running }
+
+// Misses reports the current count of consecutive unanswered pings.
+func (d *Detector) Misses() int { return d.misses }
+
+// Reset clears failure state so the detector can monitor a newly
+// recruited peer.
+func (d *Detector) Reset() {
+	d.alive = true
+	d.misses = 0
+	d.hasPending = false
+	if d.timeout != nil {
+		d.timeout.Cancel()
+		d.timeout = nil
+	}
+}
+
+func (d *Detector) ping() {
+	if !d.running || !d.alive {
+		return
+	}
+	if d.hasPending {
+		// The previous ping is still outstanding; its timeout handles
+		// retries. Skip to avoid flooding a slow peer.
+		return
+	}
+	d.sendPing()
+}
+
+func (d *Detector) sendPing() {
+	d.awaiting = d.send()
+	d.hasPending = true
+	d.timeout = d.clk.Schedule(d.cfg.Timeout, d.onTimeout)
+}
+
+func (d *Detector) onTimeout() {
+	if !d.running || !d.alive || !d.hasPending {
+		return
+	}
+	d.misses++
+	if d.misses >= d.cfg.MaxMisses {
+		d.alive = false
+		d.hasPending = false
+		d.Stop()
+		if d.onDead != nil {
+			d.onDead()
+		}
+		return
+	}
+	// Timeout and resend, per the paper: "if a server receives no
+	// acknowledgment over some time, it will timeout and resend".
+	d.sendPing()
+}
+
+// OnAck feeds a received ping acknowledgement into the detector. Acks for
+// stale sequence numbers still count as proof of life.
+func (d *Detector) OnAck(seq uint64) {
+	if !d.running {
+		return
+	}
+	if d.hasPending && seq == d.awaiting {
+		d.hasPending = false
+		if d.timeout != nil {
+			d.timeout.Cancel()
+			d.timeout = nil
+		}
+	}
+	d.misses = 0
+	d.alive = true
+}

@@ -1,0 +1,205 @@
+package failover
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/netsim"
+	"rtpb/internal/temporal"
+	"rtpb/internal/xkernel"
+)
+
+func stack(t *testing.T, net *netsim.Network, host string) (*xkernel.PortProtocol, *netsim.Endpoint) {
+	t.Helper()
+	ep, err := net.Endpoint(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := xkernel.BuildGraph([]xkernel.Spec{
+		{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
+		{Name: "driver", Build: xkernel.DriverFactory(ep)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := g.Protocol("uport")
+	return p.(*xkernel.PortProtocol), ep
+}
+
+// TestFullFailoverScenario exercises the complete Section 4.4 story:
+// normal replication, primary crash, detection at the backup, promotion
+// with state recovery and name-service update, standby client activation,
+// recruitment of a fresh backup, and resumed replication to it.
+func TestFullFailoverScenario(t *testing.T) {
+	clk := clock.NewSim()
+	net := netsim.New(clk, 42)
+	if err := net.SetDefaultLink(netsim.LinkParams{Delay: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	pPort, pEP := stack(t, net, "primary")
+	bPort, _ := stack(t, net, "backup")
+	ns := NewNameService()
+	if err := ns.Set("plant", "primary:7000", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	primary, err := core.NewPrimary(core.Config{
+		Clock: clk, Port: pPort, Peer: "backup:7000", Ell: ms(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := core.NewBackup(core.Config{
+		Clock: clk, Port: bPort, Peer: "primary:7000", Ell: ms(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Backup-side failure detector over the real heartbeat messages.
+	var promoted *core.Primary
+	clientActivated := false
+	var det *Detector
+	det, err = NewDetector(clk, cfg(), backup.SendPing, func() {
+		var perr error
+		promoted, perr = Promote(backup, PromoteOptions{
+			Service:  "plant",
+			SelfAddr: "backup:7000",
+			Names:    ns,
+			PrimaryConfig: core.Config{
+				Clock: clk, Port: bPort, Ell: ms(5),
+			},
+			ActivateClient: func(*core.Primary) { clientActivated = true },
+		})
+		if perr != nil {
+			t.Fatalf("promotion failed: %v", perr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup.OnPingAck = det.OnAck
+	det.Start()
+
+	s := core.ObjectSpec{
+		Name:         "pressure",
+		Size:         16,
+		UpdatePeriod: ms(40),
+		Constraint:   temporal.ExternalConstraint{DeltaP: ms(50), DeltaB: ms(250)},
+	}
+	if d := primary.Register(s); !d.Accepted {
+		t.Fatalf("registration rejected: %s", d.Reason)
+	}
+
+	// Phase 1: normal replication.
+	writer := clock.NewPeriodic(clk, 0, ms(40), func() {
+		primary.ClientWrite("pressure", []byte("42psi"), nil)
+	})
+	clk.RunFor(time.Second)
+	if v, _, ok := backup.Value("pressure"); !ok || string(v) != "42psi" {
+		t.Fatalf("backup not replicating before crash: %q ok=%v", v, ok)
+	}
+	if promoted != nil {
+		t.Fatal("backup promoted while primary healthy")
+	}
+
+	// Phase 2: the primary crashes.
+	writer.Stop()
+	primary.Stop()
+	pEP.SetDown(true)
+	clk.RunFor(time.Second)
+
+	if promoted == nil {
+		t.Fatal("backup never detected the primary's death")
+	}
+	if !clientActivated {
+		t.Fatal("standby client application was not activated")
+	}
+	addr, epoch, _ := ns.Lookup("plant")
+	if addr != "backup:7000" || epoch != 2 {
+		t.Fatalf("name service = %v epoch %d, want backup:7000 epoch 2", addr, epoch)
+	}
+	// Recovered state is served by the new primary.
+	if v, _, ok := promoted.Value("pressure"); !ok || string(v) != "42psi" {
+		t.Fatalf("promoted primary lost state: %q ok=%v", v, ok)
+	}
+
+	// Phase 3: the new primary serves writes while awaiting a recruit.
+	promoted.ClientWrite("pressure", []byte("43psi"), nil)
+	clk.RunFor(ms(50))
+	if v, _, ok := promoted.Value("pressure"); !ok || string(v) != "43psi" {
+		t.Fatalf("promoted primary not serving writes: %q", v)
+	}
+
+	// Phase 4: recruit a replacement backup on a fresh node.
+	rPort, _ := stack(t, net, "recruit")
+	recruit, err := core.NewBackup(core.Config{
+		Clock: clk, Port: rPort, Peer: "backup:7000", Ell: ms(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Recruit(promoted, "recruit:7000"); err != nil {
+		t.Fatal(err)
+	}
+	writer2 := clock.NewPeriodic(clk, 0, ms(40), func() {
+		promoted.ClientWrite("pressure", []byte("44psi"), nil)
+	})
+	clk.RunFor(time.Second)
+	writer2.Stop()
+
+	if v, _, ok := recruit.Value("pressure"); !ok || string(v) != "44psi" {
+		t.Fatalf("recruited backup not replicating: %q ok=%v", v, ok)
+	}
+	if recruit.Epoch() != 2 {
+		t.Fatalf("recruit epoch = %d, want 2", recruit.Epoch())
+	}
+}
+
+// TestPromoteFreshBackupWithoutData promotes a backup that never received
+// any update: specs re-register, no values to seed.
+func TestPromoteFreshBackupWithoutData(t *testing.T) {
+	clk := clock.NewSim()
+	net := netsim.New(clk, 7)
+	net.SetDefaultLink(netsim.LinkParams{Delay: ms(2)})
+	pPort, _ := stack(t, net, "primary")
+	bPort, _ := stack(t, net, "backup")
+
+	primary, err := core.NewPrimary(core.Config{Clock: clk, Port: pPort, Peer: "backup:7000", Ell: ms(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := core.NewBackup(core.Config{Clock: clk, Port: bPort, Peer: "primary:7000", Ell: ms(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.ObjectSpec{
+		Name: "x", Size: 8, UpdatePeriod: ms(40),
+		Constraint: temporal.ExternalConstraint{DeltaP: ms(50), DeltaB: ms(250)},
+	}
+	if d := primary.Register(s); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	clk.RunFor(ms(100)) // registration reaches backup; no writes happen
+	primary.Stop()
+
+	p2, err := Promote(backup, PromoteOptions{
+		Service:       "svc",
+		SelfAddr:      "backup:7000",
+		PrimaryConfig: core.Config{Clock: clk, Port: bPort, Ell: ms(5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Objects() != 1 {
+		t.Fatalf("promoted primary has %d objects, want 1", p2.Objects())
+	}
+	if _, _, ok := p2.Value("x"); ok {
+		t.Fatal("promoted primary invented data for never-written object")
+	}
+	if p2.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", p2.Epoch())
+	}
+}

@@ -1,0 +1,100 @@
+package failover
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"rtpb/internal/xkernel"
+)
+
+// Directory is the name-service abstraction: who is the primary of a
+// replicated service right now, fenced by epoch. NameService is the
+// in-memory implementation for simulations; FileNameService persists to
+// the paper's literal "name file" ("the new primary changes the address
+// in the name file to its own internet address") for real deployments.
+type Directory interface {
+	// Set records addr as the primary for service at the given epoch,
+	// rejecting stale epochs.
+	Set(service string, addr xkernel.Addr, epoch uint32) error
+	// Lookup reports the current primary address and epoch for service.
+	Lookup(service string) (addr xkernel.Addr, epoch uint32, ok bool)
+}
+
+// Compile-time interface checks.
+var (
+	_ Directory = (*NameService)(nil)
+	_ Directory = (*FileNameService)(nil)
+)
+
+// FileNameService is a Directory persisted as a JSON name file. Every Set
+// rewrites the file atomically (write temp + rename), so a crash leaves
+// either the old or the new directory, never a torn one.
+type FileNameService struct {
+	mu      sync.Mutex
+	path    string
+	entries map[string]fileEntry
+}
+
+type fileEntry struct {
+	Addr  string `json:"addr"`
+	Epoch uint32 `json:"epoch"`
+}
+
+// OpenFileNameService loads (or creates) the name file at path.
+func OpenFileNameService(path string) (*FileNameService, error) {
+	ns := &FileNameService{path: path, entries: make(map[string]fileEntry)}
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh file: created on first Set.
+	case err != nil:
+		return nil, fmt.Errorf("failover: read name file: %w", err)
+	default:
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &ns.entries); err != nil {
+				return nil, fmt.Errorf("failover: parse name file %q: %w", path, err)
+			}
+		}
+	}
+	return ns, nil
+}
+
+// Set implements Directory.
+func (ns *FileNameService) Set(service string, addr xkernel.Addr, epoch uint32) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	cur, ok := ns.entries[service]
+	if ok {
+		if epoch < cur.Epoch || (epoch == cur.Epoch && string(addr) != cur.Addr) {
+			return ErrStaleEpoch
+		}
+	}
+	ns.entries[service] = fileEntry{Addr: string(addr), Epoch: epoch}
+	return ns.flushLocked()
+}
+
+func (ns *FileNameService) flushLocked() error {
+	raw, err := json.MarshalIndent(ns.entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("failover: encode name file: %w", err)
+	}
+	tmp := ns.path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("failover: write name file: %w", err)
+	}
+	if err := os.Rename(tmp, ns.path); err != nil {
+		return fmt.Errorf("failover: replace name file: %w", err)
+	}
+	return nil
+}
+
+// Lookup implements Directory.
+func (ns *FileNameService) Lookup(service string) (xkernel.Addr, uint32, bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e, ok := ns.entries[service]
+	return xkernel.Addr(e.Addr), e.Epoch, ok
+}

@@ -1,0 +1,91 @@
+package failover
+
+import (
+	"fmt"
+
+	"rtpb/internal/core"
+	"rtpb/internal/xkernel"
+)
+
+// PromoteOptions parameterizes a backup-to-primary promotion.
+type PromoteOptions struct {
+	// Service is the replicated service's name in the name service.
+	Service string
+	// SelfAddr is the promoted replica's address ("host:port") recorded
+	// in the name service.
+	SelfAddr xkernel.Addr
+	// Names is the name service to update; optional. Use NameService in
+	// simulations or FileNameService for a persistent name file.
+	Names Directory
+	// PrimaryConfig configures the new primary. Its Port must be the
+	// promoted replica's own port protocol; Peer should be empty (no
+	// backup yet) or name a recruit.
+	PrimaryConfig core.Config
+	// ActivateClient, when set, is invoked once the new primary is
+	// serving — the paper's "invokes a backup version of the client
+	// application at the local machine" with the recovered state fed by
+	// up-call.
+	ActivateClient func(p *core.Primary)
+}
+
+// Promote executes the Section 4.4 takeover on a backup that has declared
+// the primary dead: it stops the backup role, starts a primary on the
+// same protocol stack, re-registers every object spec the backup had
+// reserved (they were admitted once, so they re-admit), seeds the new
+// primary's table with the most recent replicated values, bumps the
+// epoch, updates the name service, and finally activates the standby
+// client application.
+func Promote(b *core.Backup, opts PromoteOptions) (*core.Primary, error) {
+	snap := b.Snapshot()
+	epoch := b.Epoch() + 1
+	if epoch == 1 {
+		epoch = 2 // the failed primary was epoch 1 even if we never saw a transfer
+	}
+	b.Stop()
+
+	p, err := core.NewPrimary(opts.PrimaryConfig)
+	if err != nil {
+		return nil, fmt.Errorf("failover: start new primary: %w", err)
+	}
+	p.SetEpoch(epoch)
+	// Until a new backup is recruited there is nobody to replicate to.
+	p.SetBackupAlive(false)
+
+	for _, e := range snap {
+		if e.Spec.Name == "" {
+			continue // placeholder created by an orphan update; unusable
+		}
+		if d := p.Register(e.Spec); !d.Accepted {
+			p.Stop()
+			return nil, fmt.Errorf("failover: re-admission of %q failed: %s", e.Spec.Name, d.Reason)
+		}
+		if e.HasData {
+			if err := p.SeedObject(e.Spec.Name, e.Value, e.Version); err != nil {
+				p.Stop()
+				return nil, fmt.Errorf("failover: seed %q: %w", e.Spec.Name, err)
+			}
+		}
+	}
+
+	if opts.Names != nil {
+		if err := opts.Names.Set(opts.Service, opts.SelfAddr, epoch); err != nil {
+			p.Stop()
+			return nil, fmt.Errorf("failover: name service: %w", err)
+		}
+	}
+	if opts.ActivateClient != nil {
+		opts.ActivateClient(p)
+	}
+	return p, nil
+}
+
+// Recruit points a serving primary at a fresh backup replica: the peer
+// session is re-opened, all object registrations are replayed, liveness
+// is re-armed, and a full state transfer pushes current values.
+func Recruit(p *core.Primary, backupAddr xkernel.Addr) error {
+	if err := p.SetPeer(backupAddr); err != nil {
+		return fmt.Errorf("failover: recruit %s: %w", backupAddr, err)
+	}
+	p.SetBackupAlive(true)
+	return nil
+}

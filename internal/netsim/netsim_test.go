@@ -1,0 +1,305 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/xkernel"
+)
+
+var _ xkernel.Transport = (*Endpoint)(nil)
+var _ xkernel.Transport = (*UDPTransport)(nil)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+type delivery struct {
+	from    string
+	payload string
+	at      time.Duration
+}
+
+func fabric(t *testing.T, seed int64) (*clock.SimClock, *Network) {
+	t.Helper()
+	clk := clock.NewSim()
+	return clk, New(clk, seed)
+}
+
+func collect(t *testing.T, clk *clock.SimClock, ep *Endpoint) *[]delivery {
+	t.Helper()
+	out := &[]delivery{}
+	ep.SetReceiver(func(from string, payload []byte) {
+		*out = append(*out, delivery{from, string(payload), clk.Now().Sub(clock.SimEpoch)})
+	})
+	return out
+}
+
+func TestDeliveryWithDelay(t *testing.T) {
+	clk, n := fabric(t, 1)
+	if err := n.SetDefaultLink(LinkParams{Delay: ms(5)}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, clk, b)
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(ms(10))
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*got))
+	}
+	d := (*got)[0]
+	if d.from != "a" || d.payload != "hi" || d.at != ms(5) {
+		t.Fatalf("delivery = %+v", d)
+	}
+}
+
+func TestJitterStaysWithinBound(t *testing.T) {
+	clk, n := fabric(t, 2)
+	lp := LinkParams{Delay: ms(2), Jitter: ms(3)}
+	if err := n.SetDefaultLink(lp); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, clk, b)
+	for i := 0; i < 200; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.RunFor(ms(10))
+	if len(*got) != 200 {
+		t.Fatalf("deliveries = %d, want 200", len(*got))
+	}
+	for _, d := range *got {
+		if d.at < ms(2) || d.at > lp.Bound() {
+			t.Fatalf("delivery at %v outside [2ms, %v]", d.at, lp.Bound())
+		}
+	}
+}
+
+func TestLossRateApproximatelyHonored(t *testing.T) {
+	clk, n := fabric(t, 3)
+	if err := n.SetDefaultLink(LinkParams{LossProb: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, clk, b)
+	const total = 5000
+	for i := 0; i < total; i++ {
+		a.Send("b", []byte{1})
+	}
+	clk.RunFor(ms(1))
+	rate := 1 - float64(len(*got))/total
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("observed loss rate %.3f, want ≈0.30", rate)
+	}
+	st := n.Stats()
+	if st.Sent != total || st.DroppedLoss+st.Delivered != total {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+}
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	run := func() []delivery {
+		clk, n := fabric(t, 99)
+		n.SetDefaultLink(LinkParams{Delay: ms(1), Jitter: ms(4), LossProb: 0.5})
+		a, _ := n.Endpoint("a")
+		b, _ := n.Endpoint("b")
+		got := collect(t, clk, b)
+		for i := 0; i < 50; i++ {
+			a.Send("b", []byte{byte(i)})
+		}
+		clk.RunFor(ms(20))
+		return *got
+	}
+	x, y := run(), run()
+	if len(x) != len(y) {
+		t.Fatalf("runs differ in length: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("runs diverge at %d: %+v vs %+v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	clk, n := fabric(t, 4)
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, clk, b)
+	n.Partition("a", "b")
+	a.Send("b", []byte("lost"))
+	clk.RunFor(ms(5))
+	if len(*got) != 0 {
+		t.Fatalf("partitioned delivery: %+v", *got)
+	}
+	n.Heal("a", "b")
+	a.Send("b", []byte("ok"))
+	clk.RunFor(ms(5))
+	if len(*got) != 1 || (*got)[0].payload != "ok" {
+		t.Fatalf("post-heal deliveries: %+v", *got)
+	}
+}
+
+func TestDownEndpointDropsTraffic(t *testing.T) {
+	clk, n := fabric(t, 5)
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, clk, b)
+	b.SetDown(true)
+	a.Send("b", []byte("x"))
+	clk.RunFor(ms(5))
+	if len(*got) != 0 {
+		t.Fatal("down endpoint received datagram")
+	}
+	b.SetDown(false)
+	a.Send("b", []byte("y"))
+	clk.RunFor(ms(5))
+	if len(*got) != 1 {
+		t.Fatal("recovered endpoint did not receive")
+	}
+	// A down sender cannot transmit either.
+	a.SetDown(true)
+	a.Send("b", []byte("z"))
+	clk.RunFor(ms(5))
+	if len(*got) != 1 {
+		t.Fatal("down sender transmitted")
+	}
+}
+
+func TestCrashMidFlight(t *testing.T) {
+	// A datagram already in flight is lost if the destination crashes
+	// before it lands.
+	clk, n := fabric(t, 6)
+	n.SetDefaultLink(LinkParams{Delay: ms(10)})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, clk, b)
+	a.Send("b", []byte("x"))
+	clk.RunFor(ms(5))
+	b.SetDown(true)
+	clk.RunFor(ms(10))
+	if len(*got) != 0 {
+		t.Fatal("crashed endpoint received in-flight datagram")
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	clk, n := fabric(t, 7)
+	n.SetDefaultLink(LinkParams{DuplicateProb: 1})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, clk, b)
+	a.Send("b", []byte("x"))
+	clk.RunFor(ms(5))
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %d, want 2 (forced duplication)", len(*got))
+	}
+}
+
+func TestPayloadIsolated(t *testing.T) {
+	clk, n := fabric(t, 8)
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, clk, b)
+	buf := []byte("orig")
+	a.Send("b", buf)
+	buf[0] = 'X' // mutate after send; fabric must have copied
+	clk.RunFor(ms(5))
+	if (*got)[0].payload != "orig" {
+		t.Fatalf("payload = %q, want orig", (*got)[0].payload)
+	}
+}
+
+func TestDuplicateHostRejected(t *testing.T) {
+	_, n := fabric(t, 9)
+	if _, err := n.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint("a"); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+}
+
+func TestClosedEndpointRejectsSend(t *testing.T) {
+	_, n := fabric(t, 10)
+	a, _ := n.Endpoint("a")
+	a.Close()
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Fatal("send on closed endpoint succeeded")
+	}
+}
+
+func TestLinkParamsValidate(t *testing.T) {
+	bad := []LinkParams{
+		{Delay: -1},
+		{Jitter: -1},
+		{LossProb: -0.1},
+		{LossProb: 1.1},
+		{DuplicateProb: 2},
+	}
+	for _, lp := range bad {
+		if err := lp.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted", lp)
+		}
+	}
+	if err := (LinkParams{Delay: ms(1), Jitter: ms(1), LossProb: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestPerLinkOverridesDefault(t *testing.T) {
+	clk, n := fabric(t, 11)
+	n.SetDefaultLink(LinkParams{Delay: ms(1)})
+	n.SetLink("a", "b", LinkParams{Delay: ms(20)})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	gotB := collect(t, clk, b)
+	a.Send("b", []byte("x"))
+	clk.RunFor(ms(30))
+	if (*gotB)[0].at != ms(20) {
+		t.Fatalf("a→b delivered at %v, want 20ms", (*gotB)[0].at)
+	}
+	// Reverse direction keeps the default.
+	gotA := collect(t, clk, a)
+	b.Send("a", []byte("y"))
+	clk.RunFor(ms(30))
+	if (*gotA)[0].at != ms(31) {
+		t.Fatalf("b→a delivered at %v, want 31ms (sent at 30ms + default 1ms)", (*gotA)[0].at)
+	}
+}
+
+func TestUDPTransportRoundTrip(t *testing.T) {
+	clk := clock.NewReal()
+	defer clk.Stop()
+	a, err := NewUDP(clk, "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer a.Close()
+	b, err := NewUDP(clk, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got := make(chan string, 1)
+	b.SetReceiver(func(from string, payload []byte) {
+		got <- string(payload)
+	})
+	if err := a.Send(b.LocalAddr(), []byte("over-the-wire")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if p != "over-the-wire" {
+			t.Fatalf("payload = %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("datagram not delivered")
+	}
+}

@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRMUtilizationBound(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 1.0},
+		{2, 2 * (math.Sqrt2 - 1)},
+		{0, 0},
+		{-3, 0},
+	}
+	for _, tc := range cases {
+		if got := RMUtilizationBound(tc.n); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("RMUtilizationBound(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+	// The bound decreases toward ln 2.
+	prev := RMUtilizationBound(1)
+	for n := 2; n <= 64; n++ {
+		cur := RMUtilizationBound(n)
+		if cur >= prev {
+			t.Fatalf("bound not decreasing at n=%d: %v >= %v", n, cur, prev)
+		}
+		prev = cur
+	}
+	if prev < math.Ln2 {
+		t.Fatalf("bound fell below ln 2: %v", prev)
+	}
+}
+
+func TestFeasibleRMClassicExamples(t *testing.T) {
+	// Liu & Layland's classic: two tasks at the bound for n=2.
+	ts := TaskSet{
+		{Name: "a", Period: ms(50), WCET: 20 * time.Millisecond},
+		{Name: "b", Period: ms(100), WCET: 33 * time.Millisecond},
+	}
+	// U = 0.4 + 0.33 = 0.73 < 0.828.
+	if !FeasibleRM(ts) {
+		t.Fatal("FeasibleRM rejected set below the bound")
+	}
+	ts[1].WCET = 50 * time.Millisecond // U = 0.9 > bound
+	if FeasibleRM(ts) {
+		t.Fatal("FeasibleRM accepted set above the bound")
+	}
+	// ...but the exact test knows U=0.9 with these periods is schedulable:
+	// response time of b = 50 + 2*20 = 90 <= 100.
+	if !FeasibleRMExact(ts) {
+		t.Fatal("FeasibleRMExact rejected a schedulable set")
+	}
+}
+
+func TestFeasibleRMExactRejectsOverload(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", Period: ms(10), WCET: ms(6)},
+		{Name: "b", Period: ms(20), WCET: ms(10)},
+	}
+	// U = 1.1: impossible on one processor.
+	if FeasibleRMExact(ts) {
+		t.Fatal("FeasibleRMExact accepted U > 1")
+	}
+}
+
+func TestFeasibleRMExactSingleTask(t *testing.T) {
+	if !FeasibleRMExact(TaskSet{{Name: "a", Period: ms(10), WCET: ms(10)}}) {
+		t.Fatal("single task with e = p rejected")
+	}
+	if FeasibleRMExact(TaskSet{{Name: "a", Period: ms(10), WCET: ms(8), RelativeDeadline: ms(5)}}) {
+		t.Fatal("single task with e > D accepted")
+	}
+}
+
+func TestFeasibleEDF(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", Period: ms(10), WCET: ms(5)},
+		{Name: "b", Period: ms(20), WCET: ms(10)},
+	}
+	if !FeasibleEDF(ts) {
+		t.Fatal("FeasibleEDF rejected U = 1")
+	}
+	ts[0].WCET = ms(6)
+	if FeasibleEDF(ts) {
+		t.Fatal("FeasibleEDF accepted U = 1.1")
+	}
+}
+
+func TestSpecializeSrHarmonic(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", Period: ms(10), WCET: ms(2)},
+		{Name: "b", Period: ms(27), WCET: ms(4)},
+		{Name: "c", Period: ms(90), WCET: ms(9)},
+	}
+	spec, ok := SpecializeSr(ts)
+	if !ok {
+		t.Fatalf("SpecializeSr failed for utilization %.3f", ts.Utilization())
+	}
+	// Specialized periods never exceed the originals (distance constraints
+	// must still be met) and form a harmonic chain.
+	for i := range ts {
+		if spec[i].Period > ts[i].Period {
+			t.Fatalf("task %d specialized period %v exceeds original %v", i, spec[i].Period, ts[i].Period)
+		}
+	}
+	for i := range spec {
+		for j := range spec {
+			a, b := spec[i].Period, spec[j].Period
+			if a > b {
+				a, b = b, a
+			}
+			if b%a != 0 {
+				t.Fatalf("specialized periods %v and %v are not harmonic", spec[i].Period, spec[j].Period)
+			}
+		}
+	}
+}
+
+func TestSpecializeSrDensityWithinOneWhenUnderBound(t *testing.T) {
+	// Theorem 3 / Han-Lin: utilization under n(2^{1/n}-1) guarantees S_r
+	// succeeds. Check on many random sets.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(6), RMUtilizationBound(8)*0.95)
+		if !FeasibleDCS(ts) {
+			continue
+		}
+		if _, ok := SpecializeSr(ts); !ok {
+			t.Fatalf("trial %d: S_r failed although utilization %.3f is under the bound: %+v",
+				trial, ts.Utilization(), ts)
+		}
+	}
+}
+
+func TestSpecializeSaHarmonicAndNoBetterThanSr(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(6), 0.5)
+		sa, okA := SpecializeSa(ts)
+		sr, okR := SpecializeSr(ts)
+		if okA && !okR {
+			t.Fatalf("trial %d: Sa schedulable but Sr (which searches bases) is not", trial)
+		}
+		if !okA {
+			continue
+		}
+		// Sa output is harmonic and never exceeds original periods.
+		for i := range ts {
+			if sa[i].Period > ts[i].Period {
+				t.Fatalf("trial %d: Sa period %v exceeds original %v", trial, sa[i].Period, ts[i].Period)
+			}
+		}
+		density := func(s TaskSet) float64 {
+			d := 0.0
+			for _, task := range s {
+				d += float64(task.WCET) / float64(task.Period)
+			}
+			return d
+		}
+		if density(sr) > density(sa)+1e-9 {
+			t.Fatalf("trial %d: Sr density %.4f worse than Sa %.4f", trial, density(sr), density(sa))
+		}
+	}
+}
+
+func TestSpecializeSaRejectsTooTightWCET(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", Period: ms(4), WCET: ms(1)},
+		{Name: "b", Period: ms(7), WCET: ms(5)}, // specializes to 4ms < WCET
+	}
+	if _, ok := SpecializeSa(ts); ok {
+		t.Fatal("Sa accepted a task whose WCET exceeds its specialized period")
+	}
+}
+
+func TestFeasibleDCSExactIsWeakerThanSufficient(t *testing.T) {
+	// A harmonic set with utilization above the Liu-Layland bound is still
+	// specializable (density <= 1) even though FeasibleDCS says no.
+	ts := TaskSet{
+		{Name: "a", Period: ms(10), WCET: ms(5)},
+		{Name: "b", Period: ms(20), WCET: ms(5)},
+		{Name: "c", Period: ms(40), WCET: ms(10)},
+	}
+	if FeasibleDCS(ts) {
+		t.Fatalf("utilization %.3f unexpectedly under the n-task bound", ts.Utilization())
+	}
+	if !FeasibleDCSExact(ts) {
+		t.Fatal("harmonic set with density 1 rejected by exact S_r test")
+	}
+}
+
+// randomTaskSet builds n tasks with total utilization at most maxUtil,
+// periods drawn from a divisor-friendly menu so hyperperiods stay small.
+func randomTaskSet(rng *rand.Rand, n int, maxUtil float64) TaskSet {
+	periods := []time.Duration{ms(4), ms(5), ms(8), ms(10), ms(16), ms(20), ms(25), ms(40), ms(50)}
+	ts := make(TaskSet, 0, n)
+	remaining := maxUtil
+	for i := 0; i < n; i++ {
+		share := remaining / float64(n-i) * (0.5 + rng.Float64())
+		if share > remaining {
+			share = remaining
+		}
+		p := periods[rng.Intn(len(periods))]
+		e := time.Duration(share * float64(p))
+		e = e.Truncate(100 * time.Microsecond)
+		if e < 100*time.Microsecond {
+			e = 100 * time.Microsecond
+		}
+		if e > p {
+			e = p
+		}
+		remaining -= float64(e) / float64(p)
+		if remaining < 0 {
+			remaining = 0
+		}
+		ts = append(ts, Task{Name: string(rune('a' + i)), Period: p, WCET: e})
+	}
+	return ts
+}
+
+func TestFeasibleRMExactAgreesWithSimulation(t *testing.T) {
+	// Response-time analysis is exact for synchronous release, so its
+	// verdict must match a hyperperiod-long simulation.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(4), 0.6+0.5*rng.Float64())
+		if ts.Utilization() > 1 {
+			continue // simulation cannot catch up; RTA trivially rejects
+		}
+		h, ok := ts.Hyperperiod(5 * time.Second)
+		if !ok {
+			continue
+		}
+		tr, err := Simulate(ts, PolicyRM, 2*h)
+		if err != nil {
+			t.Fatalf("trial %d: Simulate: %v", trial, err)
+		}
+		simOK := tr.Misses == 0
+		rtaOK := FeasibleRMExact(ts)
+		if simOK != rtaOK {
+			t.Fatalf("trial %d: simulation misses=%d but FeasibleRMExact=%v for %+v",
+				trial, tr.Misses, rtaOK, ts)
+		}
+	}
+}

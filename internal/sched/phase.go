@@ -1,0 +1,88 @@
+package sched
+
+import "time"
+
+// This file implements the paper's central analytical device.
+//
+// Definition 1: the k-th phase variance of a periodic task is
+// v_i^k = |(I_k - I_{k-1}) - p_i|, where I_k is the finish instant of the
+// task's k-th invocation.
+//
+// Definition 2: the phase variance is v_i = max_k v_i^k.
+//
+// Inequality 2.1 bounds it by p_i - e_i for any feasible schedule;
+// Theorem 2 tightens the bound under EDF and RM when the utilization x of
+// the task set is known; Theorem 3 shows v_i = 0 is achievable under the
+// pinwheel scheduler S_r when Σ e_i/p_i ≤ n(2^{1/n} - 1).
+
+// KthPhaseVariance returns v^k = |(I_k - I_{k-1}) - p| for a pair of
+// consecutive invocation finish times.
+func KthPhaseVariance(prev, cur time.Duration, period time.Duration) time.Duration {
+	v := cur - prev - period
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// MeasuredPhaseVariance computes the phase variance of a task from the
+// finish times of its consecutive invocations, per Definitions 1-2. The
+// first skip gaps are excluded as start-up transient (the paper's S_r
+// result allows "some iterations (could be 0)" before completions become
+// exactly periodic). The boolean result is false when fewer than two
+// finish times remain after skipping.
+func MeasuredPhaseVariance(finishes []time.Duration, period time.Duration, skip int) (time.Duration, bool) {
+	if skip < 0 {
+		skip = 0
+	}
+	if len(finishes) < skip+2 {
+		return 0, false
+	}
+	maxV := time.Duration(0)
+	for k := skip + 1; k < len(finishes); k++ {
+		if v := KthPhaseVariance(finishes[k-1], finishes[k], period); v > maxV {
+			maxV = v
+		}
+	}
+	return maxV, true
+}
+
+// UniversalPhaseVarianceBound returns the bound of Inequality 2.1:
+// v_i ≤ p_i - e_i for any schedule in which every job meets its implicit
+// deadline.
+func UniversalPhaseVarianceBound(t Task) time.Duration {
+	return t.Period - t.WCET
+}
+
+// PhaseVarianceBoundEDF returns the Theorem 2 bound under EDF,
+// v_i ≤ x·p_i - e_i, where x is the utilization of the task set on the
+// processor. Negative results are clamped to zero (a bound below zero
+// means the task's jobs complete exactly periodically).
+func PhaseVarianceBoundEDF(t Task, utilization float64) time.Duration {
+	b := time.Duration(utilization*float64(t.Period)) - t.WCET
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// PhaseVarianceBoundRM returns the Theorem 2 bound under rate-monotonic
+// scheduling, v_i ≤ (x·p_i)/(n(2^{1/n} - 1)) - e_i, where x is the
+// utilization and n the number of tasks on the processor.
+func PhaseVarianceBoundRM(t Task, utilization float64, n int) time.Duration {
+	bound := RMUtilizationBound(n)
+	if bound <= 0 {
+		return UniversalPhaseVarianceBound(t)
+	}
+	b := time.Duration(utilization/bound*float64(t.Period)) - t.WCET
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// ZeroPhaseVarianceAchievable reports the Theorem 3 condition: scheduler
+// S_r achieves v_i = 0 for every task if Σ e_i/p_i ≤ n(2^{1/n} - 1).
+func ZeroPhaseVarianceAchievable(ts TaskSet) bool {
+	return FeasibleDCS(ts)
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKthPhaseVariance(t *testing.T) {
+	cases := []struct {
+		prev, cur, period, want time.Duration
+	}{
+		{0, ms(10), ms(10), 0},
+		{0, ms(13), ms(10), ms(3)},
+		{0, ms(7), ms(10), ms(3)},
+		{ms(5), ms(25), ms(10), ms(10)},
+	}
+	for _, tc := range cases {
+		if got := KthPhaseVariance(tc.prev, tc.cur, tc.period); got != tc.want {
+			t.Fatalf("KthPhaseVariance(%v,%v,%v) = %v, want %v", tc.prev, tc.cur, tc.period, got, tc.want)
+		}
+	}
+}
+
+func TestKthPhaseVarianceSymmetry(t *testing.T) {
+	// |(gap) − p| is symmetric around p: gaps p+d and p−d give equal v.
+	f := func(p16, d16 uint16) bool {
+		p := time.Duration(p16)*time.Millisecond + time.Millisecond
+		d := time.Duration(d16) * time.Microsecond
+		if d > p {
+			d = p
+		}
+		early := KthPhaseVariance(0, p-d, p)
+		late := KthPhaseVariance(0, p+d, p)
+		return early == late && early == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasuredPhaseVariance(t *testing.T) {
+	finishes := []time.Duration{ms(3), ms(13), ms(24), ms(33), ms(46)}
+	// gaps: 10, 11, 9, 13 → v^k: 0, 1, 1, 3
+	v, ok := MeasuredPhaseVariance(finishes, ms(10), 0)
+	if !ok || v != ms(3) {
+		t.Fatalf("MeasuredPhaseVariance = %v ok=%v, want 3ms true", v, ok)
+	}
+	// Skipping the first two gaps drops the transient.
+	v, ok = MeasuredPhaseVariance(finishes, ms(10), 2)
+	if !ok || v != ms(3) {
+		t.Fatalf("MeasuredPhaseVariance(skip=2) = %v ok=%v, want 3ms true", v, ok)
+	}
+	v, ok = MeasuredPhaseVariance(finishes, ms(10), 3)
+	if !ok || v != ms(3) {
+		t.Fatalf("MeasuredPhaseVariance(skip=3) = %v ok=%v, want 3ms true", v, ok)
+	}
+}
+
+func TestMeasuredPhaseVarianceTooFewSamples(t *testing.T) {
+	if _, ok := MeasuredPhaseVariance([]time.Duration{ms(1)}, ms(10), 0); ok {
+		t.Fatal("ok=true with one sample")
+	}
+	if _, ok := MeasuredPhaseVariance([]time.Duration{ms(1), ms(11)}, ms(10), 1); ok {
+		t.Fatal("ok=true when skip consumes all gaps")
+	}
+	if _, ok := MeasuredPhaseVariance(nil, ms(10), -1); ok {
+		t.Fatal("ok=true on empty input")
+	}
+}
+
+func TestMeasuredPhaseVarianceExactlyPeriodicIsZero(t *testing.T) {
+	f := func(p16 uint16, n8 uint8) bool {
+		p := time.Duration(p16)*time.Millisecond + time.Millisecond
+		n := int(n8%20) + 2
+		finishes := make([]time.Duration, n)
+		for i := range finishes {
+			finishes[i] = time.Duration(i) * p
+		}
+		v, ok := MeasuredPhaseVariance(finishes, p, 0)
+		return ok && v == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseVarianceBoundsDegenerate(t *testing.T) {
+	task := Task{Period: ms(10), WCET: ms(4)}
+	if b := PhaseVarianceBoundEDF(task, 0.2); b != 0 {
+		t.Fatalf("EDF bound clamped = %v, want 0 (x*p < e)", b)
+	}
+	if b := PhaseVarianceBoundRM(task, 0.0, 3); b != 0 {
+		t.Fatalf("RM bound at zero utilization = %v, want 0", b)
+	}
+	if b := PhaseVarianceBoundRM(task, 0.5, 0); b != UniversalPhaseVarianceBound(task) {
+		t.Fatalf("RM bound with n=0 = %v, want universal %v", b, UniversalPhaseVarianceBound(task))
+	}
+}
+
+func TestPhaseVarianceBoundEDFMatchesUniversalAtFullUtilization(t *testing.T) {
+	task := Task{Period: ms(20), WCET: ms(5)}
+	if got, want := PhaseVarianceBoundEDF(task, 1.0), UniversalPhaseVarianceBound(task); got != want {
+		t.Fatalf("EDF bound at x=1 is %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSimulateSingleTaskExactPeriods(t *testing.T) {
+	ts := TaskSet{{Name: "a", Period: ms(10), WCET: ms(3)}}
+	tr, err := Simulate(ts, PolicyRM, ms(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := tr.Invocations[0]
+	if len(invs) != 10 {
+		t.Fatalf("completed %d invocations, want 10", len(invs))
+	}
+	for k, iv := range invs {
+		if iv.Release != time.Duration(k)*ms(10) {
+			t.Fatalf("invocation %d released at %v, want %v", k, iv.Release, time.Duration(k)*ms(10))
+		}
+		if iv.Finish != iv.Release+ms(3) {
+			t.Fatalf("invocation %d finished at %v, want %v", k, iv.Finish, iv.Release+ms(3))
+		}
+		if iv.Missed {
+			t.Fatalf("invocation %d marked missed", k)
+		}
+	}
+	v, ok := tr.PhaseVariance(0, 0)
+	if !ok || v != 0 {
+		t.Fatalf("phase variance = %v ok=%v, want 0 true", v, ok)
+	}
+}
+
+func TestSimulateRMPreemption(t *testing.T) {
+	// Low-priority b is preempted by a's second release.
+	ts := TaskSet{
+		{Name: "a", Period: ms(10), WCET: ms(4)},
+		{Name: "b", Period: ms(30), WCET: ms(10)},
+	}
+	tr, err := Simulate(ts, PolicyRM, ms(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b runs 4..10 (6ms done), preempted 10..14, resumes, finishes at 18.
+	b := tr.Invocations[1]
+	if len(b) != 1 {
+		t.Fatalf("b completed %d times, want 1", len(b))
+	}
+	if b[0].Finish != ms(18) {
+		t.Fatalf("b finished at %v, want 18ms", b[0].Finish)
+	}
+}
+
+func TestSimulateEDFBeatsRMAtFullUtilization(t *testing.T) {
+	// U = 1: EDF schedules it, RM misses deadlines.
+	ts := TaskSet{
+		{Name: "a", Period: ms(10), WCET: ms(5)},
+		{Name: "b", Period: ms(14), WCET: ms(7)},
+	}
+	h, _ := ts.Hyperperiod(time.Second)
+	edf, err := Simulate(ts, PolicyEDF, 2*h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edf.Misses != 0 {
+		t.Fatalf("EDF missed %d deadlines at U=1", edf.Misses)
+	}
+	rm, err := Simulate(ts, PolicyRM, 2*h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Misses == 0 {
+		t.Fatal("RM unexpectedly scheduled U=1 non-harmonic set")
+	}
+}
+
+func TestSimulateOffsets(t *testing.T) {
+	ts := TaskSet{{Name: "a", Period: ms(10), WCET: ms(1), Offset: ms(3)}}
+	tr, err := Simulate(ts, PolicyRM, ms(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := tr.Invocations[0]
+	if len(invs) != 3 {
+		t.Fatalf("completed %d invocations, want 3", len(invs))
+	}
+	for k, want := range []time.Duration{ms(3), ms(13), ms(23)} {
+		if invs[k].Release != want {
+			t.Fatalf("release %d at %v, want %v", k, invs[k].Release, want)
+		}
+	}
+}
+
+func TestSimulateRejectsInvalidInput(t *testing.T) {
+	if _, err := Simulate(TaskSet{}, PolicyRM, ms(10)); err == nil {
+		t.Fatal("Simulate accepted empty task set")
+	}
+	ts := TaskSet{{Name: "a", Period: ms(10), WCET: ms(1)}}
+	if _, err := Simulate(ts, PolicyRM, 0); err == nil {
+		t.Fatal("Simulate accepted zero horizon")
+	}
+}
+
+func TestSimulateDCSSpecializesPeriods(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", Period: ms(10), WCET: ms(2)},
+		{Name: "b", Period: ms(27), WCET: ms(4)},
+	}
+	tr, err := Simulate(ts, PolicyDCS, ms(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tasks[1].Period != ms(20) {
+		t.Fatalf("DCS dispatched b with period %v, want specialized 20ms", tr.Tasks[1].Period)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyEDF.String() != "EDF" || PolicyRM.String() != "RM" || PolicyDCS.String() != "DCS" {
+		t.Fatal("Policy String() mismatch")
+	}
+	if Policy(99).String() != "Policy(99)" {
+		t.Fatalf("unknown policy String() = %q", Policy(99).String())
+	}
+}
+
+func TestTheorem3ZeroPhaseVarianceUnderDCS(t *testing.T) {
+	// Random task sets under the Theorem 3 bound must show exactly zero
+	// phase variance under PolicyDCS (after the start-up transient).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(5), 0.6)
+		if !ZeroPhaseVarianceAchievable(ts) {
+			continue
+		}
+		tr, err := Simulate(ts, PolicyDCS, 2*time.Second)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tr.Misses != 0 {
+			t.Fatalf("trial %d: DCS missed %d deadlines under the bound", trial, tr.Misses)
+		}
+		for i := range ts {
+			v, ok := tr.PhaseVariance(i, 2)
+			if !ok {
+				t.Fatalf("trial %d task %d: too few completions", trial, i)
+			}
+			if v != 0 {
+				t.Fatalf("trial %d task %d: phase variance %v under DCS, want 0 (periods %v)",
+					trial, i, v, tr.Tasks)
+			}
+		}
+	}
+}
+
+func TestTheorem2PhaseVarianceBoundEDF(t *testing.T) {
+	// Measured phase variance under EDF stays within x·p_i − e_i.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(5), 0.95)
+		u := ts.Utilization()
+		if u > 1 {
+			continue
+		}
+		tr, err := Simulate(ts, PolicyEDF, 2*time.Second)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, task := range ts {
+			v, ok := tr.PhaseVariance(i, 0)
+			if !ok {
+				continue
+			}
+			bound := PhaseVarianceBoundEDF(task, u)
+			if v > bound {
+				t.Fatalf("trial %d task %d: measured v=%v exceeds EDF bound %v (u=%.3f, task %+v)",
+					trial, i, v, bound, u, task)
+			}
+		}
+	}
+}
+
+func TestTheorem2PhaseVarianceBoundRM(t *testing.T) {
+	// Measured phase variance under RM stays within (x·p_i)/(n(2^{1/n}−1)) − e_i
+	// when the set is under the Liu-Layland bound.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		ts := randomTaskSet(rng, n, RMUtilizationBound(n)*0.95)
+		if !FeasibleRM(ts) {
+			continue
+		}
+		u := ts.Utilization()
+		tr, err := Simulate(ts, PolicyRM, 2*time.Second)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, task := range ts {
+			v, ok := tr.PhaseVariance(i, 0)
+			if !ok {
+				continue
+			}
+			bound := PhaseVarianceBoundRM(task, u, len(ts))
+			if v > bound {
+				t.Fatalf("trial %d task %d: measured v=%v exceeds RM bound %v (u=%.3f)",
+					trial, i, v, bound, u)
+			}
+		}
+	}
+}
+
+func TestUniversalPhaseVarianceBoundHolds(t *testing.T) {
+	// Inequality 2.1: v ≤ p − e in any feasible schedule.
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 60; trial++ {
+		ts := randomTaskSet(rng, 2+rng.Intn(4), 0.99)
+		if ts.Utilization() > 1 {
+			continue
+		}
+		tr, err := Simulate(ts, PolicyEDF, time.Second)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tr.Misses > 0 {
+			continue
+		}
+		for i, task := range ts {
+			if v, ok := tr.PhaseVariance(i, 0); ok && v > UniversalPhaseVarianceBound(task) {
+				t.Fatalf("trial %d task %d: v=%v exceeds p−e=%v", trial, i, v, UniversalPhaseVarianceBound(task))
+			}
+		}
+	}
+}

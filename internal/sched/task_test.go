@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestTaskDeadlineDefaultsToPeriod(t *testing.T) {
+	task := Task{Period: ms(10), WCET: ms(2)}
+	if task.Deadline() != ms(10) {
+		t.Fatalf("Deadline() = %v, want %v", task.Deadline(), ms(10))
+	}
+	task.RelativeDeadline = ms(7)
+	if task.Deadline() != ms(7) {
+		t.Fatalf("Deadline() = %v, want %v", task.Deadline(), ms(7))
+	}
+}
+
+func TestTaskUtilization(t *testing.T) {
+	task := Task{Period: ms(10), WCET: ms(2)}
+	if u := task.Utilization(); u != 0.2 {
+		t.Fatalf("Utilization() = %v, want 0.2", u)
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		task Task
+		ok   bool
+	}{
+		{"valid", Task{Name: "a", Period: ms(10), WCET: ms(2)}, true},
+		{"zero period", Task{Name: "a", WCET: ms(2)}, false},
+		{"zero wcet", Task{Name: "a", Period: ms(10)}, false},
+		{"wcet exceeds period", Task{Name: "a", Period: ms(2), WCET: ms(3)}, false},
+		{"negative offset", Task{Name: "a", Period: ms(10), WCET: ms(2), Offset: -ms(1)}, false},
+		{"wcet exceeds deadline", Task{Name: "a", Period: ms(10), WCET: ms(5), RelativeDeadline: ms(4)}, false},
+		{"deadline ok", Task{Name: "a", Period: ms(10), WCET: ms(3), RelativeDeadline: ms(4)}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.task.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestTaskSetValidateEmpty(t *testing.T) {
+	if err := (TaskSet{}).Validate(); err != ErrEmptyTaskSet {
+		t.Fatalf("Validate(empty) = %v, want ErrEmptyTaskSet", err)
+	}
+}
+
+func TestTaskSetUtilization(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", Period: ms(10), WCET: ms(2)},
+		{Name: "b", Period: ms(20), WCET: ms(5)},
+	}
+	if u := ts.Utilization(); u != 0.45 {
+		t.Fatalf("Utilization() = %v, want 0.45", u)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", Period: ms(4), WCET: ms(1)},
+		{Name: "b", Period: ms(6), WCET: ms(1)},
+	}
+	h, ok := ts.Hyperperiod(time.Second)
+	if !ok || h != ms(12) {
+		t.Fatalf("Hyperperiod = %v ok=%v, want 12ms true", h, ok)
+	}
+}
+
+func TestHyperperiodCapped(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", Period: 7919 * time.Millisecond, WCET: ms(1)},
+		{Name: "b", Period: 7907 * time.Millisecond, WCET: ms(1)},
+	}
+	h, ok := ts.Hyperperiod(time.Second)
+	if ok {
+		t.Fatal("Hyperperiod reported exact fit for co-prime periods beyond cap")
+	}
+	if h != time.Second {
+		t.Fatalf("capped Hyperperiod = %v, want 1s", h)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ts := TaskSet{{Name: "a", Period: ms(10), WCET: ms(1)}}
+	c := ts.Clone()
+	c[0].Period = ms(99)
+	if ts[0].Period != ms(10) {
+		t.Fatal("Clone shares backing array with original")
+	}
+}

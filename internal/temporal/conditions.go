@@ -1,0 +1,149 @@
+// Package temporal implements the paper's temporal-consistency models:
+// external temporal consistency (Section 2) relating a real-world object to
+// its images on the primary and backup servers, and inter-object temporal
+// consistency (Section 3) bounding the relative staleness of two related
+// objects. It provides the sufficient conditions (Lemmas 1-3) and the
+// necessary-and-sufficient conditions built on phase variance (Theorems 1,
+// 4, 5, 6) as checkable predicates and as period-derivation formulas used
+// by the RTPB admission controller, plus a runtime monitor that verifies
+// the guarantees against observed update-timestamp streams.
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// ExternalConstraint is the external temporal-consistency requirement for
+// one object: at every instant t the primary's image may lag the real
+// world by at most DeltaP, and the backup's image by at most DeltaB.
+// The paper requires DeltaB > DeltaP (the backup tolerance subsumes the
+// primary's, leaving the window Delta() for replication).
+type ExternalConstraint struct {
+	// DeltaP is δ_i^P, the bound on t − T_i^P(t).
+	DeltaP time.Duration
+	// DeltaB is δ_i^B, the bound on t − T_i^B(t).
+	DeltaB time.Duration
+}
+
+// Delta returns δ_i = δ_i^B − δ_i^P, the consistency window between the
+// primary and the backup (the "window of inconsistency" of the
+// window-consistent protocol the paper generalizes).
+func (c ExternalConstraint) Delta() time.Duration { return c.DeltaB - c.DeltaP }
+
+// Validate checks that the constraint is internally consistent.
+func (c ExternalConstraint) Validate() error {
+	switch {
+	case c.DeltaP <= 0:
+		return fmt.Errorf("temporal: δP = %v is not positive", c.DeltaP)
+	case c.DeltaB <= c.DeltaP:
+		return fmt.Errorf("temporal: δB = %v does not exceed δP = %v", c.DeltaB, c.DeltaP)
+	}
+	return nil
+}
+
+// InterObjectConstraint is the inter-object temporal-consistency
+// requirement between two objects i and j:
+// |T_j(t) − T_i(t)| ≤ Delta must hold at both the primary and the backup.
+type InterObjectConstraint struct {
+	// I and J name the related objects.
+	I, J string
+	// Delta is δ_ij.
+	Delta time.Duration
+}
+
+// Validate checks the constraint.
+func (c InterObjectConstraint) Validate() error {
+	if c.Delta <= 0 {
+		return fmt.Errorf("temporal: δ_ij = %v is not positive", c.Delta)
+	}
+	if c.I == c.J {
+		return fmt.Errorf("temporal: inter-object constraint relates %q to itself", c.I)
+	}
+	return nil
+}
+
+// Lemma1Sufficient reports the sufficient condition of Lemma 1 for
+// external consistency at the primary: p_i ≤ (δ_i^P + e_i)/2.
+func Lemma1Sufficient(period, wcet, deltaP time.Duration) bool {
+	return 2*period <= deltaP+wcet
+}
+
+// Theorem1 reports the necessary-and-sufficient condition for external
+// consistency at the primary: p_i ≤ δ_i^P − v_i, where v_i is the phase
+// variance of the task updating the object.
+func Theorem1(period, phaseVariance, deltaP time.Duration) bool {
+	return period <= deltaP-phaseVariance
+}
+
+// MaxPrimaryPeriod returns the largest update period that satisfies
+// Theorem 1 at the primary: p_i = δ_i^P − v_i. A non-positive result means
+// the constraint is unsatisfiable for this phase variance.
+func MaxPrimaryPeriod(deltaP, phaseVariance time.Duration) time.Duration {
+	return deltaP - phaseVariance
+}
+
+// Lemma2Sufficient reports the sufficient condition of Lemma 2 for
+// external consistency at the backup:
+// r_i ≤ (δ_i^B + e_i + e'_i − ℓ)/2 − p_i.
+func Lemma2Sufficient(r, p, wcetPrimary, wcetBackup, ell, deltaB time.Duration) bool {
+	return 2*(r+p) <= deltaB+wcetPrimary+wcetBackup-ell
+}
+
+// Theorem4 reports the necessary-and-sufficient condition for external
+// consistency at the backup:
+// r_i ≤ δ_i^B − v'_i − p_i − v_i − ℓ,
+// where v_i and v'_i are the phase variances of the primary-update and
+// backup-update tasks and ℓ is the bound on primary→backup delay.
+func Theorem4(r, p, v, vPrime, ell, deltaB time.Duration) bool {
+	return r <= deltaB-vPrime-p-v-ell
+}
+
+// MaxBackupPeriod returns the largest backup-update period permitted by
+// Theorem 4. A non-positive result means the backup constraint cannot be
+// met with these parameters.
+func MaxBackupPeriod(deltaB, p, v, vPrime, ell time.Duration) time.Duration {
+	return deltaB - vPrime - p - v - ell
+}
+
+// Theorem5 reports the simplified condition when the backup-update task
+// has zero phase variance and the primary-update period is maximal
+// (p_i = δ_i^P − v_i): r_i ≤ (δ_i^B − δ_i^P) − ℓ. This is exactly the
+// window-consistent protocol's transmission rule with window δ = δB − δP.
+func Theorem5(r, ell time.Duration, c ExternalConstraint) bool {
+	return r <= c.Delta()-ell
+}
+
+// MaxBackupPeriodTheorem5 returns the largest backup-update period under
+// the Theorem 5 simplification: (δ_i^B − δ_i^P) − ℓ.
+func MaxBackupPeriodTheorem5(c ExternalConstraint, ell time.Duration) time.Duration {
+	return c.Delta() - ell
+}
+
+// Theorem6Primary reports the necessary-and-sufficient inter-object
+// condition at the primary: p_i ≤ δ_ij − v_i and p_j ≤ δ_ij − v_j.
+func Theorem6Primary(pi, vi, pj, vj, deltaIJ time.Duration) bool {
+	return pi <= deltaIJ-vi && pj <= deltaIJ-vj
+}
+
+// Theorem6Backup reports the necessary-and-sufficient inter-object
+// condition at the backup: r_i ≤ δ_ij − v'_i and r_j ≤ δ_ij − v'_j.
+// Note (Section 3): inter-object consistency at the backup is independent
+// of the primary's update periods.
+func Theorem6Backup(ri, vi, rj, vj, deltaIJ time.Duration) bool {
+	return ri <= deltaIJ-vi && rj <= deltaIJ-vj
+}
+
+// Lemma3SufficientPrimary reports Lemma 3's sufficient inter-object
+// condition at the primary: p ≤ (δ_ij + e)/2 for the given task.
+func Lemma3SufficientPrimary(p, wcet, deltaIJ time.Duration) bool {
+	return 2*p <= deltaIJ+wcet
+}
+
+// ConvertInterObject converts an inter-object constraint into the pair of
+// per-object external-style period bounds used by the RTPB admission
+// controller (Section 4.2): with zero phase variance, the constraint is
+// met at a site as long as both update tasks run with period ≤ δ_ij.
+func ConvertInterObject(c InterObjectConstraint) (boundI, boundJ time.Duration) {
+	return c.Delta, c.Delta
+}

@@ -1,0 +1,223 @@
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Monitor verifies temporal-consistency guarantees against observed update
+// streams. The protocol under test reports every applied update as
+// (site, object, version, applied): version is the timestamp of the
+// real-world state the new image reflects (T_i after the update) and
+// applied is the instant the image changed. Between updates the image's
+// version is constant, so staleness t − T_i(t) grows linearly and every
+// excursion beyond the bound can be computed exactly — the monitor checks
+// the continuous-time property, not samples of it.
+type Monitor struct {
+	external map[extKey]*extState
+	inter    map[interKey]*interState
+}
+
+type extKey struct{ site, object string }
+
+type interKey struct{ site, i, j string }
+
+type extState struct {
+	delta        time.Duration
+	hasUpdate    bool
+	lastVersion  time.Time
+	lastApplied  time.Time
+	updates      int
+	maxStaleness time.Duration
+	violation    time.Duration
+	excursions   int
+	finished     bool
+}
+
+type interState struct {
+	delta       time.Duration
+	hasI, hasJ  bool
+	ti, tj      time.Time
+	maxDistance time.Duration
+	violations  int
+	checks      int
+}
+
+// NewMonitor returns an empty monitor; register constraints with
+// TrackExternal and TrackInterObject before recording updates.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		external: make(map[extKey]*extState),
+		inter:    make(map[interKey]*interState),
+	}
+}
+
+// TrackExternal registers an external temporal-consistency bound delta for
+// the object's image at the given site ("primary", "backup", ...).
+func (m *Monitor) TrackExternal(site, object string, delta time.Duration) {
+	m.external[extKey{site, object}] = &extState{delta: delta}
+}
+
+// TrackInterObject registers an inter-object bound between two objects at
+// the given site.
+func (m *Monitor) TrackInterObject(site string, c InterObjectConstraint) {
+	m.inter[interKey{site, c.I, c.J}] = &interState{delta: c.Delta}
+}
+
+// RecordUpdate reports that at instant applied, the image of object at
+// site advanced to reflect real-world state of instant version. Updates
+// must be recorded in non-decreasing applied order per (site, object).
+func (m *Monitor) RecordUpdate(site, object string, version, applied time.Time) {
+	if st, ok := m.external[extKey{site, object}]; ok {
+		st.record(version, applied)
+	}
+	for key, st := range m.inter {
+		if key.site != site {
+			continue
+		}
+		switch object {
+		case key.i:
+			st.hasI = true
+			st.ti = version
+		case key.j:
+			st.hasJ = true
+			st.tj = version
+		default:
+			continue
+		}
+		st.check()
+	}
+}
+
+func (s *extState) record(version, applied time.Time) {
+	if s.hasUpdate {
+		s.accountUpTo(applied)
+	}
+	s.hasUpdate = true
+	s.updates++
+	s.lastVersion = version
+	s.lastApplied = applied
+}
+
+// accountUpTo folds the staleness trajectory on [lastApplied, t) into the
+// running statistics: staleness at the end of the interval is
+// t − lastVersion, and the image was out of bound on the suffix of the
+// interval past lastVersion+delta.
+func (s *extState) accountUpTo(t time.Time) {
+	if !s.hasUpdate || t.Before(s.lastApplied) {
+		return
+	}
+	if stale := t.Sub(s.lastVersion); stale > s.maxStaleness {
+		s.maxStaleness = stale
+	}
+	violFrom := s.lastVersion.Add(s.delta)
+	if violFrom.Before(s.lastApplied) {
+		violFrom = s.lastApplied
+	}
+	if t.After(violFrom) {
+		s.violation += t.Sub(violFrom)
+		s.excursions++
+	}
+}
+
+func (s *interState) check() {
+	if !s.hasI || !s.hasJ {
+		return
+	}
+	s.checks++
+	d := s.tj.Sub(s.ti)
+	if d < 0 {
+		d = -d
+	}
+	if d > s.maxDistance {
+		s.maxDistance = d
+	}
+	if d > s.delta {
+		s.violations++
+	}
+}
+
+// FinishAt closes every external-consistency interval at instant t,
+// accounting for staleness accrued since each object's final update.
+// Call once at the end of a run, before reading reports.
+func (m *Monitor) FinishAt(t time.Time) {
+	for _, st := range m.external {
+		if st.finished {
+			continue
+		}
+		st.accountUpTo(t)
+		st.finished = true
+	}
+}
+
+// ExternalReport summarizes the observed external consistency of one
+// object image.
+type ExternalReport struct {
+	// Delta is the registered bound.
+	Delta time.Duration
+	// Updates is the number of recorded updates.
+	Updates int
+	// MaxStaleness is the largest observed t − T_i(t).
+	MaxStaleness time.Duration
+	// ViolationTime is the total time the image spent beyond Delta.
+	ViolationTime time.Duration
+	// Excursions is the number of maximal intervals spent beyond Delta.
+	Excursions int
+}
+
+// Consistent reports whether the bound held for the entire run.
+func (r ExternalReport) Consistent() bool { return r.ViolationTime == 0 }
+
+// ExternalReport returns the report for (site, object); ok is false if the
+// pair was never tracked.
+func (m *Monitor) ExternalReport(site, object string) (ExternalReport, bool) {
+	st, ok := m.external[extKey{site, object}]
+	if !ok {
+		return ExternalReport{}, false
+	}
+	return ExternalReport{
+		Delta:         st.delta,
+		Updates:       st.updates,
+		MaxStaleness:  st.maxStaleness,
+		ViolationTime: st.violation,
+		Excursions:    st.excursions,
+	}, true
+}
+
+// InterObjectReport summarizes the observed inter-object consistency of a
+// tracked pair at one site.
+type InterObjectReport struct {
+	// Delta is δ_ij.
+	Delta time.Duration
+	// Checks is the number of update instants at which the pair was
+	// evaluated (the distance only changes at updates).
+	Checks int
+	// MaxDistance is the largest observed |T_j(t) − T_i(t)|.
+	MaxDistance time.Duration
+	// Violations counts evaluations that exceeded Delta.
+	Violations int
+}
+
+// Consistent reports whether the pair stayed within bound.
+func (r InterObjectReport) Consistent() bool { return r.Violations == 0 }
+
+// InterObjectReport returns the report for the pair (i, j) at site; ok is
+// false if the pair was never tracked.
+func (m *Monitor) InterObjectReport(site, i, j string) (InterObjectReport, bool) {
+	st, ok := m.inter[interKey{site, i, j}]
+	if !ok {
+		return InterObjectReport{}, false
+	}
+	return InterObjectReport{
+		Delta:       st.delta,
+		Checks:      st.checks,
+		MaxDistance: st.maxDistance,
+		Violations:  st.violations,
+	}, true
+}
+
+// String renders a one-line summary, useful in example programs.
+func (r ExternalReport) String() string {
+	return fmt.Sprintf("updates=%d maxStaleness=%v bound=%v violations=%v/%d",
+		r.Updates, r.MaxStaleness, r.Delta, r.ViolationTime, r.Excursions)
+}

@@ -1,0 +1,174 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+func TestMonitorExternalNoViolation(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("primary", "x", ms(50))
+	// Updates every 30ms with zero version lag: staleness peaks at 30ms.
+	for k := 0; k <= 5; k++ {
+		m.RecordUpdate("primary", "x", at(time.Duration(k)*ms(30)), at(time.Duration(k)*ms(30)))
+	}
+	m.FinishAt(at(ms(150)))
+	r, ok := m.ExternalReport("primary", "x")
+	if !ok {
+		t.Fatal("report missing")
+	}
+	if !r.Consistent() {
+		t.Fatalf("unexpected violation: %v", r)
+	}
+	if r.MaxStaleness != ms(30) {
+		t.Fatalf("MaxStaleness = %v, want 30ms", r.MaxStaleness)
+	}
+	if r.Updates != 6 {
+		t.Fatalf("Updates = %d, want 6", r.Updates)
+	}
+}
+
+func TestMonitorExternalViolationAmount(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(50))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	// Next update arrives at 80ms: image exceeded the 50ms bound for 30ms.
+	m.RecordUpdate("backup", "x", at(ms(80)), at(ms(80)))
+	m.FinishAt(at(ms(80)))
+	r, _ := m.ExternalReport("backup", "x")
+	if r.ViolationTime != ms(30) {
+		t.Fatalf("ViolationTime = %v, want 30ms", r.ViolationTime)
+	}
+	if r.Excursions != 1 {
+		t.Fatalf("Excursions = %d, want 1", r.Excursions)
+	}
+	if r.MaxStaleness != ms(80) {
+		t.Fatalf("MaxStaleness = %v, want 80ms", r.MaxStaleness)
+	}
+}
+
+func TestMonitorExternalVersionLag(t *testing.T) {
+	// The image applied at 20ms reflects the world as of 0ms: staleness at
+	// apply instant of the *next* update includes that version lag.
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(50))
+	m.RecordUpdate("backup", "x", at(0), at(ms(20)))
+	m.RecordUpdate("backup", "x", at(ms(40)), at(ms(60)))
+	m.FinishAt(at(ms(60)))
+	r, _ := m.ExternalReport("backup", "x")
+	// Staleness just before second apply: 60 − 0 = 60ms; violation from
+	// t = 50ms to t = 60ms.
+	if r.MaxStaleness != ms(60) {
+		t.Fatalf("MaxStaleness = %v, want 60ms", r.MaxStaleness)
+	}
+	if r.ViolationTime != ms(10) {
+		t.Fatalf("ViolationTime = %v, want 10ms", r.ViolationTime)
+	}
+}
+
+func TestMonitorFinishAccountsTail(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("primary", "x", ms(50))
+	m.RecordUpdate("primary", "x", at(0), at(0))
+	m.FinishAt(at(ms(200)))
+	r, _ := m.ExternalReport("primary", "x")
+	if r.ViolationTime != ms(150) {
+		t.Fatalf("tail ViolationTime = %v, want 150ms", r.ViolationTime)
+	}
+	if r.MaxStaleness != ms(200) {
+		t.Fatalf("tail MaxStaleness = %v, want 200ms", r.MaxStaleness)
+	}
+}
+
+func TestMonitorFinishIsIdempotent(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("primary", "x", ms(50))
+	m.RecordUpdate("primary", "x", at(0), at(0))
+	m.FinishAt(at(ms(100)))
+	m.FinishAt(at(ms(300)))
+	r, _ := m.ExternalReport("primary", "x")
+	if r.ViolationTime != ms(50) {
+		t.Fatalf("ViolationTime after double Finish = %v, want 50ms", r.ViolationTime)
+	}
+}
+
+func TestMonitorUntrackedObjectIgnored(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("primary", "x", ms(50))
+	m.RecordUpdate("primary", "y", at(0), at(0)) // not tracked: no panic
+	if _, ok := m.ExternalReport("primary", "y"); ok {
+		t.Fatal("report exists for untracked object")
+	}
+}
+
+func TestMonitorInterObjectWithinBound(t *testing.T) {
+	m := NewMonitor()
+	m.TrackInterObject("primary", InterObjectConstraint{I: "accel", J: "lift", Delta: ms(40)})
+	m.RecordUpdate("primary", "accel", at(0), at(0))
+	m.RecordUpdate("primary", "lift", at(ms(30)), at(ms(30)))
+	m.RecordUpdate("primary", "accel", at(ms(50)), at(ms(50)))
+	m.FinishAt(at(ms(60)))
+	r, ok := m.InterObjectReport("primary", "accel", "lift")
+	if !ok {
+		t.Fatal("report missing")
+	}
+	if !r.Consistent() {
+		t.Fatalf("unexpected violation: %+v", r)
+	}
+	if r.MaxDistance != ms(30) {
+		t.Fatalf("MaxDistance = %v, want 30ms", r.MaxDistance)
+	}
+	if r.Checks != 2 {
+		t.Fatalf("Checks = %d, want 2 (pair complete from second update)", r.Checks)
+	}
+}
+
+func TestMonitorInterObjectViolation(t *testing.T) {
+	m := NewMonitor()
+	m.TrackInterObject("backup", InterObjectConstraint{I: "a", J: "b", Delta: ms(20)})
+	m.RecordUpdate("backup", "a", at(0), at(0))
+	m.RecordUpdate("backup", "b", at(ms(50)), at(ms(50)))
+	r, _ := m.InterObjectReport("backup", "a", "b")
+	if r.Violations != 1 {
+		t.Fatalf("Violations = %d, want 1", r.Violations)
+	}
+	if r.MaxDistance != ms(50) {
+		t.Fatalf("MaxDistance = %v, want 50ms", r.MaxDistance)
+	}
+}
+
+func TestMonitorInterObjectIncompletePairNotChecked(t *testing.T) {
+	m := NewMonitor()
+	m.TrackInterObject("primary", InterObjectConstraint{I: "a", J: "b", Delta: ms(20)})
+	m.RecordUpdate("primary", "a", at(0), at(0))
+	m.RecordUpdate("primary", "a", at(ms(10)), at(ms(10)))
+	r, _ := m.InterObjectReport("primary", "a", "b")
+	if r.Checks != 0 {
+		t.Fatalf("Checks = %d before both objects seen, want 0", r.Checks)
+	}
+}
+
+func TestMonitorSitesAreIndependent(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("primary", "x", ms(50))
+	m.TrackExternal("backup", "x", ms(120))
+	m.RecordUpdate("primary", "x", at(0), at(0))
+	m.RecordUpdate("primary", "x", at(ms(40)), at(ms(40)))
+	m.RecordUpdate("backup", "x", at(0), at(ms(10)))
+	m.FinishAt(at(ms(60)))
+	p, _ := m.ExternalReport("primary", "x")
+	b, _ := m.ExternalReport("backup", "x")
+	if !p.Consistent() {
+		t.Fatalf("primary violated: %v", p)
+	}
+	if !b.Consistent() {
+		t.Fatalf("backup violated: %v", b)
+	}
+	if b.Updates != 1 || p.Updates != 2 {
+		t.Fatalf("update counts p=%d b=%d, want 2 and 1", p.Updates, b.Updates)
+	}
+}

@@ -1,0 +1,101 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMonitorMatchesDiscretizedReference cross-checks the monitor's
+// closed-form violation accounting against a brute-force reference that
+// samples the staleness trajectory on a fine grid. For random update
+// streams the two must agree to within one grid step per excursion.
+func TestMonitorMatchesDiscretizedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	const step = time.Millisecond
+	for trial := 0; trial < 100; trial++ {
+		delta := time.Duration(20+rng.Intn(200)) * time.Millisecond
+		m := NewMonitor()
+		m.TrackExternal("site", "obj", delta)
+
+		type upd struct{ version, applied time.Time }
+		var updates []upd
+		now := t0
+		for k := 0; k < 3+rng.Intn(30); k++ {
+			now = now.Add(time.Duration(1+rng.Intn(150)) * time.Millisecond)
+			lag := time.Duration(rng.Intn(40)) * time.Millisecond
+			updates = append(updates, upd{version: now.Add(-lag), applied: now})
+		}
+		end := now.Add(time.Duration(rng.Intn(300)) * time.Millisecond)
+		for _, u := range updates {
+			m.RecordUpdate("site", "obj", u.version, u.applied)
+		}
+		m.FinishAt(end)
+		r, _ := m.ExternalReport("site", "obj")
+
+		// Brute force: walk the grid from the first apply to the end,
+		// tracking the version of the last applied update.
+		var ref time.Duration
+		var refMax time.Duration
+		idx := 0
+		version := updates[0].version
+		for tm := updates[0].applied; tm.Before(end); tm = tm.Add(step) {
+			for idx+1 < len(updates) && !updates[idx+1].applied.After(tm) {
+				idx++
+				version = updates[idx].version
+			}
+			stale := tm.Sub(version)
+			if stale > refMax {
+				refMax = stale
+			}
+			if stale > delta {
+				ref += step
+			}
+		}
+
+		tol := step * time.Duration(r.Excursions+2)
+		diff := r.ViolationTime - ref
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			t.Fatalf("trial %d: monitor violation %v vs reference %v (tol %v, δ=%v, %d updates)",
+				trial, r.ViolationTime, ref, tol, delta, len(updates))
+		}
+		// Max staleness agrees to within one step plus the final-interval
+		// endpoint effect.
+		maxDiff := r.MaxStaleness - refMax
+		if maxDiff < 0 {
+			maxDiff = -maxDiff
+		}
+		if maxDiff > 2*step {
+			t.Fatalf("trial %d: max staleness %v vs reference %v", trial, r.MaxStaleness, refMax)
+		}
+	}
+}
+
+// TestMonitorViolationNeverExceedsObservationWindow is a safety property:
+// accumulated violation time cannot exceed the observed interval.
+func TestMonitorViolationNeverExceedsObservationWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		delta := time.Duration(1+rng.Intn(100)) * time.Millisecond
+		m := NewMonitor()
+		m.TrackExternal("s", "o", delta)
+		now := t0
+		first := time.Time{}
+		for k := 0; k < 1+rng.Intn(20); k++ {
+			now = now.Add(time.Duration(rng.Intn(100)) * time.Millisecond)
+			if first.IsZero() {
+				first = now
+			}
+			m.RecordUpdate("s", "o", now.Add(-time.Duration(rng.Intn(50))*time.Millisecond), now)
+		}
+		end := now.Add(time.Duration(rng.Intn(500)) * time.Millisecond)
+		m.FinishAt(end)
+		r, _ := m.ExternalReport("s", "o")
+		if window := end.Sub(first); r.ViolationTime > window {
+			t.Fatalf("trial %d: violation %v exceeds window %v", trial, r.ViolationTime, window)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram buckets duration samples on a logarithmic grid (powers of two
+// of the base bucket). It complements DurationStats when the shape of a
+// latency distribution matters — e.g. spotting the bimodal split between
+// uncontended client writes and writes stuck behind an update backlog.
+type Histogram struct {
+	base    time.Duration
+	counts  []int
+	under   int
+	total   int
+	maxSeen time.Duration
+}
+
+// NewHistogram builds a histogram whose first bucket is [0, base) and
+// whose k-th bucket is [base·2^(k−1), base·2^k), with buckets buckets.
+func NewHistogram(base time.Duration, buckets int) *Histogram {
+	if base <= 0 {
+		base = time.Microsecond
+	}
+	if buckets <= 0 {
+		buckets = 24
+	}
+	return &Histogram{base: base, counts: make([]int, buckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.total++
+	if d > h.maxSeen {
+		h.maxSeen = d
+	}
+	if d < h.base {
+		h.under++
+		return
+	}
+	k := int(math.Log2(float64(d)/float64(h.base))) + 1
+	if k >= len(h.counts) {
+		k = len(h.counts) - 1
+	}
+	h.counts[k]++
+}
+
+// Total reports the number of samples.
+func (h *Histogram) Total() int { return h.total }
+
+// Max reports the largest sample seen.
+func (h *Histogram) Max() time.Duration { return h.maxSeen }
+
+// bucketBounds reports bucket k's half-open range.
+func (h *Histogram) bucketBounds(k int) (lo, hi time.Duration) {
+	if k == 0 {
+		return 0, h.base
+	}
+	return h.base << (k - 1), h.base << k
+}
+
+// Render prints the non-empty buckets with proportional bars.
+func (h *Histogram) Render() string {
+	var b strings.Builder
+	peak := h.under
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return "(no samples)\n"
+	}
+	row := func(lo, hi time.Duration, count int) {
+		if count == 0 {
+			return
+		}
+		bar := strings.Repeat("#", 1+count*40/peak)
+		fmt.Fprintf(&b, "%12v-%-12v %6d %s\n", lo, hi, count, bar)
+	}
+	row(0, h.base, h.under)
+	for k := 1; k < len(h.counts); k++ {
+		lo, hi := h.bucketBounds(k)
+		row(lo, hi, h.counts[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10)
+	h.Add(500 * time.Microsecond) // under base
+	h.Add(time.Millisecond)       // [1ms,2ms)
+	h.Add(3 * time.Millisecond)   // [2ms,4ms)
+	h.Add(3500 * time.Microsecond)
+	h.Add(time.Hour) // clamps to last bucket
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Max() != time.Hour {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	out := h.Render()
+	for _, want := range []string{"0s-1ms", "1ms-2ms", "2ms-4ms", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0, 0) // defaults applied
+	if got := h.Render(); got != "(no samples)\n" {
+		t.Fatalf("empty Render = %q", got)
+	}
+}
+
+func TestHistogramBarsProportional(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 8)
+	for i := 0; i < 100; i++ {
+		h.Add(time.Millisecond) // all in one bucket
+	}
+	h.Add(5 * time.Millisecond)
+	out := h.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	big := strings.Count(lines[0], "#")
+	small := strings.Count(lines[1], "#")
+	if big <= small {
+		t.Fatalf("bars not proportional: %d vs %d", big, small)
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	f := Figure{
+		Name:   "T",
+		Title:  "test",
+		XLabel: "x",
+		YLabel: "y",
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{
+			{Label: "up", Y: []float64{0, 1, 2, 3}},
+			{Label: "down", Y: []float64{3, 2, 1, 0}},
+		},
+	}
+	out := f.Plot(40, 10)
+	for _, want := range []string{"A = up", "B = down", "A", "B", "(x: x, y: y)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Plot missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' mark appears on the top row at the right edge.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "A") {
+		t.Fatalf("top row lacks rising series:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	empty := Figure{}
+	if got := empty.Plot(0, 0); got != "(no data)\n" {
+		t.Fatalf("empty Plot = %q", got)
+	}
+	flat := Figure{
+		X:      []float64{1, 1},
+		Series: []Series{{Label: "s", Y: []float64{5, 5}}},
+	}
+	out := flat.Plot(20, 5) // constant x and y must not divide by zero
+	if !strings.Contains(out, "A") {
+		t.Fatalf("flat Plot lacks marks:\n%s", out)
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII scatter chart (one letter per
+// series), for eyeballing shapes in a terminal without leaving the
+// harness. Rows are y values (top = max), columns are x positions.
+func (f *Figure) Plot(width, height int) string {
+	if width < 16 {
+		width = 60
+	}
+	if height < 4 {
+		height = 16
+	}
+	if len(f.X) == 0 || len(f.Series) == 0 {
+		return "(no data)\n"
+	}
+	xMin, xMax := f.X[0], f.X[0]
+	for _, x := range f.X {
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		return "(no data)\n"
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - xMin) / (xMax - xMin) * float64(width-1))
+		return min(max(c, 0), width-1)
+	}
+	rowOf := func(y float64) int {
+		r := int((yMax - y) / (yMax - yMin) * float64(height-1))
+		return min(max(r, 0), height-1)
+	}
+	for si, s := range f.Series {
+		mark := byte('A' + si%26)
+		for i, y := range s.Y {
+			if i >= len(f.X) {
+				break
+			}
+			grid[rowOf(y)][col(f.X[i])] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.Name, f.Title)
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.4g", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%10.4g", yMin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", "", width/2, xMin, width-width/2, xMax)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", 'A'+si%26, s.Label)
+	}
+	fmt.Fprintf(&b, "  (x: %s, y: %s)\n", f.XLabel, f.YLabel)
+	return b.String()
+}

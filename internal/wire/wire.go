@@ -1,0 +1,686 @@
+// Package wire defines the binary wire format of the RTPB protocol: the
+// messages the primary and backup exchange over the (unreliable) datagram
+// transport, and the client-facing registration messages. The format is a
+// fixed four-byte header (magic, version, kind) followed by a
+// message-specific body encoded big-endian with length-prefixed variable
+// fields. Every message round-trips through Encode/Decode, and Decode
+// never panics on malformed input.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Protocol framing constants.
+const (
+	// Magic identifies RTPB datagrams.
+	Magic uint16 = 0x52B0 // "RTPB"-ish
+	// Version is the wire-format version this package speaks.
+	Version uint8 = 1
+	// headerLen is magic(2) + version(1) + kind(1).
+	headerLen = 4
+	// MaxPayload bounds object payloads and strings to keep a malformed
+	// length prefix from allocating unbounded memory.
+	MaxPayload = 1 << 20
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindRegister Kind = iota + 1
+	KindRegisterReply
+	KindUpdate
+	KindRetransmitRequest
+	KindPing
+	KindPingAck
+	KindTakeover
+	KindStateTransfer
+	KindStateTransferAck
+	// KindOrder and KindOrderAck belong to the active-replication
+	// comparison baseline (internal/active), not to RTPB itself: a
+	// sequencer totally orders writes and multicasts them; replicas
+	// acknowledge each order so the sequencer can reply to the client
+	// only after atomic delivery.
+	KindOrder
+	KindOrderAck
+	// KindUpdateAck confirms one specific RTPB update — sent by a backup
+	// only when the update carried AckRequested (the hybrid path for
+	// critical objects).
+	KindUpdateAck
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindRegister:
+		return "Register"
+	case KindRegisterReply:
+		return "RegisterReply"
+	case KindUpdate:
+		return "Update"
+	case KindRetransmitRequest:
+		return "RetransmitRequest"
+	case KindPing:
+		return "Ping"
+	case KindPingAck:
+		return "PingAck"
+	case KindTakeover:
+		return "Takeover"
+	case KindStateTransfer:
+		return "StateTransfer"
+	case KindStateTransferAck:
+		return "StateTransferAck"
+	case KindOrder:
+		return "Order"
+	case KindOrderAck:
+		return "OrderAck"
+	case KindUpdateAck:
+		return "UpdateAck"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Decoding errors.
+var (
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrUnknownKind = errors.New("wire: unknown message kind")
+	ErrOversize    = errors.New("wire: length prefix exceeds limit")
+	ErrTrailing    = errors.New("wire: trailing bytes after message body")
+)
+
+// Message is any RTPB wire message.
+type Message interface {
+	// WireKind reports the message's kind discriminator.
+	WireKind() Kind
+
+	appendBody(dst []byte) []byte
+	decodeBody(r *reader) error
+}
+
+// Compile-time interface checks.
+var (
+	_ Message = (*Register)(nil)
+	_ Message = (*RegisterReply)(nil)
+	_ Message = (*Update)(nil)
+	_ Message = (*RetransmitRequest)(nil)
+	_ Message = (*Ping)(nil)
+	_ Message = (*PingAck)(nil)
+	_ Message = (*Takeover)(nil)
+	_ Message = (*StateTransfer)(nil)
+	_ Message = (*StateTransferAck)(nil)
+	_ Message = (*Order)(nil)
+	_ Message = (*OrderAck)(nil)
+	_ Message = (*UpdateAck)(nil)
+)
+
+// Encode serializes a message with the RTPB header.
+func Encode(m Message) []byte {
+	dst := make([]byte, 0, 64)
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, uint8(m.WireKind()))
+	return m.appendBody(dst)
+}
+
+// Decode parses a datagram into a message. It returns an error if the
+// datagram is not a complete, well-formed RTPB message.
+func Decode(b []byte) (Message, error) {
+	if len(b) < headerLen {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return nil, ErrBadMagic
+	}
+	if b[2] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	var m Message
+	switch Kind(b[3]) {
+	case KindRegister:
+		m = &Register{}
+	case KindRegisterReply:
+		m = &RegisterReply{}
+	case KindUpdate:
+		m = &Update{}
+	case KindRetransmitRequest:
+		m = &RetransmitRequest{}
+	case KindPing:
+		m = &Ping{}
+	case KindPingAck:
+		m = &PingAck{}
+	case KindTakeover:
+		m = &Takeover{}
+	case KindStateTransfer:
+		m = &StateTransfer{}
+	case KindStateTransferAck:
+		m = &StateTransferAck{}
+	case KindOrder:
+		m = &Order{}
+	case KindOrderAck:
+		m = &OrderAck{}
+	case KindUpdateAck:
+		m = &UpdateAck{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[3])
+	}
+	r := &reader{buf: b[headerLen:]}
+	if err := m.decodeBody(r); err != nil {
+		return nil, err
+	}
+	if len(r.buf) != 0 {
+		return nil, ErrTrailing
+	}
+	return m, nil
+}
+
+// Register asks a replica to reserve space and admit a new object. The
+// primary receives it from clients (via the service API) and forwards an
+// equivalent registration to the backup so the backup can reserve space
+// too (Section 4.2).
+type Register struct {
+	// Epoch is the sending primary's epoch; backups ignore registrations
+	// from a primary older than one they have heard from (fencing).
+	Epoch uint32
+	// ObjectID is the service-assigned identifier.
+	ObjectID uint32
+	// Name is the client-chosen object name.
+	Name string
+	// Size is the reserved object size in bytes.
+	Size uint32
+	// Period is the client's declared update period p_i.
+	Period time.Duration
+	// DeltaP and DeltaB are the external consistency bounds δ_i^P, δ_i^B.
+	DeltaP time.Duration
+	// DeltaB is the bound at the backup.
+	DeltaB time.Duration
+}
+
+// WireKind implements Message.
+func (*Register) WireKind() Kind { return KindRegister }
+
+func (m *Register) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, m.ObjectID)
+	dst = appendString(dst, m.Name)
+	dst = binary.BigEndian.AppendUint32(dst, m.Size)
+	dst = appendDuration(dst, m.Period)
+	dst = appendDuration(dst, m.DeltaP)
+	return appendDuration(dst, m.DeltaB)
+}
+
+func (m *Register) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.ObjectID = r.uint32()
+	m.Name = r.string()
+	m.Size = r.uint32()
+	m.Period = r.duration()
+	m.DeltaP = r.duration()
+	m.DeltaB = r.duration()
+	return r.err
+}
+
+// RegisterReply reports an admission decision, with QoS-negotiation
+// feedback when the object is rejected.
+type RegisterReply struct {
+	// ObjectID echoes the registration.
+	ObjectID uint32
+	// Accepted reports the admission decision.
+	Accepted bool
+	// Reason explains a rejection.
+	Reason string
+	// SuggestedDeltaB, when non-zero, is the smallest δ_i^B the service
+	// could currently accept (the paper's "negotiate for an alternative
+	// quality of service").
+	SuggestedDeltaB time.Duration
+}
+
+// WireKind implements Message.
+func (*RegisterReply) WireKind() Kind { return KindRegisterReply }
+
+func (m *RegisterReply) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.ObjectID)
+	dst = appendBool(dst, m.Accepted)
+	dst = appendString(dst, m.Reason)
+	return appendDuration(dst, m.SuggestedDeltaB)
+}
+
+func (m *RegisterReply) decodeBody(r *reader) error {
+	m.ObjectID = r.uint32()
+	m.Accepted = r.bool()
+	m.Reason = r.string()
+	m.SuggestedDeltaB = r.duration()
+	return r.err
+}
+
+// Update carries the current value of one object from primary to backup.
+// Updates are not acknowledged (Section 4.3); the Seq lets the backup
+// detect gaps and request retransmission.
+type Update struct {
+	// Epoch is the sending primary's epoch; backups drop updates from a
+	// primary older than one they have heard from, fencing a zombie
+	// primary after a takeover.
+	Epoch uint32
+	// ObjectID identifies the object.
+	ObjectID uint32
+	// Seq is a per-object sequence number, incremented per transmission.
+	Seq uint64
+	// Version is the primary-side timestamp of the object state this
+	// update carries (T_i^P at transmission), in nanoseconds since the
+	// Unix epoch.
+	Version int64
+	// AckRequested asks the backup to confirm this specific update with
+	// an UpdateAck — the hybrid active/passive path for critical objects
+	// (the client's write response waits for the ack).
+	AckRequested bool
+	// Payload is the object value.
+	Payload []byte
+}
+
+// WireKind implements Message.
+func (*Update) WireKind() Kind { return KindUpdate }
+
+func (m *Update) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, m.ObjectID)
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Version))
+	dst = appendBool(dst, m.AckRequested)
+	return appendBytes(dst, m.Payload)
+}
+
+func (m *Update) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.ObjectID = r.uint32()
+	m.Seq = r.uint64()
+	m.Version = int64(r.uint64())
+	m.AckRequested = r.bool()
+	m.Payload = r.bytes()
+	return r.err
+}
+
+// RetransmitRequest is sent by the backup when it detects a sequence gap,
+// asking the primary to resend the object's current value immediately
+// ("retransmission is triggered by a request from the backup").
+type RetransmitRequest struct {
+	// ObjectID identifies the object with the gap.
+	ObjectID uint32
+	// LastSeq is the highest sequence number the backup has applied.
+	LastSeq uint64
+}
+
+// WireKind implements Message.
+func (*RetransmitRequest) WireKind() Kind { return KindRetransmitRequest }
+
+func (m *RetransmitRequest) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.ObjectID)
+	return binary.BigEndian.AppendUint64(dst, m.LastSeq)
+}
+
+func (m *RetransmitRequest) decodeBody(r *reader) error {
+	m.ObjectID = r.uint32()
+	m.LastSeq = r.uint64()
+	return r.err
+}
+
+// Role identifies which replica sent a heartbeat.
+type Role uint8
+
+// Replica roles.
+const (
+	RolePrimary Role = iota + 1
+	RoleBackup
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleBackup:
+		return "backup"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Ping is the heartbeat exchanged by both replicas (Section 4.4).
+type Ping struct {
+	// Seq numbers the heartbeat for ack matching.
+	Seq uint64
+	// From is the sender's role.
+	From Role
+}
+
+// WireKind implements Message.
+func (*Ping) WireKind() Kind { return KindPing }
+
+func (m *Ping) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	return append(dst, uint8(m.From))
+}
+
+func (m *Ping) decodeBody(r *reader) error {
+	m.Seq = r.uint64()
+	m.From = Role(r.uint8())
+	return r.err
+}
+
+// PingAck acknowledges a Ping.
+type PingAck struct {
+	// Seq echoes the ping's sequence number.
+	Seq uint64
+	// From is the responder's role.
+	From Role
+}
+
+// WireKind implements Message.
+func (*PingAck) WireKind() Kind { return KindPingAck }
+
+func (m *PingAck) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	return append(dst, uint8(m.From))
+}
+
+func (m *PingAck) decodeBody(r *reader) error {
+	m.Seq = r.uint64()
+	m.From = Role(r.uint8())
+	return r.err
+}
+
+// Takeover announces that the backup has promoted itself to primary after
+// detecting the primary's failure; it updates the name service so clients
+// and a recruited backup can find the new primary.
+type Takeover struct {
+	// NewPrimary is the promoted replica's address.
+	NewPrimary string
+	// Epoch increments on every takeover, fencing stale primaries.
+	Epoch uint32
+}
+
+// WireKind implements Message.
+func (*Takeover) WireKind() Kind { return KindTakeover }
+
+func (m *Takeover) appendBody(dst []byte) []byte {
+	dst = appendString(dst, m.NewPrimary)
+	return binary.BigEndian.AppendUint32(dst, m.Epoch)
+}
+
+func (m *Takeover) decodeBody(r *reader) error {
+	m.NewPrimary = r.string()
+	m.Epoch = r.uint32()
+	return r.err
+}
+
+// StateEntry is one object's state inside a StateTransfer.
+type StateEntry struct {
+	// ObjectID identifies the object.
+	ObjectID uint32
+	// Seq is the primary's current sequence number for the object.
+	Seq uint64
+	// Version is the object's current version timestamp (Unix nanos).
+	Version int64
+	// Payload is the object value.
+	Payload []byte
+}
+
+// StateTransfer brings a newly recruited backup up to the primary's
+// current state (Section 4.4: "supports the integration of a new backup").
+type StateTransfer struct {
+	// Epoch is the sending primary's epoch.
+	Epoch uint32
+	// Entries is the full object table.
+	Entries []StateEntry
+}
+
+// WireKind implements Message.
+func (*StateTransfer) WireKind() Kind { return KindStateTransfer }
+
+func (m *StateTransfer) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		dst = binary.BigEndian.AppendUint32(dst, e.ObjectID)
+		dst = binary.BigEndian.AppendUint64(dst, e.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Version))
+		dst = appendBytes(dst, e.Payload)
+	}
+	return dst
+}
+
+func (m *StateTransfer) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	n := r.uint32()
+	if r.err != nil {
+		return r.err
+	}
+	if n > MaxPayload {
+		return ErrOversize
+	}
+	m.Entries = make([]StateEntry, 0, min(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		e := StateEntry{
+			ObjectID: r.uint32(),
+			Seq:      r.uint64(),
+			Version:  int64(r.uint64()),
+			Payload:  r.bytes(),
+		}
+		if r.err != nil {
+			return r.err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return r.err
+}
+
+// StateTransferAck confirms a state transfer was applied.
+type StateTransferAck struct {
+	// Epoch echoes the transfer's epoch.
+	Epoch uint32
+	// Objects is the number of entries applied.
+	Objects uint32
+}
+
+// WireKind implements Message.
+func (*StateTransferAck) WireKind() Kind { return KindStateTransferAck }
+
+func (m *StateTransferAck) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	return binary.BigEndian.AppendUint32(dst, m.Objects)
+}
+
+func (m *StateTransferAck) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.Objects = r.uint32()
+	return r.err
+}
+
+// Order is the active-replication baseline's totally ordered write: the
+// sequencer assigns Seq and multicasts; replicas apply orders strictly in
+// sequence.
+type Order struct {
+	// Seq is the global total-order position.
+	Seq uint64
+	// ObjectID identifies the object written.
+	ObjectID uint32
+	// Version is the write's timestamp (Unix nanos).
+	Version int64
+	// Payload is the written value.
+	Payload []byte
+}
+
+// WireKind implements Message.
+func (*Order) WireKind() Kind { return KindOrder }
+
+func (m *Order) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, m.ObjectID)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Version))
+	return appendBytes(dst, m.Payload)
+}
+
+func (m *Order) decodeBody(r *reader) error {
+	m.Seq = r.uint64()
+	m.ObjectID = r.uint32()
+	m.Version = int64(r.uint64())
+	m.Payload = r.bytes()
+	return r.err
+}
+
+// OrderAck acknowledges atomic delivery of one order at one replica.
+type OrderAck struct {
+	// Seq echoes the order.
+	Seq uint64
+}
+
+// WireKind implements Message.
+func (*OrderAck) WireKind() Kind { return KindOrderAck }
+
+func (m *OrderAck) appendBody(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, m.Seq)
+}
+
+func (m *OrderAck) decodeBody(r *reader) error {
+	m.Seq = r.uint64()
+	return r.err
+}
+
+// UpdateAck confirms a backup applied one specific update; sent only for
+// updates that carried AckRequested.
+type UpdateAck struct {
+	// ObjectID identifies the object.
+	ObjectID uint32
+	// Seq echoes the acknowledged update's sequence number.
+	Seq uint64
+}
+
+// WireKind implements Message.
+func (*UpdateAck) WireKind() Kind { return KindUpdateAck }
+
+func (m *UpdateAck) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.ObjectID)
+	return binary.BigEndian.AppendUint64(dst, m.Seq)
+}
+
+func (m *UpdateAck) decodeBody(r *reader) error {
+	m.ObjectID = r.uint32()
+	m.Seq = r.uint64()
+	return r.err
+}
+
+// --- primitive encoding helpers ---
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendDuration(dst []byte, d time.Duration) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(d.Nanoseconds()))
+}
+
+// reader is a bounds-checked big-endian cursor; the first error sticks and
+// every subsequent read returns a zero value.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) uint8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) bool() bool { return r.uint8() != 0 }
+
+func (r *reader) uint16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) uint32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) uint64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) duration() time.Duration {
+	v := r.uint64()
+	if v > math.MaxInt64 {
+		r.err = ErrTruncated
+		return 0
+	}
+	return time.Duration(v)
+}
+
+func (r *reader) string() string {
+	n := int(r.uint16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uint32()
+	if n > MaxPayload {
+		r.err = ErrOversize
+		return nil
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

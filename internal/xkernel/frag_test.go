@@ -1,0 +1,201 @@
+package xkernel
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+)
+
+// buildFragStack assembles uport → frag → driver on a fake fabric host.
+func buildFragStack(t *testing.T, clk *clock.SimClock, fabric *fakeFabric, host string, mtu int) *Graph {
+	t.Helper()
+	g, err := BuildGraph([]Spec{
+		{Name: "uport", Below: "frag", Build: PortFactory()},
+		{Name: "frag", Below: "driver", Build: FragFactory(FragOptions{MTU: mtu, Clock: clk, Timeout: 100 * time.Millisecond})},
+		{Name: "driver", Build: DriverFactory(fabric.endpoint(host))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFragSmallMessagePassesThrough(t *testing.T) {
+	clk := clock.NewSim()
+	fabric := newFakeFabric()
+	ga := buildFragStack(t, clk, fabric, "a", 100)
+	gb := buildFragStack(t, clk, fabric, "b", 100)
+	var got []byte
+	portOf(t, gb).EnablePort(9, UpperFunc(func(m *Message, from Addr) error {
+		got = append([]byte(nil), m.Bytes()...)
+		return nil
+	}))
+	sess, err := portOf(t, ga).OpenFrom(9, "b:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Push(NewMessage([]byte("tiny"))); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "tiny" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFragLargeMessageReassembles(t *testing.T) {
+	clk := clock.NewSim()
+	fabric := newFakeFabric()
+	ga := buildFragStack(t, clk, fabric, "a", 64)
+	gb := buildFragStack(t, clk, fabric, "b", 64)
+	var got []byte
+	deliveries := 0
+	portOf(t, gb).EnablePort(9, UpperFunc(func(m *Message, from Addr) error {
+		deliveries++
+		got = append([]byte(nil), m.Bytes()...)
+		return nil
+	}))
+	sess, err := portOf(t, ga).OpenFrom(9, "b:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 100) // 1600 B ≫ 64 B MTU
+	if err := sess.Push(NewMessage(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if deliveries != 1 {
+		t.Fatalf("deliveries = %d, want 1 reassembled message", deliveries)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: got %d bytes, want %d", len(got), len(payload))
+	}
+	// Each wire datagram stayed within MTU + headers.
+	// (The fake fabric delivers synchronously; reaching here means the
+	// driver accepted every fragment.)
+}
+
+func TestFragInterleavedMessagesFromSameSender(t *testing.T) {
+	clk := clock.NewSim()
+	fabric := newFakeFabric()
+	ga := buildFragStack(t, clk, fabric, "a", 32)
+	gb := buildFragStack(t, clk, fabric, "b", 32)
+	var got []string
+	portOf(t, gb).EnablePort(9, UpperFunc(func(m *Message, from Addr) error {
+		got = append(got, string(m.Bytes()))
+		return nil
+	}))
+	sess, _ := portOf(t, ga).OpenFrom(9, "b:9")
+	m1 := bytes.Repeat([]byte("A"), 100)
+	m2 := bytes.Repeat([]byte("B"), 100)
+	sess.Push(NewMessage(m1))
+	sess.Push(NewMessage(m2))
+	if len(got) != 2 || got[0] != string(m1) || got[1] != string(m2) {
+		t.Fatalf("messages corrupted: %d delivered", len(got))
+	}
+}
+
+func TestFragIncompleteReassemblyTimesOut(t *testing.T) {
+	clk := clock.NewSim()
+	fabric := newFakeFabric()
+	gb := buildFragStack(t, clk, fabric, "b", 32)
+	frag, _ := gb.Protocol("frag")
+	deliveries := 0
+	portOf(t, gb).EnablePort(9, UpperFunc(func(m *Message, from Addr) error {
+		deliveries++
+		return nil
+	}))
+	// Hand-craft fragment 0 of 3 and never send the rest.
+	m := NewMessage([]byte("partial"))
+	var h [fragHeaderLen]byte
+	h[3] = 1 // id 1
+	h[7] = 3 // count 3
+	m.Push(h[:])
+	if err := frag.Demux(m, "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := frag.Control("pending-reassemblies", nil); v != 1 {
+		t.Fatalf("pending = %v, want 1", v)
+	}
+	clk.RunFor(200 * time.Millisecond)
+	if v, _ := frag.Control("pending-reassemblies", nil); v != 0 {
+		t.Fatalf("pending after timeout = %v, want 0", v)
+	}
+	if deliveries != 0 {
+		t.Fatal("partial message delivered")
+	}
+}
+
+func TestFragDuplicateFragmentIgnored(t *testing.T) {
+	clk := clock.NewSim()
+	fabric := newFakeFabric()
+	gb := buildFragStack(t, clk, fabric, "b", 32)
+	frag, _ := gb.Protocol("frag")
+	deliveries := 0
+	portOf(t, gb).EnablePort(9, UpperFunc(func(m *Message, from Addr) error {
+		deliveries++
+		return nil
+	}))
+	// The reassembled message must form a valid port header (src=0,
+	// dst=9) so the port protocol above delivers it.
+	halves := [2][]byte{{0, 0}, {0, 9}}
+	mk := func(idx byte) *Message {
+		m := NewMessage(halves[idx])
+		var h [fragHeaderLen]byte
+		h[3] = 7
+		h[5] = idx
+		h[7] = 2
+		m.Push(h[:])
+		return m
+	}
+	frag.Demux(mk(0), "x")
+	frag.Demux(mk(0), "x") // duplicate
+	if deliveries != 0 {
+		t.Fatal("incomplete message delivered after duplicate")
+	}
+	frag.Demux(mk(1), "x")
+	if deliveries != 1 {
+		t.Fatalf("deliveries = %d, want 1", deliveries)
+	}
+}
+
+func TestFragRejectsMalformedHeader(t *testing.T) {
+	clk := clock.NewSim()
+	fabric := newFakeFabric()
+	gb := buildFragStack(t, clk, fabric, "b", 32)
+	frag, _ := gb.Protocol("frag")
+	if err := frag.Demux(NewMessage([]byte{1, 2}), "x"); err == nil {
+		t.Fatal("short fragment accepted")
+	}
+	m := NewMessage(nil)
+	var h [fragHeaderLen]byte // count 0
+	m.Push(h[:])
+	if err := frag.Demux(m, "x"); err == nil {
+		t.Fatal("zero-count fragment accepted")
+	}
+}
+
+func TestFragControlMTU(t *testing.T) {
+	clk := clock.NewSim()
+	fabric := newFakeFabric()
+	gb := buildFragStack(t, clk, fabric, "b", 99)
+	frag, _ := gb.Protocol("frag")
+	if v, err := frag.Control("mtu", nil); err != nil || v != 99 {
+		t.Fatalf("mtu = %v err=%v", v, err)
+	}
+	// Unknown ops delegate to the driver below.
+	if v, err := frag.Control("local-addr", nil); err != nil || v != "b" {
+		t.Fatalf("local-addr = %v err=%v", v, err)
+	}
+}
+
+func TestFragRequiresClockAndBelow(t *testing.T) {
+	if _, err := NewFragProtocol(FragOptions{Clock: clock.NewSim()}, nil); err == nil {
+		t.Fatal("nil below accepted")
+	}
+	fabric := newFakeFabric()
+	d := NewDriver("driver", fabric.endpoint("z"))
+	if _, err := NewFragProtocol(FragOptions{}, d); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}

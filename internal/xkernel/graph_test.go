@@ -1,0 +1,259 @@
+package xkernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fakeTransport is an in-memory loopback fabric shared by several
+// endpoints, delivering synchronously.
+type fakeFabric struct {
+	endpoints map[string]*fakeEndpoint
+}
+
+func newFakeFabric() *fakeFabric {
+	return &fakeFabric{endpoints: make(map[string]*fakeEndpoint)}
+}
+
+func (f *fakeFabric) endpoint(host string) *fakeEndpoint {
+	ep := &fakeEndpoint{fabric: f, host: host}
+	f.endpoints[host] = ep
+	return ep
+}
+
+type fakeEndpoint struct {
+	fabric *fakeFabric
+	host   string
+	recv   func(from string, payload []byte)
+	sent   int
+}
+
+func (e *fakeEndpoint) Send(to string, payload []byte) error {
+	e.sent++
+	dst, ok := e.fabric.endpoints[to]
+	if !ok || dst.recv == nil {
+		return nil // dropped, like UDP
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	dst.recv(e.host, cp)
+	return nil
+}
+
+func (e *fakeEndpoint) SetReceiver(fn func(from string, payload []byte)) { e.recv = fn }
+func (e *fakeEndpoint) LocalAddr() string                                { return e.host }
+func (e *fakeEndpoint) Close() error                                     { return nil }
+
+func buildStack(t *testing.T, fabric *fakeFabric, host string) *Graph {
+	t.Helper()
+	g, err := BuildGraph([]Spec{
+		{Name: "uport", Below: "driver", Build: PortFactory()},
+		{Name: "driver", Build: DriverFactory(fabric.endpoint(host))},
+	})
+	if err != nil {
+		t.Fatalf("BuildGraph(%s): %v", host, err)
+	}
+	return g
+}
+
+func portOf(t *testing.T, g *Graph) *PortProtocol {
+	t.Helper()
+	p, ok := g.Protocol("uport")
+	if !ok {
+		t.Fatal("uport missing from graph")
+	}
+	pp, ok := p.(*PortProtocol)
+	if !ok {
+		t.Fatalf("uport has type %T", p)
+	}
+	return pp
+}
+
+func TestGraphEndToEndPortDelivery(t *testing.T) {
+	fabric := newFakeFabric()
+	ga := buildStack(t, fabric, "alpha")
+	gb := buildStack(t, fabric, "beta")
+
+	var got []string
+	var gotFrom Addr
+	portOf(t, gb).EnablePort(7000, UpperFunc(func(m *Message, from Addr) error {
+		got = append(got, string(m.Bytes()))
+		gotFrom = from
+		return nil
+	}))
+
+	sess, err := portOf(t, ga).OpenFrom(7000, "beta:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Push(NewMessage([]byte("hello"))); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("delivered = %v, want [hello]", got)
+	}
+	if gotFrom != "alpha:7000" {
+		t.Fatalf("from = %q, want alpha:7000", gotFrom)
+	}
+}
+
+func TestPortDemuxDropsUnboundPort(t *testing.T) {
+	fabric := newFakeFabric()
+	ga := buildStack(t, fabric, "alpha")
+	buildStack(t, fabric, "beta") // no binding on beta
+
+	sess, err := portOf(t, ga).Open("beta:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push succeeds (fire and forget); beta drops it for lack of listener.
+	if err := sess.Push(NewMessage([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortEnableConflicts(t *testing.T) {
+	fabric := newFakeFabric()
+	g := buildStack(t, fabric, "alpha")
+	p := portOf(t, g)
+	u := UpperFunc(func(*Message, Addr) error { return nil })
+	if err := p.EnablePort(7000, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnablePort(7000, u); err == nil {
+		t.Fatal("duplicate EnablePort succeeded")
+	}
+	p.DisablePort(7000)
+	if err := p.EnablePort(7000, u); err != nil {
+		t.Fatalf("EnablePort after DisablePort: %v", err)
+	}
+	if err := p.OpenEnable(u); err == nil {
+		t.Fatal("portless OpenEnable succeeded on a port protocol")
+	}
+}
+
+func TestSessionCloseRejectsPush(t *testing.T) {
+	fabric := newFakeFabric()
+	g := buildStack(t, fabric, "alpha")
+	sess, err := portOf(t, g).Open("beta:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Push(NewMessage(nil)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestControlLocalAddrDelegates(t *testing.T) {
+	fabric := newFakeFabric()
+	g := buildStack(t, fabric, "alpha")
+	v, err := portOf(t, g).Control("local-addr", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "alpha" {
+		t.Fatalf("local-addr = %v, want alpha", v)
+	}
+	if _, err := portOf(t, g).Control("bogus", nil); !errors.Is(err, ErrUnknownControl) {
+		t.Fatalf("bogus control err = %v, want ErrUnknownControl", err)
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	fabric := newFakeFabric()
+	drv := DriverFactory(fabric.endpoint("x"))
+	cases := []struct {
+		name  string
+		specs []Spec
+		want  string
+	}{
+		{
+			"duplicate",
+			[]Spec{{Name: "a", Build: drv}, {Name: "a", Build: drv}},
+			"duplicate",
+		},
+		{
+			"missing below",
+			[]Spec{{Name: "p", Below: "ghost", Build: PortFactory()}},
+			"not declared",
+		},
+		{
+			"cycle",
+			[]Spec{
+				{Name: "a", Below: "b", Build: PortFactory()},
+				{Name: "b", Below: "a", Build: PortFactory()},
+			},
+			"cycle",
+		},
+		{
+			"empty name",
+			[]Spec{{Build: drv}},
+			"empty name",
+		},
+		{
+			"driver not at bottom",
+			[]Spec{
+				{Name: "bottom", Build: drv},
+				{Name: "driver2", Below: "bottom", Build: DriverFactory(fabric.endpoint("y"))},
+			},
+			"bottom",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := BuildGraph(tc.specs)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSplitJoinHostPort(t *testing.T) {
+	host, port, err := SplitHostPort("node-a:7000")
+	if err != nil || host != "node-a" || port != 7000 {
+		t.Fatalf("SplitHostPort = %q, %d, %v", host, port, err)
+	}
+	for _, bad := range []Addr{"nocolon", ":7000", "host:", "host:notanum", "host:70000"} {
+		if _, _, err := SplitHostPort(bad); err == nil {
+			t.Fatalf("SplitHostPort(%q) accepted", bad)
+		}
+	}
+	if JoinHostPort("h", 9) != "h:9" {
+		t.Fatal("JoinHostPort mismatch")
+	}
+}
+
+func TestPortEphemeralPortsDistinct(t *testing.T) {
+	fabric := newFakeFabric()
+	g := buildStack(t, fabric, "alpha")
+	p := portOf(t, g)
+	s1, err := p.Open("beta:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Open("beta:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s1.(*portSession).local
+	b := s2.(*portSession).local
+	if a == b {
+		t.Fatalf("ephemeral ports collide: %d", a)
+	}
+}
+
+func TestDriverDropsWithoutUpper(t *testing.T) {
+	fabric := newFakeFabric()
+	ep := fabric.endpoint("solo")
+	d := NewDriver("driver", ep)
+	if err := d.Demux(NewMessage(nil), "x"); !errors.Is(err, ErrNoUpper) {
+		t.Fatalf("Demux without upper = %v, want ErrNoUpper", err)
+	}
+	// Inbound datagrams before OpenEnable must not panic.
+	ep.recv("ghost", []byte("boo"))
+}

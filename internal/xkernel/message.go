@@ -1,0 +1,78 @@
+// Package xkernel is a from-scratch reimplementation of the x-kernel
+// protocol-development architecture (Hutchinson & Peterson) that the paper
+// uses as its implementation substrate. It provides the uniform protocol
+// interface (open/push/demux/control), messages with efficient header
+// push/pop, and a declaratively configured protocol graph. The RTPB
+// protocol in internal/core is written as an anchor protocol in this
+// framework, mirroring Figure 5 of the paper: RTPB sits on a UDP-like port
+// protocol, which sits on a network driver.
+package xkernel
+
+import "errors"
+
+// ErrShortMessage is returned by Pop when the message holds fewer bytes
+// than the requested header length.
+var ErrShortMessage = errors.New("xkernel: message shorter than header")
+
+// Message is a network message moving through the protocol graph. As in
+// the x-kernel, protocols prepend headers on the way down (Push) and strip
+// them on the way up (Pop). The implementation keeps the payload at the
+// tail of one buffer with headroom at the front, so a Push by each layer
+// is a copy of only that layer's header.
+type Message struct {
+	buf []byte
+	off int
+}
+
+// defaultHeadroom leaves room for a typical stack of small headers
+// without reallocating.
+const defaultHeadroom = 64
+
+// NewMessage builds a message whose current contents are payload.
+func NewMessage(payload []byte) *Message {
+	buf := make([]byte, defaultHeadroom+len(payload))
+	copy(buf[defaultHeadroom:], payload)
+	return &Message{buf: buf, off: defaultHeadroom}
+}
+
+// FromWire wraps bytes received from a driver as a message with no
+// headroom (nothing will be pushed onto an inbound message).
+func FromWire(b []byte) *Message {
+	return &Message{buf: b, off: 0}
+}
+
+// Len reports the current message length (headers pushed so far plus
+// payload).
+func (m *Message) Len() int { return len(m.buf) - m.off }
+
+// Bytes returns the current message contents. The slice aliases the
+// message's internal buffer; drivers must copy it if they retain it.
+func (m *Message) Bytes() []byte { return m.buf[m.off:] }
+
+// Push prepends a header to the message.
+func (m *Message) Push(header []byte) {
+	if len(header) > m.off {
+		grown := make([]byte, len(header)+defaultHeadroom+m.Len())
+		n := copy(grown[len(header)+defaultHeadroom:], m.Bytes())
+		m.buf = grown[:len(header)+defaultHeadroom+n]
+		m.off = len(header) + defaultHeadroom
+	}
+	m.off -= len(header)
+	copy(m.buf[m.off:], header)
+}
+
+// Pop strips an n-byte header from the front of the message and returns
+// it. The returned slice is valid until the next Push.
+func (m *Message) Pop(n int) ([]byte, error) {
+	if n < 0 || m.Len() < n {
+		return nil, ErrShortMessage
+	}
+	h := m.buf[m.off : m.off+n]
+	m.off += n
+	return h, nil
+}
+
+// Clone returns an independent copy of the message with fresh headroom.
+func (m *Message) Clone() *Message {
+	return NewMessage(m.Bytes())
+}

@@ -1,0 +1,180 @@
+package xkernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PortProtocol is a minimal UDP-like protocol: it multiplexes a host-level
+// datagram service into numbered ports with a four-byte header
+// (source port, destination port). In the paper's stack this is the role
+// UDP plays beneath the RTPB anchor protocol.
+type PortProtocol struct {
+	name      string
+	below     Protocol
+	down      Session // session to the protocol below, per remote host
+	sessions  map[Addr]Session
+	bindings  map[uint16]Upper
+	nextEphem uint16
+}
+
+var _ Protocol = (*PortProtocol)(nil)
+
+// portHeaderLen is srcPort(2) + dstPort(2).
+const portHeaderLen = 4
+
+// NewPortProtocol layers port multiplexing over the protocol below.
+func NewPortProtocol(name string, below Protocol) (*PortProtocol, error) {
+	if below == nil {
+		return nil, fmt.Errorf("xkernel: port protocol %q needs a protocol below", name)
+	}
+	p := &PortProtocol{
+		name:      name,
+		below:     below,
+		sessions:  make(map[Addr]Session),
+		bindings:  make(map[uint16]Upper),
+		nextEphem: 49152,
+	}
+	if err := below.OpenEnable(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PortFactory returns a Factory producing a PortProtocol.
+func PortFactory() Factory {
+	return func(below Protocol, opts map[string]string) (Protocol, error) {
+		name := opts["name"]
+		if name == "" {
+			name = "uport"
+		}
+		return NewPortProtocol(name, below)
+	}
+}
+
+// Name implements Protocol.
+func (p *PortProtocol) Name() string { return p.name }
+
+// OpenEnable implements Protocol. A port protocol demuxes by port number,
+// so passive opens must name a port; use EnablePort instead.
+func (p *PortProtocol) OpenEnable(Upper) error {
+	return fmt.Errorf("xkernel: %s: OpenEnable without a port; use EnablePort", p.name)
+}
+
+// EnablePort registers u to receive messages addressed to port.
+func (p *PortProtocol) EnablePort(port uint16, u Upper) error {
+	if _, taken := p.bindings[port]; taken {
+		return fmt.Errorf("xkernel: %s: port %d already enabled", p.name, port)
+	}
+	p.bindings[port] = u
+	return nil
+}
+
+// DisablePort removes a port binding.
+func (p *PortProtocol) DisablePort(port uint16) {
+	delete(p.bindings, port)
+}
+
+// Open implements Protocol: remote must be "host:port". The local port is
+// ephemeral; use OpenFrom to pin it.
+func (p *PortProtocol) Open(remote Addr) (Session, error) {
+	port := p.nextEphem
+	p.nextEphem++
+	if p.nextEphem == 0 {
+		p.nextEphem = 49152
+	}
+	return p.OpenFrom(port, remote)
+}
+
+// OpenFrom opens a session to remote ("host:port") with the given local
+// port, which is how a well-known-port protocol like RTPB opens its peer.
+func (p *PortProtocol) OpenFrom(local uint16, remote Addr) (Session, error) {
+	host, rport, err := SplitHostPort(remote)
+	if err != nil {
+		return nil, err
+	}
+	down, ok := p.sessions[Addr(host)]
+	if !ok {
+		down, err = p.below.Open(Addr(host))
+		if err != nil {
+			return nil, err
+		}
+		p.sessions[Addr(host)] = down
+	}
+	return &portSession{p: p, down: down, remote: remote, local: local, rport: rport}, nil
+}
+
+// Demux implements Protocol: strip the port header and deliver to the
+// upper protocol bound to the destination port.
+func (p *PortProtocol) Demux(m *Message, from Addr) error {
+	h, err := m.Pop(portHeaderLen)
+	if err != nil {
+		return err
+	}
+	src := binary.BigEndian.Uint16(h[0:2])
+	dst := binary.BigEndian.Uint16(h[2:4])
+	u, ok := p.bindings[dst]
+	if !ok {
+		return ErrNoUpper // no listener: drop, as UDP would
+	}
+	return u.Demux(m, JoinHostPort(string(from), src))
+}
+
+// Control implements Protocol. Supported ops:
+// "local-addr" → string (delegated to the protocol below).
+func (p *PortProtocol) Control(op string, arg any) (any, error) {
+	switch op {
+	case "local-addr":
+		return p.below.Control(op, arg)
+	default:
+		return nil, ErrUnknownControl
+	}
+}
+
+type portSession struct {
+	p      *PortProtocol
+	down   Session
+	remote Addr
+	local  uint16
+	rport  uint16
+	closed bool
+}
+
+func (s *portSession) Push(m *Message) error {
+	if s.closed {
+		return ErrClosed
+	}
+	var h [portHeaderLen]byte
+	binary.BigEndian.PutUint16(h[0:2], s.local)
+	binary.BigEndian.PutUint16(h[2:4], s.rport)
+	m.Push(h[:])
+	return s.down.Push(m)
+}
+
+func (s *portSession) Remote() Addr { return s.remote }
+
+func (s *portSession) Close() error {
+	s.closed = true
+	return nil
+}
+
+// SplitHostPort parses "host:port" (the last colon separates the port).
+func SplitHostPort(a Addr) (host string, port uint16, err error) {
+	s := string(a)
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 || i == len(s)-1 || i == 0 {
+		return "", 0, fmt.Errorf("%w: %q", ErrBadAddress, s)
+	}
+	n, err := strconv.ParseUint(s[i+1:], 10, 16)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: %q: %v", ErrBadAddress, s, err)
+	}
+	return s[:i], uint16(n), nil
+}
+
+// JoinHostPort formats a host and port as an Addr.
+func JoinHostPort(host string, port uint16) Addr {
+	return Addr(host + ":" + strconv.FormatUint(uint64(port), 10))
+}

@@ -1,0 +1,227 @@
+// Package rtpb is a Go implementation of Real-Time Primary-Backup (RTPB)
+// replication with temporal consistency guarantees (Zou & Jahanian,
+// ICDCS 1998).
+//
+// RTPB is a passive (primary-backup) replication scheme for real-time
+// systems. Clients register objects with declared update periods and
+// temporal-consistency constraints; the primary admits objects only when
+// the constraints are achievable (Section 4.2 of the paper), services
+// client writes, and schedules decoupled update transmissions to the
+// backup so that both replicas' images stay temporally consistent with
+// the external world (Theorems 1-5) and with each other (Theorem 6). A
+// heartbeat failure detector drives failover: on primary failure the
+// backup promotes itself, updates the name service, and recruits a
+// replacement.
+//
+// The package exposes three layers:
+//
+//   - The replica API (NewPrimary, NewBackup, Config, ObjectSpec), which
+//     runs over any Transport — the deterministic simulated network for
+//     tests and experiments, or real UDP sockets via cmd/rtpbd.
+//   - The analysis API (temporal conditions, scheduling feasibility and
+//     phase-variance bounds) re-exported from internal/temporal and
+//     internal/sched.
+//   - SimCluster, a turnkey simulated two-replica deployment in virtual
+//     time, used by the examples and the benchmark harness that
+//     regenerates the paper's figures.
+package rtpb
+
+import (
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/failover"
+	"rtpb/internal/netsim"
+	"rtpb/internal/sched"
+	"rtpb/internal/temporal"
+	"rtpb/internal/xkernel"
+)
+
+// Core replication types.
+type (
+	// Config configures a Primary or Backup replica.
+	Config = core.Config
+	// ObjectSpec declares an object at registration time.
+	ObjectSpec = core.ObjectSpec
+	// Decision is an admission-control outcome.
+	Decision = core.Decision
+	// Primary is the RTPB primary replica.
+	Primary = core.Primary
+	// Backup is the RTPB backup replica.
+	Backup = core.Backup
+	// CostModel maps protocol operations to CPU time.
+	CostModel = core.CostModel
+	// SchedulingMode selects normal or compressed update scheduling.
+	SchedulingMode = core.SchedulingMode
+	// SchedTest selects the admission-time schedulability test.
+	SchedTest = core.SchedTest
+)
+
+// Temporal-consistency model types.
+type (
+	// ExternalConstraint bounds an object image's staleness relative to
+	// the external world at the primary (DeltaP) and backup (DeltaB).
+	ExternalConstraint = temporal.ExternalConstraint
+	// InterObjectConstraint bounds the relative staleness of two
+	// objects.
+	InterObjectConstraint = temporal.InterObjectConstraint
+	// ConsistencyMonitor verifies temporal-consistency guarantees
+	// against observed update streams.
+	ConsistencyMonitor = temporal.Monitor
+)
+
+// Failover types.
+type (
+	// Detector is the ping/ack heartbeat failure detector.
+	Detector = failover.Detector
+	// DetectorConfig tunes the failure detector.
+	DetectorConfig = failover.DetectorConfig
+	// NameService records which replica currently serves as primary
+	// (in memory; simulations).
+	NameService = failover.NameService
+	// FileNameService is a name service persisted to the paper's "name
+	// file" (real deployments).
+	FileNameService = failover.FileNameService
+	// Directory abstracts over the two name services.
+	Directory = failover.Directory
+	// PromoteOptions parameterizes a backup-to-primary promotion.
+	PromoteOptions = failover.PromoteOptions
+)
+
+// Infrastructure types.
+type (
+	// Clock is the time substrate all replicas run on.
+	Clock = clock.Clock
+	// SimClock is the deterministic virtual-time clock.
+	SimClock = clock.SimClock
+	// RealClock runs callbacks on a real-time event loop.
+	RealClock = clock.RealClock
+	// LinkParams describes a simulated link's delay, jitter, and loss.
+	LinkParams = netsim.LinkParams
+	// Transport is the datagram service a replica's protocol graph
+	// rides on.
+	Transport = xkernel.Transport
+	// PortProtocol is the UDP-like port protocol of the x-kernel stack.
+	PortProtocol = xkernel.PortProtocol
+	// Addr is a protocol participant address ("host" or "host:port").
+	Addr = xkernel.Addr
+)
+
+// Scheduling modes.
+const (
+	// ScheduleNormal sends each object's update every
+	// SlackFactor·(δ_i − ℓ).
+	ScheduleNormal = core.ScheduleNormal
+	// ScheduleCompressed sends as many updates as the CPU allows.
+	ScheduleCompressed = core.ScheduleCompressed
+)
+
+// Admission-time schedulability tests.
+const (
+	// SchedTestRMBound is the Liu & Layland utilization bound (default).
+	SchedTestRMBound = core.SchedTestRMBound
+	// SchedTestRMExact is rate-monotonic response-time analysis.
+	SchedTestRMExact = core.SchedTestRMExact
+	// SchedTestEDF is the EDF density test.
+	SchedTestEDF = core.SchedTestEDF
+	// SchedTestDCS is the pinwheel S_r test of Theorem 3.
+	SchedTestDCS = core.SchedTestDCS
+)
+
+// RTPBPort is the well-known port the RTPB protocol listens on.
+const RTPBPort = core.RTPBPort
+
+// NewPrimary builds a primary replica on the given configuration.
+func NewPrimary(cfg Config) (*Primary, error) { return core.NewPrimary(cfg) }
+
+// NewBackup builds a backup replica on the given configuration.
+func NewBackup(cfg Config) (*Backup, error) { return core.NewBackup(cfg) }
+
+// NewSimClock returns a deterministic virtual-time clock.
+func NewSimClock() *SimClock { return clock.NewSim() }
+
+// NewRealClock starts a wall-clock event loop; Stop it when done.
+func NewRealClock() *RealClock { return clock.NewReal() }
+
+// NewMonitor returns an empty temporal-consistency monitor.
+func NewMonitor() *ConsistencyMonitor { return temporal.NewMonitor() }
+
+// NewNameService returns an empty in-memory primary directory.
+func NewNameService() *NameService { return failover.NewNameService() }
+
+// OpenFileNameService loads (or creates) a persistent name file.
+func OpenFileNameService(path string) (*FileNameService, error) {
+	return failover.OpenFileNameService(path)
+}
+
+// NewDetector builds a heartbeat failure detector (see failover.NewDetector).
+func NewDetector(clk Clock, cfg DetectorConfig, send func() uint64, onDead func()) (*Detector, error) {
+	return failover.NewDetector(clk, cfg, send, onDead)
+}
+
+// DefaultDetectorConfig returns the heartbeat configuration used by the
+// examples.
+func DefaultDetectorConfig() DetectorConfig { return failover.DefaultDetectorConfig() }
+
+// Promote executes the Section 4.4 takeover on a backup that has declared
+// the primary dead.
+func Promote(b *Backup, opts PromoteOptions) (*Primary, error) { return failover.Promote(b, opts) }
+
+// Recruit points a serving primary at a fresh replacement backup.
+func Recruit(p *Primary, backupAddr Addr) error { return failover.Recruit(p, backupAddr) }
+
+// NewStack assembles the paper's protocol graph (Figure 5) — RTPB's port
+// protocol over a network driver over the given transport — and returns
+// the port protocol a replica Config needs.
+func NewStack(tr Transport) (*PortProtocol, error) {
+	g, err := xkernel.BuildGraph([]xkernel.Spec{
+		{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
+		{Name: "driver", Build: xkernel.DriverFactory(tr)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	p, _ := g.Protocol("uport")
+	return p.(*xkernel.PortProtocol), nil
+}
+
+// NewStackMTU assembles the protocol graph with a fragmentation layer
+// between the port protocol and the driver (uport → frag → driver), so
+// objects larger than the transport MTU replicate transparently. Both
+// replicas must use the same stack shape.
+func NewStackMTU(tr Transport, clk Clock, mtu int) (*PortProtocol, error) {
+	g, err := xkernel.BuildGraph([]xkernel.Spec{
+		{Name: "uport", Below: "frag", Build: xkernel.PortFactory()},
+		{Name: "frag", Below: "driver", Build: xkernel.FragFactory(xkernel.FragOptions{
+			MTU:   mtu,
+			Clock: clk,
+		})},
+		{Name: "driver", Build: xkernel.DriverFactory(tr)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	p, _ := g.Protocol("uport")
+	return p.(*xkernel.PortProtocol), nil
+}
+
+// MaxPrimaryPeriod returns the largest client update period satisfying
+// external consistency at the primary (Theorem 1): δ_i^P − v_i.
+func MaxPrimaryPeriod(deltaP, phaseVariance time.Duration) time.Duration {
+	return temporal.MaxPrimaryPeriod(deltaP, phaseVariance)
+}
+
+// MaxBackupPeriod returns the largest backup-update period satisfying
+// external consistency at the backup (Theorem 5 simplification, with zero
+// phase variance): (δ_i^B − δ_i^P) − ℓ.
+func MaxBackupPeriod(c ExternalConstraint, ell time.Duration) time.Duration {
+	return temporal.MaxBackupPeriodTheorem5(c, ell)
+}
+
+// ZeroPhaseVarianceAchievable reports Theorem 3's condition: the pinwheel
+// scheduler S_r achieves zero phase variance for every task if
+// Σ e_i/p_i ≤ n(2^{1/n} − 1).
+func ZeroPhaseVarianceAchievable(ts sched.TaskSet) bool {
+	return sched.ZeroPhaseVarianceAchievable(ts)
+}

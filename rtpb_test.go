@@ -1,0 +1,191 @@
+package rtpb_test
+
+import (
+	"testing"
+	"time"
+
+	"rtpb"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func demoSpec(name string) rtpb.ObjectSpec {
+	return rtpb.ObjectSpec{
+		Name:         name,
+		Size:         32,
+		UpdatePeriod: ms(40),
+		Constraint:   rtpb.ExternalConstraint{DeltaP: ms(50), DeltaB: ms(200)},
+	}
+}
+
+func TestSimClusterQuickstartFlow(t *testing.T) {
+	c, err := rtpb.NewSimCluster(rtpb.SimClusterConfig{
+		Seed: 1,
+		Link: rtpb.LinkParams{Delay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Register(demoSpec("sensor")); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	w := c.WriteEvery("sensor", ms(40), func(i int) []byte { return []byte{byte(i)} })
+	c.RunFor(time.Second)
+	w.Stop()
+	if _, _, ok := c.Backup.Value("sensor"); !ok {
+		t.Fatal("backup missing replicated value")
+	}
+}
+
+func TestSimClusterRejectsBadLink(t *testing.T) {
+	if _, err := rtpb.NewSimCluster(rtpb.SimClusterConfig{
+		Link: rtpb.LinkParams{LossProb: 2},
+	}); err == nil {
+		t.Fatal("accepted loss probability 2")
+	}
+}
+
+func TestSimClusterCrashAndPartitionControls(t *testing.T) {
+	c, err := rtpb.NewSimCluster(rtpb.SimClusterConfig{
+		Seed: 2,
+		Link: rtpb.LinkParams{Delay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Register(demoSpec("x")); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	w := c.WriteEvery("x", ms(40), func(i int) []byte { return []byte{byte(i)} })
+	c.RunFor(500 * time.Millisecond)
+
+	// Partition: replication pauses but the primary keeps serving.
+	c.Partition()
+	_, verBefore, _ := c.Backup.Value("x")
+	c.RunFor(500 * time.Millisecond)
+	_, verAfter, _ := c.Backup.Value("x")
+	if !verAfter.Equal(verBefore) {
+		t.Fatal("backup advanced across a partition")
+	}
+	c.Heal()
+	c.RunFor(500 * time.Millisecond)
+	_, verHealed, _ := c.Backup.Value("x")
+	if !verHealed.After(verAfter) {
+		t.Fatal("backup did not catch up after heal")
+	}
+	w.Stop()
+
+	c.CrashPrimary()
+	if c.Primary.Running() {
+		t.Fatal("primary running after crash")
+	}
+	c.CrashBackup()
+	if c.Backup.Running() {
+		t.Fatal("backup running after crash")
+	}
+}
+
+func TestSimClusterAddHostAndWriteEveryTo(t *testing.T) {
+	c, err := rtpb.NewSimCluster(rtpb.SimClusterConfig{
+		Seed: 4,
+		Link: rtpb.LinkParams{Delay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Register(demoSpec("x")); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	// Attach an extra backup host through the facade and replicate to it.
+	port, err := c.AddHost("extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := rtpb.NewBackup(rtpb.Config{
+		Clock: c.Clock, Port: port, Peer: "primary:7000", Ell: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Primary.AddPeer("extra:7000"); err != nil {
+		t.Fatal(err)
+	}
+	w := c.WriteEveryTo(c.Primary, "x", 40*time.Millisecond, func(i int) []byte {
+		return []byte{byte(i)}
+	})
+	c.RunFor(500 * time.Millisecond)
+	w.Stop()
+	if _, _, ok := extra.Value("x"); !ok {
+		t.Fatal("facade-attached backup did not replicate")
+	}
+	// Duplicate host names are rejected.
+	if _, err := c.AddHost("extra"); err == nil {
+		t.Fatal("duplicate AddHost succeeded")
+	}
+}
+
+func TestAnalysisHelpers(t *testing.T) {
+	if got := rtpb.MaxPrimaryPeriod(ms(50), ms(10)); got != ms(40) {
+		t.Fatalf("MaxPrimaryPeriod = %v", got)
+	}
+	c := rtpb.ExternalConstraint{DeltaP: ms(50), DeltaB: ms(200)}
+	if got := rtpb.MaxBackupPeriod(c, ms(10)); got != ms(140) {
+		t.Fatalf("MaxBackupPeriod = %v", got)
+	}
+}
+
+func TestFailoverThroughPublicAPI(t *testing.T) {
+	c, err := rtpb.NewSimCluster(rtpb.SimClusterConfig{
+		Seed: 3,
+		Link: rtpb.LinkParams{Delay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := rtpb.NewNameService()
+	if err := ns.Set("svc", "primary:7000", 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Register(demoSpec("state")); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	c.Primary.ClientWrite("state", []byte("critical"), nil)
+	c.RunFor(500 * time.Millisecond)
+
+	var promoted *rtpb.Primary
+	det, err := rtpb.NewDetector(c.Clock, rtpb.DefaultDetectorConfig(), c.Backup.SendPing, func() {
+		p, perr := rtpb.Promote(c.Backup, rtpb.PromoteOptions{
+			Service:  "svc",
+			SelfAddr: "backup:7000",
+			Names:    ns,
+			PrimaryConfig: rtpb.Config{
+				Clock: c.Clock,
+				Port:  c.BackupPort(),
+				Ell:   5 * time.Millisecond,
+			},
+		})
+		if perr != nil {
+			t.Fatalf("promote: %v", perr)
+		}
+		promoted = p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Backup.OnPingAck = det.OnAck
+	det.Start()
+	c.RunFor(200 * time.Millisecond)
+
+	c.CrashPrimary()
+	c.RunFor(time.Second)
+	if promoted == nil {
+		t.Fatal("no promotion after primary crash")
+	}
+	if v, _, ok := promoted.Value("state"); !ok || string(v) != "critical" {
+		t.Fatalf("promoted primary state = %q ok=%v", v, ok)
+	}
+	addr, _, _ := ns.Lookup("svc")
+	if addr != "backup:7000" {
+		t.Fatalf("name service points at %v", addr)
+	}
+}

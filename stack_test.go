@@ -1,0 +1,122 @@
+package rtpb_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rtpb"
+	"rtpb/internal/clock"
+	"rtpb/internal/netsim"
+)
+
+// TestLargeObjectOverFragmentedStack replicates an object far larger than
+// the transport MTU through the uport→frag→driver graph, end to end.
+func TestLargeObjectOverFragmentedStack(t *testing.T) {
+	clk := clock.NewSim()
+	net := netsim.New(clk, 5)
+	if err := net.SetDefaultLink(rtpb.LinkParams{Delay: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	pEP, err := net.Endpoint("primary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEP, err := net.Endpoint("backup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mtu = 512
+	pPort, err := rtpb.NewStackMTU(pEP, clk, mtu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPort, err := rtpb.NewStackMTU(bEP, clk, mtu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := rtpb.NewPrimary(rtpb.Config{
+		Clock: clk, Port: pPort, Peer: "backup:7000", Ell: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := rtpb.NewBackup(rtpb.Config{
+		Clock: clk, Port: bPort, Peer: "primary:7000", Ell: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := primary.Register(rtpb.ObjectSpec{
+		Name:         "image",
+		Size:         8192,
+		UpdatePeriod: 40 * time.Millisecond,
+		Constraint: rtpb.ExternalConstraint{
+			DeltaP: 50 * time.Millisecond,
+			DeltaB: 300 * time.Millisecond,
+		},
+	}); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	payload := bytes.Repeat([]byte{0xC7, 0x01, 0x55, 0xAA}, 2048) // 8 KiB ≫ 512 B MTU
+	primary.ClientWrite("image", payload, nil)
+	clk.RunFor(500 * time.Millisecond)
+	got, _, ok := backup.Value("image")
+	if !ok {
+		t.Fatal("backup missing large object")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("large object corrupted over fragmentation: %d bytes", len(got))
+	}
+}
+
+// TestLargeObjectFragmentsSurviveModerateLoss checks that the whole-update
+// semantics hold under loss: a fragment loss costs that update, but the
+// next periodic update heals the backup.
+func TestLargeObjectFragmentsSurviveModerateLoss(t *testing.T) {
+	clk := clock.NewSim()
+	net := netsim.New(clk, 6)
+	if err := net.SetDefaultLink(rtpb.LinkParams{Delay: 2 * time.Millisecond, LossProb: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	pEP, _ := net.Endpoint("primary")
+	bEP, _ := net.Endpoint("backup")
+	pPort, _ := rtpb.NewStackMTU(pEP, clk, 256)
+	bPort, _ := rtpb.NewStackMTU(bEP, clk, 256)
+	primary, err := rtpb.NewPrimary(rtpb.Config{
+		Clock: clk, Port: pPort, Peer: "backup:7000", Ell: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := rtpb.NewBackup(rtpb.Config{
+		Clock: clk, Port: bPort, Peer: "primary:7000", Ell: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := primary.Register(rtpb.ObjectSpec{
+		Name:         "blob",
+		Size:         2048,
+		UpdatePeriod: 40 * time.Millisecond,
+		Constraint: rtpb.ExternalConstraint{
+			DeltaP: 50 * time.Millisecond,
+			DeltaB: 300 * time.Millisecond,
+		},
+	}); !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	want := bytes.Repeat([]byte{0x42}, 2048)
+	writer := clock.NewPeriodic(clk, 0, 40*time.Millisecond, func() {
+		primary.ClientWrite("blob", want, nil)
+	})
+	clk.RunFor(5 * time.Second)
+	writer.Stop()
+	got, _, ok := backup.Value("blob")
+	if !ok {
+		t.Fatal("backup missing object under loss")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("object corrupted: partial fragments were applied")
+	}
+}
