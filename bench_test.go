@@ -11,6 +11,7 @@
 package rtpb_test
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -50,6 +51,14 @@ func demoObjectSpec(name string) rtpb.ObjectSpec {
 // benchDuration is the virtual measurement interval per data point.
 const benchDuration = 2 * time.Second
 
+// seedFlag shifts every benchmark's fixed seeds (go test -bench . -seed=N)
+// so alternative simulated schedules can be explored; the default 0 keeps
+// runs byte-identical to the committed seeds.
+var seedFlag = flag.Int64("seed", 0, "offset added to the benchmarks' fixed seeds")
+
+// benchSeed derives the i-th iteration's seed from its committed base.
+func benchSeed(i int, base int64) int64 { return int64(i) + base + *seedFlag }
+
 var printOnce sync.Map
 
 // printFigure emits the regenerated table once per benchmark name.
@@ -65,7 +74,7 @@ func benchFigure(b *testing.B, gen func(int64, time.Duration) (*trace.Figure, er
 	b.Helper()
 	var fig *trace.Figure
 	for i := 0; i < b.N; i++ {
-		f, err := gen(1, benchDuration)
+		f, err := gen(1+*seedFlag, benchDuration)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +117,7 @@ func BenchmarkFigure12InconsistencyCompressed(b *testing.B) {
 func BenchmarkTheorem2PhaseVarianceBounds(b *testing.B) {
 	var worstEDF, worstRM float64
 	for i := 0; i < b.N; i++ {
-		rng := rand.New(rand.NewSource(int64(i) + 1))
+		rng := rand.New(rand.NewSource(benchSeed(i, 1)))
 		ts := randomBenchTaskSet(rng, 2+rng.Intn(5), 0.8)
 		u := ts.Utilization()
 		for _, policy := range []sched.Policy{sched.PolicyEDF, sched.PolicyRM} {
@@ -157,7 +166,7 @@ func BenchmarkTheorem2PhaseVarianceBounds(b *testing.B) {
 func BenchmarkTheorem3ZeroPhaseVariance(b *testing.B) {
 	checked := 0
 	for i := 0; i < b.N; i++ {
-		rng := rand.New(rand.NewSource(int64(i) + 100))
+		rng := rand.New(rand.NewSource(benchSeed(i, 100)))
 		ts := randomBenchTaskSet(rng, 2+rng.Intn(5), 0.6)
 		if !sched.ZeroPhaseVarianceAchievable(ts) {
 			continue
@@ -187,7 +196,7 @@ func BenchmarkTheorem5BackupWindow(b *testing.B) {
 	violations := 0
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Run(experiments.Params{
-			Seed:             int64(i) + 1,
+			Seed:             benchSeed(i, 1),
 			Delay:            2 * time.Millisecond,
 			Jitter:           time.Millisecond,
 			Ell:              5 * time.Millisecond,
@@ -240,8 +249,8 @@ func BenchmarkAblationSlackFactor(b *testing.B) {
 	}
 	var half, full time.Duration
 	for i := 0; i < b.N; i++ {
-		half += run(0.5, int64(i)+1)
-		full += run(1.0, int64(i)+1)
+		half += run(0.5, benchSeed(i, 1))
+		full += run(1.0, benchSeed(i, 1))
 	}
 	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
 		fmt.Printf("\nAblation (slack factor, 10%% loss): inconsistency with r=(δ−ℓ)/2: %v; with r=δ−ℓ: %v\n",
@@ -286,8 +295,8 @@ func BenchmarkAblationGapRecovery(b *testing.B) {
 	}
 	var with, without time.Duration
 	for i := 0; i < b.N; i++ {
-		with += run(false, int64(i)+1)
-		without += run(true, int64(i)+1)
+		with += run(false, benchSeed(i, 1))
+		without += run(true, benchSeed(i, 1))
 	}
 	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
 		fmt.Printf("\nAblation (gap recovery, 15%% loss): inconsistency with retransmission: %v; without: %v\n",
@@ -328,8 +337,8 @@ func BenchmarkAblationDecoupling(b *testing.B) {
 	}
 	var decoupled, writeThrough time.Duration
 	for i := 0; i < b.N; i++ {
-		decoupled += run(core.ScheduleNormal, int64(i)+1)
-		writeThrough += run(core.ScheduleWriteThrough, int64(i)+1)
+		decoupled += run(core.ScheduleNormal, benchSeed(i, 1))
+		writeThrough += run(core.ScheduleWriteThrough, benchSeed(i, 1))
 	}
 	if _, dup := printOnce.LoadOrStore(b.Name(), true); !dup {
 		fmt.Printf("\nAblation (decoupling, 32 fast writers): mean response decoupled: %v; write-through: %v\n",
@@ -348,7 +357,7 @@ func BenchmarkAblationDecoupling(b *testing.B) {
 func BenchmarkHybridCriticalObjects(b *testing.B) {
 	var critMean, plainMean time.Duration
 	for i := 0; i < b.N; i++ {
-		cluster, err := newHybridCluster(int64(i) + 1)
+		cluster, err := newHybridCluster(benchSeed(i, 1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -414,7 +423,7 @@ func BenchmarkLivePhaseVariance(b *testing.B) {
 func BenchmarkProtocolThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Run(experiments.Params{
-			Seed:             int64(i) + 1,
+			Seed:             benchSeed(i, 1),
 			Delay:            2 * time.Millisecond,
 			Jitter:           time.Millisecond,
 			Loss:             0.05,

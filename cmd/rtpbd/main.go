@@ -179,7 +179,7 @@ func runBackup(clk *clock.RealClock, cfg core.Config, heartbeat, verbose bool, s
 		}
 		backup = b
 		if verbose {
-			b.OnApply = func(_ uint32, name string, seq uint64, version, _ time.Time) {
+			b.OnApply = func(_ uint32, name string, _ uint32, seq uint64, version, _ time.Time) {
 				log.Printf("apply %s seq=%d version=%s", name, seq, version.Format(time.RFC3339Nano))
 			}
 			b.OnGap = func(id uint32, have, got uint64) {

@@ -1,5 +1,6 @@
 // Command rtpbench regenerates the paper's evaluation figures (Section 5)
-// on the simulated RTPB deployment and prints each as a data table or CSV.
+// on the simulated RTPB deployment and prints each as a data table or CSV,
+// and runs the deterministic fault-injection scenarios of internal/chaos.
 //
 // Usage:
 //
@@ -8,6 +9,11 @@
 //	rtpbench -csv               # CSV output
 //	rtpbench -duration 30s      # longer measurement interval per point
 //	rtpbench -seed 7            # different random seed
+//
+//	rtpbench chaos -list        # list the scenario catalogue
+//	rtpbench chaos              # run every quick scenario
+//	rtpbench chaos -full        # include the long soak scenarios
+//	rtpbench chaos -scenario split-brain-fencing -seed 3 -v
 package main
 
 import (
@@ -16,15 +22,98 @@ import (
 	"os"
 	"time"
 
+	"rtpb/internal/chaos"
 	"rtpb/internal/experiments"
 	"rtpb/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "chaos" {
+		err = runChaos(args[1:])
+	} else {
+		err = run(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtpbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos implements the "chaos" subcommand: list or execute the
+// fault-injection catalogue and exit non-zero on any invariant violation.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("rtpbench chaos", flag.ContinueOnError)
+	scenario := fs.String("scenario", "", "run a single scenario by name (default: the whole catalogue)")
+	seed := fs.Int64("seed", 0, "override the scenario's committed seed (0 keeps it)")
+	list := fs.Bool("list", false, "list the catalogue and exit")
+	verbose := fs.Bool("v", false, "print each scenario's virtual-timestamped event log")
+	full := fs.Bool("full", false, "include long soak scenarios in catalogue runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, sc := range chaos.Catalogue() {
+			tag := "quick"
+			if sc.Full {
+				tag = "full "
+			}
+			effSeed := sc.Seed
+			if effSeed == 0 {
+				effSeed = 1
+			}
+			fmt.Printf("%-26s %s seed=%-3d %s\n", sc.Name, tag, effSeed, sc.Description)
+		}
+		return nil
+	}
+
+	var scenarios []chaos.Scenario
+	if *scenario != "" {
+		sc, ok := chaos.Find(*scenario)
+		if !ok {
+			return fmt.Errorf("no such scenario %q (rtpbench chaos -list)", *scenario)
+		}
+		scenarios = []chaos.Scenario{sc}
+	} else {
+		for _, sc := range chaos.Catalogue() {
+			if sc.Full && !*full {
+				continue
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+
+	failed := 0
+	for _, sc := range scenarios {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		res, err := chaos.Run(sc)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		status := "PASS"
+		if res.Failed() {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-26s seed=%-3d %6v virtual, %d promotions, epoch %d\n",
+			status, res.Scenario, res.Seed, res.Elapsed, res.Promotions, res.FinalEpoch)
+		for _, v := range res.Violations {
+			fmt.Printf("     violation: %s\n", v)
+		}
+		if *verbose {
+			for _, line := range res.Log {
+				fmt.Printf("     %s\n", line)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(scenarios))
+	}
+	return nil
 }
 
 func run(args []string) error {

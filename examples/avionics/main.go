@@ -72,7 +72,7 @@ func run() error {
 		now := cluster.Clock.Now()
 		monitor.RecordUpdate("primary", name, now, now)
 	}
-	cluster.Backup.OnApply = func(_ uint32, name string, _ uint64, version, at time.Time) {
+	cluster.Backup.OnApply = func(_ uint32, name string, _ uint32, _ uint64, version, at time.Time) {
 		monitor.RecordUpdate("backup", name, version, at)
 	}
 

@@ -74,7 +74,7 @@ func run() error {
 	}
 	retransmits := 0
 	cluster.Primary.OnRetransmitRequest = func(uint32) { retransmits++ }
-	cluster.Backup.OnApply = func(_ uint32, name string, _ uint64, version, at time.Time) {
+	cluster.Backup.OnApply = func(_ uint32, name string, _ uint32, _ uint64, version, at time.Time) {
 		monitor.RecordUpdate("backup", name, version, at)
 	}
 

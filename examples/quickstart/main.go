@@ -55,7 +55,7 @@ func run() error {
 	// the backup's applied updates.
 	monitor := rtpb.NewMonitor()
 	monitor.TrackExternal("backup", spec.Name, spec.Constraint.DeltaB)
-	cluster.Backup.OnApply = func(_ uint32, name string, _ uint64, version, at time.Time) {
+	cluster.Backup.OnApply = func(_ uint32, name string, _ uint32, _ uint64, version, at time.Time) {
 		monitor.RecordUpdate("backup", name, version, at)
 	}
 

@@ -1,0 +1,494 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/failover"
+	"rtpb/internal/netsim"
+	"rtpb/internal/temporal"
+	"rtpb/internal/xkernel"
+)
+
+// Node names used by every scenario.
+const (
+	// PrimaryNode hosts the initial primary.
+	PrimaryNode = "primary"
+	// BackupNode hosts the initial backup.
+	BackupNode = "backup"
+	// StandbyNode hosts the optional second backup (Scenario.Standby).
+	StandbyNode = "standby"
+	// ServiceName is the replicated service's name-service entry.
+	ServiceName = "chaos"
+)
+
+// Node is one machine in the harnessed cluster. A node hosts at most one
+// replica role at a time; promotion and restart swap the role in place,
+// exactly like the paper's deployment.
+type Node struct {
+	// Name is the node's host name on the fabric.
+	Name string
+	// EP is the node's network attachment (SetDown models crashes).
+	EP *netsim.Endpoint
+	// Port is the node's x-kernel port protocol.
+	Port *xkernel.PortProtocol
+	// Primary is the node's primary replica, if it currently runs one.
+	Primary *core.Primary
+	// Backup is the node's backup replica, if it currently runs one.
+	Backup *core.Backup
+	// Det is the backup-side failure detector, when Backup is set.
+	Det *failover.Detector
+
+	peer    xkernel.Addr // primary this node's backup replicates from
+	applies int
+}
+
+// Addr is the node's RTPB address on the fabric.
+func (n *Node) Addr() xkernel.Addr { return xkernel.Addr(n.Name + ":" + fmt.Sprint(core.RTPBPort)) }
+
+// Harness is a running chaos cluster: the simulated fabric, the nodes,
+// the monitor, and the accumulated event log and violations.
+type Harness struct {
+	sc    Scenario
+	clk   *clock.SimClock
+	net   *netsim.Network
+	ns    *failover.NameService
+	mon   *temporal.Monitor
+	nodes map[string]*Node
+	order []string
+
+	active     *core.Primary
+	activeNode string
+
+	start       time.Time
+	log         []string
+	violations  []string
+	checkpoints map[string]checkpoint
+	writers     []*clock.Periodic
+	writeCounts map[string]int
+	maxEpoch    map[string]uint32
+	lastVersion map[string]time.Time
+	promotions  int
+	promotedAt  []time.Time
+}
+
+// Clock exposes the harness clock (rtpbench's standalone runner reports
+// virtual elapsed time).
+func (h *Harness) Clock() clock.Clock { return h.clk }
+
+// ActivePrimary returns the primary currently serving clients and the
+// node hosting it.
+func (h *Harness) ActivePrimary() (*core.Primary, string) { return h.active, h.activeNode }
+
+// Monitor exposes the temporal-consistency monitor.
+func (h *Harness) Monitor() *temporal.Monitor { return h.mon }
+
+// Network exposes the simulated fabric.
+func (h *Harness) Network() *netsim.Network { return h.net }
+
+func (h *Harness) logf(format string, args ...any) {
+	offset := h.clk.Now().Sub(h.start).Round(100 * time.Microsecond)
+	h.log = append(h.log, fmt.Sprintf("+%-9v %s", offset, fmt.Sprintf(format, args...)))
+}
+
+func (h *Harness) violationf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	h.violations = append(h.violations, msg)
+	h.logf("VIOLATION: %s", msg)
+}
+
+// newHarness builds and wires the cluster for a normalized scenario.
+func newHarness(sc Scenario) (*Harness, error) {
+	h := &Harness{
+		sc:          sc,
+		clk:         clock.NewSim(),
+		ns:          failover.NewNameService(),
+		mon:         temporal.NewMonitor(),
+		nodes:       make(map[string]*Node),
+		checkpoints: make(map[string]checkpoint),
+		writeCounts: make(map[string]int),
+		maxEpoch:    make(map[string]uint32),
+		lastVersion: make(map[string]time.Time),
+	}
+	h.start = h.clk.Now()
+	h.net = netsim.New(h.clk, sc.Seed)
+	if err := h.net.SetDefaultLink(sc.Link); err != nil {
+		return nil, err
+	}
+
+	names := []string{PrimaryNode, BackupNode}
+	if sc.Standby {
+		names = append(names, StandbyNode)
+	}
+	for _, name := range names {
+		ep, err := h.net.Endpoint(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := xkernel.BuildGraph([]xkernel.Spec{
+			{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
+			{Name: "driver", Build: xkernel.DriverFactory(ep)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		proto, _ := g.Protocol("uport")
+		n := &Node{Name: name, EP: ep, Port: proto.(*xkernel.PortProtocol)}
+		h.nodes[name] = n
+		h.order = append(h.order, name)
+	}
+
+	// The primary replicates to every other node.
+	var peers []xkernel.Addr
+	for _, name := range h.order[1:] {
+		peers = append(peers, h.nodes[name].Addr())
+	}
+	primary, err := core.NewPrimary(core.Config{
+		Clock:      h.clk,
+		Port:       h.nodes[PrimaryNode].Port,
+		Peers:      peers,
+		Ell:        sc.Ell,
+		Scheduling: sc.Scheduling,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.nodes[PrimaryNode].Primary = primary
+	h.active = primary
+	h.activeNode = PrimaryNode
+	if err := h.ns.Set(ServiceName, h.nodes[PrimaryNode].Addr(), 1); err != nil {
+		return nil, err
+	}
+
+	for _, name := range h.order[1:] {
+		n := h.nodes[name]
+		b, err := core.NewBackup(core.Config{
+			Clock:               h.clk,
+			Port:                n.Port,
+			Peer:                h.nodes[PrimaryNode].Addr(),
+			Ell:                 sc.Ell,
+			DisableEpochFencing: sc.DisableFencing,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.Backup = b
+		n.peer = h.nodes[PrimaryNode].Addr()
+		if err := h.wireBackup(n); err != nil {
+			return nil, err
+		}
+		for _, spec := range sc.Objects {
+			h.mon.TrackExternal(name, spec.Name, spec.Constraint.DeltaB)
+		}
+		for _, c := range sc.InterObjects {
+			h.mon.TrackInterObject(name, c)
+		}
+	}
+
+	for _, spec := range sc.Objects {
+		if d := primary.Register(spec); !d.Accepted {
+			return nil, fmt.Errorf("chaos: object %q rejected: %s", spec.Name, d.Reason)
+		}
+	}
+	for _, c := range sc.InterObjects {
+		if _, err := primary.RegisterInterObject(c); err != nil {
+			return nil, fmt.Errorf("chaos: inter-object %s/%s rejected: %w", c.I, c.J, err)
+		}
+	}
+
+	h.startWriters()
+	return h, nil
+}
+
+// wireBackup attaches the monitor hooks and a fresh failure detector to
+// the node's backup replica.
+func (h *Harness) wireBackup(n *Node) error {
+	b := n.Backup
+	b.OnApply = func(_ uint32, name string, epoch uint32, _ uint64, version, at time.Time) {
+		h.observeApply(n, name, epoch, version, at)
+	}
+	det, err := failover.NewDetector(h.clk, h.sc.Detector, b.SendPing, func() {
+		h.onPrimaryDead(n)
+	})
+	if err != nil {
+		return err
+	}
+	b.OnPingAck = det.OnAck
+	n.Det = det
+	det.Start()
+	return nil
+}
+
+// observeApply is the streaming invariant hook: every applied update is
+// fed to the monitor and checked for epoch and version monotonicity.
+func (h *Harness) observeApply(n *Node, object string, epoch uint32, version, at time.Time) {
+	n.applies++
+	h.mon.RecordUpdate(n.Name, object, version, at)
+
+	if max := h.maxEpoch[n.Name]; epoch != 0 && epoch < max {
+		h.violationf("split-brain: %s applied %q state from fenced epoch %d after hearing epoch %d",
+			n.Name, object, epoch, max)
+	} else if epoch > max {
+		h.maxEpoch[n.Name] = epoch
+		h.logf("%s adopts epoch %d", n.Name, epoch)
+	}
+
+	key := n.Name + "/" + object
+	if last, ok := h.lastVersion[key]; ok && version.Before(last) {
+		h.violationf("version regression: %s applied %q version %v after %v",
+			n.Name, object, version.Format("15:04:05.000"), last.Format("15:04:05.000"))
+	}
+	h.lastVersion[key] = version
+}
+
+// onPrimaryDead is a backup detector's death verdict. If the name
+// service already records a successor for the service (another backup's
+// detector fired first), this node yields and rejoins the new primary as
+// a backup; otherwise it promotes itself (Section 4.4), keeping any
+// other live backup as its peer. The name-service arbitration is what
+// keeps concurrent detector verdicts from electing two primaries.
+func (h *Harness) onPrimaryDead(n *Node) {
+	h.logf("%s: detector declares primary dead after %d misses", n.Name, h.sc.Detector.MaxMisses)
+	if addr, epoch, ok := h.ns.Lookup(ServiceName); ok && addr != n.peer {
+		h.logf("%s: %v already superseded by %v (epoch %d); yielding", n.Name, n.peer, addr, epoch)
+		n.Backup.Stop()
+		n.Backup = nil
+		n.Det = nil
+		if err := h.attachBackup(n); err != nil {
+			h.violationf("yield on %s: %v", n.Name, err)
+		}
+		return
+	}
+	var peers []xkernel.Addr
+	for _, name := range h.order {
+		o := h.nodes[name]
+		if o != n && o.Backup != nil && o.Backup.Running() {
+			peers = append(peers, o.Addr())
+		}
+	}
+	p, err := failover.Promote(n.Backup, failover.PromoteOptions{
+		Service:  ServiceName,
+		SelfAddr: n.Addr(),
+		Names:    h.ns,
+		PrimaryConfig: core.Config{
+			Clock:      h.clk,
+			Port:       n.Port,
+			Peers:      peers,
+			Ell:        h.sc.Ell,
+			Scheduling: h.sc.Scheduling,
+		},
+		ActivateClient: func(p *core.Primary) {
+			h.active = p
+			h.activeNode = n.Name
+		},
+	})
+	if err != nil {
+		h.violationf("promotion on %s failed: %v", n.Name, err)
+		return
+	}
+	n.Backup = nil
+	n.Det = nil
+	n.Primary = p
+	h.promotions++
+	h.promotedAt = append(h.promotedAt, h.clk.Now())
+	if len(peers) > 0 {
+		// Resume replication to the surviving backups immediately (the
+		// promotion left them marked dead until recruitment).
+		p.SetBackupAlive(true)
+	}
+	h.logf("%s: promoted to primary, epoch %d, peers %v", n.Name, p.Epoch(), peers)
+}
+
+// crash kills the named node.
+func (h *Harness) crash(name string) {
+	n := h.nodes[name]
+	if n == nil {
+		h.violationf("crash: unknown node %q", name)
+		return
+	}
+	n.EP.SetDown(true)
+	if n.Det != nil {
+		n.Det.Stop()
+		n.Det = nil
+	}
+	if n.Primary != nil {
+		n.Primary.Stop()
+		n.Primary = nil
+	}
+	if n.Backup != nil {
+		n.Backup.Stop()
+		n.Backup = nil
+		// The live primary's failure detector notices a dead backup; the
+		// harness delivers the verdict instantly for determinism.
+		if h.active != nil && h.active.Running() && h.activeNode != name {
+			h.active.SetPeerAlive(n.Addr(), false)
+		}
+	}
+	h.logf("%s is down", name)
+}
+
+// restartAsBackup revives a crashed node as a backup of the current
+// primary and re-integrates it (registration replay + state transfer).
+func (h *Harness) restartAsBackup(name string) {
+	n := h.nodes[name]
+	if n == nil {
+		h.violationf("restart: unknown node %q", name)
+		return
+	}
+	if n.Primary != nil || n.Backup != nil {
+		h.logf("restart %s: already up, no-op", name)
+		return
+	}
+	n.EP.SetDown(false)
+	if err := h.attachBackup(n); err != nil {
+		h.violationf("restart %s: %v", name, err)
+	}
+}
+
+// attachBackup starts a fresh backup on the node, pointed at whatever
+// primary the name service currently records, and re-integrates it with
+// the serving primary: the stale peer entry (with its session and
+// registration marks) is dropped and the node re-attached, which replays
+// every registration and pushes a full state transfer (Section 4.4's
+// recruitment path).
+func (h *Harness) attachBackup(n *Node) error {
+	primaryAddr, _, ok := h.ns.Lookup(ServiceName)
+	if !ok {
+		return fmt.Errorf("no primary in name service")
+	}
+	b, err := core.NewBackup(core.Config{
+		Clock:               h.clk,
+		Port:                n.Port,
+		Peer:                primaryAddr,
+		Ell:                 h.sc.Ell,
+		DisableEpochFencing: h.sc.DisableFencing,
+	})
+	if err != nil {
+		return err
+	}
+	n.Backup = b
+	n.peer = primaryAddr
+	if err := h.wireBackup(n); err != nil {
+		return err
+	}
+	h.logf("%s is up as backup of %s", n.Name, primaryAddr)
+	if h.active == nil || !h.active.Running() {
+		return nil
+	}
+	addr := n.Addr()
+	h.active.RemovePeer(addr)
+	if err := h.active.AddPeer(addr); err != nil {
+		return fmt.Errorf("attach to primary: %w", err)
+	}
+	return nil
+}
+
+// startWriters begins the periodic client workload against the active
+// primary, one writer per object.
+func (h *Harness) startWriters() {
+	for _, spec := range h.sc.Objects {
+		spec := spec
+		period := h.sc.WritePeriod
+		if period == 0 {
+			period = spec.UpdatePeriod
+		}
+		w := clock.NewPeriodic(h.clk, 0, period, func() {
+			p := h.active
+			if p == nil || !p.Running() {
+				return
+			}
+			h.writeCounts[spec.Name]++
+			val := fmt.Sprintf("%s#%d@%v", spec.Name, h.writeCounts[spec.Name],
+				h.clk.Now().Sub(h.start).Round(time.Millisecond))
+			p.ClientWrite(spec.Name, []byte(val), nil)
+		})
+		h.writers = append(h.writers, w)
+	}
+}
+
+func (h *Harness) stopWriters() {
+	for _, w := range h.writers {
+		w.Stop()
+	}
+	h.writers = nil
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	// Scenario and Seed identify the run for replay.
+	Scenario string
+	Seed     int64
+	// Log is the virtual-timestamped event log; identical across runs of
+	// the same (scenario, seed).
+	Log []string
+	// Violations are streaming safety violations plus failed end-state
+	// invariants; empty means the run passed.
+	Violations []string
+	// Promotions counts backup-to-primary takeovers.
+	Promotions int
+	// FinalEpoch is the serving primary's epoch at the end (0 if none).
+	FinalEpoch uint32
+	// Elapsed is the total virtual time simulated.
+	Elapsed time.Duration
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Run executes a scenario to completion and evaluates its invariants.
+// The run is deterministic: the same scenario and seed produce an
+// identical Result, and every failure message embeds the seed so a
+// replay reproduces it byte-for-byte.
+func Run(sc Scenario) (*Result, error) {
+	sc.normalize()
+	h, err := newHarness(sc)
+	if err != nil {
+		return nil, err
+	}
+	h.logf("scenario %q seed %d: %s", sc.Name, sc.Seed, sc.Description)
+	for _, inv := range sc.Invariants {
+		// Checkpoint invariants capture their evidence mid-run.
+		if a, ok := inv.(armer); ok {
+			a.arm(h)
+		}
+	}
+	for _, ev := range sc.Events {
+		ev := ev
+		h.clk.Schedule(ev.At, func() {
+			h.logf("inject: %s", ev.Fault)
+			ev.Fault.apply(h)
+		})
+	}
+	h.clk.RunFor(sc.Duration)
+	// The workload ends here, and so does the measured run: once the
+	// source stops changing, growing wall-clock staleness is an artifact
+	// of the harness, not a protocol violation. The settle phase only
+	// drains in-flight traffic so end-state invariants see a quiet
+	// cluster.
+	h.stopWriters()
+	h.mon.FinishAt(h.clk.Now())
+	h.clk.RunFor(sc.Settle)
+
+	for _, inv := range sc.Invariants {
+		if err := inv.Check(h); err != nil {
+			h.violationf("invariant %s: %v", inv.Name(), err)
+		} else {
+			h.logf("invariant %s: ok", inv.Name())
+		}
+	}
+
+	res := &Result{
+		Scenario:   sc.Name,
+		Seed:       sc.Seed,
+		Log:        h.log,
+		Violations: h.violations,
+		Promotions: h.promotions,
+		Elapsed:    h.clk.Now().Sub(h.start),
+	}
+	if h.active != nil && h.active.Running() {
+		res.FinalEpoch = h.active.Epoch()
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"fmt"
+
+	"rtpb/internal/netsim"
+)
+
+// Degrade sets both directions between two nodes to the given link
+// parameters — loss bursts, jitter spikes, duplication storms.
+type Degrade struct {
+	// A and B name the nodes.
+	A, B string
+	// Link is the degraded quality applied in both directions.
+	Link netsim.LinkParams
+}
+
+// String implements Fault.
+func (f Degrade) String() string {
+	return fmt.Sprintf("degrade %s<->%s loss=%.2f dup=%.2f delay=%v jitter=%v",
+		f.A, f.B, f.Link.LossProb, f.Link.DuplicateProb, f.Link.Delay, f.Link.Jitter)
+}
+
+func (f Degrade) apply(h *Harness) {
+	if err := h.net.SetLinkBoth(f.A, f.B, f.Link); err != nil {
+		h.violationf("degrade %s<->%s: %v", f.A, f.B, err)
+	}
+}
+
+// Partition cuts both directions between two nodes.
+type Partition struct {
+	// A and B name the nodes.
+	A, B string
+}
+
+// String implements Fault.
+func (f Partition) String() string { return fmt.Sprintf("partition %s<->%s", f.A, f.B) }
+
+func (f Partition) apply(h *Harness) { h.net.Partition(f.A, f.B) }
+
+// PartitionOneWay cuts only the From→To direction, the asymmetric
+// failure mode (data flows, acknowledgements vanish).
+type PartitionOneWay struct {
+	// From and To name the cut direction.
+	From, To string
+}
+
+// String implements Fault.
+func (f PartitionOneWay) String() string { return fmt.Sprintf("partition %s->%s", f.From, f.To) }
+
+func (f PartitionOneWay) apply(h *Harness) { h.net.PartitionOneWay(f.From, f.To) }
+
+// Heal removes cuts and explicit link degradation between two nodes,
+// restoring the scenario's default link.
+type Heal struct {
+	// A and B name the nodes.
+	A, B string
+}
+
+// String implements Fault.
+func (f Heal) String() string { return fmt.Sprintf("heal %s<->%s", f.A, f.B) }
+
+func (f Heal) apply(h *Harness) { h.net.Heal(f.A, f.B) }
+
+// Crash kills a node: its endpoint goes down, its replica stops, its
+// detector stops. A live primary elsewhere is informed (the harness
+// stands in for the primary-side failure detector so crash scenarios
+// stay deterministic).
+type Crash struct {
+	// Node names the victim.
+	Node string
+}
+
+// String implements Fault.
+func (f Crash) String() string { return fmt.Sprintf("crash %s", f.Node) }
+
+func (f Crash) apply(h *Harness) { h.crash(f.Node) }
+
+// Restart revives a crashed node as a backup of the current primary: the
+// endpoint comes back up, a fresh core.Backup binds the node's port, a
+// new detector starts, and the primary re-integrates it with a state
+// transfer (Section 4.4's recruitment path).
+type Restart struct {
+	// Node names the node to revive.
+	Node string
+}
+
+// String implements Fault.
+func (f Restart) String() string { return fmt.Sprintf("restart %s as backup", f.Node) }
+
+func (f Restart) apply(h *Harness) { h.restartAsBackup(f.Node) }
+
+// Suppress pauses (On=true) or resumes (On=false) a backup node's
+// failure detector, modelling a wedged monitoring task that misses a
+// real crash.
+type Suppress struct {
+	// Node names the backup whose detector is paused.
+	Node string
+	// On selects suppression (true) or resumption (false).
+	On bool
+}
+
+// String implements Fault.
+func (f Suppress) String() string {
+	if f.On {
+		return fmt.Sprintf("suppress detector on %s", f.Node)
+	}
+	return fmt.Sprintf("resume detector on %s", f.Node)
+}
+
+func (f Suppress) apply(h *Harness) {
+	n := h.nodes[f.Node]
+	if n == nil || n.Det == nil {
+		h.violationf("suppress: node %q has no detector", f.Node)
+		return
+	}
+	n.Det.Suppress(f.On)
+}
+
+// Write performs one scripted client write on a specific node's primary
+// (scenarios use it to drive a zombie primary that the automatic workload
+// has abandoned).
+type Write struct {
+	// Node names the node whose primary services the write.
+	Node string
+	// Object and Value are the write.
+	Object, Value string
+}
+
+// String implements Fault.
+func (f Write) String() string { return fmt.Sprintf("write %s=%q at %s", f.Object, f.Value, f.Node) }
+
+func (f Write) apply(h *Harness) {
+	n := h.nodes[f.Node]
+	if n == nil || n.Primary == nil || !n.Primary.Running() {
+		h.logf("write to %s dropped: no running primary", f.Node)
+		return
+	}
+	n.Primary.ClientWrite(f.Object, []byte(f.Value), nil)
+}
+
+// StopWriters halts the automatic client workload (so a scenario can
+// control exactly who writes last).
+type StopWriters struct{}
+
+// String implements Fault.
+func (StopWriters) String() string { return "stop client writers" }
+
+func (StopWriters) apply(h *Harness) { h.stopWriters() }

@@ -1,0 +1,327 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"rtpb/internal/temporal"
+)
+
+// Converged asserts that, after the settle phase, every running backup
+// holds exactly the active primary's current value for every object.
+type Converged struct{}
+
+// Name implements Checker.
+func (Converged) Name() string { return "converged" }
+
+// Check implements Checker.
+func (Converged) Check(h *Harness) error {
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary to converge to")
+	}
+	backups := 0
+	for _, name := range h.order {
+		n := h.nodes[name]
+		if n.Backup == nil || !n.Backup.Running() {
+			continue
+		}
+		backups++
+		for _, spec := range h.sc.Objects {
+			want, _, ok := h.active.Value(spec.Name)
+			if !ok {
+				return fmt.Errorf("primary has no value for %q", spec.Name)
+			}
+			got, _, ok := n.Backup.Value(spec.Name)
+			if !ok {
+				return fmt.Errorf("%s has no value for %q", name, spec.Name)
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("%s diverged on %q: %q != primary's %q", name, spec.Name, got, want)
+			}
+		}
+	}
+	if backups == 0 {
+		return fmt.Errorf("no running backup to check")
+	}
+	return nil
+}
+
+// BoundHeld asserts the external temporal-consistency bound δ^B held for
+// the whole run at one backup site, for every object.
+type BoundHeld struct {
+	// Site is the backup node name; empty means BackupNode.
+	Site string
+}
+
+// Name implements Checker.
+func (BoundHeld) Name() string { return "external-bound" }
+
+// Check implements Checker.
+func (c BoundHeld) Check(h *Harness) error {
+	site := c.Site
+	if site == "" {
+		site = BackupNode
+	}
+	for _, spec := range h.sc.Objects {
+		r, ok := h.mon.ExternalReport(site, spec.Name)
+		if !ok {
+			return fmt.Errorf("no report for %s/%s", site, spec.Name)
+		}
+		if r.Updates == 0 {
+			return fmt.Errorf("%s/%s never applied an update", site, spec.Name)
+		}
+		if !r.Consistent() {
+			return fmt.Errorf("%s/%s: %v beyond δB=%v in %d excursions (max staleness %v)",
+				site, spec.Name, r.ViolationTime, r.Delta, r.Excursions, r.MaxStaleness)
+		}
+	}
+	return nil
+}
+
+// armer is the optional mid-run side of a Checker: arm is called before
+// the scenario starts so the invariant can schedule evidence capture at
+// virtual instants of its choosing.
+type armer interface {
+	arm(h *Harness)
+}
+
+// checkpoint is a mid-run external-consistency capture.
+type checkpoint struct {
+	report temporal.ExternalReport
+	ok     bool
+}
+
+// BoundHeldUntil asserts the external bound held at one backup site up
+// to an offset from scenario start — the checkpoint form used when a
+// later fault legitimately breaks the bound (e.g. a crash window). The
+// evidence is captured at that instant during the run through the
+// monitor's non-destructive snapshot hook, so the full-run statistics
+// are untouched.
+type BoundHeldUntil struct {
+	// Site is the backup node name; empty means BackupNode.
+	Site string
+	// Until is the offset from scenario start up to which the bound must
+	// have held.
+	Until time.Duration
+}
+
+func (c BoundHeldUntil) site() string {
+	if c.Site == "" {
+		return BackupNode
+	}
+	return c.Site
+}
+
+func (c BoundHeldUntil) key(object string) string {
+	return fmt.Sprintf("%s/%s@%v", c.site(), object, c.Until)
+}
+
+// arm schedules the snapshot capture at the checkpoint instant.
+func (c BoundHeldUntil) arm(h *Harness) {
+	h.clk.Schedule(c.Until, func() {
+		for _, spec := range h.sc.Objects {
+			r, ok := h.mon.SnapshotExternal(c.site(), spec.Name, h.clk.Now())
+			h.checkpoints[c.key(spec.Name)] = checkpoint{report: r, ok: ok}
+		}
+	})
+}
+
+// Name implements Checker.
+func (c BoundHeldUntil) Name() string { return fmt.Sprintf("external-bound-until-%v", c.Until) }
+
+// Check implements Checker.
+func (c BoundHeldUntil) Check(h *Harness) error {
+	for _, spec := range h.sc.Objects {
+		ck, captured := h.checkpoints[c.key(spec.Name)]
+		if !captured {
+			return fmt.Errorf("checkpoint at +%v was never captured", c.Until)
+		}
+		if !ck.ok {
+			return fmt.Errorf("no report for %s/%s", c.site(), spec.Name)
+		}
+		r := ck.report
+		if r.Updates == 0 {
+			return fmt.Errorf("%s/%s never applied an update", c.site(), spec.Name)
+		}
+		if !r.Consistent() {
+			return fmt.Errorf("%s/%s: %v beyond δB=%v before +%v",
+				c.site(), spec.Name, r.ViolationTime, r.Delta, c.Until)
+		}
+	}
+	return nil
+}
+
+// InterBoundHeld asserts every registered inter-object constraint held
+// at one backup site.
+type InterBoundHeld struct {
+	// Site is the backup node name; empty means BackupNode.
+	Site string
+}
+
+// Name implements Checker.
+func (InterBoundHeld) Name() string { return "inter-object-bound" }
+
+// Check implements Checker.
+func (c InterBoundHeld) Check(h *Harness) error {
+	site := c.Site
+	if site == "" {
+		site = BackupNode
+	}
+	for _, ioc := range h.sc.InterObjects {
+		r, ok := h.mon.InterObjectReport(site, ioc.I, ioc.J)
+		if !ok {
+			return fmt.Errorf("no report for %s/(%s,%s)", site, ioc.I, ioc.J)
+		}
+		if r.Checks == 0 {
+			return fmt.Errorf("%s/(%s,%s) never evaluated", site, ioc.I, ioc.J)
+		}
+		if !r.Consistent() {
+			return fmt.Errorf("%s/(%s,%s): %d violations, max distance %v > δ_ij=%v",
+				site, ioc.I, ioc.J, r.Violations, r.MaxDistance, r.Delta)
+		}
+	}
+	return nil
+}
+
+// Promotions asserts the exact number of backup-to-primary takeovers.
+type Promotions struct {
+	// Want is the expected count.
+	Want int
+}
+
+// Name implements Checker.
+func (c Promotions) Name() string { return fmt.Sprintf("promotions=%d", c.Want) }
+
+// Check implements Checker.
+func (c Promotions) Check(h *Harness) error {
+	if h.promotions != c.Want {
+		return fmt.Errorf("saw %d promotions, want %d", h.promotions, c.Want)
+	}
+	return nil
+}
+
+// EpochIs asserts the serving primary's final epoch — the epoch
+// monotonicity capstone (streaming checks catch any intermediate
+// regression; this pins the end state).
+type EpochIs struct {
+	// Want is the expected epoch.
+	Want uint32
+}
+
+// Name implements Checker.
+func (c EpochIs) Name() string { return fmt.Sprintf("epoch=%d", c.Want) }
+
+// Check implements Checker.
+func (c EpochIs) Check(h *Harness) error {
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary")
+	}
+	if e := h.active.Epoch(); e != c.Want {
+		return fmt.Errorf("final epoch %d, want %d", e, c.Want)
+	}
+	return nil
+}
+
+// PromotedAfter asserts the first promotion happened at or after an
+// offset from scenario start (e.g. not before a suppressed detector was
+// resumed).
+type PromotedAfter struct {
+	// Offset is the earliest admissible promotion instant.
+	Offset time.Duration
+}
+
+// Name implements Checker.
+func (c PromotedAfter) Name() string { return fmt.Sprintf("promoted-after-%v", c.Offset) }
+
+// Check implements Checker.
+func (c PromotedAfter) Check(h *Harness) error {
+	if len(h.promotedAt) == 0 {
+		return fmt.Errorf("no promotion happened")
+	}
+	earliest := h.start.Add(c.Offset)
+	if h.promotedAt[0].Before(earliest) {
+		return fmt.Errorf("promoted at +%v, before +%v",
+			h.promotedAt[0].Sub(h.start), c.Offset)
+	}
+	return nil
+}
+
+// ActiveServes asserts the serving primary is running and holds a value
+// for every object — the liveness floor for post-failover scenarios
+// where no backup remains to compare against.
+type ActiveServes struct{}
+
+// Name implements Checker.
+func (ActiveServes) Name() string { return "active-serves" }
+
+// Check implements Checker.
+func (ActiveServes) Check(h *Harness) error {
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary")
+	}
+	for _, spec := range h.sc.Objects {
+		if _, _, ok := h.active.Value(spec.Name); !ok {
+			return fmt.Errorf("active primary on %s has no value for %q", h.activeNode, spec.Name)
+		}
+	}
+	return nil
+}
+
+// NoSplitBrain asserts every running backup ended at the active
+// primary's epoch. Together with the always-on streaming check (a backup
+// must never apply state from a fenced epoch), it is the no-split-brain
+// property of the epoch mechanism.
+type NoSplitBrain struct{}
+
+// Name implements Checker.
+func (NoSplitBrain) Name() string { return "no-split-brain" }
+
+// Check implements Checker.
+func (NoSplitBrain) Check(h *Harness) error {
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary")
+	}
+	want := h.active.Epoch()
+	for _, name := range h.order {
+		n := h.nodes[name]
+		if n.Backup == nil || !n.Backup.Running() {
+			continue
+		}
+		if e := n.Backup.Epoch(); e != want {
+			return fmt.Errorf("%s at epoch %d, active primary at %d", name, e, want)
+		}
+	}
+	return nil
+}
+
+// Progress asserts every running backup applied at least a minimum
+// number of updates, guarding scenarios against passing vacuously.
+type Progress struct {
+	// MinApplies is the floor per backup node; 0 means 1.
+	MinApplies int
+}
+
+// Name implements Checker.
+func (Progress) Name() string { return "progress" }
+
+// Check implements Checker.
+func (c Progress) Check(h *Harness) error {
+	min := c.MinApplies
+	if min == 0 {
+		min = 1
+	}
+	for _, name := range h.order {
+		n := h.nodes[name]
+		if n.Backup == nil && n.Primary == nil {
+			continue // crashed and never restarted
+		}
+		if name == h.activeNode {
+			continue
+		}
+		if n.applies < min {
+			return fmt.Errorf("%s applied %d updates, want at least %d", name, n.applies, min)
+		}
+	}
+	return nil
+}

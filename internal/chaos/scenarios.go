@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"time"
+
+	"rtpb/internal/core"
+	"rtpb/internal/failover"
+	"rtpb/internal/netsim"
+	"rtpb/internal/temporal"
+)
+
+// Catalogue returns the canned chaos scenarios. Every scenario is fully
+// deterministic for its seed; the test suite runs each one and asserts
+// zero violations, and cmd/rtpbench's "chaos" subcommand runs them
+// standalone. Seeds are left at the default (normalize fills 1) so
+// `-seed` can override them uniformly.
+func Catalogue() []Scenario {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	return []Scenario{
+		{
+			Name:        "steady-state",
+			Description: "no faults: the bounds, convergence, and epoch stability baseline",
+			Invariants: []Checker{
+				Converged{}, BoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
+			},
+		},
+		{
+			Name:        "loss-burst",
+			Description: "25% update loss for 500ms; gap recovery keeps the image inside δB",
+			Detector:    failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 10},
+			Events: []FaultEvent{
+				{At: ms(400), Fault: Degrade{A: PrimaryNode, B: BackupNode,
+					Link: netsim.LinkParams{Delay: ms(2), Jitter: ms(1), LossProb: 0.25}}},
+				{At: ms(900), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+			},
+			Invariants: []Checker{
+				Converged{}, BoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1},
+			},
+		},
+		{
+			Name:        "jitter-reorder",
+			Description: "25ms jitter burst reorders updates; sequence fencing keeps versions monotone",
+			Detector:    failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 12},
+			Events: []FaultEvent{
+				{At: ms(400), Fault: Degrade{A: PrimaryNode, B: BackupNode,
+					Link: netsim.LinkParams{Delay: ms(2), Jitter: ms(25)}}},
+				{At: ms(1200), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+			},
+			Invariants: []Checker{
+				Converged{}, BoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
+			},
+		},
+		{
+			Name:        "duplication-storm",
+			Description: "60% duplication for 1.2s; duplicate suppression keeps state exactly-once",
+			Events: []FaultEvent{
+				{At: ms(300), Fault: Degrade{A: PrimaryNode, B: BackupNode,
+					Link: netsim.LinkParams{Delay: ms(2), Jitter: ms(1), DuplicateProb: 0.6}}},
+				{At: ms(1500), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+			},
+			Invariants: []Checker{
+				Converged{}, BoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
+			},
+		},
+		{
+			Name:        "primary-crash-failover",
+			Description: "primary crashes at 800ms; the backup detects, promotes, and serves as epoch 2",
+			Events: []FaultEvent{
+				{At: ms(800), Fault: Crash{Node: PrimaryNode}},
+			},
+			Invariants: []Checker{
+				Promotions{Want: 1}, EpochIs{Want: 2}, ActiveServes{},
+				PromotedAfter{Offset: ms(800)}, BoundHeldUntil{Until: ms(800)},
+			},
+		},
+		{
+			Name:        "backup-crash-reintegrate",
+			Description: "backup crashes at 500ms, restarts at 900ms; recruitment re-registers and state-transfers",
+			Events: []FaultEvent{
+				{At: ms(500), Fault: Crash{Node: BackupNode}},
+				{At: ms(900), Fault: Restart{Node: BackupNode}},
+			},
+			Invariants: []Checker{
+				Converged{}, NoSplitBrain{}, Promotions{Want: 0},
+				EpochIs{Want: 1}, BoundHeldUntil{Until: ms(500)}, Progress{MinApplies: 20},
+			},
+		},
+		{
+			Name:        "split-brain-fencing",
+			Description: "asymmetric partition promotes the standby; the fenced zombie primary's writes must not reach replicated state",
+			Standby:     true,
+			Duration:    ms(2500),
+			Events: []FaultEvent{
+				// The standby stops hearing heartbeat acks, but the zombie
+				// primary's updates still flow everywhere: the classic
+				// asymmetric failure that elects a second primary while the
+				// first is alive.
+				{At: ms(600), Fault: PartitionOneWay{From: StandbyNode, To: PrimaryNode}},
+				// After the takeover, only scripted writes hit the zombie so
+				// the last word on each object is unambiguous.
+				{At: ms(1400), Fault: StopWriters{}},
+				{At: ms(1500), Fault: Write{Node: PrimaryNode, Object: "pressure", Value: "zombie-1"}},
+				{At: ms(1600), Fault: Write{Node: PrimaryNode, Object: "pressure", Value: "zombie-2"}},
+				{At: ms(1700), Fault: Write{Node: StandbyNode, Object: "pressure", Value: "epoch2-final"}},
+			},
+			Invariants: []Checker{
+				Promotions{Want: 1}, EpochIs{Want: 2}, NoSplitBrain{},
+				Converged{}, ActiveServes{}, PromotedAfter{Offset: ms(600)},
+			},
+		},
+		{
+			Name:        "heartbeat-suppression",
+			Description: "a wedged detector misses a real crash; detection resumes with suppression lifted",
+			Duration:    ms(2500),
+			Events: []FaultEvent{
+				{At: ms(400), Fault: Suppress{Node: BackupNode, On: true}},
+				{At: ms(600), Fault: Crash{Node: PrimaryNode}},
+				{At: ms(1500), Fault: Suppress{Node: BackupNode, On: false}},
+			},
+			Invariants: []Checker{
+				Promotions{Want: 1}, EpochIs{Want: 2}, ActiveServes{},
+				PromotedAfter{Offset: ms(1500)}, BoundHeldUntil{Until: ms(600)},
+			},
+		},
+		{
+			Name:        "partition-flap",
+			Description: "three 65ms partition flaps: too short to kill the primary, long enough to lose updates",
+			Duration:    ms(2400),
+			Events: []FaultEvent{
+				{At: ms(510), Fault: Partition{A: PrimaryNode, B: BackupNode}},
+				{At: ms(575), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+				{At: ms(1010), Fault: Partition{A: PrimaryNode, B: BackupNode}},
+				{At: ms(1075), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+				{At: ms(1510), Fault: Partition{A: PrimaryNode, B: BackupNode}},
+				{At: ms(1575), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+			},
+			Invariants: []Checker{
+				Converged{}, BoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
+			},
+		},
+		{
+			Name:        "inter-object-skew",
+			Description: "related objects under jitter: the inter-object distance bound holds at the backup",
+			Objects: []core.ObjectSpec{
+				standardNamed("pressure"),
+				standardNamed("temperature"),
+			},
+			InterObjects: []temporal.InterObjectConstraint{
+				{I: "pressure", J: "temperature", Delta: ms(200)},
+			},
+			Detector: failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 12},
+			Events: []FaultEvent{
+				{At: ms(500), Fault: Degrade{A: PrimaryNode, B: BackupNode,
+					Link: netsim.LinkParams{Delay: ms(2), Jitter: ms(15)}}},
+				{At: ms(1300), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+			},
+			Invariants: []Checker{
+				Converged{}, BoundHeld{}, InterBoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, Progress{MinApplies: 20},
+			},
+		},
+		{
+			Name:        "multi-fault-storm",
+			Description: "loss burst, standby crash/restart, primary crash with racing detectors, duplication aftershock",
+			Standby:     true,
+			Duration:    6 * time.Second,
+			Detector:    failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 6},
+			Full:        true,
+			Events: []FaultEvent{
+				{At: ms(400), Fault: Degrade{A: PrimaryNode, B: BackupNode,
+					Link: netsim.LinkParams{Delay: ms(2), Jitter: ms(1), LossProb: 0.15}}},
+				{At: ms(1000), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+				{At: ms(1500), Fault: Crash{Node: StandbyNode}},
+				{At: ms(2200), Fault: Restart{Node: StandbyNode}},
+				// Both surviving detectors race; name-service arbitration
+				// must elect exactly one successor.
+				{At: ms(3000), Fault: Crash{Node: PrimaryNode}},
+				{At: ms(3800), Fault: Degrade{A: BackupNode, B: StandbyNode,
+					Link: netsim.LinkParams{Delay: ms(2), Jitter: ms(1), DuplicateProb: 0.4}}},
+				{At: ms(4500), Fault: Heal{A: BackupNode, B: StandbyNode}},
+			},
+			Invariants: []Checker{
+				Promotions{Want: 1}, EpochIs{Want: 2}, NoSplitBrain{},
+				Converged{}, ActiveServes{},
+			},
+		},
+		{
+			Name:        "endurance-soak",
+			Description: "20s of persistent mild loss, duplication, and jitter: bounds hold the whole way",
+			Duration:    20 * time.Second,
+			Detector:    failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 10},
+			Full:        true,
+			Events: []FaultEvent{
+				{At: ms(200), Fault: Degrade{A: PrimaryNode, B: BackupNode,
+					Link: netsim.LinkParams{Delay: ms(2), Jitter: ms(5), LossProb: 0.05, DuplicateProb: 0.05}}},
+			},
+			Invariants: []Checker{
+				Converged{}, BoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 150},
+			},
+		},
+	}
+}
+
+// Find returns the catalogue scenario with the given name.
+func Find(name string) (Scenario, bool) {
+	for _, sc := range Catalogue() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// standardNamed is StandardObject with a different name, for multi-object
+// scenarios.
+func standardNamed(name string) core.ObjectSpec {
+	spec := StandardObject()
+	spec.Name = name
+	return spec
+}

@@ -49,8 +49,10 @@ type Backup struct {
 	pingSeq uint64
 	epoch   uint32
 
-	// OnApply, when set, observes every applied update.
-	OnApply func(objectID uint32, name string, seq uint64, version, appliedAt time.Time)
+	// OnApply, when set, observes every applied update with the epoch it
+	// was stamped with (invariant checkers use the epoch to detect
+	// fenced-epoch state leaking through).
+	OnApply func(objectID uint32, name string, epoch uint32, seq uint64, version, appliedAt time.Time)
 	// OnGap, when set, observes detected sequence gaps (lost updates).
 	OnGap func(objectID uint32, haveSeq, gotSeq uint64)
 	// OnRegister, when set, observes object registrations from the
@@ -149,6 +151,13 @@ func (b *Backup) Demux(m *xkernel.Message, from xkernel.Addr) error {
 // takeover) and must be ignored; a newer epoch is adopted. Epoch 0 is
 // "unstamped" and always accepted, so pre-takeover traffic flows.
 func (b *Backup) observeEpoch(epoch uint32) bool {
+	if b.cfg.DisableEpochFencing {
+		// Ablation: adopt newer epochs but never reject older ones.
+		if epoch > b.epoch {
+			b.epoch = epoch
+		}
+		return true
+	}
 	if epoch == 0 {
 		return true
 	}
@@ -211,7 +220,7 @@ func (b *Backup) handleUpdate(t *wire.Update) {
 		o = &backupObject{id: t.ObjectID}
 		b.objects[t.ObjectID] = o
 	}
-	if !o.supersedes(t.Epoch, t.Seq) {
+	if !o.supersedes(t.Epoch, t.Seq) && !b.cfg.DisableEpochFencing {
 		return // duplicate or reordered-stale transmission
 	}
 	if o.hasData && t.Epoch == o.epoch && t.Seq > o.seq+1 {
@@ -233,7 +242,7 @@ func (b *Backup) apply(o *backupObject, epoch uint32, seq uint64, version time.T
 	o.value = append(o.value[:0], payload...)
 	o.hasData = true
 	if b.OnApply != nil {
-		b.OnApply(o.id, o.spec.Name, seq, version, b.cfg.Clock.Now())
+		b.OnApply(o.id, o.spec.Name, epoch, seq, version, b.cfg.Clock.Now())
 	}
 }
 

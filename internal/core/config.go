@@ -141,6 +141,12 @@ type Config struct {
 	// when it detects a sequence gap. It exists as an ablation baseline
 	// for the paper's backup-initiated retransmission design (§4.3).
 	DisableGapRecovery bool
+	// DisableEpochFencing makes the backup apply updates without the
+	// epoch checks of Section 4.4: stale-epoch messages are accepted and
+	// ordering degrades to last-arrival-wins. It exists as an ablation
+	// baseline so the chaos harness can demonstrate the split-brain
+	// hazard the fencing prevents; never enable it in a deployment.
+	DisableEpochFencing bool
 	// CriticalAckTimeout is how long a critical write waits for backup
 	// acknowledgements before retransmitting; defaults to 4·Ell or 20ms.
 	CriticalAckTimeout time.Duration

@@ -101,7 +101,7 @@ func TestBackupExternalConsistencyNoLoss(t *testing.T) {
 	mon := temporal.NewMonitor()
 	mon.TrackExternal("backup", "x", s.Constraint.DeltaB)
 	mon.TrackExternal("primary", "x", s.Constraint.DeltaP)
-	c.backup.OnApply = func(_ uint32, name string, _ uint64, version, at time.Time) {
+	c.backup.OnApply = func(_ uint32, name string, _ uint32, _ uint64, version, at time.Time) {
 		mon.RecordUpdate("backup", name, version, at)
 	}
 	c.primary.OnClientDone = func(name string, _ time.Duration) {
@@ -172,7 +172,7 @@ func TestDuplicatesAndStaleUpdatesIgnored(t *testing.T) {
 	c.registerOK(t, spec("x", ms(40), ms(50), ms(200)))
 
 	var versions []time.Time
-	c.backup.OnApply = func(_ uint32, _ string, _ uint64, version, _ time.Time) {
+	c.backup.OnApply = func(_ uint32, _ string, _ uint32, _ uint64, version, _ time.Time) {
 		versions = append(versions, version)
 	}
 	stop := c.writeEvery("x", ms(20), func(i int) []byte { return []byte{byte(i)} })
@@ -429,7 +429,7 @@ func TestInterObjectConsistencyEndToEnd(t *testing.T) {
 	mon := temporal.NewMonitor()
 	cst := temporal.InterObjectConstraint{I: "accel", J: "lift", Delta: ms(60)}
 	mon.TrackInterObject("backup", cst)
-	c.backup.OnApply = func(_ uint32, name string, _ uint64, version, at time.Time) {
+	c.backup.OnApply = func(_ uint32, name string, _ uint32, _ uint64, version, at time.Time) {
 		mon.RecordUpdate("backup", name, version, at)
 	}
 

@@ -231,7 +231,7 @@ func runHooked(p Params, onSend sendHook) (*Result, error) {
 			res.Sends++
 		}
 	}
-	backup.OnApply = func(id uint32, name string, _ uint64, version, at time.Time) {
+	backup.OnApply = func(id uint32, name string, _ uint32, _ uint64, version, at time.Time) {
 		if prev, ok := held[id]; !ok || version.After(prev) {
 			held[id] = version
 		}

@@ -66,6 +66,7 @@ type Detector struct {
 	misses     int
 	alive      bool
 	running    bool
+	suppressed bool
 }
 
 // NewDetector builds a stopped detector; call Start to begin pinging.
@@ -124,8 +125,30 @@ func (d *Detector) Reset() {
 	}
 }
 
+// Suppress pauses (true) or resumes (false) the heartbeat exchange
+// without tearing the detector down: while suppressed, no pings are sent,
+// any in-flight timeout is cancelled, and the miss count is frozen, so a
+// crash during suppression is only detected after resumption. Fault
+// harnesses use it to model a wedged monitoring task.
+func (d *Detector) Suppress(suppress bool) {
+	if d.suppressed == suppress {
+		return
+	}
+	d.suppressed = suppress
+	if suppress {
+		d.hasPending = false
+		if d.timeout != nil {
+			d.timeout.Cancel()
+			d.timeout = nil
+		}
+	}
+}
+
+// Suppressed reports whether the heartbeat exchange is paused.
+func (d *Detector) Suppressed() bool { return d.suppressed }
+
 func (d *Detector) ping() {
-	if !d.running || !d.alive {
+	if !d.running || !d.alive || d.suppressed {
 		return
 	}
 	if d.hasPending {
@@ -143,7 +166,7 @@ func (d *Detector) sendPing() {
 }
 
 func (d *Detector) onTimeout() {
-	if !d.running || !d.alive || !d.hasPending {
+	if !d.running || !d.alive || !d.hasPending || d.suppressed {
 		return
 	}
 	d.misses++

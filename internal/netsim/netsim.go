@@ -55,6 +55,8 @@ type Stats struct {
 	Delivered int
 	// DroppedLoss counts datagrams dropped by link loss.
 	DroppedLoss int
+	// DroppedPartition counts datagrams dropped by a partition cut.
+	DroppedPartition int
 	// DroppedDown counts datagrams dropped because an endpoint was down.
 	DroppedDown int
 	// DroppedNoReceiver counts datagrams to hosts with no receiver set.
@@ -67,6 +69,7 @@ type Network struct {
 	rng         *rand.Rand
 	endpoints   map[string]*Endpoint
 	links       map[[2]string]LinkParams
+	cuts        map[[2]string]bool
 	defaultLink LinkParams
 	stats       Stats
 }
@@ -82,6 +85,7 @@ func New(clk clock.Clock, seed int64) *Network {
 		rng:       rand.New(rand.NewSource(seed)),
 		endpoints: make(map[string]*Endpoint),
 		links:     make(map[[2]string]LinkParams),
+		cuts:      make(map[[2]string]bool),
 	}
 }
 
@@ -104,6 +108,15 @@ func (n *Network) SetLink(from, to string, lp LinkParams) error {
 	return nil
 }
 
+// SetLinkBoth configures both directions between two hosts at once, the
+// common case for fault injection (a degraded cable degrades both ways).
+func (n *Network) SetLinkBoth(a, b string, lp LinkParams) error {
+	if err := n.SetLink(a, b, lp); err != nil {
+		return err
+	}
+	return n.SetLink(b, a, lp)
+}
+
 // Link reports the effective parameters for the directional pair.
 func (n *Network) Link(from, to string) LinkParams {
 	if lp, ok := n.links[[2]string{from, to}]; ok {
@@ -122,21 +135,38 @@ func (n *Network) Endpoint(host string) (*Endpoint, error) {
 	return ep, nil
 }
 
-// Partition makes both directions between two hosts drop every datagram,
-// preserving the previous parameters for Heal.
+// Partition makes both directions between two hosts drop every datagram.
+// Cuts are tracked separately from link parameters, so faults can be
+// injected and healed at runtime without disturbing explicit link
+// configuration (loss, jitter, duplication survive the partition).
 func (n *Network) Partition(a, b string) {
-	for _, pair := range [][2]string{{a, b}, {b, a}} {
-		lp := n.Link(pair[0], pair[1])
-		lp.LossProb = 1
-		n.links[pair] = lp
-	}
+	n.PartitionOneWay(a, b)
+	n.PartitionOneWay(b, a)
 }
 
-// Heal removes explicit link configuration between two hosts, restoring
-// the default link.
+// PartitionOneWay cuts only the from→to direction, modelling an
+// asymmetric failure (e.g. acknowledgements lost while data flows).
+func (n *Network) PartitionOneWay(from, to string) {
+	n.cuts[[2]string{from, to}] = true
+}
+
+// Heal removes the partition cut and any explicit link configuration
+// between two hosts, restoring the default link in both directions.
 func (n *Network) Heal(a, b string) {
-	delete(n.links, [2]string{a, b})
-	delete(n.links, [2]string{b, a})
+	n.HealOneWay(a, b)
+	n.HealOneWay(b, a)
+}
+
+// HealOneWay removes the cut and explicit configuration for one
+// direction only.
+func (n *Network) HealOneWay(from, to string) {
+	delete(n.cuts, [2]string{from, to})
+	delete(n.links, [2]string{from, to})
+}
+
+// Partitioned reports whether the from→to direction is currently cut.
+func (n *Network) Partitioned(from, to string) bool {
+	return n.cuts[[2]string{from, to}]
 }
 
 // Stats returns a snapshot of the fabric counters.
@@ -147,6 +177,10 @@ func (n *Network) send(from, to string, payload []byte) {
 	src, ok := n.endpoints[from]
 	if !ok || src.down {
 		n.stats.DroppedDown++
+		return
+	}
+	if n.cuts[[2]string{from, to}] {
+		n.stats.DroppedPartition++
 		return
 	}
 	lp := n.Link(from, to)

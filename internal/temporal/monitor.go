@@ -90,6 +90,12 @@ func (m *Monitor) RecordUpdate(site, object string, version, applied time.Time) 
 }
 
 func (s *extState) record(version, applied time.Time) {
+	if s.finished {
+		// The interval was closed by FinishAt; stragglers that land after
+		// the end of the measured run (e.g. in-flight updates draining
+		// during a harness's settle phase) are not part of it.
+		return
+	}
 	if s.hasUpdate {
 		s.accountUpTo(applied)
 	}
@@ -181,6 +187,30 @@ func (m *Monitor) ExternalReport(site, object string) (ExternalReport, bool) {
 		MaxStaleness:  st.maxStaleness,
 		ViolationTime: st.violation,
 		Excursions:    st.excursions,
+	}, true
+}
+
+// SnapshotExternal reports the external-consistency statistics for
+// (site, object) as they would stand if the run ended at instant t,
+// without closing the interval: the monitor keeps accumulating updates
+// afterwards, and a later FinishAt is unaffected. Fault-injection
+// harnesses use it to assert that a bound held up to a fault boundary
+// while the run continues past it.
+func (m *Monitor) SnapshotExternal(site, object string, t time.Time) (ExternalReport, bool) {
+	st, ok := m.external[extKey{site, object}]
+	if !ok {
+		return ExternalReport{}, false
+	}
+	cp := *st
+	if !cp.finished {
+		cp.accountUpTo(t)
+	}
+	return ExternalReport{
+		Delta:         cp.delta,
+		Updates:       cp.updates,
+		MaxStaleness:  cp.maxStaleness,
+		ViolationTime: cp.violation,
+		Excursions:    cp.excursions,
 	}, true
 }
 

@@ -95,6 +95,7 @@ var (
 	ErrUnknownKind = errors.New("wire: unknown message kind")
 	ErrOversize    = errors.New("wire: length prefix exceeds limit")
 	ErrTrailing    = errors.New("wire: trailing bytes after message body")
+	ErrBadBool     = errors.New("wire: non-canonical boolean")
 )
 
 // Message is any RTPB wire message.
@@ -626,7 +627,16 @@ func (r *reader) uint8() uint8 {
 	return b[0]
 }
 
-func (r *reader) bool() bool { return r.uint8() != 0 }
+// bool is strict: only 0 and 1 are valid encodings, keeping the format
+// canonical (decode-then-encode of any accepted datagram is the
+// identity).
+func (r *reader) bool() bool {
+	b := r.uint8()
+	if r.err == nil && b > 1 {
+		r.err = ErrBadBool
+	}
+	return b == 1
+}
 
 func (r *reader) uint16() uint16 {
 	b := r.take(2)
