@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"rtpb/internal/core"
+	"rtpb/internal/experiments"
+)
+
+// benchPoint is one measured configuration in the JSON benchmark report.
+type benchPoint struct {
+	// Name labels the configuration.
+	Name string `json:"name"`
+	// Loss is the message-loss probability applied during measurement.
+	Loss float64 `json:"loss"`
+	// Objects and Admitted count the offered and admitted object set.
+	Objects  int `json:"objects"`
+	Admitted int `json:"admitted"`
+	// Response statistics are client write response times in
+	// milliseconds.
+	ResponseMeanMs float64 `json:"response_mean_ms"`
+	ResponseP99Ms  float64 `json:"response_p99_ms"`
+	ResponseMaxMs  float64 `json:"response_max_ms"`
+	// DistanceAvgMaxMs is the average maximum loss-induced
+	// primary-backup distance (Figure 8's metric).
+	DistanceAvgMaxMs float64 `json:"distance_avg_max_ms"`
+	// StalenessAvgMaxMs is the average maximum raw backup staleness.
+	StalenessAvgMaxMs float64 `json:"staleness_avg_max_ms"`
+	// Sends, Applies, and Gaps count update transmissions, backup
+	// applies, and detected sequence gaps during measurement.
+	Sends   int `json:"sends"`
+	Applies int `json:"applies"`
+	Gaps    int `json:"gaps"`
+	// RetransmitRequests and RetransmitSuppressed count gap-recovery
+	// requests sent and those absorbed by the retransmission backoff.
+	RetransmitRequests   int `json:"retransmit_requests"`
+	RetransmitSuppressed int `json:"retransmit_suppressed"`
+	// InconsistencyMs is the total time backup images spent beyond
+	// their external bound, in milliseconds, over Excursions intervals.
+	InconsistencyMs float64 `json:"inconsistency_ms"`
+	Excursions      int     `json:"excursions"`
+	// Utilization is the primary's planned CPU utilization.
+	Utilization float64 `json:"utilization"`
+}
+
+// benchReport is the file written by rtpbench -json.
+type benchReport struct {
+	// Seed and DurationMs make the report reproducible: the same pair
+	// regenerates byte-identical numbers.
+	Seed       int64        `json:"seed"`
+	DurationMs float64      `json:"duration_ms"`
+	Points     []benchPoint `json:"points"`
+}
+
+// runBench measures the resilience-layer benchmark matrix — a fixed
+// object set over a sweep of loss rates — and writes the JSON report.
+// Everything runs on the virtual clock, so the report is a pure function
+// of (seed, duration) and is suitable for checking in.
+func runBench(path string, seed int64, duration time.Duration) error {
+	msf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	report := benchReport{Seed: seed, DurationMs: msf(duration)}
+	for _, cfg := range []struct {
+		name string
+		loss float64
+	}{
+		{"clean", 0},
+		{"loss-10", 0.10},
+		{"loss-25", 0.25},
+	} {
+		r, err := experiments.Run(experiments.Params{
+			Seed:             seed,
+			Delay:            2 * time.Millisecond,
+			Jitter:           time.Millisecond,
+			Loss:             cfg.loss,
+			Ell:              5 * time.Millisecond,
+			Objects:          16,
+			ObjectSize:       64,
+			ClientPeriod:     50 * time.Millisecond,
+			DeltaP:           50 * time.Millisecond,
+			Window:           50 * time.Millisecond,
+			Scheduling:       core.ScheduleNormal,
+			AdmissionControl: true,
+			Duration:         duration,
+		})
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", cfg.name, err)
+		}
+		report.Points = append(report.Points, benchPoint{
+			Name:                 cfg.name,
+			Loss:                 cfg.loss,
+			Objects:              r.Offered,
+			Admitted:             r.Admitted,
+			ResponseMeanMs:       msf(r.Response.Mean()),
+			ResponseP99Ms:        msf(r.Response.Percentile(99)),
+			ResponseMaxMs:        msf(r.Response.Max()),
+			DistanceAvgMaxMs:     msf(r.Distance.AvgMax()),
+			StalenessAvgMaxMs:    msf(r.StaleDistance.AvgMax()),
+			Sends:                r.Sends,
+			Applies:              r.Applies,
+			Gaps:                 r.Gaps,
+			RetransmitRequests:   r.RetransmitRequests,
+			RetransmitSuppressed: r.RetransmitSuppressed,
+			InconsistencyMs:      msf(r.InconsistencyTotal),
+			Excursions:           r.Excursions,
+			Utilization:          r.Utilization,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d configurations, %v virtual each)\n", path, len(report.Points), duration)
+	return nil
+}

@@ -9,6 +9,7 @@
 //	rtpbench -csv               # CSV output
 //	rtpbench -duration 30s      # longer measurement interval per point
 //	rtpbench -seed 7            # different random seed
+//	rtpbench -json              # resilience benchmark matrix -> BENCH_rtpb.json
 //
 //	rtpbench chaos -list        # list the scenario catalogue
 //	rtpbench chaos              # run every quick scenario
@@ -123,8 +124,13 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 10*time.Second, "virtual measurement interval per data point")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	plot := fs.Bool("plot", false, "render an ASCII chart under each table")
+	jsonOut := fs.Bool("json", false, "run the resilience benchmark matrix and write a JSON report instead of figures")
+	jsonPath := fs.String("json.out", "BENCH_rtpb.json", "path for the -json report")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		return runBench(*jsonPath, *seed, *duration)
 	}
 
 	type gen func(int64, time.Duration) (*trace.Figure, error)

@@ -69,6 +69,16 @@ type Scenario struct {
 	// Scheduling selects the primary's update scheduling mode; zero
 	// value means core.ScheduleNormal.
 	Scheduling core.SchedulingMode
+	// Costs overrides the primary's CPU cost model; zero value keeps
+	// core.DefaultCosts. Overload scenarios inflate it so the governor
+	// has real contention to govern.
+	Costs core.CostModel
+	// Governor configures the primary's overload governor; the zero
+	// value leaves it off. When a backup learns of a mode change, the
+	// harness retargets the monitor: shed objects have their bound
+	// waived (and re-armed on promotion), compressed objects are judged
+	// against the announced effective bound.
+	Governor core.GovernorConfig
 	// Standby adds a third node hosting a second backup with its own
 	// detector, the promotion site for split-brain scenarios.
 	Standby bool

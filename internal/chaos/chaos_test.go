@@ -50,11 +50,13 @@ func TestChaosCatalogue(t *testing.T) {
 	}
 }
 
-// TestChaosDeterminism replays a failover-heavy scenario and a
-// loss-heavy scenario twice and requires byte-identical event logs: the
-// whole harness must be a pure function of (scenario, seed).
+// TestChaosDeterminism replays a failover-heavy scenario, a loss-heavy
+// scenario, and the governor's overload scenario twice and requires
+// byte-identical event logs: the whole harness — including the
+// degradation ladder and the CPU model — must be a pure function of
+// (scenario, seed).
 func TestChaosDeterminism(t *testing.T) {
-	for _, name := range []string{"loss-burst", "split-brain-fencing"} {
+	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover"} {
 		sc, ok := Find(name)
 		if !ok {
 			t.Fatalf("scenario %q missing from catalogue", name)

@@ -72,6 +72,17 @@ type Harness struct {
 	lastVersion map[string]time.Time
 	promotions  int
 	promotedAt  []time.Time
+
+	govCheckpoints map[string]govCheckpoint
+	hogs           []*clock.Periodic
+}
+
+// govCheckpoint is a mid-run capture of the overload governor's ladder
+// state, taken by GovernorDegradedAt's armer.
+type govCheckpoint struct {
+	stats core.GovernorStats
+	modes map[string]core.ObjectMode
+	ok    bool
 }
 
 // Clock exposes the harness clock (rtpbench's standalone runner reports
@@ -111,6 +122,8 @@ func newHarness(sc Scenario) (*Harness, error) {
 		writeCounts: make(map[string]int),
 		maxEpoch:    make(map[string]uint32),
 		lastVersion: make(map[string]time.Time),
+
+		govCheckpoints: make(map[string]govCheckpoint),
 	}
 	h.start = h.clk.Now()
 	h.net = netsim.New(h.clk, sc.Seed)
@@ -151,10 +164,13 @@ func newHarness(sc Scenario) (*Harness, error) {
 		Peers:      peers,
 		Ell:        sc.Ell,
 		Scheduling: sc.Scheduling,
+		Costs:      sc.Costs,
+		Governor:   sc.Governor,
 	})
 	if err != nil {
 		return nil, err
 	}
+	h.wireGovernor(primary)
 	h.nodes[PrimaryNode].Primary = primary
 	h.active = primary
 	h.activeNode = PrimaryNode
@@ -202,12 +218,33 @@ func newHarness(sc Scenario) (*Harness, error) {
 	return h, nil
 }
 
+// wireGovernor logs the primary-side overload governor's rung
+// transitions (the authoritative record of ladder activity).
+func (h *Harness) wireGovernor(p *core.Primary) {
+	p.OnModeChange = func(_ uint32, name string, mode core.ObjectMode, bound time.Duration) {
+		h.logf("governor: %q -> %s (effective bound %v)", name, mode, bound)
+	}
+}
+
 // wireBackup attaches the monitor hooks and a fresh failure detector to
 // the node's backup replica.
 func (h *Harness) wireBackup(n *Node) error {
 	b := n.Backup
 	b.OnApply = func(_ uint32, name string, epoch uint32, _ uint64, version, at time.Time) {
 		h.observeApply(n, name, epoch, version, at)
+	}
+	b.OnModeChange = func(_ uint32, name string, mode core.ObjectMode, bound time.Duration) {
+		// Retarget the monitor at the instant the backup learns of the
+		// mode change: a shed object's image carries no temporal
+		// guarantee; a compressed (or restored) object is judged
+		// against the announced effective bound.
+		h.logf("%s: %q now %s (effective bound %v)", n.Name, name, mode, bound)
+		if mode == core.ModeShed {
+			h.mon.Suspend(n.Name, name, h.clk.Now())
+			return
+		}
+		h.mon.Resume(n.Name, name)
+		h.mon.SetBound(n.Name, name, h.clk.Now(), bound)
 	}
 	det, err := failover.NewDetector(h.clk, h.sc.Detector, b.SendPing, func() {
 		h.onPrimaryDead(n)
@@ -278,6 +315,8 @@ func (h *Harness) onPrimaryDead(n *Node) {
 			Peers:      peers,
 			Ell:        h.sc.Ell,
 			Scheduling: h.sc.Scheduling,
+			Costs:      h.sc.Costs,
+			Governor:   h.sc.Governor,
 		},
 		ActivateClient: func(p *core.Primary) {
 			h.active = p
@@ -288,6 +327,7 @@ func (h *Harness) onPrimaryDead(n *Node) {
 		h.violationf("promotion on %s failed: %v", n.Name, err)
 		return
 	}
+	h.wireGovernor(p)
 	n.Backup = nil
 	n.Det = nil
 	n.Primary = p

@@ -2,7 +2,10 @@ package chaos
 
 import (
 	"fmt"
+	"time"
 
+	"rtpb/internal/clock"
+	"rtpb/internal/cpu"
 	"rtpb/internal/netsim"
 )
 
@@ -137,6 +140,44 @@ func (f Write) apply(h *Harness) {
 		return
 	}
 	n.Primary.ClientWrite(f.Object, []byte(f.Value), nil)
+}
+
+// CPUHog steals a node's processor with periodic high-priority bursts
+// for a fixed window: every Period, a burst of Burn CPU time is submitted
+// at the priority class above update transmissions, starving the
+// decoupled send path exactly like a runaway co-located task. The hog is
+// the overload stimulus for governor scenarios — Burn/Period is the
+// stolen CPU fraction.
+type CPUHog struct {
+	// Node names the victim (it must currently run a primary).
+	Node string
+	// Period is the burst cadence.
+	Period time.Duration
+	// Burn is the high-priority CPU time consumed per burst.
+	Burn time.Duration
+	// For is the hog window; the hog stops itself after this much
+	// virtual time.
+	For time.Duration
+}
+
+// String implements Fault.
+func (f CPUHog) String() string {
+	return fmt.Sprintf("cpu-hog on %s: %v per %v for %v (%.0f%% steal)",
+		f.Node, f.Burn, f.Period, f.For, 100*float64(f.Burn)/float64(f.Period))
+}
+
+func (f CPUHog) apply(h *Harness) {
+	n := h.nodes[f.Node]
+	if n == nil || n.Primary == nil || !n.Primary.Running() {
+		h.violationf("cpu-hog: node %q runs no primary", f.Node)
+		return
+	}
+	proc := n.Primary.CPU()
+	task := clock.NewPeriodic(h.clk, 0, f.Period, func() {
+		proc.Submit(cpu.High, f.Burn, func() {})
+	})
+	h.hogs = append(h.hogs, task)
+	h.clk.Schedule(f.For, task.Stop)
 }
 
 // StopWriters halts the automatic client workload (so a scenario can

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"rtpb/internal/core"
 	"rtpb/internal/temporal"
 )
 
@@ -180,6 +181,132 @@ func (c InterBoundHeld) Check(h *Harness) error {
 			return fmt.Errorf("%s/(%s,%s): %d violations, max distance %v > δ_ij=%v",
 				site, ioc.I, ioc.J, r.Violations, r.MaxDistance, r.Delta)
 		}
+	}
+	return nil
+}
+
+// GovernorDegradedAt asserts the overload governor had demoted at least
+// MinDegraded objects (MinShed of them to shed) at an instant mid-run —
+// the checkpoint form proving the ladder actually engaged during the
+// overload window, not merely that the end state looks healthy. The
+// evidence is captured during the run by the armer hook.
+type GovernorDegradedAt struct {
+	// At is the offset from scenario start at which to capture the
+	// ladder state.
+	At time.Duration
+	// MinDegraded is the minimum number of objects below normal mode.
+	MinDegraded int
+	// MinShed is the minimum number of objects at shed.
+	MinShed int
+}
+
+func (c GovernorDegradedAt) key() string { return fmt.Sprintf("governor@%v", c.At) }
+
+// arm schedules the ladder-state capture.
+func (c GovernorDegradedAt) arm(h *Harness) {
+	h.clk.Schedule(c.At, func() {
+		p := h.active
+		if p == nil || !p.Running() {
+			return
+		}
+		h.govCheckpoints[c.key()] = govCheckpoint{
+			stats: p.GovernorStats(),
+			modes: p.Modes(),
+			ok:    true,
+		}
+	})
+}
+
+// Name implements Checker.
+func (c GovernorDegradedAt) Name() string { return fmt.Sprintf("governor-degraded-at-%v", c.At) }
+
+// Check implements Checker.
+func (c GovernorDegradedAt) Check(h *Harness) error {
+	ck, captured := h.govCheckpoints[c.key()]
+	if !captured || !ck.ok {
+		return fmt.Errorf("ladder checkpoint at +%v was never captured", c.At)
+	}
+	if ck.stats.Degraded < c.MinDegraded {
+		return fmt.Errorf("at +%v only %d objects degraded (modes %v), want at least %d",
+			c.At, ck.stats.Degraded, ck.modes, c.MinDegraded)
+	}
+	if ck.stats.Shed < c.MinShed {
+		return fmt.Errorf("at +%v only %d objects shed (modes %v), want at least %d",
+			c.At, ck.stats.Shed, ck.modes, c.MinShed)
+	}
+	return nil
+}
+
+// GovernorRecovered asserts the degradation ladder was exercised and
+// fully unwound: the governor demoted at least MinDemotions rungs during
+// the run, promoted exactly as many back, and every object ended at
+// normal mode.
+type GovernorRecovered struct {
+	// MinDemotions is the minimum rung transitions down; 0 means 1.
+	MinDemotions int
+}
+
+// Name implements Checker.
+func (GovernorRecovered) Name() string { return "governor-recovered" }
+
+// Check implements Checker.
+func (c GovernorRecovered) Check(h *Harness) error {
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary")
+	}
+	min := c.MinDemotions
+	if min == 0 {
+		min = 1
+	}
+	s := h.active.GovernorStats()
+	if s.Demotions < min {
+		return fmt.Errorf("governor demoted %d rungs, want at least %d (overload never engaged it)",
+			s.Demotions, min)
+	}
+	if s.Promotions != s.Demotions {
+		return fmt.Errorf("governor promoted %d of %d demoted rungs back", s.Promotions, s.Demotions)
+	}
+	for name, m := range h.active.Modes() {
+		if m != core.ModeNormal {
+			return fmt.Errorf("object %q ended at %s, want normal", name, m)
+		}
+	}
+	return nil
+}
+
+// RetransmitDamped asserts the backup's gap-recovery throttle engaged:
+// at most MaxRequests retransmission requests left the site while at
+// least MinSuppressed were absorbed by the backoff window.
+type RetransmitDamped struct {
+	// Site is the backup node name; empty means BackupNode.
+	Site string
+	// MaxRequests caps the requests actually sent.
+	MaxRequests int
+	// MinSuppressed floors the requests absorbed by the throttle.
+	MinSuppressed int
+}
+
+// Name implements Checker.
+func (RetransmitDamped) Name() string { return "retransmit-damped" }
+
+// Check implements Checker.
+func (c RetransmitDamped) Check(h *Harness) error {
+	site := c.Site
+	if site == "" {
+		site = BackupNode
+	}
+	n := h.nodes[site]
+	if n == nil || n.Backup == nil || !n.Backup.Running() {
+		return fmt.Errorf("no running backup on %s", site)
+	}
+	req, sup := n.Backup.RetransmitStats()
+	if req > c.MaxRequests {
+		return fmt.Errorf("%d retransmission requests sent, want at most %d (%d suppressed)",
+			req, c.MaxRequests, sup)
+	}
+	if sup < c.MinSuppressed {
+		return fmt.Errorf("only %d requests suppressed (%d sent), want at least %d — throttle never engaged",
+			sup, req, c.MinSuppressed)
 	}
 	return nil
 }

@@ -190,6 +190,84 @@ func Catalogue() []Scenario {
 			},
 		},
 		{
+			Name:        "overload-degrade-recover",
+			Description: "a CPU hog starves update sends; the governor sheds load down the ladder and restores every object after the heal",
+			Duration:    4 * time.Second,
+			Full:        true,
+			Objects: []core.ObjectSpec{
+				wideObject("altitude"), wideObject("airspeed"), wideObject("heading"),
+				wideObject("pressure"), wideObject("fuel"), wideObject("temperature"),
+			},
+			// Generous miss budget: heartbeat acks queue behind the hog's
+			// bursts, and detection is not what this scenario measures.
+			Detector: failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 20},
+			// Expensive update transmissions give the hog something real to
+			// contend with: the six objects' full-rate send demand (~15% of
+			// the CPU) overwhelms the 10% the hog leaves, while the demand
+			// that survives a full shed (~3%: client writes plus one
+			// compressed object) fits with room to drain the backlog.
+			Costs: core.CostModel{
+				ClientOp:   200 * time.Microsecond,
+				UpdateSend: 5 * time.Millisecond,
+				PerByte:    2 * time.Nanosecond,
+			},
+			WritePeriod: ms(80),
+			Governor: core.GovernorConfig{
+				Enable:           true,
+				Interval:         ms(10),
+				DemoteStaleness:  0.15,
+				PromoteStaleness: 0.05,
+				PromoteHold:      15,
+			},
+			Events: []FaultEvent{
+				// 90% CPU theft for 1.5s, starting after a clean warmup.
+				{At: ms(800), Fault: CPUHog{Node: PrimaryNode,
+					Period: ms(10), Burn: ms(9), For: ms(1500)}},
+			},
+			Invariants: []Checker{
+				// Mid-storm checkpoint: the ladder must actually have
+				// engaged while the hog ran...
+				GovernorDegradedAt{At: ms(2200), MinDegraded: 2, MinShed: 1},
+				// ...and fully unwound by the end, with the temporal
+				// bounds (suspended while shed, effective while
+				// compressed) intact throughout.
+				GovernorRecovered{MinDemotions: 3},
+				Converged{}, BoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
+			},
+		},
+		{
+			Name:        "loss-storm-backoff",
+			Description: "35% loss for 1.2s; the backup's gap-recovery backoff keeps the request storm damped while full-state updates repair the image",
+			Duration:    ms(2600),
+			Full:        true,
+			Objects: []core.ObjectSpec{
+				// The fast object's transmission period sits under the
+				// retransmit backoff window, so gap-flagged arrivals keep
+				// landing inside it: the shape that made unthrottled builds
+				// storm. The wide objects ride along at the baseline rate.
+				fastObject("gyro"),
+				wideObject("pressure"), wideObject("temperature"),
+			},
+			Detector: failover.DetectorConfig{
+				Interval: ms(50), Timeout: ms(30), MaxMisses: 10, Adaptive: true,
+			},
+			Events: []FaultEvent{
+				{At: ms(600), Fault: Degrade{A: PrimaryNode, B: BackupNode,
+					Link: netsim.LinkParams{Delay: ms(2), Jitter: ms(1), LossProb: 0.35}}},
+				{At: ms(1800), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+			},
+			Invariants: []Checker{
+				RetransmitDamped{MaxRequests: 40, MinSuppressed: 5},
+				// The gyro's δB is too tight to survive a 35% loss storm by
+				// design; the bound is checkpointed before the storm and the
+				// image must converge after the heal.
+				BoundHeldUntil{Until: ms(600)},
+				Converged{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
+			},
+		},
+		{
 			Name:        "endurance-soak",
 			Description: "20s of persistent mild loss, duplication, and jitter: bounds hold the whole way",
 			Duration:    20 * time.Second,
@@ -222,5 +300,26 @@ func Find(name string) (Scenario, bool) {
 func standardNamed(name string) core.ObjectSpec {
 	spec := StandardObject()
 	spec.Name = name
+	return spec
+}
+
+// wideObject is standardNamed with a roomier backup bound (δB=450ms),
+// the shape used by overload and loss-storm scenarios where staleness is
+// expected to grow legitimately before the resilience layer reacts.
+func wideObject(name string) core.ObjectSpec {
+	spec := standardNamed(name)
+	spec.Constraint.DeltaB = 450 * time.Millisecond
+	return spec
+}
+
+// fastObject is a high-rate object with tight bounds: its admitted
+// transmission period (~17.5ms) is shorter than the retransmit backoff
+// base window, so under burst loss successive gap-flagged arrivals land
+// inside the throttle — the storm shape the backoff exists to damp.
+func fastObject(name string) core.ObjectSpec {
+	spec := standardNamed(name)
+	spec.UpdatePeriod = 10 * time.Millisecond
+	spec.Constraint.DeltaP = 20 * time.Millisecond
+	spec.Constraint.DeltaB = 60 * time.Millisecond
 	return spec
 }

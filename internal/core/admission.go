@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"rtpb/internal/clock"
@@ -47,9 +48,15 @@ type object struct {
 	seq     uint64
 
 	// lastSentVersion is the version carried by the most recent update
-	// transmission.
+	// transmission; lastSentAt is the instant it entered the network (the
+	// governor's staleness-headroom signal).
 	lastSentVersion time.Time
 	lastSentSeq     uint64
+	lastSentAt      time.Time
+
+	// highPending marks a recovery retransmission already queued in the
+	// high-priority CPU class (single-flight per object).
+	highPending bool
 
 	// task is the periodic update task under normal scheduling.
 	task *clock.Periodic
@@ -76,6 +83,22 @@ func newAdmission(cfg *Config) *admission {
 		byName:  make(map[string]uint32),
 		nextID:  1,
 	}
+}
+
+// ordered returns the admitted objects in id (admission) order — the
+// deterministic iteration every wire-visible path must use, and the
+// criticality order the overload governor's ladder walks.
+func (a *admission) ordered() []*object {
+	ids := make([]uint32, 0, len(a.objects))
+	for id := range a.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*object, len(ids))
+	for i, id := range ids {
+		out[i] = a.objects[id]
+	}
+	return out
 }
 
 // externalPeriod derives r_i from the external constraint:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rtpb/internal/resilience"
 	"rtpb/internal/temporal"
 	"rtpb/internal/wire"
 	"rtpb/internal/xkernel"
@@ -21,6 +22,18 @@ type backupObject struct {
 	epoch   uint32
 	seq     uint64
 	hasData bool
+
+	// Gap-recovery throttle: retransNext is the earliest instant another
+	// RetransmitRequest may be sent for this object; retransAttempt is
+	// the backoff rung, reset once in-order traffic outlives the window.
+	retransNext    time.Time
+	retransAttempt int
+
+	// Overload-governor tracking: the primary's announced degradation
+	// rung for this object, deduplicated by (epoch, seq).
+	mode      ObjectMode
+	modeSeq   uint64
+	modeEpoch uint32
 }
 
 // supersedes reports whether an inbound (epoch, seq) pair is newer than
@@ -49,6 +62,12 @@ type Backup struct {
 	pingSeq uint64
 	epoch   uint32
 
+	// gapBackoff spaces gap-recovery retransmission requests with
+	// deterministic jitter.
+	gapBackoff        *resilience.Backoff
+	retransRequested  int
+	retransSuppressed int
+
 	// OnApply, when set, observes every applied update with the epoch it
 	// was stamped with (invariant checkers use the epoch to detect
 	// fenced-epoch state leaking through).
@@ -64,6 +83,10 @@ type Backup struct {
 	OnPing func(seq uint64)
 	// OnStateTransfer, when set, observes applied state transfers.
 	OnStateTransfer func(epoch uint32, objects int)
+	// OnModeChange, when set, observes the primary overload governor's
+	// announced degradation rung for an object, with the external bound
+	// the primary still maintains (zero while the object is shed).
+	OnModeChange func(objectID uint32, name string, mode ObjectMode, effectiveBound time.Duration)
 }
 
 var _ xkernel.Upper = (*Backup)(nil)
@@ -74,12 +97,14 @@ func NewBackup(cfg Config) (*Backup, error) {
 		return nil, err
 	}
 	b := &Backup{
-		cfg:     cfg,
-		port:    cfg.Port,
-		objects: make(map[uint32]*backupObject),
-		byName:  make(map[string]uint32),
-		running: true,
+		cfg:        cfg,
+		port:       cfg.Port,
+		objects:    make(map[uint32]*backupObject),
+		byName:     make(map[string]uint32),
+		running:    true,
+		gapBackoff: resilience.NewBackoff(linkSeed(cfg.LocalPort, cfg.Peer)),
 	}
+	b.gapBackoff.Cap = cfg.RetryCeiling
 	if err := cfg.Port.EnablePort(cfg.LocalPort, b); err != nil {
 		return nil, err
 	}
@@ -142,6 +167,8 @@ func (b *Backup) Demux(m *xkernel.Message, from xkernel.Addr) error {
 		}
 	case *wire.StateTransfer:
 		b.handleStateTransfer(t)
+	case *wire.ModeChange:
+		b.handleModeChange(t)
 	}
 	return nil
 }
@@ -229,10 +256,86 @@ func (b *Backup) handleUpdate(t *wire.Update) {
 			b.OnGap(o.id, o.seq, t.Seq)
 		}
 		if !b.cfg.DisableGapRecovery {
-			b.send(&wire.RetransmitRequest{ObjectID: o.id, LastSeq: o.seq})
+			b.maybeRequestRetransmit(o)
 		}
+	} else if o.retransAttempt > 0 && !b.cfg.Clock.Now().Before(o.retransNext) {
+		// In-order traffic outlived the suppression window: the loss
+		// episode is over, relax the gap-recovery backoff.
+		o.retransAttempt = 0
 	}
 	b.apply(o, t.Epoch, t.Seq, time.Unix(0, t.Version), t.Payload)
+}
+
+// maybeRequestRetransmit sends a gap-recovery RetransmitRequest unless
+// the per-object throttle still holds one outstanding. Updates carry full
+// state, so the arrival that exposed the gap already made the image
+// current — the request only accelerates the next refresh — which makes
+// rate-limiting safe: under sustained loss the seed's one-request-per-gap
+// behaviour amplified every gap into extra retransmissions whose own loss
+// created further gaps (the request storm), without tightening staleness.
+func (b *Backup) maybeRequestRetransmit(o *backupObject) {
+	now := b.cfg.Clock.Now()
+	if !b.cfg.DisableRetransmitThrottle && now.Before(o.retransNext) {
+		b.retransSuppressed++
+		return
+	}
+	b.send(&wire.RetransmitRequest{ObjectID: o.id, LastSeq: o.seq})
+	b.retransRequested++
+	if b.cfg.DisableRetransmitThrottle {
+		return
+	}
+	base := max(4*b.cfg.Ell, 20*time.Millisecond)
+	o.retransNext = now.Add(b.gapBackoff.DelayFrom(base, o.retransAttempt))
+	o.retransAttempt++
+}
+
+// RetransmitStats reports gap-recovery request activity: requests sent
+// and requests suppressed by the per-object throttle.
+func (b *Backup) RetransmitStats() (requested, suppressed int) {
+	return b.retransRequested, b.retransSuppressed
+}
+
+// handleModeChange records the primary overload governor's announced
+// degradation rung for one object, deduplicating the loss-tolerant
+// re-sends by (epoch, seq).
+func (b *Backup) handleModeChange(t *wire.ModeChange) {
+	if !b.observeEpoch(t.Epoch) {
+		return
+	}
+	mode := ObjectMode(t.Mode)
+	if mode < ModeNormal || mode > ModeShed {
+		return // unknown rung from a newer revision: ignore
+	}
+	o, ok := b.objects[t.ObjectID]
+	if !ok {
+		o = &backupObject{id: t.ObjectID}
+		b.objects[t.ObjectID] = o
+	}
+	if t.Epoch == o.modeEpoch && t.Seq <= o.modeSeq {
+		return // duplicate or stale reordering
+	}
+	o.modeEpoch = t.Epoch
+	o.modeSeq = t.Seq
+	if o.mode == mode {
+		return
+	}
+	o.mode = mode
+	if b.OnModeChange != nil {
+		b.OnModeChange(o.id, o.spec.Name, mode, t.EffectiveBound)
+	}
+}
+
+// Mode reports the primary-announced degradation rung for an object
+// (ModeNormal when never announced).
+func (b *Backup) Mode(name string) (ObjectMode, bool) {
+	id, found := b.byName[name]
+	if !found {
+		return 0, false
+	}
+	if m := b.objects[id].mode; m != 0 {
+		return m, true
+	}
+	return ModeNormal, true
 }
 
 func (b *Backup) apply(o *backupObject, epoch uint32, seq uint64, version time.Time, payload []byte) {

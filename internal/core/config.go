@@ -149,11 +149,41 @@ type Config struct {
 	DisableEpochFencing bool
 	// CriticalAckTimeout is how long a critical write waits for backup
 	// acknowledgements before retransmitting; defaults to 4·Ell or 20ms.
+	// Once the per-peer link estimator has RTT samples, the adaptive
+	// timeout (RTO with backoff) takes over, floored at the estimator's
+	// minimum and capped at RetryCeiling.
 	CriticalAckTimeout time.Duration
 	// CriticalMaxRetries bounds retransmissions of a critical write
 	// before it fails with ErrAckTimeout; defaults to 5.
 	CriticalMaxRetries int
+	// SendQueueLimit bounds each peer's pending-update queue under normal
+	// scheduling. The queue holds object identifiers, one slot per object
+	// (a newer write for a queued object coalesces into its slot: newest
+	// state wins, which is correct for state — not operation — transfer);
+	// when full, the oldest entry is dropped. Defaults to 64. Set
+	// UnboundedSendQueue to restore the seed's unbounded CPU-queue
+	// buffering, which the paper-faithful experiment harness uses to
+	// reproduce the Figure 7 overload explosion.
+	SendQueueLimit int
+	// RetryCeiling caps every adaptive retransmission backoff delay
+	// (registration, state transfer, critical acks, gap recovery);
+	// defaults to 1s.
+	RetryCeiling time.Duration
+	// StateTransferRetries bounds how often a state transfer to a peer is
+	// retried without a StateTransferAck; defaults to 5.
+	StateTransferRetries int
+	// DisableRetransmitThrottle restores the seed's behaviour of sending
+	// a RetransmitRequest on every gap-detected arrival (the request
+	// storm). It exists as an ablation baseline for the rate-limited
+	// single-outstanding-request recovery path.
+	DisableRetransmitThrottle bool
+	// Governor configures the primary's overload governor; the zero value
+	// leaves it disabled.
+	Governor GovernorConfig
 }
+
+// UnboundedSendQueue disables the per-peer send-queue bound.
+const UnboundedSendQueue = -1
 
 // ErrAckTimeout is returned to a critical write's callback when the
 // backups did not acknowledge within CriticalMaxRetries retransmissions.
@@ -240,6 +270,16 @@ func (c *Config) normalize() error {
 	if c.CriticalMaxRetries == 0 {
 		c.CriticalMaxRetries = 5
 	}
+	if c.SendQueueLimit == 0 {
+		c.SendQueueLimit = 64
+	}
+	if c.RetryCeiling == 0 {
+		c.RetryCeiling = time.Second
+	}
+	if c.StateTransferRetries == 0 {
+		c.StateTransferRetries = 5
+	}
+	c.Governor.normalize(c)
 	if c.Peer != "" {
 		merged := make([]xkernel.Addr, 0, len(c.Peers)+1)
 		merged = append(merged, c.Peer)

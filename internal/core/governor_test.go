@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/cpu"
+	"rtpb/internal/netsim"
+	"rtpb/internal/temporal"
+)
+
+func governedSpec(name string) ObjectSpec {
+	return ObjectSpec{
+		Name:         name,
+		Size:         64,
+		UpdatePeriod: 40 * time.Millisecond,
+		Constraint: temporal.ExternalConstraint{
+			DeltaP: 50 * time.Millisecond,
+			DeltaB: 250 * time.Millisecond,
+		},
+	}
+}
+
+func newGovernedCluster(t *testing.T) *testCluster {
+	t.Helper()
+	return newTestCluster(t, clusterOpts{
+		seed: 7,
+		link: netsim.LinkParams{Delay: 2 * time.Millisecond, Jitter: time.Millisecond},
+		ell:  5 * time.Millisecond,
+		mutateP: func(cfg *Config) {
+			cfg.Costs = CostModel{
+				ClientOp:   200 * time.Microsecond,
+				UpdateSend: 5 * time.Millisecond,
+				PerByte:    2 * time.Nanosecond,
+			}
+			cfg.Governor = GovernorConfig{
+				Enable:           true,
+				Interval:         10 * time.Millisecond,
+				DemoteStaleness:  0.15,
+				PromoteStaleness: 0.05,
+				PromoteHold:      10,
+			}
+		},
+	})
+}
+
+// TestGovernorLadderDemotesAndRecovers drives the primary through a CPU
+// overload window and asserts the ladder engages (with the transitions
+// announced to the backup) and fully unwinds after the load clears.
+func TestGovernorLadderDemotesAndRecovers(t *testing.T) {
+	c := newGovernedCluster(t)
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		c.registerOK(t, governedSpec(n))
+	}
+	for _, n := range names {
+		n := n
+		stop := c.writeEvery(n, 80*time.Millisecond, func(i int) []byte {
+			return []byte{byte(i), n[0]}
+		})
+		defer stop.Stop()
+	}
+	announced := 0
+	c.backup.OnModeChange = func(_ uint32, _ string, _ ObjectMode, _ time.Duration) {
+		announced++
+	}
+	c.clk.RunFor(500 * time.Millisecond)
+	if s := c.primary.GovernorStats(); s.Demotions != 0 {
+		t.Fatalf("governor demoted %d rungs on an unloaded primary", s.Demotions)
+	}
+
+	// Steal 90% of the CPU at high priority for 1.5s.
+	hog := clock.NewPeriodic(c.clk, 0, 10*time.Millisecond, func() {
+		c.primary.CPU().Submit(cpu.High, 9*time.Millisecond, func() {})
+	})
+	c.clk.RunFor(1500 * time.Millisecond)
+	hog.Stop()
+
+	mid := c.primary.GovernorStats()
+	if mid.Demotions == 0 || mid.Degraded == 0 {
+		t.Fatalf("overload never engaged the ladder: %+v", mid)
+	}
+	if announced == 0 {
+		t.Fatal("no mode change reached the backup during the overload")
+	}
+
+	c.clk.RunFor(2 * time.Second)
+	end := c.primary.GovernorStats()
+	if end.Promotions != end.Demotions {
+		t.Fatalf("governor promoted %d of %d demoted rungs back", end.Promotions, end.Demotions)
+	}
+	for name, m := range c.primary.Modes() {
+		if m != ModeNormal {
+			t.Errorf("object %q ended at %s, want normal", name, m)
+		}
+	}
+}
+
+// TestGovernorSteadyStateStable is the flapping regression: a governed
+// but unloaded primary must never demote, even though in steady state a
+// new version is pending for most of every update period.
+func TestGovernorSteadyStateStable(t *testing.T) {
+	c := newGovernedCluster(t)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		c.registerOK(t, governedSpec(n))
+		n := n
+		stop := c.writeEvery(n, 80*time.Millisecond, func(i int) []byte {
+			return []byte{byte(i), n[0]}
+		})
+		defer stop.Stop()
+	}
+	c.clk.RunFor(4 * time.Second)
+	if s := c.primary.GovernorStats(); s.Demotions != 0 {
+		t.Fatalf("steady state produced %d demotions (%+v)", s.Demotions, s)
+	}
+}
+
+// TestGovernorDemoteOrder pins the ladder's walk: every non-critical
+// normal object compresses (latest-admitted first) before anything is
+// shed, Critical objects never leave normal, and the first-admitted
+// object is compressed at worst.
+func TestGovernorDemoteOrder(t *testing.T) {
+	c := newGovernedCluster(t)
+	crit := governedSpec("crit")
+	crit.Critical = true
+	c.registerOK(t, governedSpec("first"))
+	c.registerOK(t, crit)
+	c.registerOK(t, governedSpec("late"))
+	for _, n := range []string{"first", "crit", "late"} {
+		c.primary.ClientWrite(n, []byte(n), nil)
+	}
+	c.clk.RunFor(20 * time.Millisecond)
+
+	g := c.primary.gov
+	objs := c.primary.adm.ordered()
+	step := func() map[string]ObjectMode {
+		g.demoteOne(objs)
+		return c.primary.Modes()
+	}
+
+	if m := step(); m["late"] != ModeCompressed || m["first"] != ModeNormal || m["crit"] != ModeNormal {
+		t.Fatalf("first demotion should compress the latest non-critical object: %v", m)
+	}
+	if m := step(); m["first"] != ModeCompressed || m["crit"] != ModeNormal {
+		t.Fatalf("second demotion should compress the first-admitted object: %v", m)
+	}
+	if m := step(); m["late"] != ModeShed {
+		t.Fatalf("third demotion should shed the latest object: %v", m)
+	}
+	// The ladder is exhausted: "first" is never shed, "crit" never moves.
+	if m := step(); m["first"] != ModeCompressed || m["crit"] != ModeNormal {
+		t.Fatalf("exhausted ladder moved a protected object: %v", m)
+	}
+
+	// Promotion climbs back in criticality order: shed resumes first.
+	g.promoteOne(objs)
+	if m := c.primary.Modes(); m["late"] != ModeCompressed {
+		t.Fatalf("promotion should resume the shed object first: %v", m)
+	}
+}
+
+// TestGovernorEffectiveBounds pins the announced bounds: compressed
+// loosens δB by exactly the period stretch (capped at δB−ℓ), shed waives
+// the bound entirely.
+func TestGovernorEffectiveBounds(t *testing.T) {
+	c := newGovernedCluster(t)
+	c.registerOK(t, governedSpec("x"))
+	g := c.primary.gov
+	o := c.primary.adm.ordered()[0]
+
+	if got := g.effectiveBound(o, ModeNormal); got != o.spec.Constraint.DeltaB {
+		t.Fatalf("normal bound %v, want δB=%v", got, o.spec.Constraint.DeltaB)
+	}
+	stretched := g.periodFor(o, ModeCompressed)
+	if ceil := o.spec.Constraint.DeltaB - c.primary.cfg.Ell; stretched > ceil {
+		t.Fatalf("compressed period %v exceeds the Theorem 5 ceiling %v", stretched, ceil)
+	}
+	if stretched <= o.updatePeriod {
+		t.Fatalf("compressed period %v did not stretch past %v", stretched, o.updatePeriod)
+	}
+	want := o.spec.Constraint.DeltaB + (stretched - o.updatePeriod)
+	if got := g.effectiveBound(o, ModeCompressed); got != want {
+		t.Fatalf("compressed bound %v, want %v", got, want)
+	}
+	if got := g.effectiveBound(o, ModeShed); got != 0 {
+		t.Fatalf("shed bound %v, want waived (0)", got)
+	}
+}

@@ -27,6 +27,12 @@ type pendingAck struct {
 	done    func(latency time.Duration, err error)
 	retry   *clock.Event
 	retries int
+	// sentAt is the instant the most recent transmission entered the
+	// network; retransmitted marks the exchange tainted for RTT sampling
+	// (Karn's rule: an ack that may answer either transmission carries no
+	// usable round-trip measurement).
+	sentAt        time.Time
+	retransmitted bool
 }
 
 // startCriticalWrite transmits the just-installed value with an
@@ -81,6 +87,11 @@ func (p *Primary) transmitCritical(o *object, pa *pendingAck) {
 		}
 		o.lastSentSeq = pa.seq
 		o.lastSentVersion = pa.version
+		o.lastSentAt = p.clk.Now()
+		pa.sentAt = o.lastSentAt
+		if pa.retries > 0 {
+			pa.retransmitted = true
+		}
 		msg := &wire.Update{
 			Epoch:        p.epoch,
 			ObjectID:     o.id,
@@ -98,15 +109,41 @@ func (p *Primary) transmitCritical(o *object, pa *pendingAck) {
 		if p.OnSend != nil {
 			p.OnSend(o.id, o.spec.Name, pa.seq, pa.version)
 		}
-		pa.retry = p.clk.Schedule(p.cfg.CriticalAckTimeout, func() {
+		pa.retry = p.clk.Schedule(p.criticalRetryDelay(pa), func() {
 			p.criticalTimeout(o, pa)
 		})
 	})
 }
 
+// criticalRetryDelay is the adaptive ack timeout for one critical write:
+// the slowest waited-on peer's RTO under that peer's backoff, falling
+// back to the static CriticalAckTimeout when no link is attributable.
+func (p *Primary) criticalRetryDelay(pa *pendingAck) time.Duration {
+	var d time.Duration
+	for _, pr := range p.peers {
+		if !pa.waiting[pr.addr] {
+			continue
+		}
+		if v := p.retryDelay(pr, pa.retries); v > d {
+			d = v
+		}
+	}
+	if d == 0 {
+		d = p.cfg.CriticalAckTimeout
+	}
+	return d
+}
+
 func (p *Primary) criticalTimeout(o *object, pa *pendingAck) {
 	if o.pendingAcks[pa.seq] != pa {
 		return
+	}
+	// Every peer still waited on failed to ack inside the timeout: loss
+	// evidence for those links.
+	for _, pr := range p.peers {
+		if pa.waiting[pr.addr] {
+			pr.est.SampleLoss()
+		}
 	}
 	pa.retries++
 	if pa.retries >= p.cfg.CriticalMaxRetries {
@@ -129,6 +166,13 @@ func (p *Primary) handleUpdateAck(from xkernel.Addr, t *wire.UpdateAck) {
 	pa, ok := o.pendingAcks[t.Seq]
 	if !ok {
 		return // late ack after completion
+	}
+	if pr := p.peerByAddr(from); pr != nil && pa.waiting[from] {
+		if pa.retransmitted {
+			pr.est.SampleAck() // Karn: delivered, but the RTT is ambiguous
+		} else {
+			pr.est.SampleRTT(p.clk.Now().Sub(pa.sentAt))
+		}
 	}
 	delete(pa.waiting, from)
 	if len(pa.waiting) > 0 {

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"rtpb/internal/clock"
 	"rtpb/internal/cpu"
+	"rtpb/internal/resilience"
 	"rtpb/internal/temporal"
 	"rtpb/internal/wire"
 	"rtpb/internal/xkernel"
@@ -22,6 +24,35 @@ type replicaPeer struct {
 	alive      bool
 	pingSeq    uint64
 	registered map[uint32]bool
+
+	// est tracks the link's RTT and loss rate from heartbeat and update
+	// acks; every retry path toward this peer derives its timeout from it.
+	est *resilience.Estimator
+	// backoff spaces this peer's retransmissions with deterministic
+	// jitter (seeded from the peer address, never the wall clock).
+	backoff *resilience.Backoff
+	// pingSent maps outstanding heartbeat sequence numbers to their send
+	// instants for RTT sampling; pings overtaken by a newer ack count as
+	// losses.
+	pingSent map[uint64]time.Time
+	// queue is the peer's bounded pending-update queue (normal
+	// scheduling).
+	queue *sendQueue
+
+	// State-transfer reliability: the last transfer pushed to this peer
+	// is retried on the adaptive timer until its ack arrives.
+	stAwaiting bool
+	stAttempt  int
+	stRetry    *clock.Event
+}
+
+// linkSeed derives a stable jitter seed for a peer from its address, so
+// simulation replays are byte-identical while distinct peers still draw
+// distinct jitter streams.
+func linkSeed(local uint16, addr xkernel.Addr) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", local, addr)
+	return h.Sum64()
 }
 
 // Primary is the RTPB primary replica: it services client writes,
@@ -44,6 +75,16 @@ type Primary struct {
 	pumpOrder  []uint32
 	pumpNext   int
 
+	// gov is the overload governor (nil when disabled).
+	gov *governor
+	// drainActive reports whether the bounded-queue drain pump holds a
+	// pending CPU submission.
+	drainActive bool
+	// deadlineMisses counts update transmissions that found their object
+	// still queued from the previous release (coalesced sends) since the
+	// governor's last sample.
+	deadlineMisses int
+
 	// OnSend, when set, observes every update transmission (after the
 	// CPU cost, at the instant the datagram enters the network). With
 	// multiple backups it fires once per transmission, not per peer.
@@ -65,6 +106,10 @@ type Primary struct {
 	// OnStateTransferAck, when set, observes a backup's state-transfer
 	// acknowledgement.
 	OnStateTransferAck func(epoch uint32, objects int)
+	// OnModeChange, when set, observes overload-governor rung transitions
+	// with the external bound still maintained in the new mode (zero when
+	// the object is shed).
+	OnModeChange func(objectID uint32, name string, mode ObjectMode, effectiveBound time.Duration)
 }
 
 var _ xkernel.Upper = (*Primary)(nil)
@@ -84,6 +129,9 @@ func NewPrimary(cfg Config) (*Primary, error) {
 		epoch:   1,
 	}
 	p.adm = newAdmission(&p.cfg)
+	if p.cfg.Governor.Enable {
+		p.gov = newGovernor(p)
+	}
 	if err := cfg.Port.EnablePort(cfg.LocalPort, p); err != nil {
 		return nil, err
 	}
@@ -106,13 +154,33 @@ func (p *Primary) addPeerLocked(addr xkernel.Addr) error {
 	if err != nil {
 		return fmt.Errorf("core: open backup session to %s: %w", addr, err)
 	}
+	seed := linkSeed(p.cfg.LocalPort, addr)
+	backoff := resilience.NewBackoff(seed)
+	backoff.Cap = p.cfg.RetryCeiling
 	p.peers = append(p.peers, &replicaPeer{
 		addr:       addr,
 		sess:       sess,
 		alive:      true,
 		registered: make(map[uint32]bool),
+		est: resilience.NewEstimator(resilience.EstimatorConfig{
+			InitialRTO: max(p.cfg.RegisterTimeout, p.cfg.CriticalAckTimeout),
+			MinRTO:     max(2*p.cfg.Ell, 2*time.Millisecond),
+			MaxRTO:     p.cfg.RetryCeiling,
+		}),
+		backoff:  backoff,
+		pingSent: make(map[uint64]time.Time),
+		queue:    newSendQueue(p.cfg.SendQueueLimit),
 	})
 	return nil
+}
+
+// retryDelay is the adaptive retransmission delay toward one peer for the
+// given zero-based attempt: the link estimator's RTO under capped
+// exponential backoff with deterministic jitter. Before any RTT sample
+// the RTO equals the protocol's static timeout, so adaptivity only
+// changes behaviour once evidence exists.
+func (p *Primary) retryDelay(pr *replicaPeer, attempt int) time.Duration {
+	return pr.backoff.DelayFrom(pr.est.RTO(), attempt)
 }
 
 // Stop cancels every periodic task and releases the port binding.
@@ -121,9 +189,18 @@ func (p *Primary) Stop() {
 		return
 	}
 	p.running = false
+	if p.gov != nil {
+		p.gov.stop()
+	}
 	for _, o := range p.adm.objects {
 		if o.task != nil {
 			o.task.Stop()
+		}
+	}
+	for _, pr := range p.peers {
+		if pr.stRetry != nil {
+			pr.stRetry.Cancel()
+			pr.stRetry = nil
 		}
 	}
 	p.port.DisablePort(p.cfg.LocalPort)
@@ -225,9 +302,14 @@ func (p *Primary) startUpdateTask(o *object) {
 }
 
 func (p *Primary) retimeUpdateTask(o *object) {
-	if o.task != nil {
-		o.task.SetPeriod(o.updatePeriod)
+	if o.task == nil {
+		return
 	}
+	period := o.updatePeriod
+	if p.gov != nil {
+		period = p.gov.periodFor(o, p.gov.mode(o.id))
+	}
+	o.task.SetPeriod(period)
 }
 
 // forwardRegistration sends the object's registration to one backup and
@@ -246,7 +328,11 @@ func (p *Primary) forwardRegistration(pr *replicaPeer, o *object, retriesLeft in
 		DeltaP:   o.spec.Constraint.DeltaP,
 		DeltaB:   o.spec.Constraint.DeltaB,
 	})
-	p.clk.Schedule(p.cfg.RegisterTimeout, func() {
+	attempt := p.cfg.RegisterRetries - retriesLeft
+	p.clk.Schedule(p.retryDelay(pr, attempt), func() {
+		if p.peerByAddr(pr.addr) != pr {
+			return // peer set replaced while the retry was pending
+		}
 		p.forwardRegistration(pr, o, retriesLeft-1)
 	})
 }
@@ -316,36 +402,149 @@ func (p *Primary) anyPeerAlive() bool {
 	return false
 }
 
-// transmit queues one update transmission for the object on the CPU and
-// sends it when the CPU grants the time. Retransmissions requested by a
-// backup run in the high-priority class so loss recovery is not delayed
-// by the regular update backlog.
+// transmit queues one update transmission for the object and sends it
+// when the CPU grants the time. Retransmissions requested by a backup run
+// in the high-priority class (single-flight per object) so loss recovery
+// is not delayed by the regular update backlog; regular transmissions go
+// through the bounded per-peer send queues unless the queue bound is
+// disabled.
 func (p *Primary) transmit(o *object, prio cpu.Priority) {
 	if !p.running || !o.hasData || !p.anyPeerAlive() {
 		return
 	}
-	p.proc.Submit(prio, p.cfg.Costs.sendCost(len(o.value)), func() {
-		p.sendUpdateNow(o)
-	})
+	if p.gov != nil && p.gov.shed(o.id) {
+		return // the governor suspended this object's replication
+	}
+	if prio == cpu.High {
+		if o.highPending {
+			return // one recovery retransmission in flight is enough
+		}
+		o.highPending = true
+		p.proc.Submit(cpu.High, p.cfg.Costs.sendCost(len(o.value)), func() {
+			o.highPending = false
+			p.sendUpdateNow(o)
+		})
+		return
+	}
+	if p.cfg.SendQueueLimit == UnboundedSendQueue {
+		// Legacy unbounded buffering: every release queues its own CPU
+		// work (the paper's prototype, and the Figure 7 overload mode).
+		p.proc.Submit(cpu.Low, p.cfg.Costs.sendCost(len(o.value)), func() {
+			p.sendUpdateNow(o)
+		})
+		return
+	}
+	queuedNew, attempted := false, false
+	for _, pr := range p.peers {
+		if !pr.alive {
+			continue
+		}
+		attempted = true
+		if !pr.queue.enqueue(o.id) {
+			queuedNew = true
+		}
+	}
+	if !attempted {
+		return
+	}
+	if !queuedNew {
+		// The previous release never reached the wire: a transmission
+		// deadline miss, one of the governor's overload signals.
+		p.deadlineMisses++
+	}
+	p.startDrain()
+}
+
+// startDrain kicks the send-queue drain pump if it is not already holding
+// a CPU submission.
+func (p *Primary) startDrain() {
+	if p.drainActive || !p.running {
+		return
+	}
+	p.drainActive = true
+	p.drainStep()
+}
+
+// drainStep dequeues the oldest pending object across the live peers'
+// queues, pays one CPU send cost, transmits to every peer whose queue
+// held it, and chains the next step. One submission is outstanding at a
+// time, so client writes arriving meanwhile interleave fairly in the
+// low-priority FIFO instead of waiting behind a pre-queued backlog.
+func (p *Primary) drainStep() {
+	for {
+		if !p.running {
+			p.drainActive = false
+			return
+		}
+		var id uint32
+		found := false
+		for _, pr := range p.peers {
+			if !pr.alive {
+				continue
+			}
+			if h, ok := pr.queue.head(); ok {
+				id, found = h, true
+				break
+			}
+		}
+		if !found {
+			p.drainActive = false
+			return
+		}
+		var targets []*replicaPeer
+		for _, pr := range p.peers {
+			if pr.queue.remove(id) && pr.alive {
+				targets = append(targets, pr)
+			}
+		}
+		o, ok := p.adm.objects[id]
+		if !ok || !o.hasData || len(targets) == 0 {
+			continue
+		}
+		p.proc.Submit(cpu.Low, p.cfg.Costs.sendCost(len(o.value)), func() {
+			p.sendUpdateTo(o, targets)
+			p.drainStep()
+		})
+		return
+	}
 }
 
 // sendUpdateNow emits the update datagram carrying the object's current
 // state to every live backup; it must run after the CPU cost has been
 // paid.
 func (p *Primary) sendUpdateNow(o *object) {
-	if !p.running || !o.hasData || !p.anyPeerAlive() {
+	p.sendUpdateTo(o, p.peers)
+}
+
+// sendUpdateTo emits the update to the given peers (skipping any that
+// died since queuing); it must run after the CPU cost has been paid.
+func (p *Primary) sendUpdateTo(o *object, targets []*replicaPeer) {
+	if !p.running || !o.hasData {
+		return
+	}
+	live := targets[:0:0]
+	for _, pr := range targets {
+		if pr.alive {
+			live = append(live, pr)
+		}
+	}
+	if len(live) == 0 {
 		return
 	}
 	o.seq++
 	o.lastSentSeq = o.seq
 	o.lastSentVersion = o.version
-	p.broadcast(&wire.Update{
+	o.lastSentAt = p.clk.Now()
+	encoded := wire.Encode(&wire.Update{
 		Epoch:    p.epoch,
 		ObjectID: o.id,
 		Seq:      o.seq,
 		Version:  o.version.UnixNano(),
 		Payload:  o.value,
 	})
+	for _, pr := range live {
+		_ = pr.sess.Push(xkernel.NewMessage(encoded))
+	}
 	if p.OnSend != nil {
 		p.OnSend(o.id, o.spec.Name, o.seq, o.version)
 	}
@@ -384,6 +583,9 @@ func (p *Primary) nextPumpObject() *object {
 	for tries := 0; tries < len(p.pumpOrder); tries++ {
 		id := p.pumpOrder[p.pumpNext%len(p.pumpOrder)]
 		p.pumpNext++
+		if p.gov != nil && p.gov.shed(id) {
+			continue
+		}
 		if o, ok := p.adm.objects[id]; ok && o.hasData {
 			return o
 		}
@@ -404,8 +606,16 @@ func (p *Primary) SetPeerAlive(addr xkernel.Addr, alive bool) {
 		p.sendStateTransferTo(pr)
 		p.maybeStartPump()
 	} else {
-		// Do not hold critical writes hostage to a dead backup.
+		// Do not hold critical writes hostage to a dead backup, and drop
+		// its queued transmissions — the reintegration state transfer
+		// supersedes them.
 		p.dropPeerFromCriticalWaits(addr)
+		pr.queue.clear()
+		if pr.stRetry != nil {
+			pr.stRetry.Cancel()
+			pr.stRetry = nil
+		}
+		pr.stAwaiting = false
 	}
 }
 
@@ -501,9 +711,26 @@ func (p *Primary) SendStateTransfer() {
 	}
 }
 
+// sendStateTransferTo starts (or restarts) a reliable state transfer to
+// one peer: the snapshot is pushed and retried on the adaptive timer until
+// the peer's StateTransferAck arrives or retries run out. Retried
+// snapshots are rebuilt fresh, and application is idempotent on the
+// backup (supersedes() drops entries an interleaved update already beat).
 func (p *Primary) sendStateTransferTo(pr *replicaPeer) {
+	if pr.stRetry != nil {
+		pr.stRetry.Cancel()
+		pr.stRetry = nil
+	}
+	pr.stAttempt = 0
+	p.pushStateTransfer(pr)
+}
+
+func (p *Primary) pushStateTransfer(pr *replicaPeer) {
+	if !p.running || p.peerByAddr(pr.addr) != pr {
+		return
+	}
 	st := &wire.StateTransfer{Epoch: p.epoch}
-	for _, o := range p.adm.objects {
+	for _, o := range p.adm.ordered() {
 		if !o.hasData {
 			continue
 		}
@@ -514,7 +741,20 @@ func (p *Primary) sendStateTransferTo(pr *replicaPeer) {
 			Payload:  o.value,
 		})
 	}
+	pr.stAwaiting = true
 	p.sendTo(pr, st)
+	attempt := pr.stAttempt
+	pr.stAttempt++
+	if pr.stAttempt >= p.cfg.StateTransferRetries {
+		return
+	}
+	pr.stRetry = p.clk.Schedule(p.retryDelay(pr, attempt), func() {
+		pr.stRetry = nil
+		if pr.stAwaiting && pr.alive {
+			pr.est.SampleLoss()
+			p.pushStateTransfer(pr)
+		}
+	})
 }
 
 // SendPing emits one heartbeat to the first attached backup and returns
@@ -536,8 +776,34 @@ func (p *Primary) SendPingTo(addr xkernel.Addr) (uint64, error) {
 		return 0, fmt.Errorf("core: no peer %s", addr)
 	}
 	pr.pingSeq++
+	pr.pingSent[pr.pingSeq] = p.clk.Now()
+	if len(pr.pingSent) > 64 {
+		for s := range pr.pingSent {
+			if s+64 <= pr.pingSeq {
+				delete(pr.pingSent, s)
+			}
+		}
+	}
 	p.sendTo(pr, &wire.Ping{Seq: pr.pingSeq, From: wire.RolePrimary})
 	return pr.pingSeq, nil
+}
+
+// observePingAck feeds one heartbeat ack into the peer's link estimator:
+// the answered ping yields an RTT sample, and any older pings still
+// outstanding are counted as losses (either they or their acks vanished).
+func (p *Primary) observePingAck(pr *replicaPeer, seq uint64) {
+	sentAt, ok := pr.pingSent[seq]
+	if !ok {
+		return
+	}
+	delete(pr.pingSent, seq)
+	pr.est.SampleRTT(p.clk.Now().Sub(sentAt))
+	for s := range pr.pingSent {
+		if s < seq {
+			delete(pr.pingSent, s)
+			pr.est.SampleLoss()
+		}
+	}
 }
 
 // Demux implements xkernel.Upper: inbound RTPB datagrams from the port
@@ -555,6 +821,9 @@ func (p *Primary) Demux(m *xkernel.Message, from xkernel.Addr) error {
 		if o, ok := p.adm.objects[t.ObjectID]; ok {
 			p.transmit(o, cpu.High)
 		}
+	case *wire.ModeChange:
+		// Primaries govern, they are not governed; a ModeChange landing
+		// here is a stale datagram from a previous role. Drop it.
 	case *wire.RegisterReply:
 		if pr := p.peerByAddr(from); pr != nil && t.Accepted {
 			pr.registered[t.ObjectID] = true
@@ -565,6 +834,9 @@ func (p *Primary) Demux(m *xkernel.Message, from xkernel.Addr) error {
 		}
 		p.replyTo(from, &wire.PingAck{Seq: t.Seq, From: wire.RolePrimary})
 	case *wire.PingAck:
+		if pr := p.peerByAddr(from); pr != nil {
+			p.observePingAck(pr, t.Seq)
+		}
 		if p.OnPingAck != nil {
 			p.OnPingAck(t.Seq)
 		}
@@ -572,6 +844,13 @@ func (p *Primary) Demux(m *xkernel.Message, from xkernel.Addr) error {
 			p.OnPingAckFrom(from, t.Seq)
 		}
 	case *wire.StateTransferAck:
+		if pr := p.peerByAddr(from); pr != nil && t.Epoch == p.epoch {
+			pr.stAwaiting = false
+			if pr.stRetry != nil {
+				pr.stRetry.Cancel()
+				pr.stRetry = nil
+			}
+		}
 		if p.OnStateTransferAck != nil {
 			p.OnStateTransferAck(t.Epoch, int(t.Objects))
 		}
@@ -641,4 +920,76 @@ func (p *Primary) UpdatePeriod(name string) (time.Duration, bool) {
 		return 0, false
 	}
 	return o.updatePeriod, true
+}
+
+// Mode reports the governor's current degradation rung for an object
+// (always ModeNormal on an ungoverned primary).
+func (p *Primary) Mode(name string) (ObjectMode, bool) {
+	o, err := p.adm.byNameOrErr(name)
+	if err != nil {
+		return 0, false
+	}
+	if p.gov == nil {
+		return ModeNormal, true
+	}
+	return p.gov.mode(o.id), true
+}
+
+// Modes returns every admitted object's current degradation rung keyed by
+// name.
+func (p *Primary) Modes() map[string]ObjectMode {
+	out := make(map[string]ObjectMode, len(p.adm.objects))
+	for name, id := range p.adm.byName {
+		if p.gov == nil {
+			out[name] = ModeNormal
+		} else {
+			out[name] = p.gov.mode(id)
+		}
+	}
+	return out
+}
+
+// GovernorStats reports the overload governor's ladder activity (zero on
+// an ungoverned primary).
+func (p *Primary) GovernorStats() GovernorStats {
+	if p.gov == nil {
+		return GovernorStats{}
+	}
+	return p.gov.stats
+}
+
+// PeerLinkStats describes the adaptive link state toward one backup.
+type PeerLinkStats struct {
+	// SRTT and RTO are the link estimator's smoothed round-trip time and
+	// current retransmission timeout.
+	SRTT time.Duration
+	RTO  time.Duration
+	// LossRate is the EWMA loss estimate in [0, 1].
+	LossRate float64
+	// Acks and Losses are the raw delivered/lost observation counts.
+	Acks   uint64
+	Losses uint64
+	// QueueDepth is the peer's current pending-update queue depth.
+	QueueDepth int
+	// Queue holds the queue's lifetime counters.
+	Queue SendQueueStats
+}
+
+// PeerLink reports the link estimator and send-queue state toward one
+// attached backup.
+func (p *Primary) PeerLink(addr xkernel.Addr) (PeerLinkStats, bool) {
+	pr := p.peerByAddr(addr)
+	if pr == nil {
+		return PeerLinkStats{}, false
+	}
+	acks, losses := pr.est.Samples()
+	return PeerLinkStats{
+		SRTT:       pr.est.SRTT(),
+		RTO:        pr.est.RTO(),
+		LossRate:   pr.est.LossRate(),
+		Acks:       acks,
+		Losses:     losses,
+		QueueDepth: pr.queue.depth(),
+		Queue:      pr.queue.stats,
+	}, true
 }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/netsim"
+)
+
+// runLossStorm drives one primary/backup pair through a burst-loss
+// window and reports the backup's gap-recovery request activity. The
+// netsim seed and the write schedule are identical across calls, so the
+// only variable is the backup's retransmission throttle.
+func runLossStorm(t *testing.T, throttle bool) (requested, suppressed, gaps int) {
+	t.Helper()
+	c := newTestCluster(t, clusterOpts{
+		seed: 99,
+		link: netsim.LinkParams{Delay: ms(2)},
+		mutateB: func(cfg *Config) {
+			cfg.DisableRetransmitThrottle = !throttle
+		},
+	})
+	// A fast object: δB=50ms admits an update period of a couple dozen
+	// milliseconds, so a multi-second loss window covers many scheduled
+	// transmissions and every loss-created gap is observed promptly.
+	c.registerOK(t, spec("x", ms(10), ms(20), ms(50)))
+	c.backup.OnGap = func(uint32, uint64, uint64) { gaps++ }
+	stop := c.writeEvery("x", ms(10), func(i int) []byte { return []byte{byte(i)} })
+	defer stop.Stop()
+	c.clk.RunFor(200 * time.Millisecond) // clean warmup
+
+	// Burst loss: drop roughly two of three datagrams each way for 3s.
+	// Every surviving update arrives gap-flagged, and each unthrottled
+	// request provokes a fresh high-priority retransmission whose own
+	// loss creates the next gap — the storm the throttle exists to damp.
+	if err := c.net.SetDefaultLink(netsim.LinkParams{Delay: ms(2), LossProb: 0.65}); err != nil {
+		t.Fatal(err)
+	}
+	c.clk.RunFor(3 * time.Second)
+	if err := c.net.SetDefaultLink(netsim.LinkParams{Delay: ms(2)}); err != nil {
+		t.Fatal(err)
+	}
+	c.clk.RunFor(200 * time.Millisecond) // heal and converge
+
+	pv, pver, _ := c.primary.Value("x")
+	bv, bver, ok := c.backup.Value("x")
+	if !ok || string(pv) != string(bv) || !pver.Equal(bver) {
+		t.Fatalf("backup did not converge after heal (throttle=%v): primary %q@%v backup %q@%v",
+			throttle, pv, pver, bv, bver)
+	}
+	requested, suppressed = c.backup.RetransmitStats()
+	return requested, suppressed, gaps
+}
+
+// TestRetransmitThrottleDampsRequestStorm is the regression test for the
+// gap-recovery request storm: because RTPB updates carry full state, the
+// gap-flagged arrival itself already made the backup current, so
+// retransmission requests are prophylactic and may be spaced with
+// backoff at no cost to staleness. The throttled backup must issue at
+// least 5× fewer requests than the unthrottled baseline over the same
+// burst-loss schedule, while still converging after the link heals.
+func TestRetransmitThrottleDampsRequestStorm(t *testing.T) {
+	unReq, unSup, unGaps := runLossStorm(t, false)
+	thReq, thSup, thGaps := runLossStorm(t, true)
+
+	if unSup != 0 {
+		t.Fatalf("unthrottled run suppressed %d requests", unSup)
+	}
+	if unReq == 0 || unGaps == 0 {
+		t.Fatalf("loss storm produced no baseline activity (requests=%d gaps=%d)", unReq, unGaps)
+	}
+	if thReq*5 > unReq {
+		t.Fatalf("throttle reduction under 5×: %d requests vs %d unthrottled (gaps %d vs %d)",
+			thReq, unReq, thGaps, unGaps)
+	}
+	if thSup == 0 {
+		t.Fatal("throttled run suppressed nothing — throttle inactive?")
+	}
+	if thReq == 0 {
+		t.Fatal("throttle suppressed every request — gap recovery disabled, not damped")
+	}
+}

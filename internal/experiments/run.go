@@ -77,6 +77,10 @@ type Result struct {
 	// Sends, Applies, and Gaps count update transmissions, backup
 	// applies, and detected sequence gaps.
 	Sends, Applies, Gaps int
+	// RetransmitRequests and RetransmitSuppressed count the backup's
+	// gap-recovery requests actually sent and those absorbed by the
+	// retransmission backoff during the measured interval.
+	RetransmitRequests, RetransmitSuppressed int
 	// Utilization is the primary's planned CPU utilization after
 	// admission.
 	Utilization float64
@@ -135,6 +139,13 @@ func runHooked(p Params, onSend sendHook) (*Result, error) {
 		Scheduling:              p.Scheduling,
 		SlackFactor:             p.SlackFactor,
 		DisableAdmissionControl: !p.AdmissionControl,
+		// The paper's prototype buffers update transmissions without
+		// bound — that unbounded queueing is precisely what produces the
+		// Figure 7/10 response-time explosion when admission control is
+		// off, so the reproduction keeps it (the resilience layer's
+		// bounded send queues are measured separately by the chaos
+		// harness and rtpbench -json).
+		SendQueueLimit: core.UnboundedSendQueue,
 	})
 	if err != nil {
 		return nil, err
@@ -259,6 +270,7 @@ func runHooked(p Params, onSend sendHook) (*Result, error) {
 	if err := net.SetDefaultLink(netsim.LinkParams{Delay: p.Delay, Jitter: p.Jitter, LossProb: p.Loss}); err != nil {
 		return nil, err
 	}
+	preReq, preSup := backup.RetransmitStats()
 	measuring = true
 	// Sample raw backup staleness (primary's current version vs the
 	// backup's applied version) on a fixed grid during measurement.
@@ -295,6 +307,8 @@ func runHooked(p Params, onSend sendHook) (*Result, error) {
 	if res.Excursions > 0 {
 		res.InconsistencyMean = res.InconsistencyTotal / time.Duration(res.Excursions)
 	}
+	req, sup := backup.RetransmitStats()
+	res.RetransmitRequests, res.RetransmitSuppressed = req-preReq, sup-preSup
 	res.Net = net.Stats()
 	primary.Stop()
 	backup.Stop()

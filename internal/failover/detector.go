@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rtpb/internal/clock"
+	"rtpb/internal/resilience"
 )
 
 // DetectorConfig tunes the heartbeat failure detector.
@@ -24,6 +25,23 @@ type DetectorConfig struct {
 	// MaxMisses is the number of consecutive unanswered pings after
 	// which the peer is declared dead.
 	MaxMisses int
+	// Adaptive layers a phi-accrual-style suspicion score over the fixed
+	// MaxMisses threshold: once MaxMisses consecutive pings go
+	// unanswered, the peer is declared dead only if the current silence
+	// is also SuspicionThreshold standard deviations beyond the
+	// historical inter-ack gap distribution (or the history is too thin
+	// to judge). A naturally jittery link earns a wide distribution and
+	// rides out silences that would false-fail a fixed threshold; a
+	// historically crisp link converts the same silence into high
+	// suspicion just as fast as before.
+	Adaptive bool
+	// SuspicionThreshold is the normalized-deviation score past which an
+	// adaptive detector declares death; defaults to 4.
+	SuspicionThreshold float64
+	// MaxSilence hard-caps how long an adaptive detector will defer to
+	// its learned distribution: any silence at least this long is fatal
+	// regardless of suspicion score. Defaults to 8×Interval.
+	MaxSilence time.Duration
 }
 
 // DefaultDetectorConfig returns the configuration used by the examples
@@ -45,8 +63,25 @@ func (c DetectorConfig) Validate() error {
 		return errors.New("failover: non-positive ack timeout")
 	case c.MaxMisses <= 0:
 		return errors.New("failover: MaxMisses must be at least 1")
+	case c.Adaptive && c.SuspicionThreshold < 0:
+		return errors.New("failover: negative SuspicionThreshold")
+	case c.Adaptive && c.MaxSilence < 0:
+		return errors.New("failover: negative MaxSilence")
 	}
 	return nil
+}
+
+// normalized fills the adaptive defaults.
+func (c DetectorConfig) normalized() DetectorConfig {
+	if c.Adaptive {
+		if c.SuspicionThreshold == 0 {
+			c.SuspicionThreshold = 4
+		}
+		if c.MaxSilence == 0 {
+			c.MaxSilence = 8 * c.Interval
+		}
+	}
+	return c
 }
 
 // Detector drives the heartbeat exchange for one replica: it periodically
@@ -67,6 +102,12 @@ type Detector struct {
 	alive      bool
 	running    bool
 	suppressed bool
+
+	// Adaptive suspicion state: the inter-ack gap distribution and the
+	// instant of the most recent proof of life.
+	susp    *resilience.Suspicion
+	lastAck time.Time
+	hasAck  bool
 }
 
 // NewDetector builds a stopped detector; call Start to begin pinging.
@@ -76,7 +117,11 @@ func NewDetector(clk clock.Clock, cfg DetectorConfig, send func() uint64, onDead
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Detector{clk: clk, cfg: cfg, send: send, onDead: onDead, alive: true}, nil
+	d := &Detector{clk: clk, cfg: cfg.normalized(), send: send, onDead: onDead, alive: true}
+	if d.cfg.Adaptive {
+		d.susp = resilience.NewSuspicion()
+	}
+	return d, nil
 }
 
 // Start begins the periodic heartbeat. It is a no-op if already running.
@@ -122,6 +167,10 @@ func (d *Detector) Reset() {
 	if d.timeout != nil {
 		d.timeout.Cancel()
 		d.timeout = nil
+	}
+	if d.susp != nil {
+		d.susp.Reset()
+		d.hasAck = false
 	}
 }
 
@@ -170,7 +219,7 @@ func (d *Detector) onTimeout() {
 		return
 	}
 	d.misses++
-	if d.misses >= d.cfg.MaxMisses {
+	if d.misses >= d.cfg.MaxMisses && !d.silenceTolerable() {
 		d.alive = false
 		d.hasPending = false
 		d.Stop()
@@ -182,6 +231,31 @@ func (d *Detector) onTimeout() {
 	// Timeout and resend, per the paper: "if a server receives no
 	// acknowledgment over some time, it will timeout and resend".
 	d.sendPing()
+}
+
+// silenceTolerable reports whether an adaptive detector should ride out
+// the current silence despite MaxMisses consecutive unanswered pings: the
+// learned gap distribution must be mature, must score the silence below
+// the suspicion threshold, and the MaxSilence hard cap must not have been
+// reached. A fixed-threshold detector never tolerates.
+func (d *Detector) silenceTolerable() bool {
+	if !d.cfg.Adaptive || d.susp == nil || !d.susp.Ready() || !d.hasAck {
+		return false
+	}
+	now := d.clk.Now()
+	if now.Sub(d.lastAck) >= d.cfg.MaxSilence {
+		return false
+	}
+	return d.susp.Level(now) < d.cfg.SuspicionThreshold
+}
+
+// SuspicionLevel reports the adaptive suspicion score of the current
+// silence (zero for fixed-threshold detectors or thin history).
+func (d *Detector) SuspicionLevel() float64 {
+	if d.susp == nil || !d.susp.Ready() {
+		return 0
+	}
+	return d.susp.Level(d.clk.Now())
 }
 
 // OnAck feeds a received ping acknowledgement into the detector. Acks for
@@ -199,4 +273,10 @@ func (d *Detector) OnAck(seq uint64) {
 	}
 	d.misses = 0
 	d.alive = true
+	if d.susp != nil {
+		now := d.clk.Now()
+		d.susp.Observe(now)
+		d.lastAck = now
+		d.hasAck = true
+	}
 }

@@ -32,6 +32,7 @@ type extState struct {
 	violation    time.Duration
 	excursions   int
 	finished     bool
+	suspended    bool
 }
 
 type interState struct {
@@ -96,6 +97,11 @@ func (s *extState) record(version, applied time.Time) {
 		// during a harness's settle phase) are not part of it.
 		return
 	}
+	if s.suspended {
+		// The guarantee is waived (the primary shed the object); updates
+		// that race the mode change carry no obligation.
+		return
+	}
 	if s.hasUpdate {
 		s.accountUpTo(applied)
 	}
@@ -154,6 +160,63 @@ func (m *Monitor) FinishAt(t time.Time) {
 		st.accountUpTo(t)
 		st.finished = true
 	}
+}
+
+// Suspend waives the external bound for (site, object) from instant t:
+// staleness accrued up to t is folded into the statistics, then the
+// monitor stops accounting until Resume. Harnesses call it when the
+// primary's overload governor announces an object as shed — a shed image
+// carries no temporal guarantee, so its growing staleness is not a
+// violation. Suspending an untracked or already-suspended pair is a
+// no-op.
+func (m *Monitor) Suspend(site, object string, t time.Time) {
+	st, ok := m.external[extKey{site, object}]
+	if !ok || st.finished || st.suspended {
+		return
+	}
+	st.accountUpTo(t)
+	st.suspended = true
+	st.hasUpdate = false
+}
+
+// Resume re-attaches the external bound for (site, object): accounting
+// restarts at the first update recorded after the call (the primary
+// refreshes a promoted object's image immediately, so the gap is one
+// transmission). Resuming a pair that is not suspended is a no-op.
+func (m *Monitor) Resume(site, object string) {
+	st, ok := m.external[extKey{site, object}]
+	if !ok || !st.suspended {
+		return
+	}
+	st.suspended = false
+	st.hasUpdate = false
+}
+
+// Suspended reports whether the external bound for (site, object) is
+// currently waived.
+func (m *Monitor) Suspended(site, object string) bool {
+	st, ok := m.external[extKey{site, object}]
+	return ok && st.suspended
+}
+
+// SetBound rebinds the external constraint for (site, object) to delta
+// from instant t onward: the trajectory up to t is accounted under the
+// old bound, the remainder under the new one. Harnesses call it when the
+// governor announces a compressed object's loosened effective bound.
+func (m *Monitor) SetBound(site, object string, t time.Time, delta time.Duration) {
+	st, ok := m.external[extKey{site, object}]
+	if !ok || st.finished || st.delta == delta {
+		return
+	}
+	if !st.suspended {
+		st.accountUpTo(t)
+		if st.hasUpdate && t.After(st.lastApplied) {
+			// Restart the open interval at t so the suffix is judged
+			// against the new bound only.
+			st.lastApplied = t
+		}
+	}
+	st.delta = delta
 }
 
 // ExternalReport summarizes the observed external consistency of one

@@ -172,3 +172,77 @@ func TestMonitorSitesAreIndependent(t *testing.T) {
 		t.Fatalf("update counts p=%d b=%d, want 2 and 1", p.Updates, b.Updates)
 	}
 }
+
+func TestMonitorSuspendWaivesBound(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(50))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	// Shed at 40ms: 0ms of violation so far. The image then rots for
+	// 500ms with no updates — none of it counts while suspended.
+	m.Suspend("backup", "x", at(ms(40)))
+	if !m.Suspended("backup", "x") {
+		t.Fatal("not suspended after Suspend")
+	}
+	// An update racing the mode change carries no obligation.
+	m.RecordUpdate("backup", "x", at(ms(200)), at(ms(200)))
+	// Promoted at 540ms; the refresh lands at 545ms and accounting
+	// restarts there.
+	m.Resume("backup", "x")
+	m.RecordUpdate("backup", "x", at(ms(545)), at(ms(545)))
+	m.RecordUpdate("backup", "x", at(ms(575)), at(ms(575)))
+	m.FinishAt(at(ms(580)))
+	r, _ := m.ExternalReport("backup", "x")
+	if !r.Consistent() {
+		t.Fatalf("suspension did not waive the bound: %v", r)
+	}
+	if m.Suspended("backup", "x") {
+		t.Fatal("still suspended after Resume")
+	}
+}
+
+func TestMonitorSuspendAccountsPrefix(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(50))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	// Suspended only at 80ms: the bound was already blown for 30ms.
+	m.Suspend("backup", "x", at(ms(80)))
+	m.FinishAt(at(ms(500)))
+	r, _ := m.ExternalReport("backup", "x")
+	if r.ViolationTime != ms(30) {
+		t.Fatalf("prefix violation = %v, want 30ms", r.ViolationTime)
+	}
+}
+
+func TestMonitorSetBoundLoosens(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(50))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	// Bound loosened to 120ms at 20ms (compressed mode announced); the
+	// next update at 100ms would have violated the 50ms bound but stays
+	// inside the effective one.
+	m.SetBound("backup", "x", at(ms(20)), ms(120))
+	m.RecordUpdate("backup", "x", at(ms(100)), at(ms(100)))
+	m.FinishAt(at(ms(100)))
+	r, _ := m.ExternalReport("backup", "x")
+	if !r.Consistent() {
+		t.Fatalf("loosened bound still violated: %v", r)
+	}
+	if r.Delta != ms(120) {
+		t.Fatalf("Delta = %v, want 120ms", r.Delta)
+	}
+}
+
+func TestMonitorSetBoundAccountsPrefixUnderOldBound(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(50))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	// The 50ms bound is blown from 50ms to 80ms (30ms of violation);
+	// only then is the bound loosened.
+	m.SetBound("backup", "x", at(ms(80)), ms(300))
+	m.RecordUpdate("backup", "x", at(ms(200)), at(ms(200)))
+	m.FinishAt(at(ms(200)))
+	r, _ := m.ExternalReport("backup", "x")
+	if r.ViolationTime != ms(30) {
+		t.Fatalf("prefix violation = %v, want 30ms under the old bound", r.ViolationTime)
+	}
+}

@@ -35,6 +35,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		&Order{Seq: 5, ObjectID: 1, Version: 77, Payload: []byte("x")},
 		&OrderAck{Seq: 5},
 		&UpdateAck{ObjectID: 7, Seq: 41},
+		&ModeChange{Epoch: 2, ObjectID: 7, Mode: 3, Seq: 5, EffectiveBound: 250 * time.Millisecond},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))

@@ -53,6 +53,10 @@ const (
 	// only when the update carried AckRequested (the hybrid path for
 	// critical objects).
 	KindUpdateAck
+	// KindModeChange announces the primary overload governor's degradation
+	// decision for one object so the backup's temporal monitor can track
+	// the effective bound while the object is compressed or shed.
+	KindModeChange
 )
 
 // String returns the kind name.
@@ -82,6 +86,8 @@ func (k Kind) String() string {
 		return "OrderAck"
 	case KindUpdateAck:
 		return "UpdateAck"
+	case KindModeChange:
+		return "ModeChange"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -121,6 +127,7 @@ var (
 	_ Message = (*Order)(nil)
 	_ Message = (*OrderAck)(nil)
 	_ Message = (*UpdateAck)(nil)
+	_ Message = (*ModeChange)(nil)
 )
 
 // Encode serializes a message with the RTPB header.
@@ -169,6 +176,8 @@ func Decode(b []byte) (Message, error) {
 		m = &OrderAck{}
 	case KindUpdateAck:
 		m = &UpdateAck{}
+	case KindModeChange:
+		m = &ModeChange{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[3])
 	}
@@ -573,6 +582,46 @@ func (m *UpdateAck) appendBody(dst []byte) []byte {
 func (m *UpdateAck) decodeBody(r *reader) error {
 	m.ObjectID = r.uint32()
 	m.Seq = r.uint64()
+	return r.err
+}
+
+// ModeChange announces the overload governor's transmission-mode decision
+// for one object: normal, compressed (stretched update period), or shed
+// (updates suspended). The backup uses EffectiveBound to keep its temporal
+// monitor honest about what guarantee the primary is actually maintaining.
+type ModeChange struct {
+	// Epoch is the announcing primary's epoch (fencing).
+	Epoch uint32
+	// ObjectID identifies the object.
+	ObjectID uint32
+	// Mode is the numeric degradation rung (core.ObjectMode).
+	Mode uint8
+	// Seq is the governor's decision sequence number, monotone per
+	// primary epoch; receivers drop stale reorderings and duplicates.
+	Seq uint64
+	// EffectiveBound is the external staleness bound the primary still
+	// maintains for this object in the announced mode; zero means
+	// replication of the object is suspended entirely.
+	EffectiveBound time.Duration
+}
+
+// WireKind implements Message.
+func (*ModeChange) WireKind() Kind { return KindModeChange }
+
+func (m *ModeChange) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, m.ObjectID)
+	dst = append(dst, m.Mode)
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	return appendDuration(dst, m.EffectiveBound)
+}
+
+func (m *ModeChange) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.ObjectID = r.uint32()
+	m.Mode = r.uint8()
+	m.Seq = r.uint64()
+	m.EffectiveBound = r.duration()
 	return r.err
 }
 

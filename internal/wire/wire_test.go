@@ -147,6 +147,14 @@ func TestRoundTripOrderAndAck(t *testing.T) {
 	}
 }
 
+func TestRoundTripModeChange(t *testing.T) {
+	in := &ModeChange{Epoch: 3, ObjectID: 9, Mode: 2, Seq: 17, EffectiveBound: 375 * time.Millisecond}
+	out := roundTrip(t, in).(*ModeChange)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("ModeChange round-trip: got %+v, want %+v", out, in)
+	}
+}
+
 func TestDecodeRejectsBadMagic(t *testing.T) {
 	b := Encode(&Ping{Seq: 1, From: RolePrimary})
 	b[0] ^= 0xFF
