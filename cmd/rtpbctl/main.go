@@ -7,6 +7,8 @@
 //	rtpbctl -addr 127.0.0.1:7777 write alt "9000 ft"
 //	rtpbctl -addr 127.0.0.1:7777 read alt
 //	rtpbctl -addr 127.0.0.1:7777 status
+//	rtpbctl -addr 127.0.0.1:7777 repair               # peer repair-cycle state
+//	rtpbctl -addr 127.0.0.1:7777 recruit 10.0.0.9:7000
 //	rtpbctl -addr 127.0.0.1:7777 bench alt 40ms 5s   # periodic writes
 package main
 
@@ -36,7 +38,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|bench> args...")
+		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|repair|recruit|bench> args...")
 	}
 
 	// Validate the subcommand before touching the network.
@@ -50,6 +52,8 @@ func run(args []string) error {
 		"write":    {3, "write <name> <value>"},
 		"read":     {2, "read <name>"},
 		"status":   {1, "status"},
+		"repair":   {1, "repair"},
+		"recruit":  {2, "recruit <addr>"},
 		"bench":    {4, "bench <name> <period> <duration>"},
 	}
 	want, known := arity[sub]
@@ -81,6 +85,10 @@ func run(args []string) error {
 		return printRead(reply)
 	case "status":
 		return doPrint(c, "STATUS")
+	case "repair":
+		return doPrint(c, "REPAIR")
+	case "recruit":
+		return doPrint(c, "RECRUIT "+rest[1])
 	default: // bench
 		return bench(c, rest[1], rest[2], rest[3])
 	}

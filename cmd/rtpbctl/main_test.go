@@ -18,6 +18,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{"read arity", []string{"-addr", "127.0.0.1:1", "read"}, "usage: read"},
 		{"relate arity", []string{"-addr", "127.0.0.1:1", "relate", "a"}, "usage: relate"},
 		{"bench arity", []string{"-addr", "127.0.0.1:1", "bench", "x"}, "usage: bench"},
+		{"recruit arity", []string{"-addr", "127.0.0.1:1", "recruit"}, "usage: recruit"},
+		{"repair arity", []string{"-addr", "127.0.0.1:1", "repair", "x"}, "usage: repair"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

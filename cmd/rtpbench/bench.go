@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"rtpb/internal/chaos"
 	"rtpb/internal/core"
 	"rtpb/internal/experiments"
 )
@@ -46,6 +47,24 @@ type benchPoint struct {
 	Utilization float64 `json:"utilization"`
 }
 
+// rejoinPoint is one crash-failover-rejoin run in the report: the full
+// repair cycle (crash, promotion, directory-driven rejoin, chunked
+// catch-up) at one loss rate.
+type rejoinPoint struct {
+	// Name labels the configuration.
+	Name string `json:"name"`
+	// Loss is the message-loss probability on every link.
+	Loss float64 `json:"loss"`
+	// CatchUpMs is the time from the rejoin fault's injection to the
+	// rejoined replica's final object passing catch-up.
+	CatchUpMs float64 `json:"catch_up_ms"`
+	// Promotions and FinalEpoch record the failover the rejoin followed.
+	Promotions int    `json:"promotions"`
+	FinalEpoch uint32 `json:"final_epoch"`
+	// Violations counts invariant failures (0 in a healthy run).
+	Violations int `json:"violations"`
+}
+
 // benchReport is the file written by rtpbench -json.
 type benchReport struct {
 	// Seed and DurationMs make the report reproducible: the same pair
@@ -53,6 +72,8 @@ type benchReport struct {
 	Seed       int64        `json:"seed"`
 	DurationMs float64      `json:"duration_ms"`
 	Points     []benchPoint `json:"points"`
+	// Rejoin is the repair-cycle sweep: rejoin catch-up time versus loss.
+	Rejoin []rejoinPoint `json:"rejoin"`
 }
 
 // runBench measures the resilience-layer benchmark matrix — a fixed
@@ -108,6 +129,33 @@ func runBench(path string, seed int64, duration time.Duration) error {
 			Utilization:          r.Utilization,
 		})
 	}
+	// The repair-cycle sweep: the crash-failover-rejoin scenario at each
+	// loss rate, measuring how long the rejoined replica takes to catch
+	// up. Virtual time throughout, so the numbers replay exactly.
+	for _, cfg := range []struct {
+		name string
+		loss float64
+	}{
+		{"rejoin-clean", 0},
+		{"rejoin-loss-10", 0.10},
+		{"rejoin-loss-25", 0.25},
+	} {
+		sc := chaos.RejoinBench(cfg.loss)
+		sc.Seed = seed
+		res, err := chaos.Run(sc)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", cfg.name, err)
+		}
+		report.Rejoin = append(report.Rejoin, rejoinPoint{
+			Name:       cfg.name,
+			Loss:       cfg.loss,
+			CatchUpMs:  msf(res.RejoinCatchUp),
+			Promotions: res.Promotions,
+			FinalEpoch: res.FinalEpoch,
+			Violations: len(res.Violations),
+		})
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

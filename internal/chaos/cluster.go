@@ -8,6 +8,7 @@ import (
 	"rtpb/internal/core"
 	"rtpb/internal/failover"
 	"rtpb/internal/netsim"
+	"rtpb/internal/repair"
 	"rtpb/internal/temporal"
 	"rtpb/internal/xkernel"
 )
@@ -75,6 +76,10 @@ type Harness struct {
 
 	govCheckpoints map[string]govCheckpoint
 	hogs           []*clock.Periodic
+
+	rejoiners  map[string]*repair.Rejoiner
+	rejoinAt   map[string]time.Time
+	caughtUpAt map[string]time.Time
 }
 
 // govCheckpoint is a mid-run capture of the overload governor's ladder
@@ -124,6 +129,9 @@ func newHarness(sc Scenario) (*Harness, error) {
 		lastVersion: make(map[string]time.Time),
 
 		govCheckpoints: make(map[string]govCheckpoint),
+		rejoiners:      make(map[string]*repair.Rejoiner),
+		rejoinAt:       make(map[string]time.Time),
+		caughtUpAt:     make(map[string]time.Time),
 	}
 	h.start = h.clk.Now()
 	h.net = netsim.New(h.clk, sc.Seed)
@@ -230,6 +238,7 @@ func (h *Harness) wireGovernor(p *core.Primary) {
 // the node's backup replica.
 func (h *Harness) wireBackup(n *Node) error {
 	b := n.Backup
+	h.wireCatchUp(n, b)
 	b.OnApply = func(_ uint32, name string, epoch uint32, _ uint64, version, at time.Time) {
 		h.observeApply(n, name, epoch, version, at)
 	}
@@ -278,6 +287,15 @@ func (h *Harness) observeApply(n *Node, object string, epoch uint32, version, at
 			n.Name, object, version.Format("15:04:05.000"), last.Format("15:04:05.000"))
 	}
 	h.lastVersion[key] = version
+
+	// The repair cycle's streaming invariant: while the backup still marks
+	// an object catching up, the monitor must have its bound suspended —
+	// an image with no temporal guarantee yet must never be reported
+	// consistent.
+	if n.Backup != nil && n.Backup.CatchingUp(object) && !h.mon.Suspended(n.Name, object) {
+		h.violationf("catch-up: %s applied %q while catching up but the monitor counted it consistent",
+			n.Name, object)
+	}
 }
 
 // onPrimaryDead is a backup detector's death verdict. If the name
@@ -425,6 +443,93 @@ func (h *Harness) attachBackup(n *Node) error {
 	return nil
 }
 
+// rejoin revives a crashed node through the repair subsystem: the
+// endpoint comes back up and a repair.Rejoiner drives the over-the-wire
+// protocol — poll the directory, wait out the node's own stale claim if
+// it was the fenced old primary, demote to a backup of the recorded
+// successor, and run the chunked join exchange. Unlike restartAsBackup,
+// the harness never touches the primary's peer table: the JoinRequest
+// itself attaches the replica, exactly as a real redeployment would.
+func (h *Harness) rejoin(name string) {
+	n := h.nodes[name]
+	if n == nil {
+		h.violationf("rejoin: unknown node %q", name)
+		return
+	}
+	if n.Primary != nil || n.Backup != nil {
+		h.logf("rejoin %s: already up, no-op", name)
+		return
+	}
+	n.EP.SetDown(false)
+	h.rejoinAt[name] = h.clk.Now()
+	// A node that started as the primary was never tracked as a backup
+	// site; register its objects before catch-up marks reference them.
+	for _, spec := range h.sc.Objects {
+		if _, ok := h.mon.ExternalReport(name, spec.Name); !ok {
+			h.mon.TrackExternal(name, spec.Name, spec.Constraint.DeltaB)
+		}
+	}
+	rj, err := repair.NewRejoiner(repair.RejoinerConfig{
+		Clock:     h.clk,
+		Service:   ServiceName,
+		Directory: h.ns,
+		Self:      n.Addr(),
+		Announce:  true,
+		Start: func(primary xkernel.Addr, epoch uint32) (*core.Backup, error) {
+			b, err := core.NewBackup(core.Config{
+				Clock:               h.clk,
+				Port:                n.Port,
+				Peer:                primary,
+				Ell:                 h.sc.Ell,
+				DisableEpochFencing: h.sc.DisableFencing,
+			})
+			if err != nil {
+				return nil, err
+			}
+			n.Backup = b
+			n.peer = primary
+			if err := h.wireBackup(n); err != nil {
+				return nil, err
+			}
+			h.logf("%s is up, rejoining %s at epoch %d", name, primary, epoch)
+			return b, nil
+		},
+		OnJoined: func(b *core.Backup) {
+			h.logf("%s: join exchange complete at epoch %d", name, b.Epoch())
+		},
+	})
+	if err != nil {
+		h.violationf("rejoin %s: %v", name, err)
+		return
+	}
+	h.rejoiners[name] = rj
+	rj.Start()
+	h.logf("%s polls the directory to rejoin", name)
+}
+
+// wireCatchUp mirrors the backup's catch-up lifecycle into the monitor:
+// when a JoinAccept lands, every object's bound is suspended (the
+// transferred image carries no temporal guarantee); each object resumes
+// only once the backup declares it inside δ_i^B again.
+func (h *Harness) wireCatchUp(n *Node, b *core.Backup) {
+	b.OnJoinAccept = func(epoch uint32, specs int) {
+		h.logf("%s: join accepted at epoch %d (%d specs); catch-up begins", n.Name, epoch, specs)
+		for _, spec := range h.sc.Objects {
+			h.mon.BeginCatchUp(n.Name, spec.Name, h.clk.Now())
+		}
+	}
+	b.OnCatchUp = func(_ uint32, object string, staleness time.Duration) {
+		h.mon.EndCatchUp(n.Name, object)
+		h.logf("%s: %q caught up (staleness %v)", n.Name, object,
+			staleness.Round(100*time.Microsecond))
+		if b.CatchUpRemaining() == 0 {
+			h.caughtUpAt[n.Name] = h.clk.Now()
+			h.logf("%s: catch-up complete, %v after rejoin", n.Name,
+				h.clk.Now().Sub(h.rejoinAt[n.Name]).Round(100*time.Microsecond))
+		}
+	}
+}
+
 // startWriters begins the periodic client workload against the active
 // primary, one writer per object.
 func (h *Harness) startWriters() {
@@ -472,6 +577,10 @@ type Result struct {
 	FinalEpoch uint32
 	// Elapsed is the total virtual time simulated.
 	Elapsed time.Duration
+	// RejoinCatchUp is the time from the last Rejoin fault's injection to
+	// the instant the rejoined replica's final object passed catch-up
+	// (0 when the scenario injects no rejoin, or it never completed).
+	RejoinCatchUp time.Duration
 }
 
 // Failed reports whether any invariant was violated.
@@ -529,6 +638,13 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if h.active != nil && h.active.Running() {
 		res.FinalEpoch = h.active.Epoch()
+	}
+	for name, done := range h.caughtUpAt {
+		if started, ok := h.rejoinAt[name]; ok {
+			if d := done.Sub(started); d > res.RejoinCatchUp {
+				res.RejoinCatchUp = d
+			}
+		}
 	}
 	return res, nil
 }

@@ -93,6 +93,22 @@ func (f Restart) String() string { return fmt.Sprintf("restart %s as backup", f.
 
 func (f Restart) apply(h *Harness) { h.restartAsBackup(f.Node) }
 
+// Rejoin revives a crashed node through the repair subsystem's rejoin
+// protocol: the endpoint comes back up and a repair.Rejoiner polls the
+// directory, waits out the node's own stale claim if it was the fenced
+// old primary, and joins the recorded successor entirely over the wire
+// (JoinRequest, digest, chunk exchange). No harness-side recruitment —
+// the difference from Restart, which re-attaches the peer directly.
+type Rejoin struct {
+	// Node names the node to revive.
+	Node string
+}
+
+// String implements Fault.
+func (f Rejoin) String() string { return fmt.Sprintf("rejoin %s via the directory", f.Node) }
+
+func (f Rejoin) apply(h *Harness) { h.rejoin(f.Node) }
+
 // Suppress pauses (On=true) or resumes (On=false) a backup node's
 // failure detector, modelling a wedged monitoring task that misses a
 // real crash.

@@ -422,6 +422,52 @@ func (NoSplitBrain) Check(h *Harness) error {
 	return nil
 }
 
+// RejoinCaughtUp asserts a rejoined node completed the full repair
+// cycle: its backup finished the chunked join exchange, every object
+// went through a monitor catch-up cycle (suspended until an update
+// landed inside δ_i^B — nothing was reported consistent early), and the
+// serving primary counts the replica synced, restoring the replication
+// degree.
+type RejoinCaughtUp struct {
+	// Node names the rejoined node.
+	Node string
+}
+
+// Name implements Checker.
+func (c RejoinCaughtUp) Name() string { return fmt.Sprintf("rejoin-caught-up-%s", c.Node) }
+
+// Check implements Checker.
+func (c RejoinCaughtUp) Check(h *Harness) error {
+	n := h.nodes[c.Node]
+	if n == nil || n.Backup == nil || !n.Backup.Running() {
+		return fmt.Errorf("no running backup on %s", c.Node)
+	}
+	if !n.Backup.Joined() {
+		return fmt.Errorf("%s never completed its join exchange", c.Node)
+	}
+	if rem := n.Backup.CatchUpRemaining(); rem != 0 {
+		return fmt.Errorf("%s still has %d objects catching up", c.Node, rem)
+	}
+	for _, spec := range h.sc.Objects {
+		if h.mon.CatchingUp(c.Node, spec.Name) {
+			return fmt.Errorf("monitor still marks %s/%s catching up", c.Node, spec.Name)
+		}
+		if h.mon.CatchUps(c.Node, spec.Name) == 0 {
+			return fmt.Errorf("%s/%s never went through a catch-up cycle — the join was never marked stale", c.Node, spec.Name)
+		}
+	}
+	if _, ok := h.caughtUpAt[c.Node]; !ok {
+		return fmt.Errorf("%s's catch-up completion instant was never recorded", c.Node)
+	}
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary")
+	}
+	if got := h.active.SyncedPeers(); got < 1 {
+		return fmt.Errorf("primary counts %d synced peers; the rejoined replica never reached parity", got)
+	}
+	return nil
+}
+
 // Progress asserts every running backup applied at least a minimum
 // number of updates, guarding scenarios against passing vacuously.
 type Progress struct {

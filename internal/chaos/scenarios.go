@@ -90,6 +90,37 @@ func Catalogue() []Scenario {
 			},
 		},
 		{
+			Name:        "crash-failover-rejoin",
+			Description: "primary crashes under 10% loss; the backup promotes, and the fenced old primary rejoins via the directory and catches up over the lossy link",
+			Duration:    4 * time.Second,
+			Full:        true,
+			Link:        netsim.LinkParams{Delay: ms(2), Jitter: ms(1), LossProb: 0.10},
+			// The loss stays on through the drain, so the final write needs
+			// several periodic-resend opportunities to land; the default
+			// 400 ms settle is only two ~200 ms update periods, which leaves
+			// Converged hostage to a couple of unlucky tail drops.
+			Settle: ms(1200),
+			Objects: []core.ObjectSpec{
+				wideObject("pressure"), wideObject("flow"),
+			},
+			// Generous miss budget: at 10% loss per direction a heartbeat
+			// round fails ~19% of the time, and a premature promotion is not
+			// what this scenario measures.
+			Detector: failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 8},
+			Events: []FaultEvent{
+				{At: ms(800), Fault: Crash{Node: PrimaryNode}},
+				// Revive the old primary well after the takeover: it finds
+				// itself fenced (the directory names its successor), demotes,
+				// and joins as a backup through the chunked exchange.
+				{At: ms(1600), Fault: Rejoin{Node: PrimaryNode}},
+			},
+			Invariants: []Checker{
+				Promotions{Want: 1}, EpochIs{Want: 2}, NoSplitBrain{},
+				RejoinCaughtUp{Node: PrimaryNode},
+				Converged{}, ActiveServes{}, PromotedAfter{Offset: ms(800)},
+			},
+		},
+		{
 			Name:        "split-brain-fencing",
 			Description: "asymmetric partition promotes the standby; the fenced zombie primary's writes must not reach replicated state",
 			Standby:     true,
@@ -293,6 +324,15 @@ func Find(name string) (Scenario, bool) {
 		}
 	}
 	return Scenario{}, false
+}
+
+// RejoinBench returns the crash-failover-rejoin scenario with the link
+// loss overridden — the configuration rtpbench sweeps to measure the
+// rejoined replica's catch-up time versus loss.
+func RejoinBench(loss float64) Scenario {
+	sc, _ := Find("crash-failover-rejoin")
+	sc.Link.LossProb = loss
+	return sc
 }
 
 // standardNamed is StandardObject with a different name, for multi-object

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"rtpb/internal/clock"
 	"rtpb/internal/resilience"
 	"rtpb/internal/temporal"
 	"rtpb/internal/wire"
@@ -34,6 +36,12 @@ type backupObject struct {
 	mode      ObjectMode
 	modeSeq   uint64
 	modeEpoch uint32
+
+	// catchingUp marks an object whose image was stale when a join
+	// exchange began; it clears only once an applied update or chunk
+	// lands within δ_i^B, and until then the object must not be reported
+	// temporally consistent.
+	catchingUp bool
 }
 
 // supersedes reports whether an inbound (epoch, seq) pair is newer than
@@ -68,6 +76,19 @@ type Backup struct {
 	retransRequested  int
 	retransSuppressed int
 
+	// Join-exchange state (transfer.go): joining marks an accepted join
+	// whose final chunk has not landed; joined latches once any join
+	// completes; catchingUp counts objects still outside δ_i^B;
+	// seenChunks dedups applied chunks by (generation, chunk).
+	joining       bool
+	joined        bool
+	catchingUp    int
+	xferApplied   int
+	seenChunks    map[uint64]bool
+	digestRetry   *clock.Event
+	digestAttempt int
+	joinBackoff   *resilience.Backoff
+
 	// OnApply, when set, observes every applied update with the epoch it
 	// was stamped with (invariant checkers use the epoch to detect
 	// fenced-epoch state leaking through).
@@ -81,8 +102,18 @@ type Backup struct {
 	OnPingAck func(seq uint64)
 	// OnPing, when set, observes inbound pings (an ack is always sent).
 	OnPing func(seq uint64)
-	// OnStateTransfer, when set, observes applied state transfers.
+	// OnStateTransfer, when set, observes applied state transfers: the
+	// legacy monolithic form, or a completed chunked join exchange with
+	// the total entries it applied.
 	OnStateTransfer func(epoch uint32, objects int)
+	// OnJoinAccept, when set, observes an accepted join with the
+	// primary's epoch and spec count — the instant every listed object
+	// enters catch-up (temporal monitors suspend their bounds here).
+	OnJoinAccept func(epoch uint32, specs int)
+	// OnCatchUp, when set, observes one object completing catch-up: an
+	// update or chunk landed within δ_i^B, so the object may be reported
+	// temporally consistent again.
+	OnCatchUp func(objectID uint32, name string, staleness time.Duration)
 	// OnModeChange, when set, observes the primary overload governor's
 	// announced degradation rung for an object, with the external bound
 	// the primary still maintains (zero while the object is shed).
@@ -103,8 +134,12 @@ func NewBackup(cfg Config) (*Backup, error) {
 		byName:     make(map[string]uint32),
 		running:    true,
 		gapBackoff: resilience.NewBackoff(linkSeed(cfg.LocalPort, cfg.Peer)),
+		// A distinct jitter stream for digest retries so join traffic
+		// does not perturb the gap-recovery schedule of replays.
+		joinBackoff: resilience.NewBackoff(linkSeed(cfg.LocalPort, cfg.Peer) ^ 0x9e3779b97f4a7c15),
 	}
 	b.gapBackoff.Cap = cfg.RetryCeiling
+	b.joinBackoff.Cap = cfg.RetryCeiling
 	if err := cfg.Port.EnablePort(cfg.LocalPort, b); err != nil {
 		return nil, err
 	}
@@ -125,6 +160,10 @@ func (b *Backup) Stop() {
 		return
 	}
 	b.running = false
+	if b.digestRetry != nil {
+		b.digestRetry.Cancel()
+		b.digestRetry = nil
+	}
 	b.port.DisablePort(b.cfg.LocalPort)
 	if b.sess != nil {
 		b.sess.Close()
@@ -169,6 +208,10 @@ func (b *Backup) Demux(m *xkernel.Message, from xkernel.Addr) error {
 		b.handleStateTransfer(t)
 	case *wire.ModeChange:
 		b.handleModeChange(t)
+	case *wire.JoinAccept:
+		b.handleJoinAccept(t)
+	case *wire.StateChunk:
+		b.handleStateChunk(t)
 	}
 	return nil
 }
@@ -344,27 +387,39 @@ func (b *Backup) apply(o *backupObject, epoch uint32, seq uint64, version time.T
 	o.version = version
 	o.value = append(o.value[:0], payload...)
 	o.hasData = true
+	now := b.cfg.Clock.Now()
+	if o.catchingUp {
+		// Catch-up semantics: the object is declared consistent again
+		// only once an applied image lands within its backup bound — a
+		// transferred value can itself be stale (the writer may have been
+		// quiet), and serving it as consistent is exactly the hazard the
+		// catch-up mark exists to prevent. Objects without a declared
+		// bound catch up on any apply.
+		staleness := now.Sub(version)
+		if d := o.spec.Constraint.DeltaB; d <= 0 || staleness <= d {
+			o.catchingUp = false
+			b.catchingUp--
+			if b.OnCatchUp != nil {
+				b.OnCatchUp(o.id, o.spec.Name, staleness)
+			}
+		}
+	}
 	if b.OnApply != nil {
-		b.OnApply(o.id, o.spec.Name, epoch, seq, version, b.cfg.Clock.Now())
+		b.OnApply(o.id, o.spec.Name, epoch, seq, version, now)
 	}
 }
 
+// handleStateTransfer applies the legacy monolithic transfer. Entries
+// carry their specs, so an object whose registration never reached this
+// replica is admitted here rather than left as a spec-less placeholder
+// that a later promotion would silently drop.
 func (b *Backup) handleStateTransfer(t *wire.StateTransfer) {
 	if !b.observeEpoch(t.Epoch) {
 		return
 	}
 	applied := 0
 	for _, e := range t.Entries {
-		o, ok := b.objects[e.ObjectID]
-		if !ok {
-			o = &backupObject{id: e.ObjectID}
-			b.objects[e.ObjectID] = o
-		}
-		if !o.supersedes(t.Epoch, e.Seq) {
-			continue
-		}
-		b.apply(o, t.Epoch, e.Seq, time.Unix(0, e.Version), e.Payload)
-		applied++
+		applied += b.applyStateEntry(t.Epoch, e)
 	}
 	b.send(&wire.StateTransferAck{Epoch: t.Epoch, Objects: uint32(applied)})
 	if b.OnStateTransfer != nil {
@@ -397,21 +452,37 @@ func (b *Backup) Value(name string) (data []byte, version time.Time, ok bool) {
 // Objects reports the number of known objects.
 func (b *Backup) Objects() int { return len(b.objects) }
 
-// Specs returns the registered object specs, keyed by name. A promoted
-// replica re-registers these with its own admission controller.
+// Specs returns the registered object specs in object-id (admission)
+// order. A promoted replica re-registers these with its own admission
+// controller, and the order must be deterministic — it fixes the new
+// primary's id assignment and task creation order.
 func (b *Backup) Specs() []ObjectSpec {
 	out := make([]ObjectSpec, 0, len(b.byName))
-	for _, id := range b.byName {
-		out = append(out, b.objects[id].spec)
+	for _, id := range b.orderedIDs() {
+		if o := b.objects[id]; o.spec.Name != "" {
+			out = append(out, o.spec)
+		}
 	}
 	return out
+}
+
+// orderedIDs returns every known object id in ascending order — the
+// deterministic iteration all promotion-visible snapshots use.
+func (b *Backup) orderedIDs() []uint32 {
+	ids := make([]uint32, 0, len(b.objects))
+	for id := range b.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // State snapshots the backup's replicated values for promotion: the new
 // primary seeds its object table from this.
 func (b *Backup) State() []wire.StateEntry {
 	out := make([]wire.StateEntry, 0, len(b.objects))
-	for _, o := range b.objects {
+	for _, id := range b.orderedIDs() {
+		o := b.objects[id]
 		if !o.hasData {
 			continue
 		}
@@ -421,6 +492,11 @@ func (b *Backup) State() []wire.StateEntry {
 			ObjectID: o.id,
 			Seq:      o.seq,
 			Version:  o.version.UnixNano(),
+			Name:     o.spec.Name,
+			Size:     uint32(o.spec.Size),
+			Period:   o.spec.UpdatePeriod,
+			DeltaP:   o.spec.Constraint.DeltaP,
+			DeltaB:   o.spec.Constraint.DeltaB,
 			Payload:  payload,
 		})
 	}
@@ -444,8 +520,11 @@ type SnapshotEntry struct {
 // the input to failover promotion.
 func (b *Backup) Snapshot() []SnapshotEntry {
 	out := make([]SnapshotEntry, 0, len(b.byName))
-	for _, id := range b.byName {
+	for _, id := range b.orderedIDs() {
 		o := b.objects[id]
+		if o.spec.Name == "" {
+			continue
+		}
 		e := SnapshotEntry{Spec: o.spec, Version: o.version, HasData: o.hasData}
 		if o.hasData {
 			e.Value = append([]byte(nil), o.value...)

@@ -170,8 +170,25 @@ type Config struct {
 	// defaults to 1s.
 	RetryCeiling time.Duration
 	// StateTransferRetries bounds how often a state transfer to a peer is
-	// retried without a StateTransferAck; defaults to 5.
+	// retried without a StateTransferAck; defaults to 5. The same bound
+	// applies per chunk of the chunked anti-entropy exchange: when one
+	// chunk exhausts its retries the generation is abandoned and the
+	// joiner's next digest resumes the transfer from whatever landed.
 	StateTransferRetries int
+	// ChunkEntries bounds how many objects one anti-entropy StateChunk
+	// carries; defaults to 8. Together with ChunkBytes it keeps each
+	// chunk's CPU cost and datagram size comparable to regular update
+	// traffic, so a joining backup's catch-up cannot starve live
+	// replication.
+	ChunkEntries int
+	// ChunkBytes bounds one StateChunk's total payload bytes (at least
+	// one entry is always sent); defaults to 32 KiB.
+	ChunkBytes int
+	// SelfAddr is this replica's own replication address as peers should
+	// dial it. It is advisory: a backup stamps it into JoinRequests so
+	// logs and tooling can name the joiner, but the primary always trusts
+	// the datagram's source address.
+	SelfAddr xkernel.Addr
 	// DisableRetransmitThrottle restores the seed's behaviour of sending
 	// a RetransmitRequest on every gap-detected arrival (the request
 	// storm). It exists as an ablation baseline for the rate-limited
@@ -278,6 +295,12 @@ func (c *Config) normalize() error {
 	}
 	if c.StateTransferRetries == 0 {
 		c.StateTransferRetries = 5
+	}
+	if c.ChunkEntries == 0 {
+		c.ChunkEntries = 8
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 32 << 10
 	}
 	c.Governor.normalize(c)
 	if c.Peer != "" {

@@ -360,6 +360,13 @@ func (g *governor) announce(o *object, m ObjectMode) {
 	}
 }
 
+// overloaded reports whether any object currently sits below ModeNormal —
+// the signal the anti-entropy chunk sender yields to, so catch-up traffic
+// never competes with a primary already shedding load.
+func (g *governor) overloaded() bool {
+	return g.stats.Degraded > 0 || g.stats.Shed > 0
+}
+
 func (g *governor) recount() {
 	g.stats.Degraded, g.stats.Shed = 0, 0
 	for _, m := range g.modes {

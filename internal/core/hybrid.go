@@ -46,7 +46,11 @@ func (p *Primary) startCriticalWrite(o *object, arrival time.Time, done func(tim
 	}
 	waiting := make(map[xkernel.Addr]bool)
 	for _, pr := range p.peers {
-		if pr.alive {
+		// A syncing peer is excluded from the quorum: it may hold
+		// arbitrarily stale state, so its ack proves nothing about
+		// redundancy (it still receives the update through the regular
+		// broadcast, which is what completes its catch-up).
+		if pr.alive && !pr.syncing {
 			waiting[pr.addr] = true
 		}
 	}

@@ -44,6 +44,26 @@ type replicaPeer struct {
 	stAwaiting bool
 	stAttempt  int
 	stRetry    *clock.Event
+
+	// Chunked join/anti-entropy exchange state (transfer.go). A syncing
+	// peer receives live updates but does not count toward critical-write
+	// quorums or the reported replication degree until its exchange
+	// completes.
+	syncing     bool
+	joinRetry   *clock.Event
+	joinAttempt int
+	xferGen     uint32
+	xferChunk   uint32
+	xferPending []uint32
+	xferIDs     []uint32
+	xferEntries int
+	xferTotal   int
+	xferRetry   *clock.Event
+	xferAttempt int
+	xferSentAt  time.Time
+	xferRetrans bool
+	xferActive  bool
+	xfer        TransferStats
 }
 
 // linkSeed derives a stable jitter seed for a peer from its address, so
@@ -104,8 +124,19 @@ type Primary struct {
 	// OnPing, when set, observes inbound pings (an ack is always sent).
 	OnPing func(seq uint64)
 	// OnStateTransferAck, when set, observes a backup's state-transfer
-	// acknowledgement.
+	// acknowledgement: the legacy monolithic ack, or — for the chunked
+	// exchange — the final chunk's ack, with the total entries streamed.
 	OnStateTransferAck func(epoch uint32, objects int)
+	// OnPeerSynced, when set, observes a peer completing its anti-entropy
+	// exchange: from this instant it counts toward quorums again.
+	OnPeerSynced func(addr xkernel.Addr, entries int)
+	// OnPeerSyncFailed, when set, observes a join exchange giving up on
+	// an unresponsive peer (the repair layer rotates to another
+	// candidate).
+	OnPeerSyncFailed func(addr xkernel.Addr)
+	// OnJoinRequest, when set, observes inbound rejoin requests with the
+	// joiner's last-observed epoch and self-reported address.
+	OnJoinRequest func(from xkernel.Addr, epoch uint32, addr string)
 	// OnModeChange, when set, observes overload-governor rung transitions
 	// with the external bound still maintained in the new mode (zero when
 	// the object is shed).
@@ -202,6 +233,7 @@ func (p *Primary) Stop() {
 			pr.stRetry.Cancel()
 			pr.stRetry = nil
 		}
+		p.cancelTransfer(pr)
 	}
 	p.port.DisablePort(p.cfg.LocalPort)
 	for _, pr := range p.peers {
@@ -595,7 +627,9 @@ func (p *Primary) nextPumpObject() *object {
 
 // SetPeerAlive informs the primary of one backup's liveness (driven by a
 // failure detector). Declaring a peer dead stops transmissions to it; a
-// peer coming (back) alive receives a full state transfer (Section 4.4).
+// peer coming (back) alive is reintegrated through the chunked
+// anti-entropy exchange (Section 4.4's recruitment, made resumable) and
+// only counts toward quorums again once it completes.
 func (p *Primary) SetPeerAlive(addr xkernel.Addr, alive bool) {
 	pr := p.peerByAddr(addr)
 	if pr == nil || pr.alive == alive {
@@ -603,12 +637,12 @@ func (p *Primary) SetPeerAlive(addr xkernel.Addr, alive bool) {
 	}
 	pr.alive = alive
 	if alive {
-		p.sendStateTransferTo(pr)
+		p.beginJoin(pr)
 		p.maybeStartPump()
 	} else {
 		// Do not hold critical writes hostage to a dead backup, and drop
-		// its queued transmissions — the reintegration state transfer
-		// supersedes them.
+		// its queued transmissions and any in-flight exchange — the
+		// reintegration transfer on revival supersedes them.
 		p.dropPeerFromCriticalWaits(addr)
 		pr.queue.clear()
 		if pr.stRetry != nil {
@@ -616,6 +650,7 @@ func (p *Primary) SetPeerAlive(addr xkernel.Addr, alive bool) {
 			pr.stRetry = nil
 		}
 		pr.stAwaiting = false
+		p.cancelTransfer(pr)
 	}
 }
 
@@ -627,8 +662,10 @@ func (p *Primary) SetBackupAlive(alive bool) {
 	}
 }
 
-// BackupAlive reports whether any backup is believed alive.
-func (p *Primary) BackupAlive() bool { return p.anyPeerAlive() }
+// BackupAlive reports whether any backup is believed alive and has
+// completed its anti-entropy exchange — a peer still catching up holds
+// arbitrarily stale state and is not counted as effective redundancy.
+func (p *Primary) BackupAlive() bool { return p.SyncedPeers() > 0 }
 
 // PeerAlive reports the liveness of one attached backup.
 func (p *Primary) PeerAlive(addr xkernel.Addr) bool {
@@ -647,9 +684,11 @@ func (p *Primary) peerByAddr(addr xkernel.Addr) *replicaPeer {
 	return nil
 }
 
-// AddPeer attaches an additional backup replica: its session opens, all
-// registrations are replayed to it, and a state transfer brings it
-// current.
+// AddPeer attaches an additional backup replica and drives it to parity
+// through the chunked join exchange: the JoinAccept carries every
+// object's spec, the peer's digest reports what it already holds, and
+// chunks stream the rest. Until the exchange completes the peer is
+// syncing and does not count toward quorums.
 func (p *Primary) AddPeer(addr xkernel.Addr) error {
 	if !p.running {
 		return ErrStopped
@@ -657,11 +696,7 @@ func (p *Primary) AddPeer(addr xkernel.Addr) error {
 	if err := p.addPeerLocked(addr); err != nil {
 		return err
 	}
-	pr := p.peers[len(p.peers)-1]
-	for _, o := range p.adm.objects {
-		p.forwardRegistration(pr, o, p.cfg.RegisterRetries)
-	}
-	p.sendStateTransferTo(pr)
+	p.beginJoin(p.peers[len(p.peers)-1])
 	p.maybeStartPump()
 	return nil
 }
@@ -671,6 +706,11 @@ func (p *Primary) AddPeer(addr xkernel.Addr) error {
 func (p *Primary) RemovePeer(addr xkernel.Addr) {
 	for i, pr := range p.peers {
 		if pr.addr == addr {
+			if pr.stRetry != nil {
+				pr.stRetry.Cancel()
+				pr.stRetry = nil
+			}
+			p.cancelTransfer(pr)
 			pr.sess.Close()
 			p.peers = append(p.peers[:i], p.peers[i+1:]...)
 			return
@@ -691,13 +731,14 @@ func (p *Primary) SetPeer(peer xkernel.Addr) error {
 		return err
 	}
 	for _, pr := range old {
+		if pr.stRetry != nil {
+			pr.stRetry.Cancel()
+			pr.stRetry = nil
+		}
+		p.cancelTransfer(pr)
 		pr.sess.Close()
 	}
-	pr := p.peers[0]
-	for _, o := range p.adm.objects {
-		p.forwardRegistration(pr, o, p.cfg.RegisterRetries)
-	}
-	p.sendStateTransferTo(pr)
+	p.beginJoin(p.peers[0])
 	p.maybeStartPump()
 	return nil
 }
@@ -734,12 +775,7 @@ func (p *Primary) pushStateTransfer(pr *replicaPeer) {
 		if !o.hasData {
 			continue
 		}
-		st.Entries = append(st.Entries, wire.StateEntry{
-			ObjectID: o.id,
-			Seq:      o.seq,
-			Version:  o.version.UnixNano(),
-			Payload:  o.value,
-		})
+		st.Entries = append(st.Entries, p.stateEntryFor(o))
 	}
 	pr.stAwaiting = true
 	p.sendTo(pr, st)
@@ -856,6 +892,12 @@ func (p *Primary) Demux(m *xkernel.Message, from xkernel.Addr) error {
 		}
 	case *wire.UpdateAck:
 		p.handleUpdateAck(from, t)
+	case *wire.JoinRequest:
+		p.handleJoinRequest(from, t)
+	case *wire.StateDigest:
+		p.handleStateDigest(from, t)
+	case *wire.StateChunkAck:
+		p.handleStateChunkAck(from, t)
 	}
 	return nil
 }

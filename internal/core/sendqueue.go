@@ -80,6 +80,14 @@ func (q *sendQueue) head() (uint32, bool) {
 
 func (q *sendQueue) depth() int { return len(q.ids) }
 
+// congested reports whether the queue is at least half full — the
+// backpressure signal the chunked anti-entropy sender yields to, so a
+// catch-up stream defers to a backlog of live update traffic instead of
+// competing with it.
+func (q *sendQueue) congested() bool {
+	return q.limit > 0 && len(q.ids)*2 >= q.limit
+}
+
 // clear empties the queue, keeping the lifetime stats.
 func (q *sendQueue) clear() {
 	q.ids = q.ids[:0]

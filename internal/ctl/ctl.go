@@ -16,6 +16,11 @@
 //	  → OK <base64-value> <version-rfc3339nano> | ERR not found
 //	STATUS
 //	  → OK objects=<n> utilization=<u> epoch=<e> backupAlive=<bool>
+//	REPAIR
+//	  → OK synced=<n> peers=<m> [| <addr> alive=<bool> syncing=<bool>
+//	    sent=<entries> skipped=<entries> retx=<chunks> completions=<c>]...
+//	RECRUIT <addr>
+//	  → OK <addr> | ERR <reason...>
 //
 // Durations use Go syntax (40ms, 1s).
 package ctl
@@ -33,6 +38,7 @@ import (
 	"rtpb/internal/clock"
 	"rtpb/internal/core"
 	"rtpb/internal/temporal"
+	"rtpb/internal/xkernel"
 )
 
 // Server exposes a Primary on a TCP control socket. Commands are posted
@@ -154,6 +160,10 @@ func (s *Server) handle(line string, reply func(string)) {
 	case "STATUS":
 		reply(fmt.Sprintf("OK objects=%d utilization=%.4f epoch=%d backupAlive=%v",
 			s.primary.Objects(), s.primary.Utilization(), s.primary.Epoch(), s.primary.BackupAlive()))
+	case "REPAIR":
+		reply(s.repair())
+	case "RECRUIT":
+		reply(s.recruit(fields[1:]))
 	default:
 		reply("ERR unknown command " + cmd)
 	}
@@ -205,6 +215,34 @@ func (s *Server) relate(args []string) string {
 		return "REJECT " + d.Reason
 	}
 	return "OK"
+}
+
+// repair reports the primary's view of the repair cycle: the effective
+// replication degree and each attached peer's anti-entropy progress.
+func (s *Server) repair() string {
+	states := s.primary.PeerStates()
+	var b strings.Builder
+	fmt.Fprintf(&b, "OK synced=%d peers=%d", s.primary.SyncedPeers(), len(states))
+	for _, st := range states {
+		fmt.Fprintf(&b, " | %s alive=%v syncing=%v sent=%d skipped=%d retx=%d completions=%d",
+			st.Addr, st.Alive, st.Syncing,
+			st.Transfer.EntriesSent, st.Transfer.EntriesSkipped,
+			st.Transfer.ChunkRetransmits, st.Transfer.Completions)
+	}
+	return b.String()
+}
+
+// recruit attaches a new backup peer; the join exchange (spec replay,
+// digest, chunked state) runs asynchronously and REPAIR reports its
+// progress.
+func (s *Server) recruit(args []string) string {
+	if len(args) != 1 {
+		return "ERR usage: RECRUIT <addr>"
+	}
+	if err := s.primary.AddPeer(xkernel.Addr(args[0])); err != nil {
+		return "ERR " + err.Error()
+	}
+	return "OK " + args[0]
 }
 
 func (s *Server) write(args []string, reply func(string)) {

@@ -164,3 +164,37 @@ func TestControlMultipleClients(t *testing.T) {
 		t.Fatalf("second client STATUS = %q err=%v", reply, err)
 	}
 }
+
+func TestControlRepairAndRecruit(t *testing.T) {
+	cl, shutdown := startPrimary(t)
+	defer shutdown()
+
+	// No peers attached yet: the repair view is empty.
+	reply, err := cl.Do("REPAIR")
+	if err != nil || reply != "OK synced=0 peers=0" {
+		t.Fatalf("REPAIR reply = %q err=%v", reply, err)
+	}
+
+	// Recruiting a peer attaches it immediately; with nothing listening at
+	// the address the exchange stays pending, which REPAIR reports.
+	reply, err = cl.Do("RECRUIT 127.0.0.1:65000")
+	if err != nil || reply != "OK 127.0.0.1:65000" {
+		t.Fatalf("RECRUIT reply = %q err=%v", reply, err)
+	}
+	reply, err = cl.Do("REPAIR")
+	if err != nil || !strings.Contains(reply, "peers=1") ||
+		!strings.Contains(reply, "127.0.0.1:65000") ||
+		!strings.Contains(reply, "syncing=true") {
+		t.Fatalf("REPAIR after recruit = %q err=%v", reply, err)
+	}
+
+	// Recruiting the same address twice is an error, not a reset.
+	reply, err = cl.Do("RECRUIT 127.0.0.1:65000")
+	if err != nil || !strings.HasPrefix(reply, "ERR") {
+		t.Fatalf("duplicate RECRUIT reply = %q err=%v", reply, err)
+	}
+
+	if reply, _ = cl.Do("RECRUIT"); !strings.HasPrefix(reply, "ERR usage") {
+		t.Fatalf("RECRUIT arity reply = %q", reply)
+	}
+}

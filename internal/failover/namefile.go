@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"slices"
+	"sort"
 	"sync"
 
 	"rtpb/internal/xkernel"
@@ -23,10 +25,26 @@ type Directory interface {
 	Lookup(service string) (addr xkernel.Addr, epoch uint32, ok bool)
 }
 
+// Candidates is the optional directory extension the repair subsystem
+// uses for automated recruitment: idle replicas register themselves as
+// recruitable, and a primary that has lost its backup probes the list in
+// sorted order. Both bundled Directory implementations support it.
+type Candidates interface {
+	// AddCandidate records addr as a recruitable replica for service.
+	AddCandidate(service string, addr xkernel.Addr)
+	// RemoveCandidate withdraws addr from the candidate list.
+	RemoveCandidate(service string, addr xkernel.Addr)
+	// CandidateList reports the recruitable replicas for service in
+	// deterministic (sorted) order.
+	CandidateList(service string) []xkernel.Addr
+}
+
 // Compile-time interface checks.
 var (
-	_ Directory = (*NameService)(nil)
-	_ Directory = (*FileNameService)(nil)
+	_ Directory  = (*NameService)(nil)
+	_ Directory  = (*FileNameService)(nil)
+	_ Candidates = (*NameService)(nil)
+	_ Candidates = (*FileNameService)(nil)
 )
 
 // FileNameService is a Directory persisted as a JSON name file. Every Set
@@ -39,8 +57,9 @@ type FileNameService struct {
 }
 
 type fileEntry struct {
-	Addr  string `json:"addr"`
-	Epoch uint32 `json:"epoch"`
+	Addr       string   `json:"addr"`
+	Epoch      uint32   `json:"epoch"`
+	Candidates []string `json:"candidates,omitempty"`
 }
 
 // OpenFileNameService loads (or creates) the name file at path.
@@ -72,7 +91,8 @@ func (ns *FileNameService) Set(service string, addr xkernel.Addr, epoch uint32) 
 			return ErrStaleEpoch
 		}
 	}
-	ns.entries[service] = fileEntry{Addr: string(addr), Epoch: epoch}
+	cur.Addr, cur.Epoch = string(addr), epoch
+	ns.entries[service] = cur
 	return ns.flushLocked()
 }
 
@@ -97,4 +117,43 @@ func (ns *FileNameService) Lookup(service string) (xkernel.Addr, uint32, bool) {
 	defer ns.mu.Unlock()
 	e, ok := ns.entries[service]
 	return xkernel.Addr(e.Addr), e.Epoch, ok
+}
+
+// AddCandidate implements Candidates; the updated list is persisted.
+func (ns *FileNameService) AddCandidate(service string, addr xkernel.Addr) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e := ns.entries[service]
+	if slices.Contains(e.Candidates, string(addr)) {
+		return
+	}
+	e.Candidates = append(e.Candidates, string(addr))
+	sort.Strings(e.Candidates)
+	ns.entries[service] = e
+	_ = ns.flushLocked()
+}
+
+// RemoveCandidate implements Candidates; the updated list is persisted.
+func (ns *FileNameService) RemoveCandidate(service string, addr xkernel.Addr) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e, ok := ns.entries[service]
+	if !ok || !slices.Contains(e.Candidates, string(addr)) {
+		return
+	}
+	e.Candidates = slices.DeleteFunc(e.Candidates, func(s string) bool { return s == string(addr) })
+	ns.entries[service] = e
+	_ = ns.flushLocked()
+}
+
+// CandidateList implements Candidates.
+func (ns *FileNameService) CandidateList(service string) []xkernel.Addr {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e := ns.entries[service]
+	out := make([]xkernel.Addr, 0, len(e.Candidates))
+	for _, s := range e.Candidates {
+		out = append(out, xkernel.Addr(s))
+	}
+	return out
 }

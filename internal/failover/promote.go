@@ -1,6 +1,7 @@
 package failover
 
 import (
+	"errors"
 	"fmt"
 
 	"rtpb/internal/core"
@@ -37,10 +38,7 @@ type PromoteOptions struct {
 // client application.
 func Promote(b *core.Backup, opts PromoteOptions) (*core.Primary, error) {
 	snap := b.Snapshot()
-	epoch := b.Epoch() + 1
-	if epoch == 1 {
-		epoch = 2 // the failed primary was epoch 1 even if we never saw a transfer
-	}
+	epoch := nextEpoch(b.Epoch(), opts)
 	b.Stop()
 
 	p, err := core.NewPrimary(opts.PrimaryConfig)
@@ -68,7 +66,22 @@ func Promote(b *core.Backup, opts PromoteOptions) (*core.Primary, error) {
 	}
 
 	if opts.Names != nil {
-		if err := opts.Names.Set(opts.Service, opts.SelfAddr, epoch); err != nil {
+		// Claim the directory entry. A concurrent promotion may have
+		// recorded a newer epoch since we derived ours; re-derive above
+		// the recorded epoch and try again, so two racing promotions can
+		// never mint the same epoch.
+		for attempt := 0; ; attempt++ {
+			err := opts.Names.Set(opts.Service, opts.SelfAddr, epoch)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, ErrStaleEpoch) && attempt < epochClaimRetries {
+				if _, rec, ok := opts.Names.Lookup(opts.Service); ok && rec >= epoch {
+					epoch = rec + 1
+					p.SetEpoch(epoch)
+					continue
+				}
+			}
 			p.Stop()
 			return nil, fmt.Errorf("failover: name service: %w", err)
 		}
@@ -77,6 +90,28 @@ func Promote(b *core.Backup, opts PromoteOptions) (*core.Primary, error) {
 		opts.ActivateClient(p)
 	}
 	return p, nil
+}
+
+// epochClaimRetries bounds how many times a promotion re-derives its
+// epoch after losing a directory race.
+const epochClaimRetries = 8
+
+// nextEpoch derives the epoch a promotion will claim: one past the
+// highest epoch this replica has observed — from replicated traffic or,
+// when a directory is available, from its recorded entry (the
+// authoritative record a freshly restarted replica may be behind on).
+// The floor of 2 encodes that the failed primary held at least epoch 1.
+func nextEpoch(observed uint32, opts PromoteOptions) uint32 {
+	epoch := observed + 1
+	if opts.Names != nil {
+		if _, rec, ok := opts.Names.Lookup(opts.Service); ok && rec >= epoch {
+			epoch = rec + 1
+		}
+	}
+	if epoch < 2 {
+		epoch = 2
+	}
+	return epoch
 }
 
 // Recruit points a serving primary at a fresh backup replica: the peer

@@ -1,0 +1,150 @@
+package repair
+
+import (
+	"fmt"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/failover"
+	"rtpb/internal/xkernel"
+)
+
+// RejoinerConfig parameterizes a restarted replica's rejoin protocol.
+type RejoinerConfig struct {
+	// Clock schedules the rejoin loop.
+	Clock clock.Clock
+	// Service is the replicated service's directory entry.
+	Service string
+	// Directory is consulted for the current primary and epoch.
+	Directory failover.Directory
+	// Self is this replica's own replication address. If the directory
+	// still records Self as the primary, there is no successor to rejoin
+	// and the loop keeps polling — a fenced old primary must never
+	// resume service on its own authority.
+	Self xkernel.Addr
+	// Start constructs and wires the backup replica once the primary is
+	// known: the caller opens the protocol stack, points the backup's
+	// Peer at primary, and attaches its observers. epoch is the
+	// directory-recorded epoch, which the backup adopts from the
+	// JoinAccept.
+	Start func(primary xkernel.Addr, epoch uint32) (*core.Backup, error)
+	// Interval is the poll/retry period; defaults to 250ms.
+	Interval time.Duration
+	// Announce registers Self in the directory's candidate list once the
+	// join completes, making the replica recruitable after a future
+	// failover.
+	Announce bool
+	// OnJoined, when set, fires once when the join exchange completes.
+	OnJoined func(b *core.Backup)
+}
+
+// RejoinerStatus is a snapshot of the rejoin protocol's progress.
+type RejoinerStatus struct {
+	// Lookups counts directory polls.
+	Lookups int
+	// JoinsSent counts JoinRequest transmissions driven by the loop (the
+	// in-protocol digest and chunk retries are not counted here).
+	JoinsSent int
+	// Primary is the successor being rejoined (empty until discovered).
+	Primary xkernel.Addr
+	// Joined reports completion.
+	Joined bool
+}
+
+// Rejoiner drives a restarted replica — including a fenced old primary —
+// back into the cluster: poll the directory until a successor is
+// recorded, start a backup pointed at it (the demotion), and retry
+// JoinRequests until the chunked anti-entropy exchange completes. Every
+// message past the first JoinRequest is retried by the core protocol
+// itself; the rejoiner only has to survive the window where nothing is
+// established yet.
+type Rejoiner struct {
+	cfg  RejoinerConfig
+	task *clock.Periodic
+
+	b       *core.Backup
+	primary xkernel.Addr
+	status  RejoinerStatus
+	done    bool
+}
+
+// NewRejoiner validates the config.
+func NewRejoiner(cfg RejoinerConfig) (*Rejoiner, error) {
+	if cfg.Clock == nil || cfg.Directory == nil || cfg.Start == nil {
+		return nil, fmt.Errorf("repair: rejoiner needs a clock, a directory, and a start hook")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	return &Rejoiner{cfg: cfg}, nil
+}
+
+// Start begins the rejoin loop; the first poll runs immediately.
+func (r *Rejoiner) Start() {
+	if r.task != nil {
+		return
+	}
+	r.task = clock.NewPeriodic(r.cfg.Clock, 0, r.cfg.Interval, r.tick)
+}
+
+// Stop halts the loop; a backup already started keeps running.
+func (r *Rejoiner) Stop() {
+	if r.task != nil {
+		r.task.Stop()
+		r.task = nil
+	}
+}
+
+// Backup returns the backup replica once Start's hook has constructed
+// it (nil before the directory names a successor).
+func (r *Rejoiner) Backup() *core.Backup { return r.b }
+
+// Status reports the loop's progress.
+func (r *Rejoiner) Status() RejoinerStatus { return r.status }
+
+func (r *Rejoiner) tick() {
+	if r.done {
+		r.Stop()
+		return
+	}
+	if r.b == nil {
+		addr, epoch, ok := r.cfg.Directory.Lookup(r.cfg.Service)
+		r.status.Lookups++
+		if !ok || addr == r.cfg.Self {
+			return // no successor recorded yet; keep polling
+		}
+		b, err := r.cfg.Start(addr, epoch)
+		if err != nil || b == nil {
+			return
+		}
+		r.b = b
+		r.primary = addr
+		r.status.Primary = addr
+	}
+	if r.b.Joined() {
+		r.finish()
+		return
+	}
+	if !r.b.Joining() {
+		// The initial JoinRequest (or the whole exchange) was lost; ask
+		// again. Once a JoinAccept lands, the digest/chunk retries inside
+		// the core protocol take over.
+		r.b.Join()
+		r.status.JoinsSent++
+	}
+}
+
+func (r *Rejoiner) finish() {
+	r.done = true
+	r.status.Joined = true
+	if r.cfg.Announce {
+		if c, ok := r.cfg.Directory.(failover.Candidates); ok {
+			c.AddCandidate(r.cfg.Service, r.cfg.Self)
+		}
+	}
+	if r.cfg.OnJoined != nil {
+		r.cfg.OnJoined(r.b)
+	}
+	r.Stop()
+}

@@ -1,0 +1,299 @@
+package repair
+
+import (
+	"testing"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/failover"
+	"rtpb/internal/netsim"
+	"rtpb/internal/temporal"
+	"rtpb/internal/xkernel"
+)
+
+// fixture is a simulated fabric with one primary host and a set of
+// candidate hosts, each with its own protocol stack.
+type fixture struct {
+	clk     *clock.SimClock
+	net     *netsim.Network
+	ns      *failover.NameService
+	primary *core.Primary
+	ports   map[string]*xkernel.PortProtocol
+	eps     map[string]*netsim.Endpoint
+}
+
+func addrOf(host string) xkernel.Addr {
+	return xkernel.Addr(host + ":7000")
+}
+
+func stackOn(t *testing.T, net *netsim.Network, host string) (*xkernel.PortProtocol, *netsim.Endpoint) {
+	t.Helper()
+	ep, err := net.Endpoint(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := xkernel.BuildGraph([]xkernel.Spec{
+		{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
+		{Name: "driver", Build: xkernel.DriverFactory(ep)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := g.Protocol("uport")
+	return p.(*xkernel.PortProtocol), ep
+}
+
+func newFixture(t *testing.T, hosts ...string) *fixture {
+	t.Helper()
+	f := &fixture{
+		clk:   clock.NewSim(),
+		ns:    failover.NewNameService(),
+		ports: make(map[string]*xkernel.PortProtocol),
+		eps:   make(map[string]*netsim.Endpoint),
+	}
+	f.net = netsim.New(f.clk, 7)
+	for _, h := range append([]string{"primary"}, hosts...) {
+		port, ep := stackOn(t, f.net, h)
+		f.ports[h] = port
+		f.eps[h] = ep
+	}
+	p, err := core.NewPrimary(core.Config{
+		Clock: f.clk,
+		Port:  f.ports["primary"],
+		Ell:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.primary = p
+	if err := f.ns.Set("svc", addrOf("primary"), 1); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// startBackup runs a backup replica on the named candidate host, pointed
+// at the primary.
+func (f *fixture) startBackup(t *testing.T, host string) *core.Backup {
+	t.Helper()
+	b, err := core.NewBackup(core.Config{
+		Clock: f.clk,
+		Port:  f.ports[host],
+		Peer:  addrOf("primary"),
+		Ell:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func (f *fixture) register(t *testing.T, name string, period time.Duration) {
+	t.Helper()
+	d := f.primary.Register(core.ObjectSpec{
+		Name:         name,
+		Size:         64,
+		UpdatePeriod: period,
+		Constraint: temporal.ExternalConstraint{
+			DeltaP: period,
+			DeltaB: 4 * period,
+		},
+	})
+	if !d.Accepted {
+		t.Fatalf("register %q: %s", name, d.Reason)
+	}
+}
+
+func TestRecruiterRestoresDegree(t *testing.T) {
+	f := newFixture(t, "cand1")
+	f.register(t, "alpha", 20*time.Millisecond)
+	f.primary.ClientWrite("alpha", []byte("v1"), nil)
+	f.clk.RunFor(5 * time.Millisecond)
+
+	b := f.startBackup(t, "cand1")
+	f.ns.AddCandidate("svc", addrOf("cand1"))
+
+	r, err := NewRecruiter(f.primary, RecruiterConfig{
+		Clock:     f.clk,
+		Service:   "svc",
+		Directory: f.ns,
+		Self:      addrOf("primary"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Stop()
+
+	if got := f.primary.SyncedPeers(); got != 0 {
+		t.Fatalf("synced peers before recruitment = %d, want 0", got)
+	}
+	f.clk.RunFor(2 * time.Second)
+
+	if got := f.primary.SyncedPeers(); got != 1 {
+		t.Fatalf("synced peers after recruitment = %d, want 1", got)
+	}
+	if st := r.Stats(); st.Probes != 1 || st.Recruited != 1 || st.Rotations != 0 {
+		t.Fatalf("stats = %+v, want one probe, one recruit, no rotation", st)
+	}
+	if _, _, ok := b.Value("alpha"); !ok {
+		t.Fatal("recruited backup never received alpha's state")
+	}
+	// The loop is quiescent at target degree: no further probes.
+	probes := r.Stats().Probes
+	f.clk.RunFor(2 * time.Second)
+	if r.Stats().Probes != probes {
+		t.Fatalf("recruiter kept probing at full degree: %d -> %d", probes, r.Stats().Probes)
+	}
+}
+
+func TestRecruiterRotatesPastDeadCandidate(t *testing.T) {
+	f := newFixture(t, "cand1", "cand2")
+	f.register(t, "alpha", 20*time.Millisecond)
+
+	// cand1 sorts first but is down; cand2 is live.
+	f.eps["cand1"].SetDown(true)
+	b2 := f.startBackup(t, "cand2")
+	_ = b2
+	f.ns.AddCandidate("svc", addrOf("cand1"))
+	f.ns.AddCandidate("svc", addrOf("cand2"))
+
+	var rotated []xkernel.Addr
+	r, err := NewRecruiter(f.primary, RecruiterConfig{
+		Clock:     f.clk,
+		Service:   "svc",
+		Directory: f.ns,
+		Self:      addrOf("primary"),
+		OnRotate:  func(a xkernel.Addr) { rotated = append(rotated, a) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Stop()
+
+	f.clk.RunFor(10 * time.Second)
+
+	if got := f.primary.SyncedPeers(); got != 1 {
+		t.Fatalf("synced peers = %d, want 1 (cand2 recruited)", got)
+	}
+	if len(rotated) == 0 || rotated[0] != addrOf("cand1") {
+		t.Fatalf("rotations = %v, want cand1 dropped first", rotated)
+	}
+	states := f.primary.PeerStates()
+	if len(states) != 1 || states[0].Addr != addrOf("cand2") {
+		t.Fatalf("peer states = %+v, want only cand2 attached", states)
+	}
+}
+
+func TestRejoinerWaitsForSuccessorThenJoins(t *testing.T) {
+	f := newFixture(t, "cand1")
+	f.register(t, "alpha", 20*time.Millisecond)
+	f.primary.ClientWrite("alpha", []byte("seed"), nil)
+
+	// The directory initially still names the rejoiner itself — the
+	// fenced-old-primary case: it must wait for a successor.
+	ns := failover.NewNameService()
+	if err := ns.Set("svc", addrOf("cand1"), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	started := 0
+	rj, err := NewRejoiner(RejoinerConfig{
+		Clock:     f.clk,
+		Service:   "svc",
+		Directory: ns,
+		Self:      addrOf("cand1"),
+		Announce:  true,
+		Start: func(primary xkernel.Addr, epoch uint32) (*core.Backup, error) {
+			started++
+			if primary != addrOf("primary") {
+				t.Fatalf("start hook got primary %v", primary)
+			}
+			if epoch != 2 {
+				t.Fatalf("start hook got epoch %d, want 2", epoch)
+			}
+			return f.startBackup(t, "cand1"), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj.Start()
+	defer rj.Stop()
+
+	f.clk.RunFor(time.Second)
+	if started != 0 {
+		t.Fatal("rejoiner started a backup while the directory still named itself")
+	}
+	if rj.Status().Lookups == 0 {
+		t.Fatal("rejoiner never polled the directory")
+	}
+
+	// A successor claims the service; the rejoiner must demote and join.
+	if err := ns.Set("svc", addrOf("primary"), 2); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.RunFor(3 * time.Second)
+
+	if started != 1 {
+		t.Fatalf("start hook ran %d times, want 1", started)
+	}
+	st := rj.Status()
+	if !st.Joined || st.Primary != addrOf("primary") {
+		t.Fatalf("status = %+v, want joined to primary", st)
+	}
+	if b := rj.Backup(); b == nil || !b.Joined() {
+		t.Fatal("backup never completed its join exchange")
+	}
+	if _, _, ok := rj.Backup().Value("alpha"); !ok {
+		t.Fatal("rejoined backup missing alpha's state")
+	}
+	cands := ns.CandidateList("svc")
+	if len(cands) != 1 || cands[0] != addrOf("cand1") {
+		t.Fatalf("candidates after join = %v, want self announced", cands)
+	}
+	if got := f.primary.SyncedPeers(); got != 1 {
+		t.Fatalf("primary synced peers = %d, want 1", got)
+	}
+}
+
+func TestRejoinerJoinSurvivesLossyLink(t *testing.T) {
+	f := newFixture(t, "cand1")
+	if err := f.net.SetDefaultLink(netsim.LinkParams{
+		Delay:    500 * time.Microsecond,
+		Jitter:   200 * time.Microsecond,
+		LossProb: 0.25,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.register(t, "alpha", 20*time.Millisecond)
+	f.register(t, "beta", 20*time.Millisecond)
+	f.primary.ClientWrite("alpha", []byte("a"), nil)
+	f.primary.ClientWrite("beta", []byte("b"), nil)
+	f.clk.RunFor(10 * time.Millisecond)
+
+	rj, err := NewRejoiner(RejoinerConfig{
+		Clock:     f.clk,
+		Service:   "svc",
+		Directory: f.ns,
+		Self:      addrOf("cand1"),
+		Start: func(primary xkernel.Addr, epoch uint32) (*core.Backup, error) {
+			return f.startBackup(t, "cand1"), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj.Start()
+	defer rj.Stop()
+
+	f.clk.RunFor(20 * time.Second)
+	if !rj.Status().Joined {
+		t.Fatalf("rejoin never completed over a 25%%-loss link; status %+v", rj.Status())
+	}
+	if _, _, ok := rj.Backup().Value("beta"); !ok {
+		t.Fatal("rejoined backup missing beta's state")
+	}
+}

@@ -33,6 +33,8 @@ type extState struct {
 	excursions   int
 	finished     bool
 	suspended    bool
+	catchingUp   bool
+	catchUps     int
 }
 
 type interState struct {
@@ -197,6 +199,52 @@ func (m *Monitor) Resume(site, object string) {
 func (m *Monitor) Suspended(site, object string) bool {
 	st, ok := m.external[extKey{site, object}]
 	return ok && st.suspended
+}
+
+// BeginCatchUp marks (site, object) as catching up from instant t: a
+// replica that joined (or rejoined) the cluster holds an image with no
+// temporal guarantee until an update lands inside the bound, so the
+// external constraint is suspended and the pair flagged. Harnesses call
+// it when the joiner accepts a JoinAccept; the repair protocol's
+// invariant — no object may be reported consistent while catching up —
+// is checked against CatchingUp.
+func (m *Monitor) BeginCatchUp(site, object string, t time.Time) {
+	st, ok := m.external[extKey{site, object}]
+	if !ok || st.finished || st.catchingUp {
+		return
+	}
+	st.catchingUp = true
+	m.Suspend(site, object, t)
+}
+
+// EndCatchUp clears the catch-up flag and re-attaches the bound; call it
+// when the replica reports the object consistent again (an update landed
+// within δ_i^B). Ending a catch-up that never began is a no-op.
+func (m *Monitor) EndCatchUp(site, object string) {
+	st, ok := m.external[extKey{site, object}]
+	if !ok || !st.catchingUp {
+		return
+	}
+	st.catchingUp = false
+	st.catchUps++
+	m.Resume(site, object)
+}
+
+// CatchingUp reports whether (site, object) is between BeginCatchUp and
+// EndCatchUp.
+func (m *Monitor) CatchingUp(site, object string) bool {
+	st, ok := m.external[extKey{site, object}]
+	return ok && st.catchingUp
+}
+
+// CatchUps reports how many completed catch-up cycles (site, object) went
+// through.
+func (m *Monitor) CatchUps(site, object string) int {
+	st, ok := m.external[extKey{site, object}]
+	if !ok {
+		return 0
+	}
+	return st.catchUps
 }
 
 // SetBound rebinds the external constraint for (site, object) to delta

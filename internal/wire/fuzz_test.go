@@ -36,6 +36,19 @@ func FuzzWireRoundTrip(f *testing.F) {
 		&OrderAck{Seq: 5},
 		&UpdateAck{ObjectID: 7, Seq: 41},
 		&ModeChange{Epoch: 2, ObjectID: 7, Mode: 3, Seq: 5, EffectiveBound: 250 * time.Millisecond},
+		&JoinRequest{Epoch: 3, Addr: "standby:7000"},
+		&JoinAccept{Epoch: 3, Specs: []SpecEntry{
+			{ObjectID: 1, Name: "pressure", Size: 64, Period: 20 * time.Millisecond,
+				DeltaP: 25 * time.Millisecond, DeltaB: 200 * time.Millisecond},
+		}},
+		&StateDigest{Epoch: 3, Entries: []DigestEntry{
+			{ObjectID: 1, Epoch: 2, Seq: 40, Version: 99},
+		}},
+		&StateChunk{Epoch: 3, Xfer: 1, Chunk: 2, Final: true, Entries: []StateEntry{
+			{ObjectID: 1, Seq: 41, Version: 100, Name: "pressure", Size: 64,
+				Period: 20 * time.Millisecond, Payload: []byte("17.3")},
+		}},
+		&StateChunkAck{Epoch: 3, Xfer: 1, Chunk: 2, Applied: 1},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))

@@ -57,6 +57,24 @@ const (
 	// decision for one object so the backup's temporal monitor can track
 	// the effective bound while the object is compressed or shed.
 	KindModeChange
+	// KindJoinRequest is sent by a restarted replica that wants back into
+	// the cluster as a backup: it carries the highest epoch the joiner has
+	// observed so a fenced old primary demotes itself cleanly.
+	KindJoinRequest
+	// KindJoinAccept admits a joiner (or a freshly recruited backup): it
+	// carries the primary's epoch and the full object-spec table so the
+	// joiner can re-admit every object before any state arrives.
+	KindJoinAccept
+	// KindStateDigest is the joiner's anti-entropy summary: per-object
+	// (epoch, seq, version) so the primary streams only missing or stale
+	// entries. Re-sending the digest after an interruption resumes the
+	// transfer from whatever already landed instead of restarting it.
+	KindStateDigest
+	// KindStateChunk is one bounded slice of a chunked state transfer,
+	// acknowledged per chunk and retransmitted on the adaptive RTO.
+	KindStateChunk
+	// KindStateChunkAck confirms one chunk of a chunked state transfer.
+	KindStateChunkAck
 )
 
 // String returns the kind name.
@@ -88,6 +106,16 @@ func (k Kind) String() string {
 		return "UpdateAck"
 	case KindModeChange:
 		return "ModeChange"
+	case KindJoinRequest:
+		return "JoinRequest"
+	case KindJoinAccept:
+		return "JoinAccept"
+	case KindStateDigest:
+		return "StateDigest"
+	case KindStateChunk:
+		return "StateChunk"
+	case KindStateChunkAck:
+		return "StateChunkAck"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -128,6 +156,11 @@ var (
 	_ Message = (*OrderAck)(nil)
 	_ Message = (*UpdateAck)(nil)
 	_ Message = (*ModeChange)(nil)
+	_ Message = (*JoinRequest)(nil)
+	_ Message = (*JoinAccept)(nil)
+	_ Message = (*StateDigest)(nil)
+	_ Message = (*StateChunk)(nil)
+	_ Message = (*StateChunkAck)(nil)
 )
 
 // Encode serializes a message with the RTPB header.
@@ -178,6 +211,16 @@ func Decode(b []byte) (Message, error) {
 		m = &UpdateAck{}
 	case KindModeChange:
 		m = &ModeChange{}
+	case KindJoinRequest:
+		m = &JoinRequest{}
+	case KindJoinAccept:
+		m = &JoinAccept{}
+	case KindStateDigest:
+		m = &StateDigest{}
+	case KindStateChunk:
+		m = &StateChunk{}
+	case KindStateChunkAck:
+		m = &StateChunkAck{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[3])
 	}
@@ -429,7 +472,12 @@ func (m *Takeover) decodeBody(r *reader) error {
 	return r.err
 }
 
-// StateEntry is one object's state inside a StateTransfer.
+// StateEntry is one object's state inside a StateTransfer or StateChunk.
+// It carries the object's spec alongside its value: a receiver that has
+// never seen the object's registration (its Register was lost, or it
+// joined after admission) can still admit the object locally, so the
+// state survives a later promotion instead of being skipped as a
+// spec-less placeholder.
 type StateEntry struct {
 	// ObjectID identifies the object.
 	ObjectID uint32
@@ -437,8 +485,44 @@ type StateEntry struct {
 	Seq uint64
 	// Version is the object's current version timestamp (Unix nanos).
 	Version int64
+	// Name is the client-chosen object name.
+	Name string
+	// Size is the reserved object size in bytes.
+	Size uint32
+	// Period is the declared update period p_i.
+	Period time.Duration
+	// DeltaP and DeltaB are the external consistency bounds δ_i^P, δ_i^B.
+	DeltaP time.Duration
+	// DeltaB is the bound at the backup.
+	DeltaB time.Duration
 	// Payload is the object value.
 	Payload []byte
+}
+
+func appendStateEntry(dst []byte, e StateEntry) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, e.ObjectID)
+	dst = binary.BigEndian.AppendUint64(dst, e.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.Version))
+	dst = appendString(dst, e.Name)
+	dst = binary.BigEndian.AppendUint32(dst, e.Size)
+	dst = appendDuration(dst, e.Period)
+	dst = appendDuration(dst, e.DeltaP)
+	dst = appendDuration(dst, e.DeltaB)
+	return appendBytes(dst, e.Payload)
+}
+
+func decodeStateEntry(r *reader) StateEntry {
+	return StateEntry{
+		ObjectID: r.uint32(),
+		Seq:      r.uint64(),
+		Version:  int64(r.uint64()),
+		Name:     r.string(),
+		Size:     r.uint32(),
+		Period:   r.duration(),
+		DeltaP:   r.duration(),
+		DeltaB:   r.duration(),
+		Payload:  r.bytes(),
+	}
 }
 
 // StateTransfer brings a newly recruited backup up to the primary's
@@ -457,10 +541,7 @@ func (m *StateTransfer) appendBody(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Entries)))
 	for _, e := range m.Entries {
-		dst = binary.BigEndian.AppendUint32(dst, e.ObjectID)
-		dst = binary.BigEndian.AppendUint64(dst, e.Seq)
-		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Version))
-		dst = appendBytes(dst, e.Payload)
+		dst = appendStateEntry(dst, e)
 	}
 	return dst
 }
@@ -476,12 +557,7 @@ func (m *StateTransfer) decodeBody(r *reader) error {
 	}
 	m.Entries = make([]StateEntry, 0, min(int(n), 1024))
 	for i := uint32(0); i < n; i++ {
-		e := StateEntry{
-			ObjectID: r.uint32(),
-			Seq:      r.uint64(),
-			Version:  int64(r.uint64()),
-			Payload:  r.bytes(),
-		}
+		e := decodeStateEntry(r)
 		if r.err != nil {
 			return r.err
 		}
@@ -622,6 +698,262 @@ func (m *ModeChange) decodeBody(r *reader) error {
 	m.Mode = r.uint8()
 	m.Seq = r.uint64()
 	m.EffectiveBound = r.duration()
+	return r.err
+}
+
+// JoinRequest is sent by a restarted replica (including a fenced old
+// primary that has demoted itself) asking the current primary to take it
+// back as a backup. The primary learns the joiner's address from the
+// datagram source; Addr is advisory and lets tooling log the joiner's
+// self-reported identity.
+type JoinRequest struct {
+	// Epoch is the highest primary epoch the joiner has observed; the
+	// primary's JoinAccept carries its own (≥) epoch back, fencing the
+	// joiner forward.
+	Epoch uint32
+	// Addr is the joiner's replication address as it knows it.
+	Addr string
+}
+
+// WireKind implements Message.
+func (*JoinRequest) WireKind() Kind { return KindJoinRequest }
+
+func (m *JoinRequest) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	return appendString(dst, m.Addr)
+}
+
+func (m *JoinRequest) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.Addr = r.string()
+	return r.err
+}
+
+// SpecEntry is one object's admission spec inside a JoinAccept.
+type SpecEntry struct {
+	// ObjectID is the service-assigned identifier.
+	ObjectID uint32
+	// Name is the client-chosen object name.
+	Name string
+	// Size is the reserved object size in bytes.
+	Size uint32
+	// Period is the declared update period p_i.
+	Period time.Duration
+	// DeltaP and DeltaB are the external consistency bounds δ_i^P, δ_i^B.
+	DeltaP time.Duration
+	// DeltaB is the bound at the backup.
+	DeltaB time.Duration
+}
+
+// JoinAccept admits a joining backup: it fences the joiner to the
+// primary's epoch and carries the full object-spec table so the joiner
+// reserves space for every admitted object before any state arrives. The
+// joiner answers with a StateDigest; the primary retries the accept on
+// its adaptive RTO until that digest arrives.
+type JoinAccept struct {
+	// Epoch is the accepting primary's epoch.
+	Epoch uint32
+	// Specs is the primary's full object-spec table.
+	Specs []SpecEntry
+}
+
+// WireKind implements Message.
+func (*JoinAccept) WireKind() Kind { return KindJoinAccept }
+
+func (m *JoinAccept) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Specs)))
+	for _, s := range m.Specs {
+		dst = binary.BigEndian.AppendUint32(dst, s.ObjectID)
+		dst = appendString(dst, s.Name)
+		dst = binary.BigEndian.AppendUint32(dst, s.Size)
+		dst = appendDuration(dst, s.Period)
+		dst = appendDuration(dst, s.DeltaP)
+		dst = appendDuration(dst, s.DeltaB)
+	}
+	return dst
+}
+
+func (m *JoinAccept) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	n := r.uint32()
+	if r.err != nil {
+		return r.err
+	}
+	if n > MaxPayload {
+		return ErrOversize
+	}
+	m.Specs = make([]SpecEntry, 0, min(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		s := SpecEntry{
+			ObjectID: r.uint32(),
+			Name:     r.string(),
+			Size:     r.uint32(),
+			Period:   r.duration(),
+			DeltaP:   r.duration(),
+			DeltaB:   r.duration(),
+		}
+		if r.err != nil {
+			return r.err
+		}
+		m.Specs = append(m.Specs, s)
+	}
+	return r.err
+}
+
+// DigestEntry summarizes one object the joiner already holds.
+type DigestEntry struct {
+	// ObjectID identifies the object.
+	ObjectID uint32
+	// Epoch is the epoch of the newest update applied to the object.
+	Epoch uint32
+	// Seq is the newest applied sequence number.
+	Seq uint64
+	// Version is the object's version timestamp (Unix nanos).
+	Version int64
+}
+
+// StateDigest is the joiner's anti-entropy summary: one entry per object
+// it holds data for. The primary diffs the digest against its table and
+// streams only missing or stale objects in StateChunks. A joiner that
+// re-sends its digest after an interruption (it retries on a capped
+// backoff until the transfer completes) implicitly acknowledges
+// everything that already landed, so the transfer resumes instead of
+// restarting.
+type StateDigest struct {
+	// Epoch is the joiner's view of the current primary epoch.
+	Epoch uint32
+	// Entries lists the objects the joiner holds, with their freshness.
+	Entries []DigestEntry
+}
+
+// WireKind implements Message.
+func (*StateDigest) WireKind() Kind { return KindStateDigest }
+
+func (m *StateDigest) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		dst = binary.BigEndian.AppendUint32(dst, e.ObjectID)
+		dst = binary.BigEndian.AppendUint32(dst, e.Epoch)
+		dst = binary.BigEndian.AppendUint64(dst, e.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Version))
+	}
+	return dst
+}
+
+func (m *StateDigest) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	n := r.uint32()
+	if r.err != nil {
+		return r.err
+	}
+	if n > MaxPayload {
+		return ErrOversize
+	}
+	m.Entries = make([]DigestEntry, 0, min(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		e := DigestEntry{
+			ObjectID: r.uint32(),
+			Epoch:    r.uint32(),
+			Seq:      r.uint64(),
+			Version:  int64(r.uint64()),
+		}
+		if r.err != nil {
+			return r.err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return r.err
+}
+
+// StateChunk is one bounded slice of a chunked anti-entropy transfer.
+// Chunks are sent stop-and-wait: each is acknowledged with a
+// StateChunkAck and retransmitted on the sender's adaptive RTO, so a
+// lossy link slows the transfer but cannot wedge it.
+type StateChunk struct {
+	// Epoch is the sending primary's epoch.
+	Epoch uint32
+	// Xfer is the transfer generation (bumped per received digest);
+	// acks from an abandoned generation are ignored.
+	Xfer uint32
+	// Chunk numbers the chunk within its generation, from zero.
+	Chunk uint32
+	// Final marks the last chunk of the generation: applying it completes
+	// the exchange on the receiver.
+	Final bool
+	// Entries is the chunk's slice of the object table.
+	Entries []StateEntry
+}
+
+// WireKind implements Message.
+func (*StateChunk) WireKind() Kind { return KindStateChunk }
+
+func (m *StateChunk) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, m.Xfer)
+	dst = binary.BigEndian.AppendUint32(dst, m.Chunk)
+	dst = appendBool(dst, m.Final)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		dst = appendStateEntry(dst, e)
+	}
+	return dst
+}
+
+func (m *StateChunk) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.Xfer = r.uint32()
+	m.Chunk = r.uint32()
+	m.Final = r.bool()
+	n := r.uint32()
+	if r.err != nil {
+		return r.err
+	}
+	if n > MaxPayload {
+		return ErrOversize
+	}
+	m.Entries = make([]StateEntry, 0, min(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		e := decodeStateEntry(r)
+		if r.err != nil {
+			return r.err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return r.err
+}
+
+// StateChunkAck confirms one chunk of a chunked state transfer. A
+// duplicate chunk is re-acknowledged (the first ack may have been lost)
+// but applied only once.
+type StateChunkAck struct {
+	// Epoch echoes the chunk's epoch.
+	Epoch uint32
+	// Xfer echoes the transfer generation.
+	Xfer uint32
+	// Chunk echoes the chunk number.
+	Chunk uint32
+	// Applied is the number of entries the receiver newly applied from
+	// this chunk (entries superseded by fresher local state are skipped).
+	Applied uint32
+}
+
+// WireKind implements Message.
+func (*StateChunkAck) WireKind() Kind { return KindStateChunkAck }
+
+func (m *StateChunkAck) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, m.Xfer)
+	dst = binary.BigEndian.AppendUint32(dst, m.Chunk)
+	return binary.BigEndian.AppendUint32(dst, m.Applied)
+}
+
+func (m *StateChunkAck) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.Xfer = r.uint32()
+	m.Chunk = r.uint32()
+	m.Applied = r.uint32()
 	return r.err
 }
 
