@@ -10,6 +10,13 @@
 //	rtpbctl -addr 127.0.0.1:7777 repair               # peer repair-cycle state
 //	rtpbctl -addr 127.0.0.1:7777 recruit 10.0.0.9:7000
 //	rtpbctl -addr 127.0.0.1:7777 bench alt 40ms 5s   # periodic writes
+//
+// Against a sharded cluster's control endpoint (internal/ctl.ShardServer)
+// the same register/write/read verbs route transparently, and two
+// cluster-level queries become available:
+//
+//	rtpbctl -addr 127.0.0.1:7777 shards              # per-shard status table
+//	rtpbctl -addr 127.0.0.1:7777 route alt           # which shard serves alt
 package main
 
 import (
@@ -55,6 +62,8 @@ func run(args []string) error {
 		"repair":   {1, "repair"},
 		"recruit":  {2, "recruit <addr>"},
 		"bench":    {4, "bench <name> <period> <duration>"},
+		"shards":   {1, "shards"},
+		"route":    {2, "route <object>"},
 	}
 	want, known := arity[sub]
 	if !known {
@@ -89,6 +98,14 @@ func run(args []string) error {
 		return doPrint(c, "REPAIR")
 	case "recruit":
 		return doPrint(c, "RECRUIT "+rest[1])
+	case "shards":
+		reply, err := c.Do("SHARDS")
+		if err != nil {
+			return err
+		}
+		return printShards(reply)
+	case "route":
+		return doPrint(c, "ROUTE "+rest[1])
 	default: // bench
 		return bench(c, rest[1], rest[2], rest[3])
 	}
@@ -102,6 +119,38 @@ func doPrint(c *ctl.Client, line string) error {
 	fmt.Println(reply)
 	if strings.HasPrefix(reply, "ERR") || strings.HasPrefix(reply, "REJECT") {
 		os.Exit(2)
+	}
+	return nil
+}
+
+// printShards renders the SHARDS reply
+//
+//	OK shards=<k> [| <i> primary=<addr> epoch=<e> objects=<n>
+//	  utilization=<u> backupAlive=<bool> promotions=<p>]...
+//
+// as an aligned table, one shard per row.
+func printShards(reply string) error {
+	if !strings.HasPrefix(reply, "OK ") {
+		fmt.Println(reply)
+		os.Exit(2)
+	}
+	segments := strings.Split(reply, " | ")
+	fmt.Printf("%-6s %-24s %-6s %-8s %-12s %-7s %s\n",
+		"SHARD", "PRIMARY", "EPOCH", "OBJECTS", "UTILIZATION", "BACKUP", "PROMOTIONS")
+	for _, seg := range segments[1:] {
+		fields := strings.Fields(seg)
+		if len(fields) == 0 {
+			continue
+		}
+		kv := map[string]string{}
+		for _, f := range fields[1:] {
+			if k, v, ok := strings.Cut(f, "="); ok {
+				kv[k] = v
+			}
+		}
+		fmt.Printf("%-6s %-24s %-6s %-8s %-12s %-7s %s\n",
+			fields[0], kv["primary"], kv["epoch"], kv["objects"],
+			kv["utilization"], kv["backupAlive"], kv["promotions"])
 	}
 	return nil
 }

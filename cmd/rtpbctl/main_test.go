@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
 	"strings"
 	"testing"
 )
@@ -20,6 +25,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{"bench arity", []string{"-addr", "127.0.0.1:1", "bench", "x"}, "usage: bench"},
 		{"recruit arity", []string{"-addr", "127.0.0.1:1", "recruit"}, "usage: recruit"},
 		{"repair arity", []string{"-addr", "127.0.0.1:1", "repair", "x"}, "usage: repair"},
+		{"shards arity", []string{"-addr", "127.0.0.1:1", "shards", "x"}, "usage: shards"},
+		{"route arity", []string{"-addr", "127.0.0.1:1", "route"}, "usage: route"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -41,4 +48,103 @@ func TestRunDialFailure(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected dial error")
 	}
+}
+
+// stubServer answers the cluster-level control verbs with canned replies,
+// standing in for a ShardServer (which runs on a virtual clock and so
+// can't be driven over real TCP from a test).
+func stubServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					switch line := sc.Text(); {
+					case line == "SHARDS":
+						fmt.Fprintln(conn, "OK shards=2"+
+							" | 0 primary=shard0-p:7000 epoch=1 objects=2 utilization=0.4800 backupAlive=true promotions=0"+
+							" | 1 primary=shard1-b:7000 epoch=2 objects=1 utilization=0.2400 backupAlive=false promotions=1")
+					case strings.HasPrefix(line, "ROUTE "):
+						fmt.Fprintln(conn, "OK shard 1 primary shard1-b:7000 epoch 2")
+					default:
+						fmt.Fprintln(conn, "ERR unknown command")
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	r.Close()
+	if ferr != nil {
+		t.Fatalf("run: %v (output %q)", ferr, out)
+	}
+	return string(out)
+}
+
+func TestShardsTableRoundTrip(t *testing.T) {
+	addr := stubServer(t)
+	out := capture(t, func() error { return run([]string{"-addr", addr, "shards"}) })
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 shard rows, got %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"SHARD", "PRIMARY", "EPOCH", "UTILIZATION", "PROMOTIONS"} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("header missing %q: %q", want, lines[0])
+		}
+	}
+	row0 := strings.Fields(lines[1])
+	if want := []string{"0", "shard0-p:7000", "1", "2", "0.4800", "true", "0"}; !equalSlices(row0, want) {
+		t.Fatalf("row 0 = %v, want %v", row0, want)
+	}
+	row1 := strings.Fields(lines[2])
+	if want := []string{"1", "shard1-b:7000", "2", "1", "0.2400", "false", "1"}; !equalSlices(row1, want) {
+		t.Fatalf("row 1 = %v, want %v", row1, want)
+	}
+}
+
+func TestRouteRoundTrip(t *testing.T) {
+	addr := stubServer(t)
+	out := capture(t, func() error { return run([]string{"-addr", addr, "route", "alt"}) })
+	if want := "OK shard 1 primary shard1-b:7000 epoch 2\n"; out != want {
+		t.Fatalf("route output %q, want %q", out, want)
+	}
+}
+
+func equalSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -10,6 +10,14 @@
 //	rtpbd -role primary -listen 127.0.0.1:7000 -peer 127.0.0.1:7001 -ctl 127.0.0.1:7777
 //	rtpbctl -addr 127.0.0.1:7777 register alt 64 40ms 50ms 200ms
 //	rtpbctl -addr 127.0.0.1:7777 write alt "9000ft"
+//
+// -peer may be repeated on the primary to broadcast updates to several
+// backups (the admission controller charges one transmission per peer):
+//
+//	rtpbd -role backup  -listen 127.0.0.1:7001 -peer 127.0.0.1:7000
+//	rtpbd -role backup  -listen 127.0.0.1:7002 -peer 127.0.0.1:7000
+//	rtpbd -role primary -listen 127.0.0.1:7000 \
+//	    -peer 127.0.0.1:7001 -peer 127.0.0.1:7002 -ctl 127.0.0.1:7777
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,11 +44,25 @@ func main() {
 	}
 }
 
+// peerList accumulates repeated -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty peer address")
+	}
+	*p = append(*p, v)
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("rtpbd", flag.ContinueOnError)
 	role := fs.String("role", "", "replica role: primary or backup (required)")
 	listen := fs.String("listen", "127.0.0.1:7000", "UDP address to listen on")
-	peer := fs.String("peer", "", "peer replica's UDP address (required)")
+	var peers peerList
+	fs.Var(&peers, "peer", "peer replica's UDP address (required; repeatable on the primary)")
 	ctlAddr := fs.String("ctl", "127.0.0.1:7777", "control listener address (primary only)")
 	ell := fs.Duration("ell", 5*time.Millisecond, "communication delay bound ℓ")
 	mode := fs.String("mode", "normal", "update scheduling: normal or compressed")
@@ -53,8 +76,11 @@ func run(args []string) error {
 	if *role != "primary" && *role != "backup" {
 		return fmt.Errorf("-role must be primary or backup")
 	}
-	if *peer == "" {
+	if len(peers) == 0 {
 		return fmt.Errorf("-peer is required")
+	}
+	if *role == "backup" && len(peers) > 1 {
+		return fmt.Errorf("-peer may be given only once with -role backup (a backup has one primary)")
 	}
 	scheduling := rtpb.ScheduleNormal
 	switch *mode {
@@ -83,14 +109,21 @@ func run(args []string) error {
 	}
 	// The peer flag names the peer's UDP socket; the RTPB protocol itself
 	// is demultiplexed on the x-kernel port protocol's well-known port, so
-	// the full participant address is "<ip:udpport>:<rtpbport>".
+	// the full participant address is "<ip:udpport>:<rtpbport>". A backup
+	// binds a session to its one primary (Peer); a primary broadcasts to
+	// every listed backup (Peers).
 	cfg := core.Config{
 		Clock:                   clk,
 		Port:                    port,
-		Peer:                    rtpb.Addr(fmt.Sprintf("%s:%d", *peer, rtpb.RTPBPort)),
 		Ell:                     *ell,
 		Scheduling:              scheduling,
 		DisableAdmissionControl: *noAdmission,
+	}
+	for _, p := range peers {
+		cfg.Peers = append(cfg.Peers, rtpb.Addr(fmt.Sprintf("%s:%d", p, rtpb.RTPBPort)))
+	}
+	if *role == "backup" {
+		cfg.Peer, cfg.Peers = cfg.Peers[0], nil
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -159,7 +192,7 @@ func runPrimary(clk *clock.RealClock, cfg core.Config, ctlAddr string, heartbeat
 	}
 	ctlSrv = srv
 	defer ctlSrv.Close()
-	log.Printf("primary up: rtpb on udp %s, control on tcp %s, peer %s", local, ctlSrv.Addr(), cfg.Peer)
+	log.Printf("primary up: rtpb on udp %s, control on tcp %s, peers %v", local, ctlSrv.Addr(), cfg.Peers)
 	<-sig
 	log.Printf("shutting down")
 	done := make(chan struct{})

@@ -14,6 +14,8 @@ func TestRunValidatesFlags(t *testing.T) {
 		{"missing role", []string{"-peer", "x:1"}, "-role"},
 		{"bad role", []string{"-role", "observer", "-peer", "x:1"}, "-role"},
 		{"missing peer", []string{"-role", "primary"}, "-peer"},
+		{"empty peer", []string{"-role", "primary", "-peer", ""}, "peer"},
+		{"backup multi peer", []string{"-role", "backup", "-peer", "x:1", "-peer", "y:1"}, "-peer"},
 		{"bad mode", []string{"-role", "primary", "-peer", "x:1", "-mode", "turbo"}, "-mode"},
 	}
 	for _, tc := range cases {

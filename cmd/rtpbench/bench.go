@@ -74,6 +74,8 @@ type benchReport struct {
 	Points     []benchPoint `json:"points"`
 	// Rejoin is the repair-cycle sweep: rejoin catch-up time versus loss.
 	Rejoin []rejoinPoint `json:"rejoin"`
+	// Shard is the capacity-vs-shard-count sweep ("rtpbench shard").
+	Shard []shardPoint `json:"shard,omitempty"`
 }
 
 // runBench measures the resilience-layer benchmark matrix — a fixed
@@ -155,6 +157,15 @@ func runBench(path string, seed int64, duration time.Duration) error {
 			Violations: len(res.Violations),
 		})
 	}
+
+	// The sharding sweep: cluster capacity and aggregate write throughput
+	// against shard count, on the same fixed 2s virtual interval the
+	// standalone "shard" subcommand defaults to.
+	shardPoints, err := shardSweep(seed, 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("bench shard sweep: %w", err)
+	}
+	report.Shard = shardPoints
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

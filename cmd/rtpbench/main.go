@@ -15,6 +15,9 @@
 //	rtpbench chaos              # run every quick scenario
 //	rtpbench chaos -full        # include the long soak scenarios
 //	rtpbench chaos -scenario split-brain-fencing -seed 3 -v
+//
+//	rtpbench shard              # capacity-vs-shard-count sweep
+//	rtpbench shard -json        # merge the sweep into BENCH_rtpb.json
 package main
 
 import (
@@ -33,6 +36,8 @@ func main() {
 	var err error
 	if len(args) > 0 && args[0] == "chaos" {
 		err = runChaos(args[1:])
+	} else if len(args) > 0 && args[0] == "shard" {
+		err = runShardCmd(args[1:])
 	} else {
 		err = run(args)
 	}
@@ -67,16 +72,26 @@ func runChaos(args []string) error {
 			}
 			fmt.Printf("%-26s %s seed=%-3d %s\n", sc.Name, tag, effSeed, sc.Description)
 		}
+		for _, sc := range chaos.ShardCatalogue() {
+			effSeed := sc.Seed
+			if effSeed == 0 {
+				effSeed = 1
+			}
+			fmt.Printf("%-26s %s seed=%-3d %s\n", sc.Name, "shard", effSeed, sc.Description)
+		}
 		return nil
 	}
 
 	var scenarios []chaos.Scenario
+	var shardScenarios []chaos.ShardScenario
 	if *scenario != "" {
-		sc, ok := chaos.Find(*scenario)
-		if !ok {
+		if sc, ok := chaos.Find(*scenario); ok {
+			scenarios = []chaos.Scenario{sc}
+		} else if ssc, ok := chaos.FindShard(*scenario); ok {
+			shardScenarios = []chaos.ShardScenario{ssc}
+		} else {
 			return fmt.Errorf("no such scenario %q (rtpbench chaos -list)", *scenario)
 		}
-		scenarios = []chaos.Scenario{sc}
 	} else {
 		for _, sc := range chaos.Catalogue() {
 			if sc.Full && !*full {
@@ -84,17 +99,12 @@ func runChaos(args []string) error {
 			}
 			scenarios = append(scenarios, sc)
 		}
+		shardScenarios = chaos.ShardCatalogue()
 	}
 
-	failed := 0
-	for _, sc := range scenarios {
-		if *seed != 0 {
-			sc.Seed = *seed
-		}
-		res, err := chaos.Run(sc)
-		if err != nil {
-			return fmt.Errorf("scenario %q: %w", sc.Name, err)
-		}
+	failed, total := 0, 0
+	report := func(res *chaos.Result) {
+		total++
 		status := "PASS"
 		if res.Failed() {
 			status = "FAIL"
@@ -111,8 +121,28 @@ func runChaos(args []string) error {
 			}
 		}
 	}
+	for _, sc := range scenarios {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		res, err := chaos.Run(sc)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		report(res)
+	}
+	for _, sc := range shardScenarios {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		res, err := chaos.RunShard(sc)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		report(res)
+	}
 	if failed > 0 {
-		return fmt.Errorf("%d of %d scenarios failed", failed, len(scenarios))
+		return fmt.Errorf("%d of %d scenarios failed", failed, total)
 	}
 	return nil
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtpb/internal/core"
+	"rtpb/internal/shard"
+	"rtpb/internal/temporal"
+)
+
+// shardPoint is one shard count in the capacity-vs-shard-count sweep.
+type shardPoint struct {
+	// Shards is K, the number of primary-backup groups.
+	Shards int `json:"shards"`
+	// Offered and Admitted count the identical objects offered to the
+	// placer and the ones some shard scheduled.
+	Offered  int `json:"offered"`
+	Admitted int `json:"admitted"`
+	// WritesPerSec is the aggregate accepted client write rate across
+	// all admitted objects, per second of virtual time.
+	WritesPerSec float64 `json:"writes_per_sec"`
+	// MeanUtilization is the mean per-shard planned CPU utilization.
+	MeanUtilization float64 `json:"mean_utilization"`
+}
+
+// shardSweep measures cluster capacity against shard count: the same
+// object set — sized to saturate a single pair almost immediately — is
+// offered to clusters of K=1,2,4,8 groups, and each cluster then runs a
+// full write workload on whatever it admitted. Everything is on the
+// virtual clock, so the sweep is a pure function of (seed, duration).
+func shardSweep(seed int64, duration time.Duration) ([]shardPoint, error) {
+	const offered = 40
+	specs := make([]core.ObjectSpec, offered)
+	for i := range specs {
+		specs[i] = core.ObjectSpec{
+			Name:         fmt.Sprintf("obj%d", i),
+			Size:         64,
+			UpdatePeriod: 5 * time.Millisecond,
+			Constraint: temporal.ExternalConstraint{
+				DeltaP: 5 * time.Millisecond,
+				DeltaB: 14 * time.Millisecond,
+			},
+		}
+	}
+	var points []shardPoint
+	for _, k := range []int{1, 2, 4, 8} {
+		c, err := shard.NewCluster(shard.Config{Shards: k, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		admitted := 0
+		for _, spec := range specs {
+			if _, _, err := c.Place(spec); err != nil {
+				continue
+			}
+			admitted++
+			c.WriteEvery(spec.Name, spec.UpdatePeriod)
+		}
+		c.RunFor(duration)
+		c.StopWriters()
+		util := 0.0
+		for _, st := range c.Statuses() {
+			util += st.Utilization
+		}
+		points = append(points, shardPoint{
+			Shards:          k,
+			Offered:         offered,
+			Admitted:        admitted,
+			WritesPerSec:    float64(c.TotalWrites()) / duration.Seconds(),
+			MeanUtilization: util / float64(k),
+		})
+		c.Stop()
+	}
+	return points, nil
+}
+
+// runShardCmd implements the "shard" subcommand: print the
+// capacity-vs-shard-count sweep, and with -json merge it into the
+// benchmark report file.
+func runShardCmd(args []string) error {
+	fs := flag.NewFlagSet("rtpbench shard", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed for loss and jitter")
+	duration := fs.Duration("duration", 2*time.Second, "virtual measurement interval per shard count")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "merge the sweep into the JSON benchmark report")
+	jsonPath := fs.String("json.out", "BENCH_rtpb.json", "path of the -json report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	points, err := shardSweep(*seed, *duration)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Println("shards,offered,admitted,writes_per_sec,mean_utilization")
+		for _, p := range points {
+			fmt.Printf("%d,%d,%d,%.1f,%.3f\n", p.Shards, p.Offered, p.Admitted, p.WritesPerSec, p.MeanUtilization)
+		}
+	} else {
+		fmt.Println("capacity vs shard count (admission-aware placement, identical object set)")
+		fmt.Printf("%-7s %-8s %-9s %-14s %s\n", "shards", "offered", "admitted", "writes/sec", "mean util")
+		for _, p := range points {
+			fmt.Printf("%-7d %-8d %-9d %-14.1f %.3f\n", p.Shards, p.Offered, p.Admitted, p.WritesPerSec, p.MeanUtilization)
+		}
+	}
+	if !*jsonOut {
+		return nil
+	}
+	// Merge into the existing report rather than clobbering the other
+	// sweeps; a missing file starts a fresh report.
+	var report benchReport
+	if data, err := os.ReadFile(*jsonPath); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("parse %s: %w", *jsonPath, err)
+		}
+	}
+	if report.Seed == 0 {
+		report.Seed = *seed
+	}
+	report.Shard = points
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d shard counts, %v virtual each)\n", *jsonPath, len(points), *duration)
+	return nil
+}

@@ -368,3 +368,20 @@ func (a *admission) byNameOrErr(name string) (*object, error) {
 func (a *admission) utilization() float64 {
 	return a.taskSet().Utilization()
 }
+
+// utilizationWith reports what the task set's utilization would be were
+// spec admitted, without admitting it — the placement layer's
+// bin-packing estimate. ok is false when no positive update period can
+// be derived for the spec (the admission pipeline would reject it
+// outright).
+func (a *admission) utilizationWith(spec ObjectSpec) (float64, bool) {
+	cand := &object{spec: spec}
+	cand.updatePeriod = a.effectivePeriod(a.externalPeriod(spec.Constraint), nil)
+	if a.cfg.Scheduling == ScheduleWriteThrough && spec.UpdatePeriod < cand.updatePeriod {
+		cand.updatePeriod = spec.UpdatePeriod
+	}
+	if cand.updatePeriod <= 0 {
+		return 0, false
+	}
+	return a.taskSet(cand).Utilization(), true
+}

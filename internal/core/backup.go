@@ -212,6 +212,8 @@ func (b *Backup) Demux(m *xkernel.Message, from xkernel.Addr) error {
 		b.handleJoinAccept(t)
 	case *wire.StateChunk:
 		b.handleStateChunk(t)
+	case *wire.Unregister:
+		b.handleUnregister(t)
 	}
 	return nil
 }

@@ -367,6 +367,14 @@ func (g *governor) overloaded() bool {
 	return g.stats.Degraded > 0 || g.stats.Shed > 0
 }
 
+// forget drops a removed object's ladder position.
+func (g *governor) forget(id uint32) {
+	if _, ok := g.modes[id]; ok {
+		delete(g.modes, id)
+		g.recount()
+	}
+}
+
 func (g *governor) recount() {
 	g.stats.Degraded, g.stats.Shed = 0, 0
 	for _, m := range g.modes {

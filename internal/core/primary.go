@@ -253,6 +253,14 @@ func (p *Primary) SetEpoch(e uint32) { p.epoch = e }
 // Utilization reports the admitted task set's planned CPU utilization.
 func (p *Primary) Utilization() float64 { return p.adm.utilization() }
 
+// UtilizationWith reports the planned CPU utilization were spec admitted
+// on top of the current table, without admitting it. The shard placement
+// layer uses it as its bin-packing estimate; ok is false when no
+// positive update period can be derived for the spec.
+func (p *Primary) UtilizationWith(spec ObjectSpec) (float64, bool) {
+	return p.adm.utilizationWith(spec)
+}
+
 // Objects reports the number of admitted objects.
 func (p *Primary) Objects() int { return len(p.adm.objects) }
 

@@ -23,6 +23,10 @@
 //	  → OK <addr> | ERR <reason...>
 //
 // Durations use Go syntax (40ms, 1s).
+//
+// ShardServer speaks the same line protocol for a sharded cluster,
+// adding PLACE/ROUTE/SHARDS/MIGRATE and routing WRITE/READ to the
+// owning shard's current primary (see shard.go).
 package ctl
 
 import (
@@ -41,30 +45,31 @@ import (
 	"rtpb/internal/xkernel"
 )
 
-// Server exposes a Primary on a TCP control socket. Commands are posted
-// onto the replica's clock executor, preserving the protocol's serial
-// execution model.
-type Server struct {
+// lineServer is the shared control-socket transport: a line-oriented
+// TCP listener that posts each command onto a clock executor and writes
+// the reply back. Server (one primary) and ShardServer (a sharded
+// cluster) differ only in the handler they install.
+type lineServer struct {
 	clk     clock.Clock
-	primary *core.Primary
 	ln      net.Listener
+	handler func(line string, reply func(string))
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  chan struct{}
 }
 
-// NewServer starts the control listener on addr ("host:port", ":0" for
-// ephemeral).
-func NewServer(clk clock.Clock, primary *core.Primary, addr string) (*Server, error) {
+// newLineServer starts the control listener on addr ("host:port", ":0"
+// for ephemeral).
+func newLineServer(clk clock.Clock, addr string, handler func(string, func(string))) (*lineServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ctl: listen %q: %w", addr, err)
 	}
-	s := &Server{
+	s := &lineServer{
 		clk:     clk,
-		primary: primary,
 		ln:      ln,
+		handler: handler,
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
 	}
@@ -73,10 +78,10 @@ func NewServer(clk clock.Clock, primary *core.Primary, addr string) (*Server, er
 }
 
 // Addr reports the listener's address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *lineServer) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the listener and all client connections.
-func (s *Server) Close() error {
+func (s *lineServer) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	for c := range s.conns {
@@ -87,7 +92,7 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) acceptLoop() {
+func (s *lineServer) acceptLoop() {
 	defer close(s.done)
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -107,7 +112,7 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) serve(conn net.Conn) {
+func (s *lineServer) serve(conn net.Conn) {
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -130,10 +135,10 @@ func (s *Server) serve(conn net.Conn) {
 
 // dispatch runs one command on the clock executor and waits for its
 // reply.
-func (s *Server) dispatch(line string) string {
+func (s *lineServer) dispatch(line string) string {
 	replyCh := make(chan string, 1)
 	s.clk.Post(func() {
-		s.handle(line, func(reply string) { replyCh <- reply })
+		s.handler(line, func(reply string) { replyCh <- reply })
 	})
 	select {
 	case r := <-replyCh:
@@ -141,6 +146,26 @@ func (s *Server) dispatch(line string) string {
 	case <-time.After(10 * time.Second):
 		return "ERR control command timed out"
 	}
+}
+
+// Server exposes a Primary on a TCP control socket. Commands are posted
+// onto the replica's clock executor, preserving the protocol's serial
+// execution model.
+type Server struct {
+	*lineServer
+	primary *core.Primary
+}
+
+// NewServer starts the control listener on addr ("host:port", ":0" for
+// ephemeral).
+func NewServer(clk clock.Clock, primary *core.Primary, addr string) (*Server, error) {
+	s := &Server{primary: primary}
+	ls, err := newLineServer(clk, addr, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.lineServer = ls
+	return s, nil
 }
 
 // handle executes a command on the executor; reply must be called exactly

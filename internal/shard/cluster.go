@@ -1,0 +1,616 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/core"
+	"rtpb/internal/failover"
+	"rtpb/internal/netsim"
+	"rtpb/internal/temporal"
+	"rtpb/internal/xkernel"
+)
+
+// Config describes a simulated sharded cluster.
+type Config struct {
+	// Shards is K, the number of primary-backup groups; defaults to 2.
+	Shards int
+	// Seed drives the fabric's loss/jitter/duplication draws.
+	Seed int64
+	// Link is the default link quality; zero value means 2ms delay + 1ms
+	// jitter, the EXPERIMENTS.md baseline.
+	Link netsim.LinkParams
+	// Ell is ℓ, the admission controllers' delay bound; defaults to 5ms.
+	Ell time.Duration
+	// Detector tunes the backup-side failure detectors; zero value means
+	// failover.DefaultDetectorConfig.
+	Detector failover.DetectorConfig
+	// Headroom is the placer's per-shard utilization reserve; defaults to
+	// DefaultHeadroom. Negative means zero (no reserve).
+	Headroom float64
+	// Scheduling, Costs, SchedTest and SlackFactor configure every
+	// shard's primary identically (see core.Config).
+	Scheduling  core.SchedulingMode
+	Costs       core.CostModel
+	SchedTest   core.SchedTest
+	SlackFactor float64
+}
+
+func (cfg *Config) normalize() {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Link == (netsim.LinkParams{}) {
+		cfg.Link = netsim.LinkParams{Delay: 2 * time.Millisecond, Jitter: time.Millisecond}
+	}
+	if cfg.Ell == 0 {
+		cfg.Ell = 5 * time.Millisecond
+	}
+	if cfg.Detector == (failover.DetectorConfig{}) {
+		cfg.Detector = failover.DefaultDetectorConfig()
+	}
+	switch {
+	case cfg.Headroom == 0:
+		cfg.Headroom = DefaultHeadroom
+	case cfg.Headroom < 0:
+		cfg.Headroom = 0
+	}
+}
+
+// node is one simulated machine: a fabric endpoint with an x-kernel
+// stack on top.
+type node struct {
+	name string
+	ep   *netsim.Endpoint
+	port *xkernel.PortProtocol
+}
+
+func (n *node) addr() xkernel.Addr {
+	return xkernel.Addr(n.name + ":" + fmt.Sprint(core.RTPBPort))
+}
+
+// Shard is one primary-backup group. Each shard runs the full
+// two-replica protocol — its own admission controller, update pump,
+// failure detector and promotion path — independently of its siblings:
+// a failover in one group never touches another group's schedule.
+type Shard struct {
+	c       *Cluster
+	index   int
+	service string
+
+	pHost *node // host of the current primary
+	bHost *node // host of the backup (site name for the monitor)
+
+	primary    *core.Primary
+	backup     *core.Backup
+	det        *failover.Detector
+	peer       xkernel.Addr // primary address the backup replicates from
+	promotions int
+}
+
+// Utilization implements Target with the shard primary's resident
+// utilization.
+func (sh *Shard) Utilization() float64 { return sh.primary.Utilization() }
+
+// UtilizationWith implements Target with the primary's what-if estimate.
+// A shard whose primary is not serving reports no fit.
+func (sh *Shard) UtilizationWith(spec core.ObjectSpec) (float64, bool) {
+	if sh.primary == nil || !sh.primary.Running() {
+		return 0, false
+	}
+	return sh.primary.UtilizationWith(spec)
+}
+
+// Admit implements Target by running the shard's real admission
+// pipeline.
+func (sh *Shard) Admit(spec core.ObjectSpec) core.Decision {
+	if sh.primary == nil || !sh.primary.Running() {
+		return core.Decision{Reason: "shard primary not running"}
+	}
+	return sh.primary.Register(spec)
+}
+
+// Primary exposes the shard's currently serving primary (nil after an
+// unrecovered crash).
+func (sh *Shard) Primary() *core.Primary { return sh.primary }
+
+// Backup exposes the shard's backup replica (nil after it promoted).
+func (sh *Shard) Backup() *core.Backup { return sh.backup }
+
+// Cluster is K primary-backup groups behind one client-facing surface:
+// the Placer spreads registrations across the groups, the Router owns
+// the object→shard map, and writes and reads forward to the owning
+// group's current primary. All groups share one simulated fabric, one
+// virtual clock, one name service and one temporal-consistency monitor
+// (tracking each group's backup site independently).
+type Cluster struct {
+	cfg    Config
+	clk    *clock.SimClock
+	net    *netsim.Network
+	ns     *failover.NameService
+	mon    *temporal.Monitor
+	placer Placer
+	router *Router
+	shards []*Shard
+
+	start       time.Time
+	log         []string
+	writers     []*clock.Periodic
+	writeCounts map[string]int
+	lastWritten map[string][]byte
+}
+
+// NewCluster builds and starts a sharded cluster: K groups of two nodes
+// each ("shardI-p", "shardI-b") on one fabric, each group's backup
+// watching its own primary through a failure detector.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg.normalize()
+	c := &Cluster{
+		cfg:         cfg,
+		clk:         clock.NewSim(),
+		ns:          failover.NewNameService(),
+		mon:         temporal.NewMonitor(),
+		placer:      Placer{Headroom: cfg.Headroom},
+		router:      NewRouter(),
+		writeCounts: make(map[string]int),
+		lastWritten: make(map[string][]byte),
+	}
+	c.start = c.clk.Now()
+	c.net = netsim.New(c.clk, cfg.Seed)
+	if err := c.net.SetDefaultLink(cfg.Link); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := c.buildShard(i)
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, sh)
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildNode(name string) (*node, error) {
+	ep, err := c.net.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := xkernel.BuildGraph([]xkernel.Spec{
+		{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
+		{Name: "driver", Build: xkernel.DriverFactory(ep)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	proto, _ := g.Protocol("uport")
+	return &node{name: name, ep: ep, port: proto.(*xkernel.PortProtocol)}, nil
+}
+
+func (c *Cluster) primaryConfig(port *xkernel.PortProtocol, peers []xkernel.Addr) core.Config {
+	return core.Config{
+		Clock:       c.clk,
+		Port:        port,
+		Peers:       peers,
+		Ell:         c.cfg.Ell,
+		Scheduling:  c.cfg.Scheduling,
+		Costs:       c.cfg.Costs,
+		SchedTest:   c.cfg.SchedTest,
+		SlackFactor: c.cfg.SlackFactor,
+	}
+}
+
+func (c *Cluster) buildShard(i int) (*Shard, error) {
+	sh := &Shard{c: c, index: i, service: fmt.Sprintf("shard%d", i)}
+	var err error
+	if sh.pHost, err = c.buildNode(fmt.Sprintf("shard%d-p", i)); err != nil {
+		return nil, err
+	}
+	if sh.bHost, err = c.buildNode(fmt.Sprintf("shard%d-b", i)); err != nil {
+		return nil, err
+	}
+	sh.primary, err = core.NewPrimary(c.primaryConfig(sh.pHost.port, []xkernel.Addr{sh.bHost.addr()}))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.ns.Set(sh.service, sh.pHost.addr(), 1); err != nil {
+		return nil, err
+	}
+	sh.backup, err = core.NewBackup(core.Config{
+		Clock: c.clk,
+		Port:  sh.bHost.port,
+		Peer:  sh.pHost.addr(),
+		Ell:   c.cfg.Ell,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh.peer = sh.pHost.addr()
+	if err := c.wireBackup(sh); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// wireBackup attaches the monitor hooks and a fresh failure detector to
+// the shard's backup replica.
+func (c *Cluster) wireBackup(sh *Shard) error {
+	b, site := sh.backup, sh.bHost.name
+	b.OnApply = func(_ uint32, name string, _ uint32, _ uint64, version, at time.Time) {
+		c.mon.RecordUpdate(site, name, version, at)
+	}
+	// A JoinAccept (migration resync, or recruitment) marks every listed
+	// object catching-up on the backup: mirror that into the monitor so a
+	// not-yet-guaranteed image is never reported consistent. Each object
+	// resumes when the backup declares it inside δ_i^B again.
+	b.OnJoinAccept = func(epoch uint32, specs int) {
+		c.logf("shard %d: %s join accepted at epoch %d (%d specs); catch-up begins",
+			sh.index, site, epoch, specs)
+		for _, spec := range b.Specs() {
+			if !b.CatchingUp(spec.Name) {
+				continue
+			}
+			if _, ok := c.mon.ExternalReport(site, spec.Name); !ok {
+				c.mon.TrackExternal(site, spec.Name, spec.Constraint.DeltaB)
+			}
+			c.mon.BeginCatchUp(site, spec.Name, c.clk.Now())
+		}
+	}
+	b.OnCatchUp = func(_ uint32, object string, staleness time.Duration) {
+		c.mon.EndCatchUp(site, object)
+		c.logf("shard %d: %s %q caught up (staleness %v)", sh.index, site, object,
+			staleness.Round(100*time.Microsecond))
+	}
+	det, err := failover.NewDetector(c.clk, c.cfg.Detector, b.SendPing, func() {
+		c.onPrimaryDead(sh)
+	})
+	if err != nil {
+		return err
+	}
+	b.OnPingAck = det.OnAck
+	sh.det = det
+	det.Start()
+	return nil
+}
+
+// onPrimaryDead is the shard's backup detector verdict: promote the
+// backup in place (Section 4.4), fencing the dead primary's epoch. The
+// name-service arbitration mirrors the chaos harness — if the directory
+// already records a successor, this replica yields instead of promoting.
+// Other shards are untouched: their detectors, schedules and temporal
+// accounting never observe the failure.
+func (c *Cluster) onPrimaryDead(sh *Shard) {
+	c.logf("shard %d: detector declares primary dead", sh.index)
+	if addr, epoch, ok := c.ns.Lookup(sh.service); ok && addr != sh.peer {
+		c.logf("shard %d: %v already superseded by %v (epoch %d); yielding",
+			sh.index, sh.peer, addr, epoch)
+		sh.backup.Stop()
+		sh.backup = nil
+		sh.det = nil
+		return
+	}
+	// The promoted replica stops being a backup site: capture its image
+	// list before promotion so the monitor stops charging staleness to a
+	// site that no longer hosts an image.
+	specs := sh.backup.Specs()
+	p, err := failover.Promote(sh.backup, failover.PromoteOptions{
+		Service:       sh.service,
+		SelfAddr:      sh.bHost.addr(),
+		Names:         c.ns,
+		PrimaryConfig: c.primaryConfig(sh.bHost.port, nil),
+		ActivateClient: func(p *core.Primary) {
+			sh.primary = p
+			sh.pHost = sh.bHost
+		},
+	})
+	if err != nil {
+		c.logf("shard %d: promotion failed: %v", sh.index, err)
+		return
+	}
+	now := c.clk.Now()
+	for _, spec := range specs {
+		c.mon.Suspend(sh.bHost.name, spec.Name, now)
+	}
+	sh.backup = nil
+	sh.det = nil
+	sh.promotions++
+	c.logf("shard %d: %s promoted to primary, epoch %d", sh.index, sh.pHost.name, p.Epoch())
+}
+
+// targets returns the shards as a placement slice (index-aligned).
+func (c *Cluster) targets() []Target {
+	out := make([]Target, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh
+	}
+	return out
+}
+
+// Place admits one object somewhere in the cluster: the placer picks a
+// shard, the shard's admission controller has the final word, and the
+// router binds the object to the accepting group. The returned index is
+// the owning shard; on rejection it is -1 and the error wraps
+// ErrClusterFull (the decision carries the last shard's reason and
+// suggested δ_B, so renegotiation works exactly as against one pair).
+func (c *Cluster) Place(spec core.ObjectSpec) (int, core.Decision, error) {
+	if _, ok := c.router.Lookup(spec.Name); ok {
+		return -1, core.Decision{}, fmt.Errorf("shard: object %q already placed", spec.Name)
+	}
+	idx, d, err := c.placer.Place(spec, c.targets())
+	if err != nil {
+		c.logf("place %q rejected: %v", spec.Name, err)
+		return -1, d, err
+	}
+	sh := c.shards[idx]
+	c.router.Assign(spec.Name, idx)
+	if sh.backup != nil {
+		if _, ok := c.mon.ExternalReport(sh.bHost.name, spec.Name); !ok {
+			c.mon.TrackExternal(sh.bHost.name, spec.Name, spec.Constraint.DeltaB)
+		}
+	}
+	c.logf("place %q -> shard %d (r=%v, util %.3f)", spec.Name, idx, d.UpdatePeriod, sh.Utilization())
+	return idx, d, nil
+}
+
+// ErrNotPlaced reports a read, write or migration of an object the
+// router does not know.
+var ErrNotPlaced = errors.New("shard: object not placed")
+
+func (c *Cluster) owner(name string) (*Shard, error) {
+	idx, ok := c.router.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotPlaced, name)
+	}
+	return c.shards[idx], nil
+}
+
+// Write forwards a client write to the owning shard's current primary —
+// the route is re-resolved on every call, so writes keep flowing to a
+// shard's promoted replica after failover.
+func (c *Cluster) Write(name string, data []byte, done func(time.Duration, error)) error {
+	sh, err := c.owner(name)
+	if err != nil {
+		return err
+	}
+	if sh.primary == nil || !sh.primary.Running() {
+		return fmt.Errorf("shard: shard %d has no serving primary for %q", sh.index, name)
+	}
+	sh.primary.ClientWrite(name, data, done)
+	return nil
+}
+
+// Read returns the owning shard primary's current value.
+func (c *Cluster) Read(name string) (data []byte, version time.Time, ok bool) {
+	sh, err := c.owner(name)
+	if err != nil || sh.primary == nil || !sh.primary.Running() {
+		return nil, time.Time{}, false
+	}
+	return sh.primary.Value(name)
+}
+
+// Route resolves an object's owning shard.
+func (c *Cluster) Route(name string) (int, bool) { return c.router.Lookup(name) }
+
+// Remove drops an object from the cluster: the owning primary revokes
+// it everywhere (freeing its schedule slots), the monitor stops
+// charging its backup image, and the route is forgotten.
+func (c *Cluster) Remove(name string) error {
+	sh, err := c.owner(name)
+	if err != nil {
+		return err
+	}
+	if err := sh.primary.RemoveObject(name); err != nil {
+		return err
+	}
+	if sh.backup != nil {
+		c.mon.Suspend(sh.bHost.name, name, c.clk.Now())
+	}
+	c.router.Forget(name)
+	c.logf("remove %q from shard %d", name, sh.index)
+	return nil
+}
+
+// Migrate moves one object to another shard. The destination's
+// admission controller is authoritative (the placer's headroom reserve
+// is deliberately not enforced for an explicit migration); current
+// state is seeded at the destination primary, whose backup re-syncs
+// over the chunked anti-entropy transfer — the object is marked
+// catching-up at the destination site until an update lands within
+// δ_i^B there. Only then is the source's registration revoked, so the
+// object is never without an admitted home.
+func (c *Cluster) Migrate(name string, dst int) error {
+	sh, err := c.owner(name)
+	if err != nil {
+		return err
+	}
+	if dst < 0 || dst >= len(c.shards) {
+		return fmt.Errorf("shard: no shard %d", dst)
+	}
+	if dst == sh.index {
+		return nil
+	}
+	dh := c.shards[dst]
+	spec, ok := sh.primary.Spec(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotPlaced, name)
+	}
+	value, version, hasData := sh.primary.Value(name)
+	if d := dh.Admit(spec); !d.Accepted {
+		return fmt.Errorf("shard: destination %d rejected %q: %s", dst, name, d.Reason)
+	}
+	if hasData {
+		if err := dh.primary.SeedObject(name, value, version); err != nil {
+			return fmt.Errorf("shard: seed %q on shard %d: %w", name, dst, err)
+		}
+	}
+	if dh.backup != nil {
+		if _, ok := c.mon.ExternalReport(dh.bHost.name, spec.Name); !ok {
+			c.mon.TrackExternal(dh.bHost.name, spec.Name, spec.Constraint.DeltaB)
+		}
+		// Push registrations and state to the destination backup through
+		// the join exchange; its OnJoinAccept hook marks the image
+		// catching-up until an update lands within δ_i^B.
+		dh.primary.ResyncPeers()
+	}
+	if err := sh.primary.RemoveObject(name); err != nil {
+		return fmt.Errorf("shard: revoke %q on shard %d: %w", name, sh.index, err)
+	}
+	if sh.backup != nil {
+		c.mon.Suspend(sh.bHost.name, name, c.clk.Now())
+	}
+	c.router.Assign(name, dst)
+	c.logf("migrate %q: shard %d -> shard %d", name, sh.index, dst)
+	return nil
+}
+
+// CrashPrimary kills shard i's primary host; the shard's own detector
+// notices and drives the promotion.
+func (c *Cluster) CrashPrimary(i int) {
+	sh := c.shards[i]
+	if sh.primary != nil {
+		sh.primary.Stop()
+	}
+	sh.pHost.ep.SetDown(true)
+	c.logf("shard %d: %s is down", i, sh.pHost.name)
+}
+
+// WriteEvery starts a periodic client writer for one object; each fire
+// re-resolves the route, so the writer follows failovers and
+// migrations. Payloads embed a sequence number and virtual timestamp,
+// making convergence checks exact.
+func (c *Cluster) WriteEvery(name string, period time.Duration) {
+	w := clock.NewPeriodic(c.clk, 0, period, func() {
+		idx, ok := c.router.Lookup(name)
+		if !ok {
+			return
+		}
+		p := c.shards[idx].primary
+		if p == nil || !p.Running() {
+			return
+		}
+		c.writeCounts[name]++
+		val := fmt.Sprintf("%s#%d@%v", name, c.writeCounts[name],
+			c.clk.Now().Sub(c.start).Round(time.Millisecond))
+		c.lastWritten[name] = []byte(val)
+		p.ClientWrite(name, []byte(val), nil)
+	})
+	c.writers = append(c.writers, w)
+}
+
+// StopWriters stops every periodic writer.
+func (c *Cluster) StopWriters() {
+	for _, w := range c.writers {
+		w.Stop()
+	}
+	c.writers = nil
+}
+
+// LastWritten returns the payload of the most recent accepted writer
+// fire for an object (nil if WriteEvery never wrote it).
+func (c *Cluster) LastWritten(name string) []byte { return c.lastWritten[name] }
+
+// TotalWrites counts every write the periodic writers actually issued
+// (fires that found no serving primary are not counted) — the
+// capacity sweep's aggregate-throughput numerator.
+func (c *Cluster) TotalWrites() int {
+	n := 0
+	for _, count := range c.writeCounts {
+		n += count
+	}
+	return n
+}
+
+// Status is one shard's externally visible state.
+type Status struct {
+	// Index and Service identify the shard.
+	Index   int
+	Service string
+	// PrimaryHost and PrimaryAddr locate the currently serving primary.
+	PrimaryHost string
+	PrimaryAddr xkernel.Addr
+	// Epoch is the serving primary's epoch (0 if none is running).
+	Epoch uint32
+	// Objects and Utilization describe the resident load.
+	Objects     int
+	Utilization float64
+	// BackupAlive reports whether the primary believes a synced backup
+	// is attached.
+	BackupAlive bool
+	// Promotions counts backup-to-primary takeovers on this shard.
+	Promotions int
+}
+
+// Statuses reports every shard's state, index-ordered.
+func (c *Cluster) Statuses() []Status {
+	out := make([]Status, len(c.shards))
+	for i, sh := range c.shards {
+		s := Status{
+			Index:       i,
+			Service:     sh.service,
+			PrimaryHost: sh.pHost.name,
+			PrimaryAddr: sh.pHost.addr(),
+			Promotions:  sh.promotions,
+		}
+		if sh.primary != nil && sh.primary.Running() {
+			s.Epoch = sh.primary.Epoch()
+			s.Objects = sh.primary.Objects()
+			s.Utilization = sh.primary.Utilization()
+			s.BackupAlive = sh.primary.BackupAlive()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Shards reports K.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard exposes one group for tests and invariant checks.
+func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// Clock exposes the cluster's virtual clock.
+func (c *Cluster) Clock() *clock.SimClock { return c.clk }
+
+// Network exposes the simulated fabric.
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Monitor exposes the temporal-consistency monitor; backup sites are
+// named "shardI-b".
+func (c *Cluster) Monitor() *temporal.Monitor { return c.mon }
+
+// BackupSite returns shard i's monitor site name.
+func (c *Cluster) BackupSite(i int) string { return c.shards[i].bHost.name }
+
+// RunFor advances virtual time.
+func (c *Cluster) RunFor(d time.Duration) { c.clk.RunFor(d) }
+
+// Schedule runs fn after d of virtual time.
+func (c *Cluster) Schedule(d time.Duration, fn func()) { c.clk.Schedule(d, fn) }
+
+// Log returns the virtual-timestamped event log; identical across runs
+// with the same configuration and seed.
+func (c *Cluster) Log() []string { return append([]string(nil), c.log...) }
+
+func (c *Cluster) logf(format string, args ...any) {
+	offset := c.clk.Now().Sub(c.start).Round(100 * time.Microsecond)
+	c.log = append(c.log, fmt.Sprintf("+%-9v %s", offset, fmt.Sprintf(format, args...)))
+}
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() {
+	c.StopWriters()
+	for _, sh := range c.shards {
+		if sh.det != nil {
+			sh.det.Stop()
+			sh.det = nil
+		}
+		if sh.backup != nil {
+			sh.backup.Stop()
+			sh.backup = nil
+		}
+		if sh.primary != nil {
+			sh.primary.Stop()
+		}
+	}
+}

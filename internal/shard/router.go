@@ -1,0 +1,65 @@
+package shard
+
+import "sort"
+
+// Router maintains the object→shard map: the single mutable source of
+// truth for which group owns each object. Routes survive per-shard
+// failovers untouched — a takeover changes which replica serves the
+// shard, not which shard owns the object — and are rebound only by
+// migration or removal.
+type Router struct {
+	byObject map[string]int
+}
+
+// NewRouter builds an empty routing table.
+func NewRouter() *Router {
+	return &Router{byObject: make(map[string]int)}
+}
+
+// Assign binds (or rebinds, after a migration) an object to a shard.
+func (r *Router) Assign(name string, shard int) { r.byObject[name] = shard }
+
+// Lookup resolves an object's owning shard.
+func (r *Router) Lookup(name string) (int, bool) {
+	i, ok := r.byObject[name]
+	return i, ok
+}
+
+// Forget drops a removed object's route.
+func (r *Router) Forget(name string) { delete(r.byObject, name) }
+
+// Objects returns every routed object name in sorted order.
+func (r *Router) Objects() []string {
+	out := make([]string, 0, len(r.byObject))
+	for name := range r.byObject {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObjectsOn returns the names routed to one shard, sorted.
+func (r *Router) ObjectsOn(shard int) []string {
+	var out []string
+	for name, s := range r.byObject {
+		if s == shard {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count reports how many objects a shard owns.
+func (r *Router) Count(shard int) int {
+	n := 0
+	for _, s := range r.byObject {
+		if s == shard {
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the total number of routed objects.
+func (r *Router) Len() int { return len(r.byObject) }

@@ -1,0 +1,295 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rtpb/internal/core"
+	"rtpb/internal/temporal"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+// tightSpec is deliberately expensive: δ−ℓ is small, so the derived
+// update period is ~1ms and each object costs ~0.4 CPU utilization. A
+// single pair saturates after a couple of them.
+func tightSpec(name string) core.ObjectSpec {
+	return core.ObjectSpec{
+		Name:         name,
+		Size:         64,
+		UpdatePeriod: ms(5),
+		Constraint:   temporal.ExternalConstraint{DeltaP: ms(5), DeltaB: ms(12)},
+	}
+}
+
+// midSpec costs ~0.24 utilization: a single pair fits three, so a
+// placer headroom of 0.4 packs exactly two per shard.
+func midSpec(name string) core.ObjectSpec {
+	return core.ObjectSpec{
+		Name:         name,
+		Size:         64,
+		UpdatePeriod: ms(5),
+		Constraint:   temporal.ExternalConstraint{DeltaP: ms(5), DeltaB: ms(14)},
+	}
+}
+
+// easySpec is cheap enough that placement decisions, not capacity,
+// dominate the test.
+func easySpec(name string) core.ObjectSpec {
+	return core.ObjectSpec{
+		Name:         name,
+		Size:         64,
+		UpdatePeriod: ms(20),
+		Constraint:   temporal.ExternalConstraint{DeltaP: ms(20), DeltaB: ms(120)},
+	}
+}
+
+// TestClusterAdmitsWhatSinglePairRejects is the tentpole acceptance
+// test: grow an object set until one primary-backup pair provably
+// rejects it, then show a 4-shard cluster admits the entire set.
+func TestClusterAdmitsWhatSinglePairRejects(t *testing.T) {
+	single, err := NewCluster(Config{Shards: 1, Seed: 7, Headroom: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Stop()
+
+	var specs []core.ObjectSpec
+	rejected := false
+	for i := 0; i < 64 && !rejected; i++ {
+		spec := tightSpec(fmt.Sprintf("obj%d", i))
+		specs = append(specs, spec)
+		if _, d, err := single.Place(spec); err != nil {
+			if !errors.Is(err, ErrClusterFull) {
+				t.Fatalf("rejection is not ErrClusterFull: %v", err)
+			}
+			if d.Reason == "" {
+				t.Fatalf("single-pair rejection carries no admission reason")
+			}
+			t.Logf("single pair rejects %q after %d admits: %s", spec.Name, i, d.Reason)
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatal("single pair admitted all 64 tight objects; test spec not tight enough")
+	}
+
+	multi, err := NewCluster(Config{Shards: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Stop()
+	used := map[int]bool{}
+	for _, spec := range specs {
+		idx, _, err := multi.Place(spec)
+		if err != nil {
+			t.Fatalf("4-shard cluster rejected %q: %v", spec.Name, err)
+		}
+		used[idx] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("placement used only %d shard(s) for %d objects", len(used), len(specs))
+	}
+
+	// The routed surface behaves like one service: every object is
+	// writable and readable through the cluster.
+	for _, spec := range specs {
+		multi.WriteEvery(spec.Name, ms(5))
+	}
+	multi.RunFor(300 * time.Millisecond)
+	multi.StopWriters()
+	multi.Monitor().FinishAt(multi.Clock().Now())
+	multi.RunFor(100 * time.Millisecond)
+	for _, spec := range specs {
+		got, _, ok := multi.Read(spec.Name)
+		if !ok || !bytes.Equal(got, multi.LastWritten(spec.Name)) {
+			t.Errorf("%q did not converge: got %q want %q", spec.Name, got, multi.LastWritten(spec.Name))
+		}
+		idx, _ := multi.Route(spec.Name)
+		site := multi.BackupSite(idx)
+		if rep, ok := multi.Monitor().ExternalReport(site, spec.Name); ok && !rep.Consistent() {
+			t.Errorf("%s/%s violated its bound at %v", site, spec.Name, rep.ViolationTime)
+		}
+	}
+}
+
+// TestFailoverReroutesWrites crashes one shard's primary and checks the
+// shard promotes its backup, routed writes converge on the new primary,
+// and the other shard's temporal accounting never notices.
+func TestFailoverReroutesWrites(t *testing.T) {
+	c, err := NewCluster(Config{Shards: 2, Seed: 11, Headroom: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	names := []string{"a0", "a1", "b0", "b1"}
+	shardOf := map[string]int{}
+	for _, name := range names {
+		idx, _, err := c.Place(midSpec(name))
+		if err != nil {
+			t.Fatalf("place %q: %v", name, err)
+		}
+		shardOf[name] = idx
+	}
+	if shardOf["a0"] != shardOf["a1"] || shardOf["a0"] == shardOf["b0"] {
+		t.Fatalf("unexpected packing: %v", shardOf)
+	}
+	crashed := shardOf["a0"]
+	survivor := shardOf["b0"]
+
+	for _, name := range names {
+		c.WriteEvery(name, ms(5))
+	}
+	c.RunFor(200 * time.Millisecond)
+	c.Schedule(0, func() { c.CrashPrimary(crashed) })
+	c.RunFor(time.Second)
+	c.StopWriters()
+	c.Monitor().FinishAt(c.Clock().Now())
+	c.RunFor(100 * time.Millisecond)
+
+	st := c.Statuses()[crashed]
+	if st.Promotions != 1 {
+		t.Fatalf("crashed shard saw %d promotions, want 1\n%v", st.Promotions, c.Log())
+	}
+	if st.Epoch < 2 {
+		t.Fatalf("promoted primary has epoch %d, want >= 2", st.Epoch)
+	}
+	for _, name := range names {
+		idx, ok := c.Route(name)
+		if !ok || idx != shardOf[name] {
+			t.Fatalf("route for %q moved: %d -> %d", name, shardOf[name], idx)
+		}
+		got, _, ok := c.Read(name)
+		if !ok || !bytes.Equal(got, c.LastWritten(name)) {
+			t.Errorf("%q did not converge after failover: got %q want %q", name, got, c.LastWritten(name))
+		}
+	}
+	// The surviving shard's backup images stayed within their bounds and
+	// were never suspended: its group did not feel the other's failover.
+	site := c.BackupSite(survivor)
+	for _, name := range []string{"b0", "b1"} {
+		rep, ok := c.Monitor().ExternalReport(site, name)
+		if !ok {
+			t.Fatalf("no external report for %s/%s", site, name)
+		}
+		if !rep.Consistent() {
+			t.Errorf("surviving shard's %q violated its bound at %v", name, rep.ViolationTime)
+		}
+		if c.Monitor().Suspended(site, name) {
+			t.Errorf("surviving shard's %q was suspended", name)
+		}
+	}
+}
+
+// TestMigrateMarksCatchUp moves a live object between shards and checks
+// the route rebinds, the destination image goes through a catch-up
+// cycle before being counted again, and the source drops the object.
+func TestMigrateMarksCatchUp(t *testing.T) {
+	c, err := NewCluster(Config{Shards: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	idx, _, err := c.Place(easySpec("mig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("expected first placement on shard 0, got %d", idx)
+	}
+	c.WriteEvery("mig", ms(20))
+	c.RunFor(200 * time.Millisecond)
+
+	if err := c.Migrate("mig", 1); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if got, _ := c.Route("mig"); got != 1 {
+		t.Fatalf("route after migrate = %d, want 1", got)
+	}
+	if _, ok := c.Shard(0).Primary().Spec("mig"); ok {
+		t.Fatal("source shard still holds the migrated object")
+	}
+	c.RunFor(500 * time.Millisecond)
+	c.StopWriters()
+	c.Monitor().FinishAt(c.Clock().Now())
+	c.RunFor(100 * time.Millisecond)
+
+	dstSite := c.BackupSite(1)
+	if n := c.Monitor().CatchUps(dstSite, "mig"); n < 1 {
+		t.Errorf("destination image went through %d catch-up cycles, want >= 1\n%v", n, c.Log())
+	}
+	if c.Monitor().CatchingUp(dstSite, "mig") {
+		t.Error("destination image still marked catching up")
+	}
+	rep, ok := c.Monitor().ExternalReport(dstSite, "mig")
+	if !ok {
+		t.Fatal("no external report at destination")
+	}
+	if !rep.Consistent() {
+		t.Errorf("destination image violated its bound at %v", rep.ViolationTime)
+	}
+	got, _, ok := c.Read("mig")
+	if !ok || !bytes.Equal(got, c.LastWritten("mig")) {
+		t.Errorf("writes did not follow the migration: got %q want %q", got, c.LastWritten("mig"))
+	}
+	// The source site stopped being charged for the image it no longer
+	// hosts.
+	if !c.Monitor().Suspended(c.BackupSite(0), "mig") {
+		t.Error("source site still accounted for the migrated object")
+	}
+}
+
+// TestPlaceRejectsDuplicate ensures a routed name cannot be admitted
+// twice anywhere in the cluster.
+func TestPlaceRejectsDuplicate(t *testing.T) {
+	c, err := NewCluster(Config{Shards: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if _, _, err := c.Place(easySpec("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Place(easySpec("dup")); err == nil {
+		t.Fatal("duplicate placement accepted")
+	}
+}
+
+// TestClusterLogDeterministic replays the same seed twice and requires
+// byte-identical event logs.
+func TestClusterLogDeterministic(t *testing.T) {
+	run := func() []string {
+		c, err := NewCluster(Config{Shards: 2, Seed: 42, Headroom: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+		for i := 0; i < 3; i++ {
+			if _, _, err := c.Place(midSpec(fmt.Sprintf("o%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			c.WriteEvery(fmt.Sprintf("o%d", i), ms(5))
+		}
+		c.RunFor(150 * time.Millisecond)
+		c.Schedule(0, func() { c.CrashPrimary(0) })
+		c.RunFor(600 * time.Millisecond)
+		c.StopWriters()
+		return c.Log()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("log lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("log line %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}

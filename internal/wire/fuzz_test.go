@@ -49,6 +49,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 				Period: 20 * time.Millisecond, Payload: []byte("17.3")},
 		}},
 		&StateChunkAck{Epoch: 3, Xfer: 1, Chunk: 2, Applied: 1},
+		&Unregister{Epoch: 3, ObjectID: 7},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))

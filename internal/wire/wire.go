@@ -75,6 +75,11 @@ const (
 	KindStateChunk
 	// KindStateChunkAck confirms one chunk of a chunked state transfer.
 	KindStateChunkAck
+	// KindUnregister revokes one object's registration at the backups:
+	// the object was removed (or migrated to another replica group), so
+	// the backup must release its reservation and stop reporting the
+	// object.
+	KindUnregister
 )
 
 // String returns the kind name.
@@ -116,6 +121,8 @@ func (k Kind) String() string {
 		return "StateChunk"
 	case KindStateChunkAck:
 		return "StateChunkAck"
+	case KindUnregister:
+		return "Unregister"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -161,6 +168,7 @@ var (
 	_ Message = (*StateDigest)(nil)
 	_ Message = (*StateChunk)(nil)
 	_ Message = (*StateChunkAck)(nil)
+	_ Message = (*Unregister)(nil)
 )
 
 // Encode serializes a message with the RTPB header.
@@ -221,6 +229,8 @@ func Decode(b []byte) (Message, error) {
 		m = &StateChunk{}
 	case KindStateChunkAck:
 		m = &StateChunkAck{}
+	case KindUnregister:
+		m = &Unregister{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[3])
 	}
@@ -954,6 +964,32 @@ func (m *StateChunkAck) decodeBody(r *reader) error {
 	m.Xfer = r.uint32()
 	m.Chunk = r.uint32()
 	m.Applied = r.uint32()
+	return r.err
+}
+
+// Unregister revokes one object's registration: the primary removed the
+// object (a client deletion, or a migration to another replica group),
+// so the backup releases its reservation. Like Register, it is
+// epoch-fenced: a zombie primary cannot delete objects a newer epoch
+// still serves.
+type Unregister struct {
+	// Epoch is the sending primary's epoch (fencing).
+	Epoch uint32
+	// ObjectID identifies the object to release.
+	ObjectID uint32
+}
+
+// WireKind implements Message.
+func (*Unregister) WireKind() Kind { return KindUnregister }
+
+func (m *Unregister) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	return binary.BigEndian.AppendUint32(dst, m.ObjectID)
+}
+
+func (m *Unregister) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.ObjectID = r.uint32()
 	return r.err
 }
 

@@ -34,6 +34,7 @@ import (
 	"rtpb/internal/failover"
 	"rtpb/internal/netsim"
 	"rtpb/internal/sched"
+	"rtpb/internal/shard"
 	"rtpb/internal/temporal"
 	"rtpb/internal/xkernel"
 )
@@ -89,6 +90,26 @@ type (
 	PromoteOptions = failover.PromoteOptions
 )
 
+// Sharding types (beyond the paper): many primary-backup groups behind
+// one placement-and-routing surface.
+type (
+	// ShardedCluster runs K independent primary-backup groups with
+	// admission-aware placement, object routing, and migration.
+	ShardedCluster = shard.Cluster
+	// ShardedClusterConfig configures a simulated sharded cluster.
+	ShardedClusterConfig = shard.Config
+	// ShardStatus is one group's externally visible state.
+	ShardStatus = shard.Status
+	// Placer bin-packs objects across shards using each shard's own
+	// admission test as the fit function.
+	Placer = shard.Placer
+	// ShardRouter is the object→shard routing table.
+	ShardRouter = shard.Router
+)
+
+// ErrClusterFull reports that no shard could schedule an object.
+var ErrClusterFull = shard.ErrClusterFull
+
 // Infrastructure types.
 type (
 	// Clock is the time substrate all replicas run on.
@@ -131,6 +152,13 @@ const (
 
 // RTPBPort is the well-known port the RTPB protocol listens on.
 const RTPBPort = core.RTPBPort
+
+// NewShardedCluster builds and starts a simulated sharded cluster: K
+// independent primary-backup groups on one fabric, fronted by the
+// admission-aware placer and the object router (see internal/shard).
+func NewShardedCluster(cfg ShardedClusterConfig) (*ShardedCluster, error) {
+	return shard.NewCluster(cfg)
+}
 
 // NewPrimary builds a primary replica on the given configuration.
 func NewPrimary(cfg Config) (*Primary, error) { return core.NewPrimary(cfg) }
