@@ -93,7 +93,11 @@ func run(args []string) error {
 		}
 		return printRead(reply)
 	case "status":
-		return doPrint(c, "STATUS")
+		reply, err := c.Do("STATUS")
+		if err != nil {
+			return err
+		}
+		return printStatus(reply)
 	case "repair":
 		return doPrint(c, "REPAIR")
 	case "recruit":
@@ -120,6 +124,36 @@ func doPrint(c *ctl.Client, line string) error {
 	if strings.HasPrefix(reply, "ERR") || strings.HasPrefix(reply, "REJECT") {
 		os.Exit(2)
 	}
+	return nil
+}
+
+// printStatus renders the STATUS reply
+//
+//	OK role=<primary|backup> objects=<n> utilization=<u> epoch=<e>
+//	  backupAlive=<bool> transitions=<n>
+//
+// as an aligned one-row table. Replies from an older daemon (no role=
+// field) are printed verbatim.
+func printStatus(reply string) error {
+	if !strings.HasPrefix(reply, "OK ") {
+		fmt.Println(reply)
+		os.Exit(2)
+	}
+	kv := map[string]string{}
+	for _, f := range strings.Fields(reply)[1:] {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			kv[k] = v
+		}
+	}
+	if kv["role"] == "" {
+		fmt.Println(reply)
+		return nil
+	}
+	fmt.Printf("%-8s %-8s %-12s %-6s %-7s %s\n",
+		"ROLE", "OBJECTS", "UTILIZATION", "EPOCH", "BACKUP", "TRANSITIONS")
+	fmt.Printf("%-8s %-8s %-12s %-6s %-7s %s\n",
+		kv["role"], kv["objects"], kv["utilization"], kv["epoch"],
+		kv["backupAlive"], kv["transitions"])
 	return nil
 }
 

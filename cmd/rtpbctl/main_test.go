@@ -77,6 +77,8 @@ func stubServer(t *testing.T) string {
 							" | 1 primary=shard1-b:7000 epoch=2 objects=1 utilization=0.2400 backupAlive=false promotions=1")
 					case strings.HasPrefix(line, "ROUTE "):
 						fmt.Fprintln(conn, "OK shard 1 primary shard1-b:7000 epoch 2")
+					case line == "STATUS":
+						fmt.Fprintln(conn, "OK role=primary objects=2 utilization=0.4800 epoch=3 backupAlive=true transitions=2")
 					default:
 						fmt.Fprintln(conn, "ERR unknown command")
 					}
@@ -126,6 +128,24 @@ func TestShardsTableRoundTrip(t *testing.T) {
 	row1 := strings.Fields(lines[2])
 	if want := []string{"1", "shard1-b:7000", "2", "1", "0.2400", "false", "1"}; !equalSlices(row1, want) {
 		t.Fatalf("row 1 = %v, want %v", row1, want)
+	}
+}
+
+func TestStatusTableRoundTrip(t *testing.T) {
+	addr := stubServer(t)
+	out := capture(t, func() error { return run([]string{"-addr", addr, "status"}) })
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"ROLE", "OBJECTS", "UTILIZATION", "EPOCH", "BACKUP", "TRANSITIONS"} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("header missing %q: %q", want, lines[0])
+		}
+	}
+	row := strings.Fields(lines[1])
+	if want := []string{"primary", "2", "0.4800", "3", "true", "2"}; !equalSlices(row, want) {
+		t.Fatalf("status row = %v, want %v", row, want)
 	}
 }
 

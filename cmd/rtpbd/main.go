@@ -1,8 +1,16 @@
 // Command rtpbd runs one RTPB replica — primary or backup — over real UDP
-// sockets, with the identical protocol stack the simulation uses. The
-// primary additionally exposes the line-oriented control interface of
-// internal/ctl for client registrations and writes (the stand-in for the
-// paper's Mach IPC API); drive it with cmd/rtpbctl.
+// sockets, with the identical protocol stack the simulation uses. Both
+// roles run the same role-based replica state machine; -role only picks
+// the starting role. Each replica can expose the line-oriented control
+// interface of internal/ctl (the stand-in for the paper's Mach IPC API);
+// drive it with cmd/rtpbctl. On the primary the control socket serves
+// registrations and writes; on a backup it answers STATUS/READ (and,
+// after an in-place takeover, everything else).
+//
+// With -takeover, a backup whose failure detector declares the primary
+// dead promotes itself in place (Section 4.4): the same process flips to
+// the primary role under a bumped epoch without copying state, and
+// rtpbctl's status verb reports the transition.
 //
 // A two-host (or two-terminal) deployment:
 //
@@ -63,11 +71,12 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7000", "UDP address to listen on")
 	var peers peerList
 	fs.Var(&peers, "peer", "peer replica's UDP address (required; repeatable on the primary)")
-	ctlAddr := fs.String("ctl", "127.0.0.1:7777", "control listener address (primary only)")
+	ctlAddr := fs.String("ctl", "", `control listener address; default 127.0.0.1:7777 on the primary, disabled on a backup ("off" disables explicitly)`)
 	ell := fs.Duration("ell", 5*time.Millisecond, "communication delay bound ℓ")
 	mode := fs.String("mode", "normal", "update scheduling: normal or compressed")
 	noAdmission := fs.Bool("no-admission", false, "disable admission control (experiments only)")
 	heartbeat := fs.Bool("heartbeat", true, "run the heartbeat failure detector")
+	takeover := fs.Bool("takeover", false, "backup only: promote in place when the primary is declared dead")
 	mtu := fs.Int("mtu", 0, "fragment updates larger than this (0 = no fragmentation layer)")
 	verbose := fs.Bool("v", false, "log protocol events")
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +90,17 @@ func run(args []string) error {
 	}
 	if *role == "backup" && len(peers) > 1 {
 		return fmt.Errorf("-peer may be given only once with -role backup (a backup has one primary)")
+	}
+	if *takeover && *role != "backup" {
+		return fmt.Errorf("-takeover applies only to -role backup")
+	}
+	switch *ctlAddr {
+	case "":
+		if *role == "primary" {
+			*ctlAddr = "127.0.0.1:7777"
+		}
+	case "off":
+		*ctlAddr = ""
 	}
 	scheduling := rtpb.ScheduleNormal
 	switch *mode {
@@ -129,123 +149,133 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 
-	switch *role {
-	case "primary":
-		return runPrimary(clk, cfg, *ctlAddr, *heartbeat, *verbose, sig, transport.LocalAddr())
-	default:
-		return runBackup(clk, cfg, *heartbeat, *verbose, sig, transport.LocalAddr())
+	startRole := core.RoleBackup
+	if *role == "primary" {
+		startRole = core.RolePrimary
 	}
+	return runReplica(clk, cfg, startRole, *ctlAddr, *heartbeat, *takeover, *verbose, sig, transport.LocalAddr())
 }
 
-func runPrimary(clk *clock.RealClock, cfg core.Config, ctlAddr string, heartbeat, verbose bool, sig chan os.Signal, local string) error {
+// runReplica drives one replica of either role: build it, wire the
+// verbose taps and the role-appropriate failure detector, and serve the
+// control socket until a signal arrives. Promotion does not restart the
+// process — the same replica flips roles in place.
+func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr string, heartbeat, takeover, verbose bool, sig chan os.Signal, local string) error {
 	errCh := make(chan error, 1)
-	var primary *core.Primary
-	var ctlSrv *ctl.Server
+	var rep *core.Replica
 	clk.Post(func() {
-		p, err := core.NewPrimary(cfg)
+		r, err := core.NewReplica(cfg, role)
 		if err != nil {
 			errCh <- err
 			return
 		}
-		primary = p
+		rep = r
 		if verbose {
-			p.OnSend = func(_ uint32, name string, seq uint64, _ time.Time) {
+			r.OnSend = func(_ uint32, name string, seq uint64, _ time.Time) {
 				log.Printf("send update %s seq=%d", name, seq)
 			}
-			p.OnRetransmitRequest = func(id uint32) {
+			r.OnRetransmitRequest = func(id uint32) {
 				log.Printf("retransmit request for object %d", id)
 			}
-		}
-		if heartbeat {
-			var det *failover.Detector
-			det, err = failover.NewDetector(clk, failover.DefaultDetectorConfig(), p.SendPing, func() {
-				log.Printf("backup declared DEAD; update events cancelled, probing for recovery")
-				p.SetBackupAlive(false)
-				// Keep probing so a restarted backup is re-integrated
-				// automatically.
-				clk.Schedule(2*time.Second, func() {
-					det.Reset()
-					det.Start()
-				})
-			})
-			if err != nil {
-				errCh <- err
-				return
-			}
-			p.OnPingAck = func(seq uint64) {
-				if !p.BackupAlive() {
-					log.Printf("backup responding again; resuming with state transfer")
-					p.SetBackupAlive(true)
-				}
-				det.OnAck(seq)
-			}
-			det.Start()
-		}
-		errCh <- nil
-	})
-	if err := <-errCh; err != nil {
-		return err
-	}
-	srv, err := ctl.NewServer(clk, primary, ctlAddr)
-	if err != nil {
-		return err
-	}
-	ctlSrv = srv
-	defer ctlSrv.Close()
-	log.Printf("primary up: rtpb on udp %s, control on tcp %s, peers %v", local, ctlSrv.Addr(), cfg.Peers)
-	<-sig
-	log.Printf("shutting down")
-	done := make(chan struct{})
-	clk.Post(func() { primary.Stop(); close(done) })
-	<-done
-	return nil
-}
-
-func runBackup(clk *clock.RealClock, cfg core.Config, heartbeat, verbose bool, sig chan os.Signal, local string) error {
-	errCh := make(chan error, 1)
-	var backup *core.Backup
-	clk.Post(func() {
-		b, err := core.NewBackup(cfg)
-		if err != nil {
-			errCh <- err
-			return
-		}
-		backup = b
-		if verbose {
-			b.OnApply = func(_ uint32, name string, _ uint32, seq uint64, version, _ time.Time) {
+			r.OnApply = func(_ uint32, name string, _ uint32, seq uint64, version, _ time.Time) {
 				log.Printf("apply %s seq=%d version=%s", name, seq, version.Format(time.RFC3339Nano))
 			}
-			b.OnGap = func(id uint32, have, got uint64) {
+			r.OnGap = func(id uint32, have, got uint64) {
 				log.Printf("gap on object %d: have seq %d, got %d; requesting retransmit", id, have, got)
 			}
 		}
 		if heartbeat {
-			var det *failover.Detector
-			det, err = failover.NewDetector(clk, failover.DefaultDetectorConfig(), b.SendPing, func() {
-				log.Printf("PRIMARY DECLARED DEAD — a full deployment would promote now " +
-					"(see examples/failover for the takeover); probing for recovery")
-				clk.Schedule(2*time.Second, func() {
-					det.Reset()
-					det.Start()
-				})
-			})
+			if role == core.RolePrimary {
+				err = wirePrimaryDetector(clk, r)
+			} else {
+				err = wireBackupDetector(clk, r, takeover)
+			}
 			if err != nil {
 				errCh <- err
 				return
 			}
-			b.OnPingAck = det.OnAck
-			det.Start()
 		}
 		errCh <- nil
 	})
 	if err := <-errCh; err != nil {
 		return err
 	}
-	log.Printf("backup up: rtpb on udp %s, peer %s", local, cfg.Peer)
+	peers := fmt.Sprintf("%v", cfg.Peers)
+	if cfg.Peer != "" {
+		peers = string(cfg.Peer)
+	}
+	if ctlAddr != "" {
+		srv, err := ctl.NewServer(clk, rep, ctlAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("%s up: rtpb on udp %s, control on tcp %s, peers %s",
+			rep.Role(), local, srv.Addr(), peers)
+	} else {
+		log.Printf("%s up: rtpb on udp %s, peers %s", rep.Role(), local, peers)
+	}
 	<-sig
 	log.Printf("shutting down")
 	done := make(chan struct{})
-	clk.Post(func() { backup.Stop(); close(done) })
+	clk.Post(func() { rep.Stop(); close(done) })
 	<-done
+	return nil
+}
+
+// wirePrimaryDetector watches the backup: on its death, update events to
+// it are cancelled and the detector keeps probing so a restarted backup
+// is re-integrated automatically.
+func wirePrimaryDetector(clk *clock.RealClock, p *core.Primary) error {
+	var det *failover.Detector
+	det, err := failover.NewDetector(clk, failover.DefaultDetectorConfig(), p.SendPing, func() {
+		log.Printf("backup declared DEAD; update events cancelled, probing for recovery")
+		p.SetBackupAlive(false)
+		clk.Schedule(2*time.Second, func() {
+			det.Reset()
+			det.Start()
+		})
+	})
+	if err != nil {
+		return err
+	}
+	p.OnPingAck = func(seq uint64) {
+		if !p.BackupAlive() {
+			log.Printf("backup responding again; resuming with state transfer")
+			p.SetBackupAlive(true)
+		}
+		det.OnAck(seq)
+	}
+	det.Start()
+	return nil
+}
+
+// wireBackupDetector watches the primary. Without -takeover it only logs
+// the verdict and keeps probing; with -takeover it promotes the replica
+// in place and leaves the new primary awaiting recruits (rtpbctl
+// recruit re-attaches a restarted peer).
+func wireBackupDetector(clk *clock.RealClock, b *core.Backup, takeover bool) error {
+	var det *failover.Detector
+	det, err := failover.NewDetector(clk, failover.DefaultDetectorConfig(), b.SendPing, func() {
+		if !takeover {
+			log.Printf("PRIMARY DECLARED DEAD — run with -takeover to promote in place; probing for recovery")
+			clk.Schedule(2*time.Second, func() {
+				det.Reset()
+				det.Start()
+			})
+			return
+		}
+		if _, err := failover.Promote(b, failover.PromoteOptions{Service: "rtpbd"}); err != nil {
+			log.Printf("takeover failed: %v", err)
+			return
+		}
+		log.Printf("PRIMARY DECLARED DEAD — promoted in place: role=%s epoch=%d transitions=%d",
+			b.Role(), b.Epoch(), b.Transitions())
+	})
+	if err != nil {
+		return err
+	}
+	b.OnPingAck = det.OnAck
+	det.Start()
 	return nil
 }

@@ -17,6 +17,7 @@ func TestRunValidatesFlags(t *testing.T) {
 		{"empty peer", []string{"-role", "primary", "-peer", ""}, "peer"},
 		{"backup multi peer", []string{"-role", "backup", "-peer", "x:1", "-peer", "y:1"}, "-peer"},
 		{"bad mode", []string{"-role", "primary", "-peer", "x:1", "-mode", "turbo"}, "-mode"},
+		{"takeover on primary", []string{"-role", "primary", "-peer", "x:1", "-takeover"}, "-takeover"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -76,6 +76,11 @@ type benchReport struct {
 	Rejoin []rejoinPoint `json:"rejoin"`
 	// Shard is the capacity-vs-shard-count sweep ("rtpbench shard").
 	Shard []shardPoint `json:"shard,omitempty"`
+	// Takeover is the promotion-latency-vs-object-count sweep ("rtpbench
+	// takeover"). It is the one wall-clock section of the report: the
+	// Promote call runs no virtual time, so its cost is measured directly
+	// and varies between hosts, unlike every virtual-time sweep above.
+	Takeover []takeoverPoint `json:"takeover,omitempty"`
 }
 
 // runBench measures the resilience-layer benchmark matrix — a fixed
@@ -166,6 +171,15 @@ func runBench(path string, seed int64, duration time.Duration) error {
 		return fmt.Errorf("bench shard sweep: %w", err)
 	}
 	report.Shard = shardPoints
+
+	// The takeover sweep: in-place promotion latency against object
+	// count. Wall-clock (see benchReport.Takeover), so these numbers
+	// move between runs; the flat shape is the claim being recorded.
+	takeoverPoints, err := takeoverSweep(seed, 5, []int{1, 16, 64, 256})
+	if err != nil {
+		return fmt.Errorf("bench takeover sweep: %w", err)
+	}
+	report.Takeover = takeoverPoints
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

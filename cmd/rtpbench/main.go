@@ -18,6 +18,9 @@
 //
 //	rtpbench shard              # capacity-vs-shard-count sweep
 //	rtpbench shard -json        # merge the sweep into BENCH_rtpb.json
+//
+//	rtpbench takeover           # in-place promotion latency vs object count
+//	rtpbench takeover -json     # merge the sweep into BENCH_rtpb.json
 package main
 
 import (
@@ -38,6 +41,8 @@ func main() {
 		err = runChaos(args[1:])
 	} else if len(args) > 0 && args[0] == "shard" {
 		err = runShardCmd(args[1:])
+	} else if len(args) > 0 && args[0] == "takeover" {
+		err = runTakeoverCmd(args[1:])
 	} else {
 		err = run(args)
 	}

@@ -55,11 +55,6 @@ func run() error {
 				Service:  "turbine",
 				SelfAddr: "backup:7000",
 				Names:    names,
-				PrimaryConfig: rtpb.Config{
-					Clock: cluster.Clock,
-					Port:  cluster.BackupPort(),
-					Ell:   5 * time.Millisecond,
-				},
 				ActivateClient: func(*rtpb.Primary) {
 					fmt.Printf("t=%s  standby client application activated on the backup host\n",
 						at.Format("05.000"))

@@ -188,13 +188,7 @@ func newHarness(sc Scenario) (*Harness, error) {
 
 	for _, name := range h.order[1:] {
 		n := h.nodes[name]
-		b, err := core.NewBackup(core.Config{
-			Clock:               h.clk,
-			Port:                n.Port,
-			Peer:                h.nodes[PrimaryNode].Addr(),
-			Ell:                 sc.Ell,
-			DisableEpochFencing: sc.DisableFencing,
-		})
+		b, err := core.NewBackup(h.backupConfig(n.Port, h.nodes[PrimaryNode].Addr()))
 		if err != nil {
 			return nil, err
 		}
@@ -224,6 +218,24 @@ func newHarness(sc Scenario) (*Harness, error) {
 
 	h.startWriters()
 	return h, nil
+}
+
+// backupConfig builds a backup replica's configuration. It carries the
+// scenario's full scheduling, cost, and governor configuration even
+// though the backup role ignores them: promotion is in-place, so the
+// config a replica is built with is the config it will serve with after
+// takeover.
+func (h *Harness) backupConfig(port *xkernel.PortProtocol, primary xkernel.Addr) core.Config {
+	return core.Config{
+		Clock:               h.clk,
+		Port:                port,
+		Peer:                primary,
+		Ell:                 h.sc.Ell,
+		Scheduling:          h.sc.Scheduling,
+		Costs:               h.sc.Costs,
+		Governor:            h.sc.Governor,
+		DisableEpochFencing: h.sc.DisableFencing,
+	}
 }
 
 // wireGovernor logs the primary-side overload governor's rung
@@ -327,14 +339,9 @@ func (h *Harness) onPrimaryDead(n *Node) {
 		Service:  ServiceName,
 		SelfAddr: n.Addr(),
 		Names:    h.ns,
-		PrimaryConfig: core.Config{
-			Clock:      h.clk,
-			Port:       n.Port,
-			Peers:      peers,
-			Ell:        h.sc.Ell,
-			Scheduling: h.sc.Scheduling,
-			Costs:      h.sc.Costs,
-			Governor:   h.sc.Governor,
+		OnPlaceholderDrop: func(ids []uint32) {
+			h.logf("%s: promotion dropped %d spec-less placeholder object(s) %v",
+				n.Name, len(ids), ids)
 		},
 		ActivateClient: func(p *core.Primary) {
 			h.active = p
@@ -351,10 +358,13 @@ func (h *Harness) onPrimaryDead(n *Node) {
 	n.Primary = p
 	h.promotions++
 	h.promotedAt = append(h.promotedAt, h.clk.Now())
-	if len(peers) > 0 {
-		// Resume replication to the surviving backups immediately (the
-		// promotion left them marked dead until recruitment).
-		p.SetBackupAlive(true)
+	// The in-place promotion starts with an empty peer set; re-attach the
+	// surviving backups, which drives each through the anti-entropy join
+	// exchange to parity under the new epoch.
+	for _, addr := range peers {
+		if err := p.AddPeer(addr); err != nil {
+			h.violationf("promotion on %s: attach survivor %s: %v", n.Name, addr, err)
+		}
 	}
 	h.logf("%s: promoted to primary, epoch %d, peers %v", n.Name, p.Epoch(), peers)
 }
@@ -416,13 +426,7 @@ func (h *Harness) attachBackup(n *Node) error {
 	if !ok {
 		return fmt.Errorf("no primary in name service")
 	}
-	b, err := core.NewBackup(core.Config{
-		Clock:               h.clk,
-		Port:                n.Port,
-		Peer:                primaryAddr,
-		Ell:                 h.sc.Ell,
-		DisableEpochFencing: h.sc.DisableFencing,
-	})
+	b, err := core.NewBackup(h.backupConfig(n.Port, primaryAddr))
 	if err != nil {
 		return err
 	}
@@ -476,13 +480,7 @@ func (h *Harness) rejoin(name string) {
 		Self:      n.Addr(),
 		Announce:  true,
 		Start: func(primary xkernel.Addr, epoch uint32) (*core.Backup, error) {
-			b, err := core.NewBackup(core.Config{
-				Clock:               h.clk,
-				Port:                n.Port,
-				Peer:                primary,
-				Ell:                 h.sc.Ell,
-				DisableEpochFencing: h.sc.DisableFencing,
-			})
+			b, err := core.NewBackup(h.backupConfig(n.Port, primary))
 			if err != nil {
 				return nil, err
 			}

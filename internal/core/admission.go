@@ -26,13 +26,19 @@ type Decision struct {
 	UpdatePeriod time.Duration
 }
 
-// object is the primary's bookkeeping for one admitted object.
+// object is a replica's bookkeeping for one object: the admission ledger
+// entry while serving as primary, the replicated image while serving as
+// backup. One struct for both roles is what makes promotion an in-place
+// transition — the table never has to be copied or re-admitted.
 type object struct {
 	id   uint32
 	spec ObjectSpec
 
 	// updatePeriod is r_i, the period of the backup-update task actually
 	// scheduled (under SchedTestDCS this is the S_r-specialized period).
+	// Backups derive it at spec installation so a later promotion can
+	// start update tasks without re-running admission; zero on a spec-less
+	// placeholder.
 	updatePeriod time.Duration
 	// nominalPeriod is the constraint-derived period before pinwheel
 	// specialization: SlackFactor·(δ−ℓ) capped by inter-object bounds.
@@ -41,11 +47,17 @@ type object struct {
 	// this object; they cap both p_i (checked at admission) and r_i.
 	interBounds []time.Duration
 
-	// Replicated state.
+	// Replicated state. seq is the primary's send sequence while serving,
+	// and the last applied sequence while backing up — the roles never
+	// overlap in time, and promotion resets it with the epoch bump.
 	value   []byte
 	version time.Time
 	hasData bool
 	seq     uint64
+
+	// recvEpoch is the epoch the current value was applied under (backup
+	// role; supersedes orders inbound updates by (recvEpoch, seq)).
+	recvEpoch uint32
 
 	// lastSentVersion is the version carried by the most recent update
 	// transmission; lastSentAt is the instant it entered the network (the
@@ -64,6 +76,39 @@ type object struct {
 	// pendingAcks holds critical writes awaiting backup acknowledgement,
 	// keyed by the update's sequence number.
 	pendingAcks map[uint64]*pendingAck
+
+	// Gap-recovery throttle (backup role): retransNext is the earliest
+	// instant another RetransmitRequest may be sent for this object;
+	// retransAttempt is the backoff rung, reset once in-order traffic
+	// outlives the window.
+	retransNext    time.Time
+	retransAttempt int
+
+	// Overload-governor tracking (backup role): the primary's announced
+	// degradation rung for this object, deduplicated by (epoch, seq).
+	mode      ObjectMode
+	modeSeq   uint64
+	modeEpoch uint32
+
+	// catchingUp marks an object whose image was stale when a join
+	// exchange began; it clears only once an applied update or chunk
+	// lands within δ_i^B, and until then the object must not be reported
+	// temporally consistent.
+	catchingUp bool
+}
+
+// supersedes reports whether an inbound (epoch, seq) pair is newer than
+// the object's current state. Updates are ordered by (epoch, seq): a new
+// primary starts its sequence numbers afresh, so its first update must
+// supersede any sequence number from the previous epoch.
+func (o *object) supersedes(epoch uint32, seq uint64) bool {
+	if !o.hasData {
+		return true
+	}
+	if epoch != o.recvEpoch {
+		return epoch > o.recvEpoch
+	}
+	return seq > o.seq
 }
 
 // admission owns the primary's object table and implements the admission
@@ -101,6 +146,51 @@ func (a *admission) ordered() []*object {
 	return out
 }
 
+// orderedIDs returns the object ids in ascending order — the deterministic
+// iteration for paths that only need identifiers.
+func (a *admission) orderedIDs() []uint32 {
+	ids := make([]uint32, 0, len(a.objects))
+	for id := range a.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// placeholder returns the object with the given wire-assigned id, creating
+// a spec-less entry if none exists. Backups use it for every inbound id:
+// updates can outrun the registration that names them. The id counter is
+// kept ahead of every wire-installed id so that a later promotion can
+// admit new objects without colliding.
+func (a *admission) placeholder(id uint32) *object {
+	o, ok := a.objects[id]
+	if !ok {
+		o = &object{id: id}
+		a.objects[id] = o
+	}
+	if id >= a.nextID {
+		a.nextID = id + 1
+	}
+	return o
+}
+
+// installSpec attaches a replicated spec to a backup-side object and
+// derives its update period with the same Section 4.3 math the primary's
+// admission ran — the period rides along in the ledger so an in-place
+// promotion can start update tasks without re-admitting anything.
+func (a *admission) installSpec(o *object, spec ObjectSpec) {
+	o.spec = spec
+	a.byName[spec.Name] = o.id
+	if o.value == nil && spec.Size > 0 {
+		o.value = make([]byte, 0, spec.Size)
+	}
+	o.updatePeriod = a.effectivePeriod(a.externalPeriod(spec.Constraint), o.interBounds)
+	if a.cfg.Scheduling == ScheduleWriteThrough && spec.UpdatePeriod < o.updatePeriod {
+		o.updatePeriod = spec.UpdatePeriod
+	}
+	o.nominalPeriod = o.updatePeriod
+}
+
 // externalPeriod derives r_i from the external constraint:
 // SlackFactor·(δ_i − ℓ), the paper's choice of half the Theorem 5 maximum
 // to leave room for loss compensation.
@@ -134,6 +224,12 @@ func (a *admission) taskSet(extra ...*object) sched.TaskSet {
 	ts := make(sched.TaskSet, 0, 2*(len(a.objects)+len(extra)))
 	replicas := time.Duration(a.cfg.replicaCount())
 	add := func(o *object) {
+		if o.spec.Name == "" || o.updatePeriod <= 0 {
+			// A spec-less placeholder (orphan update at a backup) has no
+			// admitted tasks; it must not divide the utilization math by a
+			// zero period.
+			return
+		}
 		ts = append(ts,
 			sched.Task{
 				Name:   o.spec.Name + "/update",
@@ -260,6 +356,9 @@ func (a *admission) applyDCS() error {
 	ids := make([]uint32, 0, len(a.objects))
 	ts := make(sched.TaskSet, 0, len(a.objects))
 	for id, o := range a.objects {
+		if o.spec.Name == "" || o.nominalPeriod <= 0 {
+			continue // spec-less placeholder: nothing to specialize
+		}
 		ids = append(ids, id)
 		ts = append(ts, sched.Task{
 			Name:   o.spec.Name + "/update",

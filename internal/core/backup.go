@@ -1,195 +1,22 @@
 package core
 
 import (
-	"fmt"
-	"sort"
 	"time"
 
-	"rtpb/internal/clock"
-	"rtpb/internal/resilience"
 	"rtpb/internal/temporal"
 	"rtpb/internal/wire"
 	"rtpb/internal/xkernel"
 )
 
-// backupObject is the backup's replica of one object. Updates are ordered
-// by (epoch, seq): a new primary starts its sequence numbers afresh, so
-// its first update must supersede any sequence number from the previous
-// epoch.
-type backupObject struct {
-	id      uint32
-	spec    ObjectSpec
-	value   []byte
-	version time.Time
-	epoch   uint32
-	seq     uint64
-	hasData bool
+// This file implements the backup role of the Replica state machine:
+// applying replicated registrations and updates into the shared object
+// table, detecting sequence gaps and requesting retransmission, answering
+// heartbeats, and tracking the primary's overload announcements. The
+// table it writes into is the same admission ledger a promotion serves
+// from — nothing here is copied at takeover.
 
-	// Gap-recovery throttle: retransNext is the earliest instant another
-	// RetransmitRequest may be sent for this object; retransAttempt is
-	// the backoff rung, reset once in-order traffic outlives the window.
-	retransNext    time.Time
-	retransAttempt int
-
-	// Overload-governor tracking: the primary's announced degradation
-	// rung for this object, deduplicated by (epoch, seq).
-	mode      ObjectMode
-	modeSeq   uint64
-	modeEpoch uint32
-
-	// catchingUp marks an object whose image was stale when a join
-	// exchange began; it clears only once an applied update or chunk
-	// lands within δ_i^B, and until then the object must not be reported
-	// temporally consistent.
-	catchingUp bool
-}
-
-// supersedes reports whether an inbound (epoch, seq) pair is newer than
-// the object's current state.
-func (o *backupObject) supersedes(epoch uint32, seq uint64) bool {
-	if !o.hasData {
-		return true
-	}
-	if epoch != o.epoch {
-		return epoch > o.epoch
-	}
-	return seq > o.seq
-}
-
-// Backup is the RTPB backup replica: it reserves space for registered
-// objects, applies update messages, detects sequence gaps and requests
-// retransmission, answers heartbeats, and can surrender its state for
-// promotion to primary after a failover.
-type Backup struct {
-	cfg     Config
-	port    *xkernel.PortProtocol
-	sess    xkernel.Session
-	objects map[uint32]*backupObject
-	byName  map[string]uint32
-	running bool
-	pingSeq uint64
-	epoch   uint32
-
-	// gapBackoff spaces gap-recovery retransmission requests with
-	// deterministic jitter.
-	gapBackoff        *resilience.Backoff
-	retransRequested  int
-	retransSuppressed int
-
-	// Join-exchange state (transfer.go): joining marks an accepted join
-	// whose final chunk has not landed; joined latches once any join
-	// completes; catchingUp counts objects still outside δ_i^B;
-	// seenChunks dedups applied chunks by (generation, chunk).
-	joining       bool
-	joined        bool
-	catchingUp    int
-	xferApplied   int
-	seenChunks    map[uint64]bool
-	digestRetry   *clock.Event
-	digestAttempt int
-	joinBackoff   *resilience.Backoff
-
-	// OnApply, when set, observes every applied update with the epoch it
-	// was stamped with (invariant checkers use the epoch to detect
-	// fenced-epoch state leaking through).
-	OnApply func(objectID uint32, name string, epoch uint32, seq uint64, version, appliedAt time.Time)
-	// OnGap, when set, observes detected sequence gaps (lost updates).
-	OnGap func(objectID uint32, haveSeq, gotSeq uint64)
-	// OnRegister, when set, observes object registrations from the
-	// primary.
-	OnRegister func(spec ObjectSpec)
-	// OnPingAck, when set, receives heartbeat acknowledgements.
-	OnPingAck func(seq uint64)
-	// OnPing, when set, observes inbound pings (an ack is always sent).
-	OnPing func(seq uint64)
-	// OnStateTransfer, when set, observes applied state transfers: the
-	// legacy monolithic form, or a completed chunked join exchange with
-	// the total entries it applied.
-	OnStateTransfer func(epoch uint32, objects int)
-	// OnJoinAccept, when set, observes an accepted join with the
-	// primary's epoch and spec count — the instant every listed object
-	// enters catch-up (temporal monitors suspend their bounds here).
-	OnJoinAccept func(epoch uint32, specs int)
-	// OnCatchUp, when set, observes one object completing catch-up: an
-	// update or chunk landed within δ_i^B, so the object may be reported
-	// temporally consistent again.
-	OnCatchUp func(objectID uint32, name string, staleness time.Duration)
-	// OnModeChange, when set, observes the primary overload governor's
-	// announced degradation rung for an object, with the external bound
-	// the primary still maintains (zero while the object is shed).
-	OnModeChange func(objectID uint32, name string, mode ObjectMode, effectiveBound time.Duration)
-}
-
-var _ xkernel.Upper = (*Backup)(nil)
-
-// NewBackup builds a backup replica listening on the RTPB port.
-func NewBackup(cfg Config) (*Backup, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	b := &Backup{
-		cfg:        cfg,
-		port:       cfg.Port,
-		objects:    make(map[uint32]*backupObject),
-		byName:     make(map[string]uint32),
-		running:    true,
-		gapBackoff: resilience.NewBackoff(linkSeed(cfg.LocalPort, cfg.Peer)),
-		// A distinct jitter stream for digest retries so join traffic
-		// does not perturb the gap-recovery schedule of replays.
-		joinBackoff: resilience.NewBackoff(linkSeed(cfg.LocalPort, cfg.Peer) ^ 0x9e3779b97f4a7c15),
-	}
-	b.gapBackoff.Cap = cfg.RetryCeiling
-	b.joinBackoff.Cap = cfg.RetryCeiling
-	if err := cfg.Port.EnablePort(cfg.LocalPort, b); err != nil {
-		return nil, err
-	}
-	if cfg.Peer != "" {
-		sess, err := cfg.Port.OpenFrom(cfg.LocalPort, cfg.Peer)
-		if err != nil {
-			cfg.Port.DisablePort(cfg.LocalPort)
-			return nil, fmt.Errorf("core: open primary session: %w", err)
-		}
-		b.sess = sess
-	}
-	return b, nil
-}
-
-// Stop releases the port binding.
-func (b *Backup) Stop() {
-	if !b.running {
-		return
-	}
-	b.running = false
-	if b.digestRetry != nil {
-		b.digestRetry.Cancel()
-		b.digestRetry = nil
-	}
-	b.port.DisablePort(b.cfg.LocalPort)
-	if b.sess != nil {
-		b.sess.Close()
-	}
-}
-
-// Running reports whether the backup is serving.
-func (b *Backup) Running() bool { return b.running }
-
-// SendPing emits one heartbeat to the primary and returns its sequence
-// number (driven by the failure detector).
-func (b *Backup) SendPing() uint64 {
-	b.pingSeq++
-	b.send(&wire.Ping{Seq: b.pingSeq, From: wire.RoleBackup})
-	return b.pingSeq
-}
-
-// Demux implements xkernel.Upper: inbound RTPB datagrams.
-func (b *Backup) Demux(m *xkernel.Message, from xkernel.Addr) error {
-	if !b.running {
-		return nil
-	}
-	msg, err := wire.Decode(m.Bytes())
-	if err != nil {
-		return err // malformed: drop
-	}
+// demuxBackup handles inbound RTPB datagrams while shadowing as backup.
+func (b *Backup) demuxBackup(msg wire.Message) {
 	switch t := msg.(type) {
 	case *wire.Register:
 		b.handleRegister(t)
@@ -215,7 +42,6 @@ func (b *Backup) Demux(m *xkernel.Message, from xkernel.Addr) error {
 	case *wire.Unregister:
 		b.handleUnregister(t)
 	}
-	return nil
 }
 
 // observeEpoch applies the fencing rule: messages from an epoch older
@@ -244,10 +70,11 @@ func (b *Backup) handleRegister(t *wire.Register) {
 	if !b.observeEpoch(t.Epoch) {
 		return
 	}
-	o, exists := b.objects[t.ObjectID]
-	if !exists || o.spec.Name == "" {
+	o := b.adm.placeholder(t.ObjectID)
+	if o.spec.Name == "" {
 		// New object, or a placeholder created by an update/state
-		// transfer that outran the registration: install the spec.
+		// transfer that outran the registration: install the spec (and
+		// derive the update period it would serve with after promotion).
 		spec := ObjectSpec{
 			Name:         t.Name,
 			Size:         int(t.Size),
@@ -257,15 +84,7 @@ func (b *Backup) handleRegister(t *wire.Register) {
 				DeltaB: t.DeltaB,
 			},
 		}
-		if !exists {
-			o = &backupObject{
-				id:    t.ObjectID,
-				value: make([]byte, 0, t.Size),
-			}
-			b.objects[t.ObjectID] = o
-		}
-		o.spec = spec
-		b.byName[t.Name] = t.ObjectID
+		b.adm.installSpec(o, spec)
 		if b.OnRegister != nil {
 			b.OnRegister(spec)
 		}
@@ -284,18 +103,14 @@ func (b *Backup) handleUpdate(t *wire.Update) {
 		// previous ack was lost in transit.
 		b.send(&wire.UpdateAck{ObjectID: t.ObjectID, Seq: t.Seq})
 	}
-	o, ok := b.objects[t.ObjectID]
-	if !ok {
-		// Update for an object whose registration was lost: recover by
-		// creating a placeholder entry; the spec arrives with the
-		// primary's registration retry.
-		o = &backupObject{id: t.ObjectID}
-		b.objects[t.ObjectID] = o
-	}
+	// An update for an object whose registration was lost creates a
+	// placeholder entry; the spec arrives with the primary's registration
+	// retry.
+	o := b.adm.placeholder(t.ObjectID)
 	if !o.supersedes(t.Epoch, t.Seq) && !b.cfg.DisableEpochFencing {
 		return // duplicate or reordered-stale transmission
 	}
-	if o.hasData && t.Epoch == o.epoch && t.Seq > o.seq+1 {
+	if o.hasData && t.Epoch == o.recvEpoch && t.Seq > o.seq+1 {
 		// Sequence gap within the epoch: at least one update was lost.
 		if b.OnGap != nil {
 			b.OnGap(o.id, o.seq, t.Seq)
@@ -318,7 +133,7 @@ func (b *Backup) handleUpdate(t *wire.Update) {
 // rate-limiting safe: under sustained loss the seed's one-request-per-gap
 // behaviour amplified every gap into extra retransmissions whose own loss
 // created further gaps (the request storm), without tightening staleness.
-func (b *Backup) maybeRequestRetransmit(o *backupObject) {
+func (b *Backup) maybeRequestRetransmit(o *object) {
 	now := b.cfg.Clock.Now()
 	if !b.cfg.DisableRetransmitThrottle && now.Before(o.retransNext) {
 		b.retransSuppressed++
@@ -351,11 +166,7 @@ func (b *Backup) handleModeChange(t *wire.ModeChange) {
 	if mode < ModeNormal || mode > ModeShed {
 		return // unknown rung from a newer revision: ignore
 	}
-	o, ok := b.objects[t.ObjectID]
-	if !ok {
-		o = &backupObject{id: t.ObjectID}
-		b.objects[t.ObjectID] = o
-	}
+	o := b.adm.placeholder(t.ObjectID)
 	if t.Epoch == o.modeEpoch && t.Seq <= o.modeSeq {
 		return // duplicate or stale reordering
 	}
@@ -370,21 +181,8 @@ func (b *Backup) handleModeChange(t *wire.ModeChange) {
 	}
 }
 
-// Mode reports the primary-announced degradation rung for an object
-// (ModeNormal when never announced).
-func (b *Backup) Mode(name string) (ObjectMode, bool) {
-	id, found := b.byName[name]
-	if !found {
-		return 0, false
-	}
-	if m := b.objects[id].mode; m != 0 {
-		return m, true
-	}
-	return ModeNormal, true
-}
-
-func (b *Backup) apply(o *backupObject, epoch uint32, seq uint64, version time.Time, payload []byte) {
-	o.epoch = epoch
+func (b *Backup) apply(o *object, epoch uint32, seq uint64, version time.Time, payload []byte) {
+	o.recvEpoch = epoch
 	o.seq = seq
 	o.version = version
 	o.value = append(o.value[:0], payload...)
@@ -414,7 +212,7 @@ func (b *Backup) apply(o *backupObject, epoch uint32, seq uint64, version time.T
 // handleStateTransfer applies the legacy monolithic transfer. Entries
 // carry their specs, so an object whose registration never reached this
 // replica is admitted here rather than left as a spec-less placeholder
-// that a later promotion would silently drop.
+// that a later promotion would drop.
 func (b *Backup) handleStateTransfer(t *wire.StateTransfer) {
 	if !b.observeEpoch(t.Epoch) {
 		return
@@ -436,55 +234,24 @@ func (b *Backup) send(msg wire.Message) {
 	_ = b.sess.Push(xkernel.NewMessage(wire.Encode(msg)))
 }
 
-// Value returns the backup's current copy of an object by name.
-func (b *Backup) Value(name string) (data []byte, version time.Time, ok bool) {
-	id, found := b.byName[name]
-	if !found {
-		return nil, time.Time{}, false
-	}
-	o := b.objects[id]
-	if !o.hasData {
-		return nil, time.Time{}, false
-	}
-	cp := make([]byte, len(o.value))
-	copy(cp, o.value)
-	return cp, o.version, true
-}
-
-// Objects reports the number of known objects.
-func (b *Backup) Objects() int { return len(b.objects) }
-
 // Specs returns the registered object specs in object-id (admission)
-// order. A promoted replica re-registers these with its own admission
-// controller, and the order must be deterministic — it fixes the new
-// primary's id assignment and task creation order.
+// order — the deterministic enumeration promotion-visible surfaces use.
 func (b *Backup) Specs() []ObjectSpec {
-	out := make([]ObjectSpec, 0, len(b.byName))
-	for _, id := range b.orderedIDs() {
-		if o := b.objects[id]; o.spec.Name != "" {
+	out := make([]ObjectSpec, 0, len(b.adm.byName))
+	for _, id := range b.adm.orderedIDs() {
+		if o := b.adm.objects[id]; o.spec.Name != "" {
 			out = append(out, o.spec)
 		}
 	}
 	return out
 }
 
-// orderedIDs returns every known object id in ascending order — the
-// deterministic iteration all promotion-visible snapshots use.
-func (b *Backup) orderedIDs() []uint32 {
-	ids := make([]uint32, 0, len(b.objects))
-	for id := range b.objects {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// State snapshots the backup's replicated values for promotion: the new
-// primary seeds its object table from this.
+// State snapshots the replicated values (spec-carrying wire entries) in
+// admission order.
 func (b *Backup) State() []wire.StateEntry {
-	out := make([]wire.StateEntry, 0, len(b.objects))
-	for _, id := range b.orderedIDs() {
-		o := b.objects[id]
+	out := make([]wire.StateEntry, 0, len(b.adm.objects))
+	for _, id := range b.adm.orderedIDs() {
+		o := b.adm.objects[id]
 		if !o.hasData {
 			continue
 		}
@@ -505,8 +272,9 @@ func (b *Backup) State() []wire.StateEntry {
 	return out
 }
 
-// SnapshotEntry is one object's full state for promotion: the registered
-// spec plus the last replicated value.
+// SnapshotEntry is one object's full state: the registered spec plus the
+// last replicated value. In-place promotion does not consume snapshots —
+// this remains for observers and external checkpointing.
 type SnapshotEntry struct {
 	// Spec is the object's registration.
 	Spec ObjectSpec
@@ -518,12 +286,11 @@ type SnapshotEntry struct {
 	HasData bool
 }
 
-// Snapshot captures every registered object's spec and replicated value,
-// the input to failover promotion.
+// Snapshot captures every registered object's spec and replicated value.
 func (b *Backup) Snapshot() []SnapshotEntry {
-	out := make([]SnapshotEntry, 0, len(b.byName))
-	for _, id := range b.orderedIDs() {
-		o := b.objects[id]
+	out := make([]SnapshotEntry, 0, len(b.adm.byName))
+	for _, id := range b.adm.orderedIDs() {
+		o := b.adm.objects[id]
 		if o.spec.Name == "" {
 			continue
 		}
@@ -536,14 +303,9 @@ func (b *Backup) Snapshot() []SnapshotEntry {
 	return out
 }
 
-// Epoch reports the epoch of the last state transfer seen (zero if none).
-func (b *Backup) Epoch() uint32 { return b.epoch }
-
-// SeedObject installs replicated state into a promoted primary's table.
-// It is the bridge used by the failover orchestrator: after the backup's
-// specs are re-registered on the new primary, each object's last known
-// value is seeded so clients resume from the most recent replicated
-// state.
+// SeedObject installs replicated state into a primary's table directly —
+// an external checkpoint restore path (in-place promotion no longer needs
+// it; the table carries over).
 func (p *Primary) SeedObject(name string, value []byte, version time.Time) error {
 	o, err := p.adm.byNameOrErr(name)
 	if err != nil {

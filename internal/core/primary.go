@@ -75,106 +75,6 @@ func linkSeed(local uint16, addr xkernel.Addr) uint64 {
 	return h.Sum64()
 }
 
-// Primary is the RTPB primary replica: it services client writes,
-// enforces admission control, and schedules decoupled update
-// transmissions to its backups. All methods must be called on the clock
-// executor (callbacks, or Post for external goroutines), matching the
-// serial execution model of the protocol graph.
-type Primary struct {
-	cfg  Config
-	clk  clock.Clock
-	proc *cpu.Resource
-	adm  *admission
-	port *xkernel.PortProtocol
-
-	peers   []*replicaPeer
-	running bool
-	epoch   uint32
-
-	pumpActive bool
-	pumpOrder  []uint32
-	pumpNext   int
-
-	// gov is the overload governor (nil when disabled).
-	gov *governor
-	// drainActive reports whether the bounded-queue drain pump holds a
-	// pending CPU submission.
-	drainActive bool
-	// deadlineMisses counts update transmissions that found their object
-	// still queued from the previous release (coalesced sends) since the
-	// governor's last sample.
-	deadlineMisses int
-
-	// OnSend, when set, observes every update transmission (after the
-	// CPU cost, at the instant the datagram enters the network). With
-	// multiple backups it fires once per transmission, not per peer.
-	OnSend func(objectID uint32, name string, seq uint64, version time.Time)
-	// OnClientDone, when set, observes every completed client write with
-	// its response time.
-	OnClientDone func(name string, latency time.Duration)
-	// OnRetransmitRequest, when set, observes backup retransmission
-	// requests.
-	OnRetransmitRequest func(objectID uint32)
-	// OnPingAck, when set, receives heartbeat acknowledgements from any
-	// peer (single-backup deployments).
-	OnPingAck func(seq uint64)
-	// OnPingAckFrom, when set, receives heartbeat acknowledgements with
-	// the responding peer's address (multi-backup deployments).
-	OnPingAckFrom func(from xkernel.Addr, seq uint64)
-	// OnPing, when set, observes inbound pings (an ack is always sent).
-	OnPing func(seq uint64)
-	// OnStateTransferAck, when set, observes a backup's state-transfer
-	// acknowledgement: the legacy monolithic ack, or — for the chunked
-	// exchange — the final chunk's ack, with the total entries streamed.
-	OnStateTransferAck func(epoch uint32, objects int)
-	// OnPeerSynced, when set, observes a peer completing its anti-entropy
-	// exchange: from this instant it counts toward quorums again.
-	OnPeerSynced func(addr xkernel.Addr, entries int)
-	// OnPeerSyncFailed, when set, observes a join exchange giving up on
-	// an unresponsive peer (the repair layer rotates to another
-	// candidate).
-	OnPeerSyncFailed func(addr xkernel.Addr)
-	// OnJoinRequest, when set, observes inbound rejoin requests with the
-	// joiner's last-observed epoch and self-reported address.
-	OnJoinRequest func(from xkernel.Addr, epoch uint32, addr string)
-	// OnModeChange, when set, observes overload-governor rung transitions
-	// with the external bound still maintained in the new mode (zero when
-	// the object is shed).
-	OnModeChange func(objectID uint32, name string, mode ObjectMode, effectiveBound time.Duration)
-}
-
-var _ xkernel.Upper = (*Primary)(nil)
-
-// NewPrimary builds a primary replica and enables it on the port
-// protocol's RTPB port.
-func NewPrimary(cfg Config) (*Primary, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	p := &Primary{
-		cfg:     cfg,
-		clk:     cfg.Clock,
-		proc:    cpu.New(cfg.Clock),
-		port:    cfg.Port,
-		running: true,
-		epoch:   1,
-	}
-	p.adm = newAdmission(&p.cfg)
-	if p.cfg.Governor.Enable {
-		p.gov = newGovernor(p)
-	}
-	if err := cfg.Port.EnablePort(cfg.LocalPort, p); err != nil {
-		return nil, err
-	}
-	for _, addr := range cfg.Peers {
-		if err := p.addPeerLocked(addr); err != nil {
-			p.Stop()
-			return nil, err
-		}
-	}
-	return p, nil
-}
-
 func (p *Primary) addPeerLocked(addr xkernel.Addr) error {
 	for _, pr := range p.peers {
 		if pr.addr == addr {
@@ -214,42 +114,6 @@ func (p *Primary) retryDelay(pr *replicaPeer, attempt int) time.Duration {
 	return pr.backoff.DelayFrom(pr.est.RTO(), attempt)
 }
 
-// Stop cancels every periodic task and releases the port binding.
-func (p *Primary) Stop() {
-	if !p.running {
-		return
-	}
-	p.running = false
-	if p.gov != nil {
-		p.gov.stop()
-	}
-	for _, o := range p.adm.objects {
-		if o.task != nil {
-			o.task.Stop()
-		}
-	}
-	for _, pr := range p.peers {
-		if pr.stRetry != nil {
-			pr.stRetry.Cancel()
-			pr.stRetry = nil
-		}
-		p.cancelTransfer(pr)
-	}
-	p.port.DisablePort(p.cfg.LocalPort)
-	for _, pr := range p.peers {
-		pr.sess.Close()
-	}
-}
-
-// Running reports whether the primary is serving.
-func (p *Primary) Running() bool { return p.running }
-
-// Epoch reports the primary's current epoch (incremented by failovers).
-func (p *Primary) Epoch() uint32 { return p.epoch }
-
-// SetEpoch installs the epoch a promoted replica inherited.
-func (p *Primary) SetEpoch(e uint32) { p.epoch = e }
-
 // Utilization reports the admitted task set's planned CPU utilization.
 func (p *Primary) Utilization() float64 { return p.adm.utilization() }
 
@@ -260,9 +124,6 @@ func (p *Primary) Utilization() float64 { return p.adm.utilization() }
 func (p *Primary) UtilizationWith(spec ObjectSpec) (float64, bool) {
 	return p.adm.utilizationWith(spec)
 }
-
-// Objects reports the number of admitted objects.
-func (p *Primary) Objects() int { return len(p.adm.objects) }
 
 // Peers reports the attached backup addresses.
 func (p *Primary) Peers() []xkernel.Addr {
@@ -282,6 +143,9 @@ func (p *Primary) CPU() *cpu.Resource { return p.proc }
 func (p *Primary) Register(spec ObjectSpec) Decision {
 	if !p.running {
 		return Decision{Accepted: false, Reason: ErrStopped.Error()}
+	}
+	if p.role != RolePrimary {
+		return Decision{Accepted: false, Reason: ErrNotPrimary.Error()}
 	}
 	o, d := p.adm.admit(spec)
 	if !d.Accepted {
@@ -306,6 +170,9 @@ func (p *Primary) Register(spec ObjectSpec) Decision {
 func (p *Primary) RegisterInterObject(c temporal.InterObjectConstraint) (Decision, error) {
 	if !p.running {
 		return Decision{Accepted: false, Reason: ErrStopped.Error()}, ErrStopped
+	}
+	if p.role != RolePrimary {
+		return Decision{Accepted: false, Reason: ErrNotPrimary.Error()}, ErrNotPrimary
 	}
 	d, err := p.adm.admitInterObject(c)
 	if err != nil {
@@ -391,6 +258,10 @@ func (p *Primary) ClientWrite(name string, data []byte, done func(latency time.D
 		finish(0, ErrStopped)
 		return
 	}
+	if p.role != RolePrimary {
+		finish(0, ErrNotPrimary)
+		return
+	}
 	o, err := p.adm.byNameOrErr(name)
 	if err != nil {
 		finish(0, err)
@@ -449,7 +320,7 @@ func (p *Primary) anyPeerAlive() bool {
 // through the bounded per-peer send queues unless the queue bound is
 // disabled.
 func (p *Primary) transmit(o *object, prio cpu.Priority) {
-	if !p.running || !o.hasData || !p.anyPeerAlive() {
+	if !p.running || p.role != RolePrimary || !o.hasData || !p.anyPeerAlive() {
 		return
 	}
 	if p.gov != nil && p.gov.shed(o.id) {
@@ -512,7 +383,7 @@ func (p *Primary) startDrain() {
 // low-priority FIFO instead of waiting behind a pre-queued backlog.
 func (p *Primary) drainStep() {
 	for {
-		if !p.running {
+		if !p.running || p.role != RolePrimary {
 			p.drainActive = false
 			return
 		}
@@ -559,7 +430,9 @@ func (p *Primary) sendUpdateNow(o *object) {
 // sendUpdateTo emits the update to the given peers (skipping any that
 // died since queuing); it must run after the CPU cost has been paid.
 func (p *Primary) sendUpdateTo(o *object, targets []*replicaPeer) {
-	if !p.running || !o.hasData {
+	if !p.running || p.role != RolePrimary || !o.hasData {
+		// A queued send whose replica demoted while it waited must not
+		// fire: bumping o.seq here would corrupt the backup-role fence.
 		return
 	}
 	live := targets[:0:0]
@@ -593,7 +466,7 @@ func (p *Primary) sendUpdateTo(o *object, targets []*replicaPeer) {
 // maybeStartPump starts the compressed-scheduling pump if it should run:
 // compressed mode, data available, a backup alive.
 func (p *Primary) maybeStartPump() {
-	if p.cfg.Scheduling != ScheduleCompressed || p.pumpActive || !p.running || !p.anyPeerAlive() {
+	if p.cfg.Scheduling != ScheduleCompressed || p.pumpActive || !p.running || p.role != RolePrimary || !p.anyPeerAlive() {
 		return
 	}
 	p.pumpActive = true
@@ -604,7 +477,7 @@ func (p *Primary) maybeStartPump() {
 // following transmission — the "schedule as many updates as the resources
 // allow" discipline of compressed scheduling.
 func (p *Primary) pumpStep() {
-	if !p.running || !p.anyPeerAlive() || p.cfg.Scheduling != ScheduleCompressed {
+	if !p.running || p.role != RolePrimary || !p.anyPeerAlive() || p.cfg.Scheduling != ScheduleCompressed {
 		p.pumpActive = false
 		return
 	}
@@ -701,6 +574,9 @@ func (p *Primary) AddPeer(addr xkernel.Addr) error {
 	if !p.running {
 		return ErrStopped
 	}
+	if p.role != RolePrimary {
+		return ErrNotPrimary
+	}
 	if err := p.addPeerLocked(addr); err != nil {
 		return err
 	}
@@ -731,6 +607,9 @@ func (p *Primary) RemovePeer(addr xkernel.Addr) {
 func (p *Primary) SetPeer(peer xkernel.Addr) error {
 	if !p.running {
 		return ErrStopped
+	}
+	if p.role != RolePrimary {
+		return ErrNotPrimary
 	}
 	old := p.peers
 	p.peers = nil
@@ -801,17 +680,6 @@ func (p *Primary) pushStateTransfer(pr *replicaPeer) {
 	})
 }
 
-// SendPing emits one heartbeat to the first attached backup and returns
-// its sequence number (the single-backup form used by the paper's
-// deployment; multi-backup deployments use SendPingTo per peer).
-func (p *Primary) SendPing() uint64 {
-	if len(p.peers) == 0 {
-		return 0
-	}
-	seq, _ := p.SendPingTo(p.peers[0].addr)
-	return seq
-}
-
 // SendPingTo emits one heartbeat to the named backup and returns its
 // per-peer sequence number.
 func (p *Primary) SendPingTo(addr xkernel.Addr) (uint64, error) {
@@ -850,13 +718,8 @@ func (p *Primary) observePingAck(pr *replicaPeer, seq uint64) {
 	}
 }
 
-// Demux implements xkernel.Upper: inbound RTPB datagrams from the port
-// protocol.
-func (p *Primary) Demux(m *xkernel.Message, from xkernel.Addr) error {
-	msg, err := wire.Decode(m.Bytes())
-	if err != nil {
-		return err // malformed datagram: drop
-	}
+// demuxPrimary handles inbound RTPB datagrams while serving as primary.
+func (p *Primary) demuxPrimary(msg wire.Message, from xkernel.Addr) {
 	switch t := msg.(type) {
 	case *wire.RetransmitRequest:
 		if p.OnRetransmitRequest != nil {
@@ -907,7 +770,6 @@ func (p *Primary) Demux(m *xkernel.Message, from xkernel.Addr) error {
 	case *wire.StateChunkAck:
 		p.handleStateChunkAck(from, t)
 	}
-	return nil
 }
 
 // broadcast sends a message to every live peer.
@@ -942,17 +804,6 @@ func (p *Primary) replyTo(addr xkernel.Addr, msg wire.Message) {
 	_ = sess.Push(xkernel.NewMessage(wire.Encode(msg)))
 }
 
-// Value returns the primary's current copy of an object.
-func (p *Primary) Value(name string) (data []byte, version time.Time, ok bool) {
-	o, err := p.adm.byNameOrErr(name)
-	if err != nil || !o.hasData {
-		return nil, time.Time{}, false
-	}
-	cp := make([]byte, len(o.value))
-	copy(cp, o.value)
-	return cp, o.version, true
-}
-
 // Spec returns the registered spec for an object name.
 func (p *Primary) Spec(name string) (ObjectSpec, bool) {
 	o, err := p.adm.byNameOrErr(name)
@@ -970,19 +821,6 @@ func (p *Primary) UpdatePeriod(name string) (time.Duration, bool) {
 		return 0, false
 	}
 	return o.updatePeriod, true
-}
-
-// Mode reports the governor's current degradation rung for an object
-// (always ModeNormal on an ungoverned primary).
-func (p *Primary) Mode(name string) (ObjectMode, bool) {
-	o, err := p.adm.byNameOrErr(name)
-	if err != nil {
-		return 0, false
-	}
-	if p.gov == nil {
-		return ModeNormal, true
-	}
-	return p.gov.mode(o.id), true
 }
 
 // Modes returns every admitted object's current degradation rung keyed by

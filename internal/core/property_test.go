@@ -24,7 +24,7 @@ func propRand(base int64) *rand.Rand { return rand.New(rand.NewSource(base + *se
 // primary's high ones.
 func TestSupersedesIsLexicographic(t *testing.T) {
 	f := func(e1, e2 uint32, s1, s2 uint64) bool {
-		o := &backupObject{epoch: e1, seq: s1, hasData: true}
+		o := &object{recvEpoch: e1, seq: s1, hasData: true}
 		got := o.supersedes(e2, s2)
 		want := e2 > e1 || (e2 == e1 && s2 > s1)
 		return got == want
@@ -39,8 +39,8 @@ func TestSupersedesIsLexicographic(t *testing.T) {
 // supersedes b then b does not supersede a.
 func TestSupersedesIrreflexiveAndAsymmetric(t *testing.T) {
 	f := func(e1, e2 uint32, s1, s2 uint64) bool {
-		a := &backupObject{epoch: e1, seq: s1, hasData: true}
-		b := &backupObject{epoch: e2, seq: s2, hasData: true}
+		a := &object{recvEpoch: e1, seq: s1, hasData: true}
+		b := &object{recvEpoch: e2, seq: s2, hasData: true}
 		if a.supersedes(e1, s1) {
 			return false // reflexive
 		}
@@ -60,7 +60,7 @@ func TestSupersedesIrreflexiveAndAsymmetric(t *testing.T) {
 // that never applied anything accepts any stamped state.
 func TestSupersedesAlwaysTrueWithoutData(t *testing.T) {
 	f := func(e uint32, s uint64) bool {
-		o := &backupObject{}
+		o := &object{}
 		return o.supersedes(e, s)
 	}
 	if err := quick.Check(f, nil); err != nil {

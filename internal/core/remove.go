@@ -56,6 +56,9 @@ func (p *Primary) RemoveObject(name string) error {
 	if !p.running {
 		return ErrStopped
 	}
+	if p.role != RolePrimary {
+		return ErrNotPrimary
+	}
 	o, err := p.adm.remove(name)
 	if err != nil {
 		return err
@@ -103,7 +106,7 @@ func (p *Primary) Feasible() bool { return p.adm.feasible() }
 // skipped. Peers are marked syncing (excluded from quorums) until their
 // exchange completes.
 func (p *Primary) ResyncPeers() {
-	if !p.running {
+	if !p.running || p.role != RolePrimary {
 		return
 	}
 	for _, pr := range p.peers {
@@ -119,7 +122,7 @@ func (b *Backup) handleUnregister(t *wire.Unregister) {
 	if !b.observeEpoch(t.Epoch) {
 		return
 	}
-	o, ok := b.objects[t.ObjectID]
+	o, ok := b.adm.objects[t.ObjectID]
 	if !ok {
 		return
 	}
@@ -127,7 +130,7 @@ func (b *Backup) handleUnregister(t *wire.Unregister) {
 		b.catchingUp--
 	}
 	if o.spec.Name != "" {
-		delete(b.byName, o.spec.Name)
+		delete(b.adm.byName, o.spec.Name)
 	}
-	delete(b.objects, t.ObjectID)
+	delete(b.adm.objects, t.ObjectID)
 }

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rtpb/internal/clock"
+	"rtpb/internal/cpu"
+	"rtpb/internal/resilience"
+	"rtpb/internal/wire"
+	"rtpb/internal/xkernel"
+)
+
+// Role is the replica state machine's current state: every replica is one
+// automaton that either serves (primary) or shadows (backup). Failover
+// flips the role in place — the object table, admission ledger, and epoch
+// fence all carry across the transition untouched.
+type Role uint8
+
+const (
+	// RoleBackup shadows a primary: applies updates, detects gaps,
+	// answers heartbeats, and runs the join/catch-up exchange.
+	RoleBackup Role = iota
+	// RolePrimary serves clients: admission control, client writes, and
+	// the decoupled update transmission schedule toward its peers.
+	RolePrimary
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleBackup:
+		return "backup"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Role-transition errors: primary-only operations (admission, client
+// writes, peer management) and backup-only operations (joining) report
+// these when invoked in the wrong state.
+var (
+	ErrNotPrimary = errors.New("core: replica is not serving as primary")
+	ErrNotBackup  = errors.New("core: replica is not serving as backup")
+)
+
+// Replica is the RTPB replica state machine. One kernel owns the object
+// table (the admission ledger doubles as the backup's replica table), the
+// epoch ledger, the wire demux, the send path with its bounded queues and
+// link estimators, the overload governor, and the anti-entropy transfer
+// engine; the Primary and Backup names are thin role views over it.
+//
+// The role decides the active task set:
+//
+//	RolePrimary: per-object periodic update tasks (or the compressed
+//	  pump), registration forwarding, join/chunk streaming, heartbeat
+//	  probing of peers, the overload governor.
+//	RoleBackup: gap detection + retransmit requests, digest retries of
+//	  an in-flight join, heartbeat answering toward the upstream session.
+//
+// Promote and Demote flip between the two in place: no object is copied,
+// no admission test re-runs (the specs were admitted once and the derived
+// update periods ride in the ledger), and the temporal monitor keeps
+// observing the same object identities across the transition.
+//
+// All methods must be called on the clock executor (callbacks, or Post
+// for external goroutines), matching the serial execution model of the
+// protocol graph.
+type Replica struct {
+	cfg  Config
+	clk  clock.Clock
+	proc *cpu.Resource
+	adm  *admission
+	port *xkernel.PortProtocol
+
+	role        Role
+	transitions int
+
+	running bool
+	epoch   uint32
+
+	// --- primary-role state ---
+
+	peers []*replicaPeer
+
+	pumpActive bool
+	pumpOrder  []uint32
+	pumpNext   int
+
+	// gov is the overload governor (nil when disabled or demoted).
+	gov *governor
+	// drainActive reports whether the bounded-queue drain pump holds a
+	// pending CPU submission.
+	drainActive bool
+	// deadlineMisses counts update transmissions that found their object
+	// still queued from the previous release (coalesced sends) since the
+	// governor's last sample.
+	deadlineMisses int
+
+	// --- backup-role state ---
+
+	// sess is the session toward the upstream primary (nil when none).
+	sess    xkernel.Session
+	pingSeq uint64
+
+	// gapBackoff spaces gap-recovery retransmission requests with
+	// deterministic jitter.
+	gapBackoff        *resilience.Backoff
+	retransRequested  int
+	retransSuppressed int
+
+	// Join-exchange state (transfer.go): joining marks an accepted join
+	// whose final chunk has not landed; joined latches once any join
+	// completes; catchingUp counts objects still outside δ_i^B;
+	// seenChunks dedups applied chunks by (generation, chunk).
+	joining       bool
+	joined        bool
+	catchingUp    int
+	xferApplied   int
+	seenChunks    map[uint64]bool
+	digestRetry   *clock.Event
+	digestAttempt int
+	joinBackoff   *resilience.Backoff
+
+	// --- callbacks (role-relevant subsets fire; the rest stay silent) ---
+
+	// OnSend, when set, observes every update transmission (after the
+	// CPU cost, at the instant the datagram enters the network). With
+	// multiple backups it fires once per transmission, not per peer.
+	OnSend func(objectID uint32, name string, seq uint64, version time.Time)
+	// OnClientDone, when set, observes every completed client write with
+	// its response time.
+	OnClientDone func(name string, latency time.Duration)
+	// OnRetransmitRequest, when set, observes backup retransmission
+	// requests.
+	OnRetransmitRequest func(objectID uint32)
+	// OnPingAck, when set, receives heartbeat acknowledgements from any
+	// peer.
+	OnPingAck func(seq uint64)
+	// OnPingAckFrom, when set, receives heartbeat acknowledgements with
+	// the responding peer's address (multi-backup deployments).
+	OnPingAckFrom func(from xkernel.Addr, seq uint64)
+	// OnPing, when set, observes inbound pings (an ack is always sent).
+	OnPing func(seq uint64)
+	// OnStateTransferAck, when set, observes a backup's state-transfer
+	// acknowledgement: the legacy monolithic ack, or — for the chunked
+	// exchange — the final chunk's ack, with the total entries streamed.
+	OnStateTransferAck func(epoch uint32, objects int)
+	// OnPeerSynced, when set, observes a peer completing its anti-entropy
+	// exchange: from this instant it counts toward quorums again.
+	OnPeerSynced func(addr xkernel.Addr, entries int)
+	// OnPeerSyncFailed, when set, observes a join exchange giving up on
+	// an unresponsive peer (the repair layer rotates to another
+	// candidate).
+	OnPeerSyncFailed func(addr xkernel.Addr)
+	// OnJoinRequest, when set, observes inbound rejoin requests with the
+	// joiner's last-observed epoch and self-reported address.
+	OnJoinRequest func(from xkernel.Addr, epoch uint32, addr string)
+	// OnModeChange, when set, observes overload-governor rung transitions
+	// — announced ones while serving, the primary's announcements while
+	// backing up — with the external bound still maintained in the new
+	// mode (zero when the object is shed).
+	OnModeChange func(objectID uint32, name string, mode ObjectMode, effectiveBound time.Duration)
+	// OnApply, when set, observes every applied update with the epoch it
+	// was stamped with (invariant checkers use the epoch to detect
+	// fenced-epoch state leaking through).
+	OnApply func(objectID uint32, name string, epoch uint32, seq uint64, version, appliedAt time.Time)
+	// OnGap, when set, observes detected sequence gaps (lost updates).
+	OnGap func(objectID uint32, haveSeq, gotSeq uint64)
+	// OnRegister, when set, observes object registrations replicated from
+	// the primary.
+	OnRegister func(spec ObjectSpec)
+	// OnStateTransfer, when set, observes applied state transfers: the
+	// legacy monolithic form, or a completed chunked join exchange with
+	// the total entries it applied.
+	OnStateTransfer func(epoch uint32, objects int)
+	// OnJoinAccept, when set, observes an accepted join with the
+	// primary's epoch and spec count — the instant every listed object
+	// enters catch-up (temporal monitors suspend their bounds here).
+	OnJoinAccept func(epoch uint32, specs int)
+	// OnCatchUp, when set, observes one object completing catch-up: an
+	// update or chunk landed within δ_i^B, so the object may be reported
+	// temporally consistent again.
+	OnCatchUp func(objectID uint32, name string, staleness time.Duration)
+	// OnPlaceholderDrop, when set, observes promotion discarding
+	// spec-less placeholder objects (orphan updates whose registration
+	// never arrived): their replicated bytes cannot be served without an
+	// identity, and this is the only record of the loss.
+	OnPlaceholderDrop func(ids []uint32)
+}
+
+// Primary is the serving-role view of a Replica (see Replica); Backup is
+// the shadowing-role view. They are the same state machine.
+type (
+	Primary = Replica
+	Backup  = Replica
+)
+
+var _ xkernel.Upper = (*Replica)(nil)
+
+// NewReplica builds a replica in the given role and enables it on the
+// port protocol's RTPB port. A primary starts at epoch 1 and attaches
+// cfg.Peers; a backup starts at epoch 0 (unstamped) and opens its
+// upstream session toward cfg.Peer when set.
+func NewReplica(cfg Config, role Role) (*Replica, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		proc:    cpu.New(cfg.Clock),
+		port:    cfg.Port,
+		role:    role,
+		running: true,
+	}
+	r.adm = newAdmission(&r.cfg)
+	switch role {
+	case RolePrimary:
+		r.epoch = 1
+		if r.cfg.Governor.Enable {
+			r.gov = newGovernor(r)
+		}
+		if err := cfg.Port.EnablePort(cfg.LocalPort, r); err != nil {
+			return nil, err
+		}
+		for _, addr := range cfg.Peers {
+			if err := r.addPeerLocked(addr); err != nil {
+				r.Stop()
+				return nil, err
+			}
+		}
+	case RoleBackup:
+		r.seedBackupLink(cfg.Peer)
+		if err := cfg.Port.EnablePort(cfg.LocalPort, r); err != nil {
+			return nil, err
+		}
+		if cfg.Peer != "" {
+			sess, err := cfg.Port.OpenFrom(cfg.LocalPort, cfg.Peer)
+			if err != nil {
+				cfg.Port.DisablePort(cfg.LocalPort)
+				return nil, fmt.Errorf("core: open primary session: %w", err)
+			}
+			r.sess = sess
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown role %v", role)
+	}
+	return r, nil
+}
+
+// NewPrimary builds a replica serving as primary.
+func NewPrimary(cfg Config) (*Primary, error) { return NewReplica(cfg, RolePrimary) }
+
+// NewBackup builds a replica shadowing as backup.
+func NewBackup(cfg Config) (*Backup, error) { return NewReplica(cfg, RoleBackup) }
+
+// seedBackupLink derives the backup-role jitter streams for the upstream
+// link toward addr.
+func (r *Replica) seedBackupLink(addr xkernel.Addr) {
+	seed := linkSeed(r.cfg.LocalPort, addr)
+	r.gapBackoff = resilience.NewBackoff(seed)
+	r.gapBackoff.Cap = r.cfg.RetryCeiling
+	// A distinct jitter stream for digest retries so join traffic does
+	// not perturb the gap-recovery schedule of replays.
+	r.joinBackoff = resilience.NewBackoff(seed ^ 0x9e3779b97f4a7c15)
+	r.joinBackoff.Cap = r.cfg.RetryCeiling
+}
+
+// Stop cancels every periodic task in either role and releases the port
+// binding.
+func (r *Replica) Stop() {
+	if !r.running {
+		return
+	}
+	r.running = false
+	if r.gov != nil {
+		r.gov.stop()
+	}
+	for _, o := range r.adm.objects {
+		if o.task != nil {
+			o.task.Stop()
+		}
+	}
+	for _, pr := range r.peers {
+		if pr.stRetry != nil {
+			pr.stRetry.Cancel()
+			pr.stRetry = nil
+		}
+		r.cancelTransfer(pr)
+	}
+	if r.digestRetry != nil {
+		r.digestRetry.Cancel()
+		r.digestRetry = nil
+	}
+	r.port.DisablePort(r.cfg.LocalPort)
+	for _, pr := range r.peers {
+		pr.sess.Close()
+	}
+	if r.sess != nil {
+		r.sess.Close()
+	}
+}
+
+// Running reports whether the replica is serving.
+func (r *Replica) Running() bool { return r.running }
+
+// Role reports the replica's current role.
+func (r *Replica) Role() Role { return r.role }
+
+// Transitions reports how many in-place role transitions (promotions and
+// demotions) this replica has performed.
+func (r *Replica) Transitions() int { return r.transitions }
+
+// Epoch reports the replica's current epoch: the serving epoch as
+// primary, the highest observed epoch as backup (zero if none).
+func (r *Replica) Epoch() uint32 { return r.epoch }
+
+// SetEpoch installs the epoch a promoted replica claimed (the failover
+// orchestrator adjusts it after winning the directory race).
+func (r *Replica) SetEpoch(e uint32) { r.epoch = e }
+
+// Objects reports the number of known objects (admitted while serving,
+// replicated while backing up).
+func (r *Replica) Objects() int { return len(r.adm.objects) }
+
+// Value returns the replica's current copy of an object by name.
+func (r *Replica) Value(name string) (data []byte, version time.Time, ok bool) {
+	o, err := r.adm.byNameOrErr(name)
+	if err != nil || !o.hasData {
+		return nil, time.Time{}, false
+	}
+	cp := make([]byte, len(o.value))
+	copy(cp, o.value)
+	return cp, o.version, true
+}
+
+// Mode reports the object's current overload-degradation rung: the
+// governor's while serving (ModeNormal when ungoverned), the primary's
+// last announcement while backing up.
+func (r *Replica) Mode(name string) (ObjectMode, bool) {
+	o, err := r.adm.byNameOrErr(name)
+	if err != nil {
+		return 0, false
+	}
+	if r.role == RolePrimary {
+		if r.gov == nil {
+			return ModeNormal, true
+		}
+		return r.gov.mode(o.id), true
+	}
+	if o.mode != 0 {
+		return o.mode, true
+	}
+	return ModeNormal, true
+}
+
+// SendPing emits one heartbeat: toward the upstream primary when backing
+// up, toward the first attached backup when serving (the single-backup
+// form used by the paper's deployment; multi-backup deployments use
+// SendPingTo per peer). It returns the heartbeat's sequence number.
+func (r *Replica) SendPing() uint64 {
+	if r.role == RoleBackup {
+		r.pingSeq++
+		r.send(&wire.Ping{Seq: r.pingSeq, From: wire.RoleBackup})
+		return r.pingSeq
+	}
+	if len(r.peers) == 0 {
+		return 0
+	}
+	seq, _ := r.SendPingTo(r.peers[0].addr)
+	return seq
+}
+
+// Demux implements xkernel.Upper: inbound RTPB datagrams are decoded once
+// and dispatched by the current role.
+func (r *Replica) Demux(m *xkernel.Message, from xkernel.Addr) error {
+	if !r.running {
+		return nil
+	}
+	msg, err := wire.Decode(m.Bytes())
+	if err != nil {
+		return err // malformed datagram: drop
+	}
+	if r.role == RolePrimary {
+		r.demuxPrimary(msg, from)
+	} else {
+		r.demuxBackup(msg)
+	}
+	return nil
+}
+
+// Promote flips a backup to primary in place under the given epoch: the
+// object table and admission ledger carry over untouched (no snapshot
+// copy, no re-admission — every spec was admitted when it was replicated,
+// and its derived update period rides in the ledger), backup-role timers
+// stop, and the primary-role update tasks start. Spec-less placeholder
+// objects are dropped (reported through OnPlaceholderDrop): bytes without
+// an identity cannot be served.
+//
+// The promoted replica starts with no peers; the failover orchestrator
+// re-attaches surviving backups with AddPeer, which drives them through
+// the anti-entropy exchange under the new epoch.
+func (r *Replica) Promote(epoch uint32) error {
+	if !r.running {
+		return ErrStopped
+	}
+	if r.role != RoleBackup {
+		return ErrNotBackup
+	}
+
+	// Backup-role machinery goes quiet: the digest retry stops, any
+	// half-finished join is abandoned (we are the authority now), and the
+	// upstream session closes.
+	if r.digestRetry != nil {
+		r.digestRetry.Cancel()
+		r.digestRetry = nil
+	}
+	r.joining = false
+	r.digestAttempt = 0
+	r.seenChunks = nil
+	r.xferApplied = 0
+	if r.sess != nil {
+		r.sess.Close()
+		r.sess = nil
+	}
+
+	// Drop spec-less placeholders: objects created by an orphan update
+	// whose registration never arrived. Their replicated bytes have no
+	// name, no constraint, and no admitted schedule — they cannot be
+	// served, and silently losing them is the one thing we must not do.
+	var dropped []uint32
+	for id, o := range r.adm.objects {
+		if o.spec.Name == "" {
+			dropped = append(dropped, id)
+			delete(r.adm.objects, id)
+		}
+	}
+	if len(dropped) > 0 {
+		sort.Slice(dropped, func(i, j int) bool { return dropped[i] < dropped[j] })
+		if r.OnPlaceholderDrop != nil {
+			r.OnPlaceholderDrop(dropped)
+		}
+	}
+
+	// Flip the role. Everything below is per-object bookkeeping reset —
+	// O(1) work per object, no copies, no admission tests, no wire
+	// traffic.
+	r.role = RolePrimary
+	r.transitions++
+	if epoch > r.epoch {
+		r.epoch = epoch
+	}
+	for _, o := range r.adm.objects {
+		// Sequence numbering restarts under the new epoch; surviving
+		// backups order updates by (epoch, seq), so the epoch bump alone
+		// keeps supersedes correct.
+		o.seq = 0
+		o.highPending = false
+		o.lastSentSeq = 0
+		o.lastSentVersion = time.Time{}
+		o.lastSentAt = time.Time{}
+		o.pendingAcks = nil
+		o.retransAttempt = 0
+		o.retransNext = time.Time{}
+		o.mode, o.modeSeq, o.modeEpoch = 0, 0, 0
+		o.catchingUp = false
+		if o.updatePeriod <= 0 && o.spec.Name != "" {
+			// Defensive: a spec that somehow arrived without a derived
+			// period (older wire peers) gets one now, from the same
+			// Section 4.3 math admission used.
+			r.adm.installSpec(o, o.spec)
+		}
+	}
+	r.catchingUp = 0
+	r.pumpActive, r.pumpOrder, r.pumpNext = false, nil, 0
+	r.drainActive = false
+	r.deadlineMisses = 0
+
+	if r.cfg.SchedTest == SchedTestDCS && !r.cfg.DisableAdmissionControl {
+		// Re-specialize the inherited periods into a harmonic set; the
+		// specialized periods never exceed the nominals, so every
+		// temporal constraint keeps holding even if this fails.
+		_ = r.adm.applyDCS()
+	}
+	if r.cfg.Governor.Enable && r.gov == nil {
+		r.gov = newGovernor(r)
+	}
+	for _, o := range r.adm.ordered() {
+		r.startUpdateTask(o)
+	}
+	return nil
+}
+
+// Demote flips a primary to backup in place, shadowing the named
+// successor under the given epoch (a fenced ex-primary rejoining the
+// cluster). Update tasks and the governor stop, pending critical writes
+// fail with ErrStopped, peers detach — and the object table stays: the
+// subsequent Join digest advertises everything this replica already
+// holds, so the anti-entropy exchange streams only what the successor
+// wrote since.
+func (r *Replica) Demote(epoch uint32, primary xkernel.Addr) error {
+	if !r.running {
+		return ErrStopped
+	}
+	if r.role != RolePrimary {
+		return ErrNotPrimary
+	}
+	sess, err := r.port.OpenFrom(r.cfg.LocalPort, primary)
+	if err != nil {
+		// Fail before mutating anything: the caller may retry or keep
+		// serving.
+		return fmt.Errorf("core: open primary session: %w", err)
+	}
+
+	servingEpoch := r.epoch
+	if r.gov != nil {
+		r.gov.stop()
+		r.gov = nil
+	}
+	for _, o := range r.adm.objects {
+		if o.task != nil {
+			o.task.Stop()
+			o.task = nil
+		}
+		for _, pa := range o.pendingAcks {
+			r.completeCritical(o, pa, ErrStopped)
+		}
+		o.highPending = false
+		o.catchingUp = false
+		o.retransAttempt = 0
+		o.retransNext = time.Time{}
+		if o.hasData && o.recvEpoch < servingEpoch {
+			// Self-authored state gets an honest digest stamp: it was
+			// written under this replica's serving epoch.
+			o.recvEpoch = servingEpoch
+		}
+	}
+	for _, pr := range r.peers {
+		if pr.stRetry != nil {
+			pr.stRetry.Cancel()
+			pr.stRetry = nil
+		}
+		r.cancelTransfer(pr)
+		pr.queue.clear()
+		pr.sess.Close()
+	}
+	r.peers = nil
+	r.pumpActive, r.pumpOrder, r.pumpNext = false, nil, 0
+	r.drainActive = false
+	r.deadlineMisses = 0
+
+	// Become a backup of the successor.
+	r.sess = sess
+	r.cfg.Peer = primary
+	r.seedBackupLink(primary)
+	r.role = RoleBackup
+	r.transitions++
+	if epoch > r.epoch {
+		r.epoch = epoch
+	}
+	r.joining = false
+	r.joined = false
+	r.digestAttempt = 0
+	r.seenChunks = nil
+	r.xferApplied = 0
+	r.catchingUp = 0
+	return nil
+}

@@ -418,7 +418,7 @@ func (p *Primary) TransferStatsFor(addr xkernel.Addr) (TransferStats, bool) {
 // fire-and-forget; callers (repair.Rejoiner) retry it until Joining or
 // catch-up reports progress.
 func (b *Backup) Join() {
-	if !b.running {
+	if !b.running || b.role != RoleBackup {
 		return
 	}
 	b.send(&wire.JoinRequest{Epoch: b.epoch, Addr: string(b.cfg.SelfAddr)})
@@ -436,8 +436,8 @@ func (b *Backup) Joined() bool { return b.joined }
 // was marked stale when a join began and no update or chunk within
 // δ_i^B has landed yet. An unknown name reports false.
 func (b *Backup) CatchingUp(name string) bool {
-	if id, ok := b.byName[name]; ok {
-		return b.objects[id].catchingUp
+	if id, ok := b.adm.byName[name]; ok {
+		return b.adm.objects[id].catchingUp
 	}
 	return false
 }
@@ -462,13 +462,9 @@ func (b *Backup) handleJoinAccept(t *wire.JoinAccept) {
 		b.xferApplied = 0
 	}
 	for _, s := range t.Specs {
-		o, exists := b.objects[s.ObjectID]
-		if !exists {
-			o = &backupObject{id: s.ObjectID, value: make([]byte, 0, s.Size)}
-			b.objects[s.ObjectID] = o
-		}
+		o := b.adm.placeholder(s.ObjectID)
 		if o.spec.Name == "" && s.Name != "" {
-			o.spec = ObjectSpec{
+			b.adm.installSpec(o, ObjectSpec{
 				Name:         s.Name,
 				Size:         int(s.Size),
 				UpdatePeriod: s.Period,
@@ -476,8 +472,7 @@ func (b *Backup) handleJoinAccept(t *wire.JoinAccept) {
 					DeltaP: s.DeltaP,
 					DeltaB: s.DeltaB,
 				},
-			}
-			b.byName[s.Name] = s.ObjectID
+			})
 			if b.OnRegister != nil {
 				b.OnRegister(o.spec)
 			}
@@ -508,18 +503,14 @@ func (b *Backup) sendDigest() {
 		b.digestRetry = nil
 	}
 	d := &wire.StateDigest{Epoch: b.epoch}
-	ids := make([]uint32, 0, len(b.objects))
-	for id, o := range b.objects {
-		if o.hasData {
-			ids = append(ids, id)
+	for _, id := range b.adm.orderedIDs() {
+		o := b.adm.objects[id]
+		if !o.hasData {
+			continue
 		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		o := b.objects[id]
 		d.Entries = append(d.Entries, wire.DigestEntry{
 			ObjectID: id,
-			Epoch:    o.epoch,
+			Epoch:    o.recvEpoch,
 			Seq:      o.seq,
 			Version:  o.version.UnixNano(),
 		})
@@ -591,13 +582,9 @@ func (b *Backup) handleStateChunk(t *wire.StateChunk) {
 // state), then the value under the usual supersedes ordering. It reports
 // 1 if the value was applied, 0 if local state was already newer.
 func (b *Backup) applyStateEntry(epoch uint32, e wire.StateEntry) int {
-	o, ok := b.objects[e.ObjectID]
-	if !ok {
-		o = &backupObject{id: e.ObjectID}
-		b.objects[e.ObjectID] = o
-	}
+	o := b.adm.placeholder(e.ObjectID)
 	if o.spec.Name == "" && e.Name != "" {
-		o.spec = ObjectSpec{
+		b.adm.installSpec(o, ObjectSpec{
 			Name:         e.Name,
 			Size:         int(e.Size),
 			UpdatePeriod: e.Period,
@@ -605,8 +592,7 @@ func (b *Backup) applyStateEntry(epoch uint32, e wire.StateEntry) int {
 				DeltaP: e.DeltaP,
 				DeltaB: e.DeltaB,
 			},
-		}
-		b.byName[e.Name] = e.ObjectID
+		})
 		if b.OnRegister != nil {
 			b.OnRegister(o.spec)
 		}

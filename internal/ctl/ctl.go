@@ -15,7 +15,8 @@
 //	READ <name>
 //	  → OK <base64-value> <version-rfc3339nano> | ERR not found
 //	STATUS
-//	  → OK objects=<n> utilization=<u> epoch=<e> backupAlive=<bool>
+//	  → OK role=<primary|backup> objects=<n> utilization=<u> epoch=<e>
+//	    backupAlive=<bool> transitions=<n>
 //	REPAIR
 //	  → OK synced=<n> peers=<m> [| <addr> alive=<bool> syncing=<bool>
 //	    sent=<entries> skipped=<entries> retx=<chunks> completions=<c>]...
@@ -183,8 +184,9 @@ func (s *Server) handle(line string, reply func(string)) {
 	case "READ":
 		reply(s.read(fields[1:]))
 	case "STATUS":
-		reply(fmt.Sprintf("OK objects=%d utilization=%.4f epoch=%d backupAlive=%v",
-			s.primary.Objects(), s.primary.Utilization(), s.primary.Epoch(), s.primary.BackupAlive()))
+		reply(fmt.Sprintf("OK role=%s objects=%d utilization=%.4f epoch=%d backupAlive=%v transitions=%d",
+			s.primary.Role(), s.primary.Objects(), s.primary.Utilization(), s.primary.Epoch(),
+			s.primary.BackupAlive(), s.primary.Transitions()))
 	case "REPAIR":
 		reply(s.repair())
 	case "RECRUIT":

@@ -99,8 +99,10 @@ func TestControlRegisterWriteReadStatus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(reply, "objects=1") {
-		t.Fatalf("STATUS reply = %q", reply)
+	for _, want := range []string{"role=primary", "objects=1", "transitions=0"} {
+		if !strings.Contains(reply, want) {
+			t.Fatalf("STATUS reply = %q, missing %q", reply, want)
+		}
 	}
 }
 

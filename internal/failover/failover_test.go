@@ -65,12 +65,9 @@ func TestFullFailoverScenario(t *testing.T) {
 	det, err = NewDetector(clk, cfg(), backup.SendPing, func() {
 		var perr error
 		promoted, perr = Promote(backup, PromoteOptions{
-			Service:  "plant",
-			SelfAddr: "backup:7000",
-			Names:    ns,
-			PrimaryConfig: core.Config{
-				Clock: clk, Port: bPort, Ell: ms(5),
-			},
+			Service:        "plant",
+			SelfAddr:       "backup:7000",
+			Names:          ns,
 			ActivateClient: func(*core.Primary) { clientActivated = true },
 		})
 		if perr != nil {
@@ -186,9 +183,8 @@ func TestPromoteFreshBackupWithoutData(t *testing.T) {
 	primary.Stop()
 
 	p2, err := Promote(backup, PromoteOptions{
-		Service:       "svc",
-		SelfAddr:      "backup:7000",
-		PrimaryConfig: core.Config{Clock: clk, Port: bPort, Ell: ms(5)},
+		Service:  "svc",
+		SelfAddr: "backup:7000",
 	})
 	if err != nil {
 		t.Fatal(err)

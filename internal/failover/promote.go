@@ -3,6 +3,7 @@ package failover
 import (
 	"errors"
 	"fmt"
+	"log"
 
 	"rtpb/internal/core"
 	"rtpb/internal/xkernel"
@@ -18,10 +19,12 @@ type PromoteOptions struct {
 	// Names is the name service to update; optional. Use NameService in
 	// simulations or FileNameService for a persistent name file.
 	Names Directory
-	// PrimaryConfig configures the new primary. Its Port must be the
-	// promoted replica's own port protocol; Peer should be empty (no
-	// backup yet) or name a recruit.
-	PrimaryConfig core.Config
+	// OnPlaceholderDrop, when set, observes the ids of spec-less
+	// placeholder objects the promotion had to discard (orphan updates
+	// whose registration never arrived — replicated bytes with no
+	// identity cannot be served). When nil, the drop is logged via the
+	// standard logger so data lost at takeover is never silent.
+	OnPlaceholderDrop func(ids []uint32)
 	// ActivateClient, when set, is invoked once the new primary is
 	// serving — the paper's "invokes a backup version of the client
 	// application at the local machine" with the recovered state fed by
@@ -30,40 +33,32 @@ type PromoteOptions struct {
 }
 
 // Promote executes the Section 4.4 takeover on a backup that has declared
-// the primary dead: it stops the backup role, starts a primary on the
-// same protocol stack, re-registers every object spec the backup had
-// reserved (they were admitted once, so they re-admit), seeds the new
-// primary's table with the most recent replicated values, bumps the
-// epoch, updates the name service, and finally activates the standby
-// client application.
+// the primary dead: the replica flips to the primary role in place under
+// a bumped epoch. The object table and admission ledger carry over — no
+// snapshot copy, no re-admission loop (every spec was admitted when it
+// was replicated) — so takeover cost does not grow with the object count.
+// The directory entry is then claimed and the standby client application
+// activated. The promoted primary starts with no peers; callers re-attach
+// surviving backups with AddPeer (or Recruit).
 func Promote(b *core.Backup, opts PromoteOptions) (*core.Primary, error) {
-	snap := b.Snapshot()
 	epoch := nextEpoch(b.Epoch(), opts)
-	b.Stop()
 
-	p, err := core.NewPrimary(opts.PrimaryConfig)
+	drop := opts.OnPlaceholderDrop
+	if drop == nil {
+		service := opts.Service
+		drop = func(ids []uint32) {
+			log.Printf("failover: promotion of %q dropped %d spec-less placeholder object(s) %v: replicated data without a registration cannot be served",
+				service, len(ids), ids)
+		}
+	}
+	prev := b.OnPlaceholderDrop
+	b.OnPlaceholderDrop = drop
+	err := b.Promote(epoch)
+	b.OnPlaceholderDrop = prev
 	if err != nil {
-		return nil, fmt.Errorf("failover: start new primary: %w", err)
+		return nil, fmt.Errorf("failover: promote: %w", err)
 	}
-	p.SetEpoch(epoch)
-	// Until a new backup is recruited there is nobody to replicate to.
-	p.SetBackupAlive(false)
-
-	for _, e := range snap {
-		if e.Spec.Name == "" {
-			continue // placeholder created by an orphan update; unusable
-		}
-		if d := p.Register(e.Spec); !d.Accepted {
-			p.Stop()
-			return nil, fmt.Errorf("failover: re-admission of %q failed: %s", e.Spec.Name, d.Reason)
-		}
-		if e.HasData {
-			if err := p.SeedObject(e.Spec.Name, e.Value, e.Version); err != nil {
-				p.Stop()
-				return nil, fmt.Errorf("failover: seed %q: %w", e.Spec.Name, err)
-			}
-		}
-	}
+	p := b // same replica, new role
 
 	if opts.Names != nil {
 		// Claim the directory entry. A concurrent promotion may have

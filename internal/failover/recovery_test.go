@@ -47,9 +47,8 @@ func TestRecoveryTimeBoundedByDetectorConfig(t *testing.T) {
 	var promotedAt time.Time
 	det, err := NewDetector(clk, dcfg, backup.SendPing, func() {
 		p2, perr := Promote(backup, PromoteOptions{
-			Service:       "svc",
-			SelfAddr:      "backup:7000",
-			PrimaryConfig: core.Config{Clock: clk, Port: bPort, Ell: ms(5)},
+			Service:  "svc",
+			SelfAddr: "backup:7000",
 		})
 		if perr != nil {
 			t.Fatalf("promote: %v", perr)

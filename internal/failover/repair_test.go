@@ -71,9 +71,6 @@ func TestRecruitCarriesSpecsAcrossDoubleFailover(t *testing.T) {
 		Service:  "plant",
 		SelfAddr: "b1:7000",
 		Names:    ns,
-		PrimaryConfig: core.Config{
-			Clock: clk, Port: b1Port, Ell: ms(2),
-		},
 	})
 	if err != nil {
 		t.Fatalf("first promotion: %v", err)
@@ -109,9 +106,6 @@ func TestRecruitCarriesSpecsAcrossDoubleFailover(t *testing.T) {
 		Service:  "plant",
 		SelfAddr: "b2:7000",
 		Names:    ns,
-		PrimaryConfig: core.Config{
-			Clock: clk, Port: b2Port, Ell: ms(2),
-		},
 	})
 	if err != nil {
 		t.Fatalf("second promotion: %v", err)
@@ -160,9 +154,6 @@ func TestConcurrentPromotionsMintDistinctEpochs(t *testing.T) {
 		Service:  "plant",
 		SelfAddr: "b1:7000",
 		Names:    ns,
-		PrimaryConfig: core.Config{
-			Clock: clk, Port: b1Port, Ell: ms(2),
-		},
 	})
 	if err != nil {
 		t.Fatalf("first promotion: %v", err)
@@ -171,9 +162,6 @@ func TestConcurrentPromotionsMintDistinctEpochs(t *testing.T) {
 		Service:  "plant",
 		SelfAddr: "b2:7000",
 		Names:    ns,
-		PrimaryConfig: core.Config{
-			Clock: clk, Port: b2Port, Ell: ms(2),
-		},
 	})
 	if err != nil {
 		t.Fatalf("second promotion must win a fresh epoch, got error: %v", err)

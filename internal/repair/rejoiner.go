@@ -27,8 +27,19 @@ type RejoinerConfig struct {
 	// known: the caller opens the protocol stack, points the backup's
 	// Peer at primary, and attaches its observers. epoch is the
 	// directory-recorded epoch, which the backup adopts from the
-	// JoinAccept.
+	// JoinAccept. Exactly one of Start and Replica must be set.
 	Start func(primary xkernel.Addr, epoch uint32) (*core.Backup, error)
+	// Replica, when set, is a still-running replica — typically a fenced
+	// old primary that lost its machine's network, not its process — to
+	// demote in place once the directory records a successor. The rejoin
+	// calls Replica.Demote(epoch, primary), which keeps the object table
+	// (the anti-entropy digest then transfers only what the replica
+	// missed) instead of rebuilding a backup from nothing via Start.
+	Replica *core.Replica
+	// OnDemoted, when set, fires right after the in-place demotion, before
+	// the first JoinRequest — the hook where callers re-attach backup-side
+	// observers (monitor taps, failure detector).
+	OnDemoted func(b *core.Backup)
 	// Interval is the poll/retry period; defaults to 250ms.
 	Interval time.Duration
 	// Announce registers Self in the directory's candidate list once the
@@ -71,8 +82,11 @@ type Rejoiner struct {
 
 // NewRejoiner validates the config.
 func NewRejoiner(cfg RejoinerConfig) (*Rejoiner, error) {
-	if cfg.Clock == nil || cfg.Directory == nil || cfg.Start == nil {
-		return nil, fmt.Errorf("repair: rejoiner needs a clock, a directory, and a start hook")
+	if cfg.Clock == nil || cfg.Directory == nil {
+		return nil, fmt.Errorf("repair: rejoiner needs a clock and a directory")
+	}
+	if (cfg.Start == nil) == (cfg.Replica == nil) {
+		return nil, fmt.Errorf("repair: rejoiner needs exactly one of a start hook and a replica")
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 250 * time.Millisecond
@@ -114,11 +128,24 @@ func (r *Rejoiner) tick() {
 		if !ok || addr == r.cfg.Self {
 			return // no successor recorded yet; keep polling
 		}
-		b, err := r.cfg.Start(addr, epoch)
-		if err != nil || b == nil {
-			return
+		if r.cfg.Replica != nil {
+			rep := r.cfg.Replica
+			if rep.Role() != core.RoleBackup {
+				if err := rep.Demote(epoch, addr); err != nil {
+					return // e.g. a transient session-open failure; retry
+				}
+				if r.cfg.OnDemoted != nil {
+					r.cfg.OnDemoted(rep)
+				}
+			}
+			r.b = rep
+		} else {
+			b, err := r.cfg.Start(addr, epoch)
+			if err != nil || b == nil {
+				return
+			}
+			r.b = b
 		}
-		r.b = b
 		r.primary = addr
 		r.status.Primary = addr
 	}

@@ -217,12 +217,12 @@ func (c *Cluster) buildShard(i int) (*Shard, error) {
 	if err := c.ns.Set(sh.service, sh.pHost.addr(), 1); err != nil {
 		return nil, err
 	}
-	sh.backup, err = core.NewBackup(core.Config{
-		Clock: c.clk,
-		Port:  sh.bHost.port,
-		Peer:  sh.pHost.addr(),
-		Ell:   c.cfg.Ell,
-	})
+	// The backup carries the full scheduling/cost configuration: promotion
+	// is in-place, so whatever this replica was built with is what it will
+	// serve with as a primary.
+	bcfg := c.primaryConfig(sh.bHost.port, nil)
+	bcfg.Peer = sh.pHost.addr()
+	sh.backup, err = core.NewBackup(bcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -295,10 +295,13 @@ func (c *Cluster) onPrimaryDead(sh *Shard) {
 	// site that no longer hosts an image.
 	specs := sh.backup.Specs()
 	p, err := failover.Promote(sh.backup, failover.PromoteOptions{
-		Service:       sh.service,
-		SelfAddr:      sh.bHost.addr(),
-		Names:         c.ns,
-		PrimaryConfig: c.primaryConfig(sh.bHost.port, nil),
+		Service:  sh.service,
+		SelfAddr: sh.bHost.addr(),
+		Names:    c.ns,
+		OnPlaceholderDrop: func(ids []uint32) {
+			c.logf("shard %d: promotion dropped %d spec-less placeholder object(s) %v",
+				sh.index, len(ids), ids)
+		},
 		ActivateClient: func(p *core.Primary) {
 			sh.primary = p
 			sh.pHost = sh.bHost

@@ -15,9 +15,12 @@
 //
 // The package exposes three layers:
 //
-//   - The replica API (NewPrimary, NewBackup, Config, ObjectSpec), which
-//     runs over any Transport — the deterministic simulated network for
-//     tests and experiments, or real UDP sockets via cmd/rtpbd.
+//   - The replica API (NewReplica and the NewPrimary/NewBackup role
+//     shorthands, Config, ObjectSpec), which runs over any Transport —
+//     the deterministic simulated network for tests and experiments, or
+//     real UDP sockets via cmd/rtpbd. A replica is one state machine
+//     that flips roles in place: failover.Promote turns a backup into
+//     the serving primary without copying its object table.
 //   - The analysis API (temporal conditions, scheduling feasibility and
 //     phase-variance bounds) re-exported from internal/temporal and
 //     internal/sched.
@@ -47,9 +50,17 @@ type (
 	ObjectSpec = core.ObjectSpec
 	// Decision is an admission-control outcome.
 	Decision = core.Decision
-	// Primary is the RTPB primary replica.
+	// Replica is the role-based RTPB replica state machine: one object
+	// table and protocol engine that serves as primary or backup and
+	// flips roles in place (Promote/Demote) without copying state.
+	Replica = core.Replica
+	// Role is a replica's current role.
+	Role = core.Role
+	// Primary is a Replica serving the primary role (alias retained for
+	// the paper's vocabulary).
 	Primary = core.Primary
-	// Backup is the RTPB backup replica.
+	// Backup is a Replica serving the backup role (alias retained for
+	// the paper's vocabulary).
 	Backup = core.Backup
 	// CostModel maps protocol operations to CPU time.
 	CostModel = core.CostModel
@@ -150,6 +161,14 @@ const (
 	SchedTestDCS = core.SchedTestDCS
 )
 
+// Replica roles.
+const (
+	// RolePrimary marks the replica serving client writes.
+	RolePrimary = core.RolePrimary
+	// RoleBackup marks the replica applying replicated updates.
+	RoleBackup = core.RoleBackup
+)
+
 // RTPBPort is the well-known port the RTPB protocol listens on.
 const RTPBPort = core.RTPBPort
 
@@ -160,10 +179,13 @@ func NewShardedCluster(cfg ShardedClusterConfig) (*ShardedCluster, error) {
 	return shard.NewCluster(cfg)
 }
 
-// NewPrimary builds a primary replica on the given configuration.
+// NewReplica builds a replica starting in the given role.
+func NewReplica(cfg Config, role Role) (*Replica, error) { return core.NewReplica(cfg, role) }
+
+// NewPrimary builds a replica starting in the primary role.
 func NewPrimary(cfg Config) (*Primary, error) { return core.NewPrimary(cfg) }
 
-// NewBackup builds a backup replica on the given configuration.
+// NewBackup builds a replica starting in the backup role.
 func NewBackup(cfg Config) (*Backup, error) { return core.NewBackup(cfg) }
 
 // NewSimClock returns a deterministic virtual-time clock.

@@ -158,11 +158,6 @@ func TestFailoverThroughPublicAPI(t *testing.T) {
 			Service:  "svc",
 			SelfAddr: "backup:7000",
 			Names:    ns,
-			PrimaryConfig: rtpb.Config{
-				Clock: c.Clock,
-				Port:  c.BackupPort(),
-				Ell:   5 * time.Millisecond,
-			},
 		})
 		if perr != nil {
 			t.Fatalf("promote: %v", perr)
