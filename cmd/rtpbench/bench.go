@@ -81,6 +81,12 @@ type benchReport struct {
 	// Promote call runs no virtual time, so its cost is measured directly
 	// and varies between hosts, unlike every virtual-time sweep above.
 	Takeover []takeoverPoint `json:"takeover,omitempty"`
+	// Wire is the wire hot-path sweep ("rtpbench wire"): object count ×
+	// frame batch size over the encode → datagram → decode round trip.
+	// Wall-clock like Takeover (testing.Benchmark under the hood); the
+	// shape to read is batched rows beating the batch=1 baseline on
+	// msgs_per_sec and encode_allocs_per_op pinned at 0.
+	Wire []wirePoint `json:"wire,omitempty"`
 }
 
 // runBench measures the resilience-layer benchmark matrix — a fixed

@@ -21,6 +21,9 @@
 //
 //	rtpbench takeover           # in-place promotion latency vs object count
 //	rtpbench takeover -json     # merge the sweep into BENCH_rtpb.json
+//
+//	rtpbench wire               # wire hot-path sweep: objects × batch size
+//	rtpbench wire -json         # merge the sweep into BENCH_rtpb.json
 package main
 
 import (
@@ -43,6 +46,8 @@ func main() {
 		err = runShardCmd(args[1:])
 	} else if len(args) > 0 && args[0] == "takeover" {
 		err = runTakeoverCmd(args[1:])
+	} else if len(args) > 0 && args[0] == "wire" {
+		err = runWireCmd(args[1:])
 	} else {
 		err = run(args)
 	}

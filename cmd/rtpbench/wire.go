@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"rtpb/internal/wire"
+	"rtpb/internal/xkernel"
+)
+
+// wirePoint is one (objects, batch) cell of the wire hot-path sweep. Like
+// the takeover sweep it records wall-clock measurements (testing.Benchmark
+// under the hood), so absolute numbers vary between hosts; the shape — the
+// batched rows beating the batch=1 row on msgs/sec, and the send path
+// holding 0 allocs — is what the report asserts.
+type wirePoint struct {
+	// Objects is the distinct-object working set the update stream
+	// rotates through.
+	Objects int `json:"objects"`
+	// Batch is the frame batch size; 1 is the one-datagram-per-update
+	// baseline (the pre-framing wire path, byte-identical on the wire).
+	Batch int `json:"batch"`
+	// MsgsPerSec is update messages through the full encode → datagram →
+	// decode round trip per wall-clock second.
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// NsPerMsg is the inverse view: wall nanoseconds per update message.
+	NsPerMsg float64 `json:"ns_per_msg"`
+	// EncodeAllocsPerOp counts allocations per flush on the send side
+	// alone (builder reset + encode + datagram finalize). The allocation
+	// wall in internal/wire pins this at 0; the column keeps it visible
+	// in the report.
+	EncodeAllocsPerOp int64 `json:"encode_allocs_per_op"`
+	// BytesPerOp / AllocsPerOp are the full round trip's per-flush
+	// allocation footprint, receive side included (decoding materializes
+	// message values, so this is nonzero by design and scales with
+	// batch, not with messages × datagram overhead).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// wireWorkingSet builds the rotating update stream: one update value per
+// object, 64-byte payloads (the EXPERIMENTS.md baseline object size).
+func wireWorkingSet(objects int) []*wire.Update {
+	upds := make([]*wire.Update, objects)
+	for i := range upds {
+		payload := make([]byte, 64)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		upds[i] = &wire.Update{
+			Epoch:    1,
+			ObjectID: uint32(i + 1),
+			Version:  1_700_000_000_000_000_000,
+			Payload:  payload,
+		}
+	}
+	return upds
+}
+
+// wireRoundTrip measures the full hot path for one (objects, batch) cell:
+// frame `batch` updates into one datagram (bare encoding when batch is 1,
+// exactly the unbatched wire format), hand it off as an xkernel message —
+// the send path's allocation and copy — and decode the batch back out.
+// One benchmark op is one flush carrying `batch` messages.
+func wireRoundTrip(objects, batch int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		upds := wireWorkingSet(objects)
+		fb := wire.NewFrameBuilder()
+		next := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fb.Reset()
+			for j := 0; j < batch; j++ {
+				u := upds[next]
+				next = (next + 1) % objects
+				u.Seq++
+				fb.Append(u)
+			}
+			m := xkernel.NewMessage(fb.Datagram())
+			msgs, err := wire.DecodeFrame(m.Bytes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(msgs) != batch {
+				b.Fatalf("decoded %d messages, want %d", len(msgs), batch)
+			}
+		}
+	})
+}
+
+// wireEncodeOnly measures the send side alone, the path the allocation
+// wall pins at zero.
+func wireEncodeOnly(objects, batch int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		upds := wireWorkingSet(objects)
+		fb := wire.NewFrameBuilder()
+		next := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fb.Reset()
+			for j := 0; j < batch; j++ {
+				u := upds[next]
+				next = (next + 1) % objects
+				u.Seq++
+				fb.Append(u)
+			}
+			if fb.Datagram() == nil {
+				b.Fatal("no datagram")
+			}
+		}
+	})
+}
+
+// wireSweep runs the objects × batch matrix.
+func wireSweep(objectCounts, batches []int) []wirePoint {
+	var points []wirePoint
+	for _, objects := range objectCounts {
+		for _, batch := range batches {
+			rt := wireRoundTrip(objects, batch)
+			enc := wireEncodeOnly(objects, batch)
+			nsPerMsg := float64(rt.NsPerOp()) / float64(batch)
+			var msgsPerSec float64
+			if nsPerMsg > 0 {
+				msgsPerSec = 1e9 / nsPerMsg
+			}
+			points = append(points, wirePoint{
+				Objects:           objects,
+				Batch:             batch,
+				MsgsPerSec:        msgsPerSec,
+				NsPerMsg:          nsPerMsg,
+				EncodeAllocsPerOp: enc.AllocsPerOp(),
+				BytesPerOp:        rt.AllocedBytesPerOp(),
+				AllocsPerOp:       rt.AllocsPerOp(),
+			})
+		}
+	}
+	return points
+}
+
+// runWireCmd implements the "wire" subcommand: the encode → datagram →
+// decode hot-path sweep over object-count × batch-size, and with -json
+// merge it into the benchmark report file.
+func runWireCmd(args []string) error {
+	fs := flag.NewFlagSet("rtpbench wire", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "merge the sweep into the JSON benchmark report")
+	jsonPath := fs.String("json.out", "BENCH_rtpb.json", "path of the -json report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	objectCounts := []int{16, 64, 256}
+	batches := []int{1, 8, 32}
+	points := wireSweep(objectCounts, batches)
+
+	if *csv {
+		fmt.Println("objects,batch,msgs_per_sec,ns_per_msg,encode_allocs_per_op,bytes_per_op,allocs_per_op")
+		for _, p := range points {
+			fmt.Printf("%d,%d,%.0f,%.1f,%d,%d,%d\n",
+				p.Objects, p.Batch, p.MsgsPerSec, p.NsPerMsg,
+				p.EncodeAllocsPerOp, p.BytesPerOp, p.AllocsPerOp)
+		}
+	} else {
+		fmt.Println("wire hot path: encode -> datagram -> decode (batch=1 is one datagram per update)")
+		fmt.Printf("%-8s %-6s %-13s %-10s %-14s %-10s %s\n",
+			"objects", "batch", "msgs/sec", "ns/msg", "encode allocs", "B/op", "allocs/op")
+		for _, p := range points {
+			fmt.Printf("%-8d %-6d %-13.0f %-10.1f %-14d %-10d %d\n",
+				p.Objects, p.Batch, p.MsgsPerSec, p.NsPerMsg,
+				p.EncodeAllocsPerOp, p.BytesPerOp, p.AllocsPerOp)
+		}
+	}
+	if !*jsonOut {
+		return nil
+	}
+	var report benchReport
+	if data, err := os.ReadFile(*jsonPath); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("parse %s: %w", *jsonPath, err)
+		}
+	}
+	report.Wire = points
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d wire sweep points)\n", *jsonPath, len(points))
+	return nil
+}

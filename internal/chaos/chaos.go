@@ -73,6 +73,11 @@ type Scenario struct {
 	// core.DefaultCosts. Overload scenarios inflate it so the governor
 	// has real contention to govern.
 	Costs core.CostModel
+	// FrameBatch overrides the primary's per-slot frame batch bound; zero
+	// keeps the core default. Overload-ladder scenarios pin it to 1: frame
+	// coalescing amortizes the fixed per-datagram send cost, which absorbs
+	// the very contention those scenarios exist to create.
+	FrameBatch int
 	// Governor configures the primary's overload governor; the zero
 	// value leaves it off. When a backup learns of a mode change, the
 	// harness retargets the monitor: shed objects have their bound

@@ -174,6 +174,7 @@ func newHarness(sc Scenario) (*Harness, error) {
 		Scheduling: sc.Scheduling,
 		Costs:      sc.Costs,
 		Governor:   sc.Governor,
+		FrameBatch: sc.FrameBatch,
 	})
 	if err != nil {
 		return nil, err
@@ -234,6 +235,7 @@ func (h *Harness) backupConfig(port *xkernel.PortProtocol, primary xkernel.Addr)
 		Scheduling:          h.sc.Scheduling,
 		Costs:               h.sc.Costs,
 		Governor:            h.sc.Governor,
+		FrameBatch:          h.sc.FrameBatch,
 		DisableEpochFencing: h.sc.DisableFencing,
 	}
 }

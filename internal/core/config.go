@@ -93,6 +93,16 @@ func (c CostModel) sendCost(size int) time.Duration {
 	return c.UpdateSend + time.Duration(size)*c.PerByte
 }
 
+// marginalSendCost reports the CPU cost a framed batch pays for one
+// message beyond its first: the per-byte copy only. The fixed UpdateSend
+// component models per-datagram work (syscall, header, scheduling) that a
+// frame pays once per slot, so batching amortizes it — the simulator's
+// counterpart of the real stack's fewer-syscalls win. A one-message slot
+// therefore costs exactly sendCost, identical to the unbatched path.
+func (c CostModel) marginalSendCost(size int) time.Duration {
+	return time.Duration(size) * c.PerByte
+}
+
 // Config configures a Primary or Backup replica.
 type Config struct {
 	// Clock drives all timers; required.
@@ -165,6 +175,22 @@ type Config struct {
 	// buffering, which the paper-faithful experiment harness uses to
 	// reproduce the Figure 7 overload explosion.
 	SendQueueLimit int
+	// FrameBatch bounds how many pending object updates one transmission
+	// slot drains into each peer's framed datagram (wire.Frame). The
+	// decoupled transmission window makes coalescing semantically free —
+	// only the freshest image per object matters per slot — so batching
+	// trades nothing: the slot pays the same total CPU send cost but emits
+	// one datagram per peer instead of one per object. Defaults to 16; 1
+	// disables batching (every update rides its own datagram, the seed's
+	// wire behaviour). Ignored under UnboundedSendQueue, which keeps the
+	// legacy per-update CPU queueing for Figure 7/10 fidelity.
+	FrameBatch int
+	// FrameBytes soft-bounds the payload bytes one framed datagram
+	// carries: a slot stops collecting once the next object would push the
+	// frame past the budget (a single oversized object still goes alone).
+	// Defaults to 48 KiB, comfortably under the 64 KiB UDP datagram limit
+	// after frame and header overhead.
+	FrameBytes int
 	// RetryCeiling caps every adaptive retransmission backoff delay
 	// (registration, state transfer, critical acks, gap recovery);
 	// defaults to 1s.
@@ -289,6 +315,15 @@ func (c *Config) normalize() error {
 	}
 	if c.SendQueueLimit == 0 {
 		c.SendQueueLimit = 64
+	}
+	if c.FrameBatch == 0 {
+		c.FrameBatch = 16
+	}
+	if c.FrameBatch < 1 {
+		c.FrameBatch = 16
+	}
+	if c.FrameBytes <= 0 {
+		c.FrameBytes = 48 << 10
 	}
 	if c.RetryCeiling == 0 {
 		c.RetryCeiling = time.Second

@@ -38,6 +38,11 @@ type replicaPeer struct {
 	// queue is the peer's bounded pending-update queue (normal
 	// scheduling).
 	queue *sendQueue
+	// frame is the peer's reusable datagram builder: each transmission
+	// slot's batch of updates for this peer is framed into it and flushed
+	// as one datagram. Long-lived per peer so steady-state flushes do not
+	// allocate.
+	frame *wire.FrameBuilder
 
 	// State-transfer reliability: the last transfer pushed to this peer
 	// is retried on the adaptive timer until its ack arrives.
@@ -101,6 +106,7 @@ func (p *Primary) addPeerLocked(addr xkernel.Addr) error {
 		backoff:  backoff,
 		pingSent: make(map[uint64]time.Time),
 		queue:    newSendQueue(p.cfg.SendQueueLimit),
+		frame:    wire.NewFrameBuilder(),
 	})
 	return nil
 }
@@ -376,17 +382,44 @@ func (p *Primary) startDrain() {
 	p.drainStep()
 }
 
-// drainStep dequeues the oldest pending object across the live peers'
-// queues, pays one CPU send cost, transmits to every peer whose queue
-// held it, and chains the next step. One submission is outstanding at a
-// time, so client writes arriving meanwhile interleave fairly in the
-// low-priority FIFO instead of waiting behind a pre-queued backlog.
+// batchEntry is one object's coalesced transmission within a slot: the
+// object and the peers whose queues held it.
+type batchEntry struct {
+	o       *object
+	targets []*replicaPeer
+}
+
+// drainStep collects one transmission slot's batch — up to FrameBatch
+// pending objects across the live peers' queues, in FIFO order — pays the
+// batch's combined CPU send cost once, flushes one framed datagram per
+// peer carrying every update bound for it, and chains the next step. One
+// submission is outstanding at a time, so client writes arriving
+// meanwhile interleave fairly in the low-priority FIFO instead of waiting
+// behind a pre-queued backlog.
 func (p *Primary) drainStep() {
-	for {
-		if !p.running || p.role != RolePrimary {
-			p.drainActive = false
-			return
-		}
+	if !p.running || p.role != RolePrimary {
+		p.drainActive = false
+		return
+	}
+	entries, cost := p.collectBatch()
+	if len(entries) == 0 {
+		p.drainActive = false
+		return
+	}
+	p.proc.Submit(cpu.Low, cost, func() {
+		p.flushBatch(entries)
+		p.drainStep()
+	})
+}
+
+// collectBatch drains up to cfg.FrameBatch distinct objects (and at most
+// ~cfg.FrameBytes of payload) from the live peers' queues. An object is
+// removed from every queue that held it, so each slot transmits at most
+// one update per object — the frame-level mirror of the send queue's
+// coalescing invariant.
+func (p *Primary) collectBatch() (entries []batchEntry, cost time.Duration) {
+	frameBytes := 0
+	for len(entries) < p.cfg.FrameBatch {
 		var id uint32
 		found := false
 		for _, pr := range p.peers {
@@ -399,8 +432,10 @@ func (p *Primary) drainStep() {
 			}
 		}
 		if !found {
-			p.drainActive = false
-			return
+			break
+		}
+		if o, ok := p.adm.objects[id]; ok && len(entries) > 0 && frameBytes+len(o.value) > p.cfg.FrameBytes {
+			break // over the frame byte budget: the next slot takes it
 		}
 		var targets []*replicaPeer
 		for _, pr := range p.peers {
@@ -412,11 +447,78 @@ func (p *Primary) drainStep() {
 		if !ok || !o.hasData || len(targets) == 0 {
 			continue
 		}
-		p.proc.Submit(cpu.Low, p.cfg.Costs.sendCost(len(o.value)), func() {
-			p.sendUpdateTo(o, targets)
-			p.drainStep()
-		})
+		if len(entries) == 0 {
+			cost = p.cfg.Costs.sendCost(len(o.value))
+		} else {
+			cost += p.cfg.Costs.marginalSendCost(len(o.value))
+		}
+		entries = append(entries, batchEntry{o: o, targets: targets})
+		frameBytes += len(o.value)
+	}
+	return entries, cost
+}
+
+// flushBatch emits one transmission slot: each entry's current state is
+// encoded once (append-style, into the replica's reused buffer — zero
+// allocations in steady state) and framed into every target peer's
+// builder, then each peer receives a single datagram carrying its whole
+// batch. A builder holding exactly one message emits the bare unframed
+// encoding, so single-update slots stay byte-identical to the pre-framing
+// wire format. Must run after the batch's CPU cost has been paid.
+func (p *Primary) flushBatch(entries []batchEntry) {
+	if !p.running || p.role != RolePrimary {
+		// A queued slot whose replica demoted while it waited must not
+		// fire: bumping seq here would corrupt the backup-role fence.
 		return
+	}
+	for _, pr := range p.peers {
+		pr.frame.Reset()
+	}
+	p.encBuf = p.encBuf[:0]
+	fired := entries[:0]
+	for _, e := range entries {
+		o := e.o
+		if !o.hasData {
+			continue
+		}
+		live := e.targets[:0]
+		for _, pr := range e.targets {
+			if pr.alive {
+				live = append(live, pr)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		o.seq++
+		o.lastSentSeq = o.seq
+		o.lastSentVersion = o.version
+		o.lastSentAt = p.clk.Now()
+		p.updMsg = wire.Update{
+			Epoch:    p.epoch,
+			ObjectID: o.id,
+			Seq:      o.seq,
+			Version:  o.version.UnixNano(),
+			Payload:  o.value,
+		}
+		start := len(p.encBuf)
+		p.encBuf = wire.AppendEncode(p.encBuf, &p.updMsg)
+		for _, pr := range live {
+			// AppendEncoded copies immediately, so a later growth of
+			// encBuf cannot invalidate what the builders hold.
+			pr.frame.AppendEncoded(p.encBuf[start:])
+		}
+		fired = append(fired, e)
+	}
+	for _, pr := range p.peers {
+		if dg := pr.frame.Datagram(); dg != nil {
+			_ = pr.sess.Push(xkernel.NewMessage(dg))
+		}
+	}
+	if p.OnSend != nil {
+		for _, e := range fired {
+			p.OnSend(e.o.id, e.o.spec.Name, e.o.lastSentSeq, e.o.lastSentVersion)
+		}
 	}
 }
 
@@ -448,15 +550,18 @@ func (p *Primary) sendUpdateTo(o *object, targets []*replicaPeer) {
 	o.lastSentSeq = o.seq
 	o.lastSentVersion = o.version
 	o.lastSentAt = p.clk.Now()
-	encoded := wire.Encode(&wire.Update{
+	p.updMsg = wire.Update{
 		Epoch:    p.epoch,
 		ObjectID: o.id,
 		Seq:      o.seq,
 		Version:  o.version.UnixNano(),
 		Payload:  o.value,
-	})
+	}
+	// Append-encode into the reused buffer; NewMessage copies, so the
+	// buffer is free again as soon as the pushes return.
+	p.encBuf = wire.AppendEncode(p.encBuf[:0], &p.updMsg)
 	for _, pr := range live {
-		_ = pr.sess.Push(xkernel.NewMessage(encoded))
+		_ = pr.sess.Push(xkernel.NewMessage(p.encBuf))
 	}
 	if p.OnSend != nil {
 		p.OnSend(o.id, o.spec.Name, o.seq, o.version)

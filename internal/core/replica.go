@@ -98,6 +98,11 @@ type Replica struct {
 	// still queued from the previous release (coalesced sends) since the
 	// governor's last sample.
 	deadlineMisses int
+	// encBuf is the batched flush path's reused encode buffer; updMsg the
+	// reused Update value. Together with the per-peer frame builders they
+	// keep the steady-state update path allocation-free.
+	encBuf []byte
+	updMsg wire.Update
 
 	// --- backup-role state ---
 
@@ -375,7 +380,9 @@ func (r *Replica) SendPing() uint64 {
 }
 
 // Demux implements xkernel.Upper: inbound RTPB datagrams are decoded once
-// and dispatched by the current role.
+// and dispatched by the current role. A framed datagram fans out to one
+// dispatch per carried message, in transmission order, so every handler
+// sees the same per-message stream it would under one-datagram-per-update.
 func (r *Replica) Demux(m *xkernel.Message, from xkernel.Addr) error {
 	if !r.running {
 		return nil
@@ -384,12 +391,28 @@ func (r *Replica) Demux(m *xkernel.Message, from xkernel.Addr) error {
 	if err != nil {
 		return err // malformed datagram: drop
 	}
+	if f, ok := msg.(*wire.Frame); ok {
+		for _, sub := range f.Messages {
+			if !r.running {
+				// A framed message may stop the replica (epoch fence,
+				// demote); the rest of the batch must not leak through.
+				return nil
+			}
+			r.dispatch(sub, from)
+		}
+		return nil
+	}
+	r.dispatch(msg, from)
+	return nil
+}
+
+// dispatch routes one decoded message to the current role's handler.
+func (r *Replica) dispatch(msg wire.Message, from xkernel.Addr) {
 	if r.role == RolePrimary {
 		r.demuxPrimary(msg, from)
 	} else {
 		r.demuxBackup(msg)
 	}
-	return nil
 }
 
 // Promote flips a backup to primary in place under the given epoch: the

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"testing"
+)
+
+// The allocation wall: the steady-state update path — append-style encode
+// and the per-peer frame flush — must not allocate. These assertions are
+// what lets CI fail a codec edit that quietly reintroduces a per-message
+// allocation, the regression the ROADMAP's throughput ceiling traces to.
+
+// benchUpdate is a representative steady-state update (64-byte payload,
+// the EXPERIMENTS.md baseline object size).
+func benchUpdate() *Update {
+	return &Update{
+		Epoch:    2,
+		ObjectID: 7,
+		Seq:      41,
+		Version:  1_700_000_000_000_000_000,
+		Payload: []byte("0123456789abcdef0123456789abcdef" +
+			"0123456789abcdef0123456789abcdef"),
+	}
+}
+
+func TestAppendEncodeUpdateZeroAlloc(t *testing.T) {
+	u := benchUpdate()
+	buf := AppendEncode(nil, u) // warm: grow the buffer once
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendEncode(buf[:0], u)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode allocates %v times per op, want 0", allocs)
+	}
+}
+
+func TestFrameFlushZeroAlloc(t *testing.T) {
+	u := benchUpdate()
+	enc := Encode(u)
+	b := NewFrameBuilder()
+	// Warm: one full flush grows the builder to steady-state capacity.
+	for i := 0; i < 16; i++ {
+		b.AppendEncoded(enc)
+	}
+	_ = b.Datagram()
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Reset()
+		for i := 0; i < 16; i++ {
+			b.AppendEncoded(enc)
+		}
+		if b.Datagram() == nil {
+			t.Fatal("flush produced no datagram")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state frame flush allocates %v times per op, want 0", allocs)
+	}
+}
+
+func TestFrameBuilderAppendZeroAlloc(t *testing.T) {
+	// The message-value path (Append, not AppendEncoded) must also stay
+	// allocation-free once the builder has grown: encoding goes straight
+	// into the builder's buffer.
+	u := benchUpdate()
+	b := NewFrameBuilder()
+	for i := 0; i < 16; i++ {
+		b.Append(u)
+	}
+	_ = b.Datagram()
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Reset()
+		for i := 0; i < 16; i++ {
+			b.Append(u)
+		}
+		_ = b.Datagram()
+	})
+	if allocs != 0 {
+		t.Fatalf("builder Append allocates %v times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkAppendEncodeUpdate is the hot-path benchmark CI pins at
+// 0 allocs/op: one steady-state update encoded into a reused buffer.
+func BenchmarkAppendEncodeUpdate(b *testing.B) {
+	u := benchUpdate()
+	buf := AppendEncode(nil, u)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], u)
+	}
+}
+
+// BenchmarkEncodeUpdate is the allocating baseline AppendEncode replaces;
+// it exists so the benchmem diff (1 alloc/op vs 0) stays visible.
+func BenchmarkEncodeUpdate(b *testing.B) {
+	u := benchUpdate()
+	b.SetBytes(int64(len(Encode(u))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(u)
+	}
+}
+
+// BenchmarkFrameFlush measures one steady-state transmission slot: reset,
+// frame 16 pre-encoded updates, finalize the datagram. CI pins it at
+// 0 allocs/op.
+func BenchmarkFrameFlush(b *testing.B) {
+	enc := Encode(benchUpdate())
+	fb := NewFrameBuilder()
+	for i := 0; i < 16; i++ {
+		fb.AppendEncoded(enc)
+	}
+	b.SetBytes(int64(len(fb.Datagram())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.Reset()
+		for j := 0; j < 16; j++ {
+			fb.AppendEncoded(enc)
+		}
+		_ = fb.Datagram()
+	}
+}
+
+// BenchmarkDecodeFrame measures the receive side of a 16-update frame.
+func BenchmarkDecodeFrame(b *testing.B) {
+	enc := Encode(benchUpdate())
+	fb := NewFrameBuilder()
+	for i := 0; i < 16; i++ {
+		fb.AppendEncoded(enc)
+	}
+	dg := fb.Datagram()
+	b.SetBytes(int64(len(dg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrame(dg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

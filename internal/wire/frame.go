@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+)
+
+// This file implements multi-message framing: one datagram carrying a
+// batch of complete RTPB messages, each length-prefixed (modeled on the
+// batched packet composition of nano's codec). The paper's decoupled
+// transmission window makes batching semantically free — only the
+// freshest image per object matters per slot — so the primary's send
+// path coalesces every update pending for one peer into a single framed
+// datagram per transmission slot, collapsing the per-update datagram and
+// allocator costs that otherwise cap throughput.
+//
+// Frame layout after the standard RTPB header (magic, version,
+// KindFrame):
+//
+//	count   uint16
+//	count × (length uint32, message bytes)
+//
+// where each message is a complete RTPB encoding including its own
+// header. Frames never nest: a frame inside a frame is a decode error,
+// which keeps DecodeFrame non-recursive and bounds decode depth at two.
+
+// Frame is a batch of messages traveling in one datagram.
+type Frame struct {
+	// Messages are the framed messages in transmission order.
+	Messages []Message
+}
+
+// ErrNestedFrame is returned when a frame contains another frame.
+var ErrNestedFrame = errors.New("wire: nested frame")
+
+// MaxFrameMessages is the most messages one frame can carry (the count
+// prefix is 16 bits).
+const MaxFrameMessages = 1<<16 - 1
+
+// WireKind implements Message.
+func (*Frame) WireKind() Kind { return KindFrame }
+
+func (m *Frame) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Messages)))
+	for _, sub := range m.Messages {
+		dst = appendFramed(dst, sub)
+	}
+	return dst
+}
+
+// appendFramed appends one length-prefixed complete message encoding.
+func appendFramed(dst []byte, m Message) []byte {
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = AppendEncode(dst, m)
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+func (m *Frame) decodeBody(r *reader) error {
+	n := int(r.uint16())
+	if r.err != nil {
+		return r.err
+	}
+	m.Messages = make([]Message, 0, min(n, 64))
+	for i := 0; i < n; i++ {
+		// A forged length prefix cannot force an allocation: it is checked
+		// against the remaining datagram (int64 so a 4 GiB prefix cannot
+		// wrap a 32-bit int), and take only slices the input.
+		length := r.uint32()
+		if r.err == nil && int64(length) > int64(len(r.buf)) {
+			r.err = ErrTruncated
+		}
+		sub := r.take(int(length))
+		if r.err != nil {
+			return r.err
+		}
+		if len(sub) >= headerLen && Kind(sub[3]) == KindFrame {
+			// Reject before recursing into Decode so a nested-frame chain
+			// cannot grow the stack.
+			return ErrNestedFrame
+		}
+		msg, err := Decode(sub)
+		if err != nil {
+			return err
+		}
+		m.Messages = append(m.Messages, msg)
+	}
+	return r.err
+}
+
+// AppendFrame appends a framed encoding of msgs to dst and returns the
+// extended slice. It always emits the frame wrapper, even for zero or one
+// message; the send path's FrameBuilder is the adaptive form that emits a
+// bare message when only one is pending.
+func AppendFrame(dst []byte, msgs ...Message) []byte {
+	f := Frame{Messages: msgs}
+	return AppendEncode(dst, &f)
+}
+
+// DecodeFrame parses a datagram that may be a frame or a bare message and
+// returns the messages it carries, in order: the frame's batch, or the
+// single message itself. This is the batch-aware receive entry point —
+// a demux loop over its result handles framed and unframed traffic
+// identically.
+func DecodeFrame(b []byte) ([]Message, error) {
+	m, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	if f, ok := m.(*Frame); ok {
+		return f.Messages, nil
+	}
+	return []Message{m}, nil
+}
+
+// framePrefixLen is the RTPB header plus the 16-bit count.
+const framePrefixLen = headerLen + 2
+
+// FrameBuilder composes one outbound datagram incrementally with zero
+// allocations in steady state: messages append into one reused buffer,
+// and Datagram returns either the framed batch or — when exactly one
+// message was appended — that message's bare encoding, so single-update
+// slots stay byte-identical to the unbatched wire format.
+//
+// Builders are not safe for concurrent use. Acquire one from the pool,
+// flush it, and release it (or keep a long-lived builder per peer and
+// Reset between datagrams).
+type FrameBuilder struct {
+	buf   []byte
+	count int
+}
+
+// NewFrameBuilder returns a ready builder with a pre-sized buffer.
+func NewFrameBuilder() *FrameBuilder {
+	b := &FrameBuilder{buf: make([]byte, 0, 2048)}
+	b.Reset()
+	return b
+}
+
+var builderPool = sync.Pool{New: func() any { return NewFrameBuilder() }}
+
+// AcquireFrameBuilder takes a reset builder from the shared pool.
+func AcquireFrameBuilder() *FrameBuilder {
+	b := builderPool.Get().(*FrameBuilder)
+	b.Reset()
+	return b
+}
+
+// Release returns the builder to the pool. The builder (and any slice
+// Datagram returned) must not be used afterwards. Builders grown past a
+// megabyte are dropped instead, so one oversized batch cannot pin its
+// buffer in the pool forever.
+func (b *FrameBuilder) Release() {
+	if cap(b.buf) > 1<<20 {
+		return
+	}
+	builderPool.Put(b)
+}
+
+// Reset empties the builder, keeping its buffer.
+func (b *FrameBuilder) Reset() {
+	b.buf = b.buf[:0]
+	b.buf = binary.BigEndian.AppendUint16(b.buf, Magic)
+	b.buf = append(b.buf, Version, uint8(KindFrame), 0, 0)
+	b.count = 0
+}
+
+// Append encodes one message into the builder.
+func (b *FrameBuilder) Append(m Message) {
+	b.buf = appendFramed(b.buf, m)
+	b.count++
+}
+
+// AppendEncoded appends one already-encoded message (a complete RTPB
+// encoding including its header). The broadcast path uses it to encode an
+// update once and frame it for several peers without re-encoding.
+func (b *FrameBuilder) AppendEncoded(enc []byte) {
+	b.buf = binary.BigEndian.AppendUint32(b.buf, uint32(len(enc)))
+	b.buf = append(b.buf, enc...)
+	b.count++
+}
+
+// Count reports the number of messages appended since the last Reset.
+func (b *FrameBuilder) Count() int { return b.count }
+
+// Size reports the bytes the framed datagram would occupy now. The send
+// path checks it against its frame byte budget before appending more.
+func (b *FrameBuilder) Size() int { return len(b.buf) }
+
+// Full reports whether the frame has reached its message-count capacity.
+func (b *FrameBuilder) Full() bool { return b.count >= MaxFrameMessages }
+
+// Datagram finalizes and returns the datagram bytes: nil when nothing was
+// appended, the single message's bare encoding when one was (so a lone
+// update costs no frame overhead and stays compatible with the unframed
+// format), or the frame with its count patched in. The slice aliases the
+// builder's buffer and is valid until the next Reset or Release.
+func (b *FrameBuilder) Datagram() []byte {
+	switch b.count {
+	case 0:
+		return nil
+	case 1:
+		return b.buf[framePrefixLen+4:]
+	}
+	binary.BigEndian.PutUint16(b.buf[headerLen:], uint16(b.count))
+	return b.buf
+}

@@ -50,6 +50,12 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}},
 		&StateChunkAck{Epoch: 3, Xfer: 1, Chunk: 2, Applied: 1},
 		&Unregister{Epoch: 3, ObjectID: 7},
+		&Frame{Messages: []Message{
+			&Update{Epoch: 2, ObjectID: 7, Seq: 41, Version: 99, Payload: []byte("batched")},
+			&Update{Epoch: 2, ObjectID: 8, Seq: 12, Version: 100, Payload: []byte{}},
+			&Ping{Seq: 3, From: RolePrimary},
+		}},
+		&Frame{},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
@@ -83,6 +89,69 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 		if again.WireKind() != m.WireKind() {
 			t.Fatalf("kind changed across round-trip: %v != %v", again.WireKind(), m.WireKind())
+		}
+	})
+}
+
+// FuzzDecodeFrame targets the batched receive path. The contract: for
+// arbitrary input DecodeFrame never panics; when it accepts, the batch it
+// returns re-frames to a decodable equivalent (same count, byte-identical
+// per-message encodings) and never contains a frame — nesting is a decode
+// error, which is what bounds decode depth at two. The checked-in corpus
+// (testdata/fuzz/FuzzDecodeFrame) seeds truncated length prefixes,
+// zero-length frames, trailing garbage, and a nested frame alongside
+// well-formed batches.
+func FuzzDecodeFrame(f *testing.F) {
+	upd := Encode(&Update{Epoch: 2, ObjectID: 7, Seq: 41, Version: 99, Payload: []byte("pressure=17.3")})
+	ping := Encode(&Ping{Seq: 9, From: RoleBackup})
+
+	// Well-formed batches: empty, single, mixed-kind.
+	f.Add(AppendFrame(nil))
+	f.Add(AppendFrame(nil, &Update{ObjectID: 1, Seq: 1, Payload: []byte("x")}))
+	f.Add(AppendFrame(nil,
+		&Update{Epoch: 1, ObjectID: 3, Seq: 2, Version: 5, Payload: []byte("abc")},
+		&Ping{Seq: 1, From: RolePrimary},
+		&UpdateAck{ObjectID: 3, Seq: 2}))
+	// A bare (unframed) message: DecodeFrame's compatibility path.
+	f.Add(upd)
+
+	// Malformed: truncated count, truncated length prefix, length past
+	// the end, zero-length sub-message, trailing garbage, nested frame,
+	// count overshooting the messages present, 0xFFFFFFFF length.
+	hdr := []byte{0x52, 0xb0, Version, uint8(KindFrame)}
+	f.Add(hdr)
+	f.Add(append(append([]byte{}, hdr...), 0))
+	f.Add(append(append([]byte{}, hdr...), 0, 1, 0, 0))
+	f.Add(append(append([]byte{}, hdr...), 0, 1, 0, 0, 0, 200, 1, 2, 3))
+	f.Add(append(append([]byte{}, hdr...), 0, 1, 0, 0, 0, 0))
+	f.Add(append(AppendFrame(nil, &Ping{Seq: 1}), 0xee))
+	f.Add(AppendFrame(nil, &Frame{Messages: []Message{&Ping{Seq: 1}}}))
+	f.Add(append(append([]byte{}, hdr...), 0, 2,
+		0, 0, 0, byte(len(ping)))) // count says 2, bytes hold part of 1
+	f.Add(append(append([]byte{}, hdr...), 0, 1, 0xff, 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, err := DecodeFrame(data)
+		if err != nil {
+			return // malformed input is allowed, panicking on it is not
+		}
+		for _, m := range msgs {
+			if m.WireKind() == KindFrame {
+				t.Fatal("DecodeFrame returned a nested frame")
+			}
+		}
+		reframed := AppendFrame(nil, msgs...)
+		again, err := DecodeFrame(reframed)
+		if err != nil {
+			t.Fatalf("re-framing %d accepted messages failed to decode: %v", len(msgs), err)
+		}
+		if len(again) != len(msgs) {
+			t.Fatalf("message count changed across re-frame: %d != %d", len(again), len(msgs))
+		}
+		for i := range msgs {
+			if !bytes.Equal(Encode(again[i]), Encode(msgs[i])) {
+				t.Fatalf("message %d not preserved across re-frame", i)
+			}
 		}
 	})
 }

@@ -80,6 +80,12 @@ const (
 	// the backup must release its reservation and stop reporting the
 	// object.
 	KindUnregister
+	// KindFrame is a length-prefixed batch of complete RTPB messages
+	// coalesced into one datagram (frame.go). The transmission window's
+	// decoupling makes this semantically free: only the freshest image per
+	// object matters per slot, so every pending update to one peer rides
+	// one datagram. Frames do not nest.
+	KindFrame
 )
 
 // String returns the kind name.
@@ -123,6 +129,8 @@ func (k Kind) String() string {
 		return "StateChunkAck"
 	case KindUnregister:
 		return "Unregister"
+	case KindFrame:
+		return "Frame"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -169,11 +177,22 @@ var (
 	_ Message = (*StateChunk)(nil)
 	_ Message = (*StateChunkAck)(nil)
 	_ Message = (*Unregister)(nil)
+	_ Message = (*Frame)(nil)
 )
 
-// Encode serializes a message with the RTPB header.
+// Encode serializes a message with the RTPB header into a fresh buffer.
+// Hot paths should prefer AppendEncode with a reused buffer: Encode
+// allocates per call, AppendEncode does not.
 func Encode(m Message) []byte {
-	dst := make([]byte, 0, 64)
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// AppendEncode serializes a message with the RTPB header, appending to
+// dst and returning the extended slice (the append idiom of
+// strconv.AppendInt). It performs no allocation beyond growing dst, so a
+// caller that reuses its buffer encodes at zero allocations per message —
+// the steady-state update path's discipline.
+func AppendEncode(dst []byte, m Message) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, Magic)
 	dst = append(dst, Version, uint8(m.WireKind()))
 	return m.appendBody(dst)
@@ -231,6 +250,8 @@ func Decode(b []byte) (Message, error) {
 		m = &StateChunkAck{}
 	case KindUnregister:
 		m = &Unregister{}
+	case KindFrame:
+		m = &Frame{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[3])
 	}
