@@ -9,6 +9,8 @@
 //	rtpbctl -addr 127.0.0.1:7777 status
 //	rtpbctl -addr 127.0.0.1:7777 repair               # peer repair-cycle state
 //	rtpbctl -addr 127.0.0.1:7777 recruit 10.0.0.9:7000
+//	rtpbctl -addr 127.0.0.1:7777 logstat             # durable store inventory
+//	rtpbctl -addr 127.0.0.1:7777 snapshot            # force a durable snapshot
 //	rtpbctl -addr 127.0.0.1:7777 bench alt 40ms 5s   # periodic writes
 //
 // Against a sharded cluster's control endpoint (internal/ctl.ShardServer)
@@ -45,7 +47,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|repair|recruit|bench> args...")
+		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|repair|recruit|logstat|snapshot|bench> args...")
 	}
 
 	// Validate the subcommand before touching the network.
@@ -61,6 +63,8 @@ func run(args []string) error {
 		"status":   {1, "status"},
 		"repair":   {1, "repair"},
 		"recruit":  {2, "recruit <addr>"},
+		"logstat":  {1, "logstat"},
+		"snapshot": {1, "snapshot"},
 		"bench":    {4, "bench <name> <period> <duration>"},
 		"shards":   {1, "shards"},
 		"route":    {2, "route <object>"},
@@ -102,6 +106,14 @@ func run(args []string) error {
 		return doPrint(c, "REPAIR")
 	case "recruit":
 		return doPrint(c, "RECRUIT "+rest[1])
+	case "logstat":
+		reply, err := c.Do("LOGSTAT")
+		if err != nil {
+			return err
+		}
+		return printLogstat(reply)
+	case "snapshot":
+		return doPrint(c, "SNAPSHOT")
 	case "shards":
 		reply, err := c.Do("SHARDS")
 		if err != nil {
@@ -186,6 +198,41 @@ func printShards(reply string) error {
 			fields[0], kv["primary"], kv["epoch"], kv["objects"],
 			kv["utilization"], kv["backupAlive"], kv["promotions"])
 	}
+	return nil
+}
+
+// printLogstat renders the LOGSTAT reply
+//
+//	OK segments=<n> prunable_segments=<n> prunable_epochs=<n> pruned=<n>
+//	  snapshots=<n> last_snapshot_epoch=<e> epoch=<e> appended=<n>
+//	  dropped=<n> source=<disk|network|none> restored=<n>
+//
+// as a two-row aligned table: the store's segment/snapshot inventory and
+// how this replica's state was recovered. "PRUNABLE" is segments(epochs)
+// already covered by the newest snapshot — what the next prune drops.
+func printLogstat(reply string) error {
+	if !strings.HasPrefix(reply, "OK ") {
+		fmt.Println(reply)
+		os.Exit(2)
+	}
+	kv := map[string]string{}
+	for _, f := range strings.Fields(reply)[1:] {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			kv[k] = v
+		}
+	}
+	if kv["segments"] == "" {
+		fmt.Println(reply)
+		return nil
+	}
+	fmt.Printf("%-9s %-12s %-7s %-10s %-10s %-6s %-9s %-8s %-8s %s\n",
+		"SEGMENTS", "PRUNABLE", "PRUNED", "SNAPSHOTS", "SNAPEPOCH", "EPOCH",
+		"APPENDED", "DROPPED", "SOURCE", "RESTORED")
+	fmt.Printf("%-9s %-12s %-7s %-10s %-10s %-6s %-9s %-8s %-8s %s\n",
+		kv["segments"],
+		fmt.Sprintf("%s(%sep)", kv["prunable_segments"], kv["prunable_epochs"]),
+		kv["pruned"], kv["snapshots"], kv["last_snapshot_epoch"], kv["epoch"],
+		kv["appended"], kv["dropped"], kv["source"], kv["restored"])
 	return nil
 }
 

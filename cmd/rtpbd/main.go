@@ -12,6 +12,13 @@
 // the primary role under a bumped epoch without copying state, and
 // rtpbctl's status verb reports the transition.
 //
+// With -data <dir>, the replica keeps an asynchronous write-ahead log
+// plus epoch snapshots under dir and recovers from it on restart: a
+// primary resumes its object set under a fenced epoch, and a backup
+// seeds its table from the local durable tail before joining, so
+// anti-entropy streams only the gap (disk-fast rejoin). Inspect the
+// store with rtpbctl logstat / snapshot.
+//
 // A two-host (or two-terminal) deployment:
 //
 //	rtpbd -role backup  -listen 127.0.0.1:7001 -peer 127.0.0.1:7000
@@ -42,8 +49,10 @@ import (
 	"rtpb/internal/clock"
 	"rtpb/internal/core"
 	"rtpb/internal/ctl"
+	"rtpb/internal/durable"
 	"rtpb/internal/failover"
 	"rtpb/internal/netsim"
+	"rtpb/internal/temporal"
 )
 
 func main() {
@@ -78,6 +87,7 @@ func run(args []string) error {
 	heartbeat := fs.Bool("heartbeat", true, "run the heartbeat failure detector")
 	takeover := fs.Bool("takeover", false, "backup only: promote in place when the primary is declared dead")
 	mtu := fs.Int("mtu", 0, "fragment updates larger than this (0 = no fragmentation layer)")
+	dataDir := fs.String("data", "", "durable store directory (created if missing): async WAL + epoch snapshots; on restart the replica recovers from it — a primary resumes under a fenced epoch, a backup rejoins streaming only the gap")
 	verbose := fs.Bool("v", false, "log protocol events")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +156,36 @@ func run(args []string) error {
 		cfg.Peer, cfg.Peers = cfg.Peers[0], nil
 	}
 
+	// -data turns on the durable store: recover whatever a previous run
+	// left behind (a missing or empty directory recovers an empty image),
+	// then open the log for this run. Recovery never blocks on
+	// corruption — a torn tail just shortens what RestoreDurable seeds.
+	var recovered *durable.State
+	if *dataDir != "" {
+		st, rs, err := durable.Recover(*dataDir)
+		if err != nil {
+			return err
+		}
+		if rs.SnapshotUsed || rs.RecordsReplayed > 0 {
+			stopped := rs.Stopped
+			if stopped == "" {
+				stopped = "clean"
+			}
+			log.Printf("recovered %d object(s) at epoch %d from %s (snapshot=%v, %d record(s) over %d segment(s), tail %s)",
+				len(st.Objects), st.Epoch, *dataDir, rs.SnapshotUsed,
+				rs.RecordsReplayed, rs.SegmentsReplayed, stopped)
+		}
+		dlog, err := durable.Open(durable.Config{Dir: *dataDir})
+		if err != nil {
+			return err
+		}
+		defer dlog.Close()
+		cfg.Durable = dlog
+		if len(st.Objects) > 0 || st.Epoch > 0 {
+			recovered = st
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 
@@ -153,14 +193,14 @@ func run(args []string) error {
 	if *role == "primary" {
 		startRole = core.RolePrimary
 	}
-	return runReplica(clk, cfg, startRole, *ctlAddr, *heartbeat, *takeover, *verbose, sig, transport.LocalAddr())
+	return runReplica(clk, cfg, startRole, *ctlAddr, *heartbeat, *takeover, *verbose, sig, transport.LocalAddr(), recovered)
 }
 
 // runReplica drives one replica of either role: build it, wire the
 // verbose taps and the role-appropriate failure detector, and serve the
 // control socket until a signal arrives. Promotion does not restart the
 // process — the same replica flips roles in place.
-func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr string, heartbeat, takeover, verbose bool, sig chan os.Signal, local string) error {
+func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr string, heartbeat, takeover, verbose bool, sig chan os.Signal, local string, recovered *durable.State) error {
 	errCh := make(chan error, 1)
 	var rep *core.Replica
 	clk.Post(func() {
@@ -170,6 +210,15 @@ func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr s
 			return
 		}
 		rep = r
+		if recovered != nil {
+			if role == core.RolePrimary {
+				n := resumePrimary(r, recovered)
+				log.Printf("resumed as primary under fenced epoch %d with %d restored object value(s)",
+					r.Epoch(), n)
+			} else if n := r.RestoreDurable(recovered); n > 0 {
+				log.Printf("disk-fast rejoin: %d object value(s) seeded from the local durable tail; anti-entropy streams only the gap", n)
+			}
+		}
 		if verbose {
 			r.OnSend = func(_ uint32, name string, seq uint64, _ time.Time) {
 				log.Printf("send update %s seq=%d", name, seq)
@@ -221,6 +270,44 @@ func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr s
 	clk.Post(func() { rep.Stop(); close(done) })
 	<-done
 	return nil
+}
+
+// resumePrimary rebuilds a restarted primary from its recovered durable
+// image: specs re-enter through Register — in recovered-ID order, so IDs
+// survive the power cycle and admission accounting is rebuilt — values
+// are seeded with their recovered versions, and the serving epoch is
+// fenced one above everything witnessed on disk, so any straggler
+// traffic from the previous incarnation is rejected.
+func resumePrimary(p *core.Primary, st *durable.State) int {
+	restored := 0
+	for i := range st.Objects {
+		d := &st.Objects[i]
+		if d.Name == "" {
+			continue
+		}
+		dec := p.Register(core.ObjectSpec{
+			Name:         d.Name,
+			Size:         int(d.Size),
+			UpdatePeriod: time.Duration(d.Period),
+			Constraint: temporal.ExternalConstraint{
+				DeltaP: time.Duration(d.DeltaP),
+				DeltaB: time.Duration(d.DeltaB),
+			},
+			Critical: d.Critical,
+		})
+		if !dec.Accepted {
+			log.Printf("recovered object %q no longer admissible: %s", d.Name, dec.Reason)
+			continue
+		}
+		if d.HasData {
+			if err := p.SeedObject(d.Name, d.Value, time.Unix(0, d.Version)); err == nil {
+				restored++
+			}
+		}
+	}
+	p.SetEpoch(st.Epoch + 1)
+	p.NoteDiskRestore(restored)
+	return restored
 }
 
 // wirePrimaryDetector watches the backup: on its death, update events to

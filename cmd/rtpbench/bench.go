@@ -63,6 +63,21 @@ type rejoinPoint struct {
 	FinalEpoch uint32 `json:"final_epoch"`
 	// Violations counts invariant failures (0 in a healthy run).
 	Violations int `json:"violations"`
+	// Mode marks the disk-vs-network transfer sweep entries ("disk" or
+	// "network", from "rtpbench rejoin"); empty for the full
+	// repair-cycle points above.
+	Mode string `json:"mode,omitempty"`
+	// TransferMs is the sweep's measured quantity: the anti-entropy
+	// window from JoinAccept to the final state chunk. Directory polling
+	// and failover latency — identical across modes — are excluded.
+	TransferMs float64 `json:"transfer_ms,omitempty"`
+	// SpeedupVsNetwork is, on disk-mode entries, the network-mode
+	// transfer time at the same loss divided by this entry's; the repo
+	// gates it at 10x for loss >= 10%.
+	SpeedupVsNetwork float64 `json:"speedup_vs_network,omitempty"`
+	// RestoredObjects counts values the disk-mode restart seeded from
+	// its durable store before joining.
+	RestoredObjects int `json:"restored_objects,omitempty"`
 }
 
 // benchReport is the file written by rtpbench -json.
@@ -168,6 +183,17 @@ func runBench(path string, seed int64, duration time.Duration) error {
 			Violations: len(res.Violations),
 		})
 	}
+
+	// The disk-vs-network rejoin transfer sweep ("rtpbench rejoin"): same
+	// repair cycle, but against a wide mostly-quiescent state, comparing a
+	// restart that replays its local durable tail with one that streams
+	// everything over the wire. The sweep enforces the 10x-at->=10%-loss
+	// speedup gate itself.
+	rejoinPoints, err := rejoinSweep(seed)
+	if err != nil {
+		return fmt.Errorf("bench rejoin sweep: %w", err)
+	}
+	report.Rejoin = append(report.Rejoin, rejoinPoints...)
 
 	// The sharding sweep: cluster capacity and aggregate write throughput
 	// against shard count, on the same fixed 2s virtual interval the

@@ -24,6 +24,9 @@
 //
 //	rtpbench wire               # wire hot-path sweep: objects × batch size
 //	rtpbench wire -json         # merge the sweep into BENCH_rtpb.json
+//
+//	rtpbench rejoin             # disk-vs-network rejoin transfer sweep
+//	rtpbench rejoin -json       # merge the sweep into BENCH_rtpb.json
 package main
 
 import (
@@ -48,6 +51,8 @@ func main() {
 		err = runTakeoverCmd(args[1:])
 	} else if len(args) > 0 && args[0] == "wire" {
 		err = runWireCmd(args[1:])
+	} else if len(args) > 0 && args[0] == "rejoin" {
+		err = runRejoinCmd(args[1:])
 	} else {
 		err = run(args)
 	}

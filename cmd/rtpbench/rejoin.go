@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rtpb/internal/chaos"
+)
+
+// rejoinLosses is the disk-vs-network sweep's loss axis.
+var rejoinLosses = []float64{0, 0.05, 0.10, 0.20}
+
+// rejoinSpeedupGate is the floor on disk-mode speedup at or above
+// rejoinGateLoss: a restart that replays its local durable tail must
+// beat a full over-the-wire anti-entropy transfer by at least this
+// factor once the link is meaningfully lossy, or disk-fast rejoin has
+// regressed into re-streaming state it already holds.
+const (
+	rejoinSpeedupGate = 10.0
+	rejoinGateLoss    = 0.10
+)
+
+// rejoinSweep measures the disk-vs-network rejoin transfer matrix: the
+// chaos.RejoinSweep scenario (wide mostly-quiescent state, crashed
+// primary returning to a promoted successor) in both modes at each loss
+// rate, all on the virtual clock. Disk-mode entries carry the speedup
+// over the network entry at the same loss, and the sweep fails if the
+// gate is missed. A scenario violation also fails the sweep: a transfer
+// time from a run that broke an invariant is not a measurement.
+func rejoinSweep(seed int64) ([]rejoinPoint, error) {
+	var points []rejoinPoint
+	networkMs := make(map[float64]float64)
+	for _, loss := range rejoinLosses {
+		for _, disk := range []bool{false, true} {
+			sc := chaos.RejoinSweep(loss, disk)
+			sc.Seed = seed
+			res, err := chaos.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("rejoin sweep %s: %w", sc.Name, err)
+			}
+			if len(res.Violations) > 0 {
+				return nil, fmt.Errorf("rejoin sweep %s seed %d: %d violation(s): %s",
+					sc.Name, sc.Seed, len(res.Violations), res.Violations[0])
+			}
+			mode := "network"
+			if disk {
+				mode = "disk"
+			}
+			p := rejoinPoint{
+				Name:            res.Scenario,
+				Loss:            loss,
+				Mode:            mode,
+				TransferMs:      float64(res.RejoinTransfer.Microseconds()) / 1000,
+				CatchUpMs:       float64(res.RejoinCatchUp.Microseconds()) / 1000,
+				Promotions:      res.Promotions,
+				FinalEpoch:      res.FinalEpoch,
+				Violations:      len(res.Violations),
+				RestoredObjects: res.RestoredObjects,
+			}
+			if disk {
+				if net := networkMs[loss]; net > 0 && p.TransferMs > 0 {
+					p.SpeedupVsNetwork = net / p.TransferMs
+				}
+				if loss >= rejoinGateLoss && p.SpeedupVsNetwork < rejoinSpeedupGate {
+					return nil, fmt.Errorf(
+						"rejoin sweep: disk transfer %.1fms is only %.1fx faster than network %.1fms at %.0f%% loss (gate: %.0fx)",
+						p.TransferMs, p.SpeedupVsNetwork, networkMs[loss], loss*100, rejoinSpeedupGate)
+				}
+			} else {
+				networkMs[loss] = p.TransferMs
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// runRejoinCmd implements the "rejoin" subcommand: print the
+// disk-vs-network rejoin transfer sweep (enforcing the speedup gate),
+// and with -json merge it into the benchmark report file alongside the
+// full-repair-cycle points.
+func runRejoinCmd(args []string) error {
+	fs := flag.NewFlagSet("rtpbench rejoin", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed for loss and jitter")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "merge the sweep into the JSON benchmark report")
+	jsonPath := fs.String("json.out", "BENCH_rtpb.json", "path of the -json report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	points, err := rejoinSweep(*seed)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Println("loss,mode,transfer_ms,catch_up_ms,restored_objects,speedup_vs_network")
+		for _, p := range points {
+			fmt.Printf("%.2f,%s,%.3f,%.1f,%d,%.1f\n",
+				p.Loss, p.Mode, p.TransferMs, p.CatchUpMs, p.RestoredObjects, p.SpeedupVsNetwork)
+		}
+	} else {
+		fmt.Println("rejoin transfer: disk-fast restart vs full network anti-entropy (100 objects, 4 hot)")
+		fmt.Printf("%-6s %-9s %-12s %-12s %-9s %s\n",
+			"loss", "mode", "transfer", "catch-up", "restored", "speedup")
+		for _, p := range points {
+			speedup := "-"
+			if p.SpeedupVsNetwork > 0 {
+				speedup = fmt.Sprintf("%.1fx", p.SpeedupVsNetwork)
+			}
+			fmt.Printf("%-6.2f %-9s %-12s %-12s %-9d %s\n",
+				p.Loss, p.Mode,
+				fmt.Sprintf("%.3fms", p.TransferMs),
+				fmt.Sprintf("%.1fms", p.CatchUpMs),
+				p.RestoredObjects, speedup)
+		}
+	}
+	if !*jsonOut {
+		return nil
+	}
+	// Merge into the existing report without clobbering the other sweeps:
+	// the full-repair-cycle points (no Mode) stay, the previous
+	// disk-vs-network entries are replaced.
+	var report benchReport
+	if data, err := os.ReadFile(*jsonPath); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("parse %s: %w", *jsonPath, err)
+		}
+	}
+	if report.Seed == 0 {
+		report.Seed = *seed
+	}
+	kept := report.Rejoin[:0]
+	for _, p := range report.Rejoin {
+		if p.Mode == "" {
+			kept = append(kept, p)
+		}
+	}
+	report.Rejoin = append(kept, points...)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rejoin sweep points)\n", *jsonPath, len(points))
+	return nil
+}

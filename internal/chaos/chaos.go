@@ -87,6 +87,19 @@ type Scenario struct {
 	// Standby adds a third node hosting a second backup with its own
 	// detector, the promotion site for split-brain scenarios.
 	Standby bool
+	// Durable equips every node with an epoch-pruned durable store
+	// (internal/durable) in deterministic synchronous mode, rooted in a
+	// run-private temporary directory that is removed when the run ends.
+	// Crash faults close the store but keep its files on disk, so
+	// DiskFault and RestartFromDisk act on exactly what a real power
+	// cycle would find.
+	Durable bool
+	// HotObjects limits the periodic client workload to the first N
+	// objects; the rest ("cold") receive exactly one staggered write
+	// each early in the run, modelling a large mostly-quiescent state —
+	// the shape where disk-fast rejoin's advantage over a full
+	// anti-entropy transfer shows. Zero means every object is hot.
+	HotObjects int
 	// DisableFencing runs every backup with core's epoch-fencing
 	// ablation, the knob used to demonstrate that the split-brain
 	// invariant actually catches the regression it exists for.

@@ -56,7 +56,7 @@ func TestChaosCatalogue(t *testing.T) {
 // degradation ladder and the CPU model — must be a pure function of
 // (scenario, seed).
 func TestChaosDeterminism(t *testing.T) {
-	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover", "crash-failover-rejoin"} {
+	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover", "crash-failover-rejoin", "power-cycle-recover"} {
 		sc, ok := Find(name)
 		if !ok {
 			t.Fatalf("scenario %q missing from catalogue", name)

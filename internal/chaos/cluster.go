@@ -2,10 +2,13 @@ package chaos
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"rtpb/internal/clock"
 	"rtpb/internal/core"
+	"rtpb/internal/durable"
 	"rtpb/internal/failover"
 	"rtpb/internal/netsim"
 	"rtpb/internal/repair"
@@ -41,6 +44,11 @@ type Node struct {
 	Backup *core.Backup
 	// Det is the backup-side failure detector, when Backup is set.
 	Det *failover.Detector
+	// Dur is the node's durable store (Scenario.Durable); crash closes
+	// it but leaves its files under DurDir for a later restart.
+	Dur *durable.Log
+	// DurDir is the node's durable directory (empty without Durable).
+	DurDir string
 
 	peer    xkernel.Addr // primary this node's backup replicates from
 	applies int
@@ -80,6 +88,19 @@ type Harness struct {
 	rejoiners  map[string]*repair.Rejoiner
 	rejoinAt   map[string]time.Time
 	caughtUpAt map[string]time.Time
+
+	durRoot      string
+	recovered    map[string]diskRecovery
+	joinAcceptAt map[string]time.Time
+	joinedAt     map[string]time.Time
+}
+
+// diskRecovery records one node's restart-from-disk outcome for the
+// DiskRecovered invariant and the event log.
+type diskRecovery struct {
+	stats   durable.RecoveryStats
+	objects int    // object values recovered from disk
+	source  string // "disk" (resumed primary) or "disk+gap" (rejoined backup)
 }
 
 // govCheckpoint is a mid-run capture of the overload governor's ladder
@@ -109,6 +130,14 @@ func (h *Harness) logf(format string, args ...any) {
 	h.log = append(h.log, fmt.Sprintf("+%-9v %s", offset, fmt.Sprintf(format, args...)))
 }
 
+// plural picks the singular or plural suffix for a count.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
 func (h *Harness) violationf(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	h.violations = append(h.violations, msg)
@@ -132,6 +161,10 @@ func newHarness(sc Scenario) (*Harness, error) {
 		rejoiners:      make(map[string]*repair.Rejoiner),
 		rejoinAt:       make(map[string]time.Time),
 		caughtUpAt:     make(map[string]time.Time),
+
+		recovered:    make(map[string]diskRecovery),
+		joinAcceptAt: make(map[string]time.Time),
+		joinedAt:     make(map[string]time.Time),
 	}
 	h.start = h.clk.Now()
 	h.net = netsim.New(h.clk, sc.Seed)
@@ -161,6 +194,25 @@ func newHarness(sc Scenario) (*Harness, error) {
 		h.order = append(h.order, name)
 	}
 
+	if sc.Durable {
+		// One run-private root, one subdirectory per node. Synchronous
+		// mode keeps the run a pure function of (scenario, seed): every
+		// record is written inline on the executor, no background
+		// goroutine interleaves with the simulation. NoFsync trades
+		// real-disk durability (meaningless for a temp dir) for speed.
+		root, err := os.MkdirTemp("", "rtpb-chaos-durable-")
+		if err != nil {
+			return nil, fmt.Errorf("chaos: durable root: %w", err)
+		}
+		h.durRoot = root
+		for _, name := range h.order {
+			if err := h.openDurable(h.nodes[name]); err != nil {
+				h.cleanupDurable()
+				return nil, err
+			}
+		}
+	}
+
 	// The primary replicates to every other node.
 	var peers []xkernel.Addr
 	for _, name := range h.order[1:] {
@@ -175,6 +227,7 @@ func newHarness(sc Scenario) (*Harness, error) {
 		Costs:      sc.Costs,
 		Governor:   sc.Governor,
 		FrameBatch: sc.FrameBatch,
+		Durable:    h.nodes[PrimaryNode].Dur,
 	})
 	if err != nil {
 		return nil, err
@@ -189,7 +242,7 @@ func newHarness(sc Scenario) (*Harness, error) {
 
 	for _, name := range h.order[1:] {
 		n := h.nodes[name]
-		b, err := core.NewBackup(h.backupConfig(n.Port, h.nodes[PrimaryNode].Addr()))
+		b, err := core.NewBackup(h.backupConfig(n, h.nodes[PrimaryNode].Addr()))
 		if err != nil {
 			return nil, err
 		}
@@ -226,11 +279,12 @@ func newHarness(sc Scenario) (*Harness, error) {
 // though the backup role ignores them: promotion is in-place, so the
 // config a replica is built with is the config it will serve with after
 // takeover.
-func (h *Harness) backupConfig(port *xkernel.PortProtocol, primary xkernel.Addr) core.Config {
+func (h *Harness) backupConfig(n *Node, primary xkernel.Addr) core.Config {
 	return core.Config{
 		Clock:               h.clk,
-		Port:                port,
+		Port:                n.Port,
 		Peer:                primary,
+		Durable:             n.Dur,
 		Ell:                 h.sc.Ell,
 		Scheduling:          h.sc.Scheduling,
 		Costs:               h.sc.Costs,
@@ -238,6 +292,38 @@ func (h *Harness) backupConfig(port *xkernel.PortProtocol, primary xkernel.Addr)
 		FrameBatch:          h.sc.FrameBatch,
 		DisableEpochFencing: h.sc.DisableFencing,
 	}
+}
+
+// openDurable opens (or reopens, across a restart) the node's durable
+// store in deterministic synchronous mode.
+func (h *Harness) openDurable(n *Node) error {
+	if n.DurDir == "" {
+		n.DurDir = filepath.Join(h.durRoot, n.Name)
+	}
+	lg, err := durable.Open(durable.Config{Dir: n.DurDir, Sync: true, NoFsync: true})
+	if err != nil {
+		return fmt.Errorf("chaos: durable store for %s: %w", n.Name, err)
+	}
+	n.Dur = lg
+	return nil
+}
+
+// cleanupDurable closes every live store and removes the run's durable
+// root. Paths never reach the event log, so cleanup cannot perturb the
+// byte-identical replay contract.
+func (h *Harness) cleanupDurable() {
+	if h.durRoot == "" {
+		return
+	}
+	for _, name := range h.order {
+		n := h.nodes[name]
+		if n.Dur != nil {
+			n.Dur.Close()
+			n.Dur = nil
+		}
+	}
+	os.RemoveAll(h.durRoot)
+	h.durRoot = ""
 }
 
 // wireGovernor logs the primary-side overload governor's rung
@@ -396,6 +482,12 @@ func (h *Harness) crash(name string) {
 			h.active.SetPeerAlive(n.Addr(), false)
 		}
 	}
+	if n.Dur != nil {
+		// Power goes out: the store's handle dies with the process, but
+		// whatever reached the files survives for a restart-from-disk.
+		n.Dur.Close()
+		n.Dur = nil
+	}
 	h.logf("%s is down", name)
 }
 
@@ -428,7 +520,7 @@ func (h *Harness) attachBackup(n *Node) error {
 	if !ok {
 		return fmt.Errorf("no primary in name service")
 	}
-	b, err := core.NewBackup(h.backupConfig(n.Port, primaryAddr))
+	b, err := core.NewBackup(h.backupConfig(n, primaryAddr))
 	if err != nil {
 		return err
 	}
@@ -467,6 +559,16 @@ func (h *Harness) rejoin(name string) {
 		return
 	}
 	n.EP.SetDown(false)
+	h.startRejoiner(n, nil)
+}
+
+// startRejoiner builds and starts the node's directory-driven rejoin
+// loop. When st is non-nil (restart-from-disk), the recovered image is
+// replayed into the fresh backup before its first JoinRequest, so the
+// join digest advertises the disk state and anti-entropy streams only
+// the gap.
+func (h *Harness) startRejoiner(n *Node, st *durable.State) {
+	name := n.Name
 	h.rejoinAt[name] = h.clk.Now()
 	// A node that started as the primary was never tracked as a backup
 	// site; register its objects before catch-up marks reference them.
@@ -475,14 +577,14 @@ func (h *Harness) rejoin(name string) {
 			h.mon.TrackExternal(name, spec.Name, spec.Constraint.DeltaB)
 		}
 	}
-	rj, err := repair.NewRejoiner(repair.RejoinerConfig{
+	cfg := repair.RejoinerConfig{
 		Clock:     h.clk,
 		Service:   ServiceName,
 		Directory: h.ns,
 		Self:      n.Addr(),
 		Announce:  true,
 		Start: func(primary xkernel.Addr, epoch uint32) (*core.Backup, error) {
-			b, err := core.NewBackup(h.backupConfig(n.Port, primary))
+			b, err := core.NewBackup(h.backupConfig(n, primary))
 			if err != nil {
 				return nil, err
 			}
@@ -495,9 +597,23 @@ func (h *Harness) rejoin(name string) {
 			return b, nil
 		},
 		OnJoined: func(b *core.Backup) {
-			h.logf("%s: join exchange complete at epoch %d", name, b.Epoch())
+			if _, seen := h.joinedAt[name]; !seen {
+				// Fallback only: OnStateTransfer records the exact
+				// final-chunk instant; this path is poll-quantized.
+				h.joinedAt[name] = h.clk.Now()
+			}
+			h.logf("%s: join exchange complete at epoch %d (source %s)",
+				name, b.Epoch(), b.RecoverySource())
 		},
-	})
+	}
+	if st != nil {
+		cfg.Restore = func(b *core.Backup) (int, error) {
+			restored := b.RestoreDurable(st)
+			h.logf("%s: seeded %d object value(s) from the local durable tail", name, restored)
+			return restored, nil
+		}
+	}
+	rj, err := repair.NewRejoiner(cfg)
 	if err != nil {
 		h.violationf("rejoin %s: %v", name, err)
 		return
@@ -507,6 +623,113 @@ func (h *Harness) rejoin(name string) {
 	h.logf("%s polls the directory to rejoin", name)
 }
 
+// restartFromDisk revives a crashed node from its durable store: recover
+// the on-disk image (tolerating whatever faults were injected while the
+// node was down), reopen the store, and resume. If the directory still
+// names this node — or names nobody — the node resumes as the primary
+// under a fenced epoch bump; otherwise it rejoins the recorded successor
+// as a backup, replaying its local tail before the join so anti-entropy
+// covers only the gap.
+func (h *Harness) restartFromDisk(name string) {
+	n := h.nodes[name]
+	if n == nil {
+		h.violationf("restart-from-disk: unknown node %q", name)
+		return
+	}
+	if n.Primary != nil || n.Backup != nil {
+		h.logf("restart-from-disk %s: already up, no-op", name)
+		return
+	}
+	if n.DurDir == "" {
+		h.violationf("restart-from-disk %s: scenario has no durable stores", name)
+		return
+	}
+	st, rs, err := durable.Recover(n.DurDir)
+	if err != nil {
+		h.violationf("restart-from-disk %s: %v", name, err)
+		return
+	}
+	rec := diskRecovery{stats: *rs, objects: len(st.Objects), source: "disk+gap"}
+	h.logf("%s: disk recovery: epoch %d, %d object(s); snapshot used=%v (epoch %d, %d tried); "+
+		"replayed %d record(s) across %d segment(s); stopped=%q",
+		name, st.Epoch, len(st.Objects), rs.SnapshotUsed, rs.SnapshotEpoch, rs.SnapshotsTried,
+		rs.RecordsReplayed, rs.SegmentsReplayed, rs.Stopped)
+	if err := h.openDurable(n); err != nil {
+		h.violationf("restart-from-disk %s: %v", name, err)
+		return
+	}
+	n.EP.SetDown(false)
+	if addr, _, ok := h.ns.Lookup(ServiceName); !ok || addr == n.Addr() {
+		rec.source = "disk"
+		h.recovered[name] = rec
+		h.resumePrimaryFromDisk(n, st)
+		return
+	}
+	h.recovered[name] = rec
+	h.startRejoiner(n, st)
+}
+
+// resumePrimaryFromDisk rebuilds a serving primary from a recovered
+// image: every recovered spec is re-admitted in its original ID order
+// (so object IDs survive the power cycle and backups' tables line up),
+// recovered values are seeded, and the epoch is bumped past the
+// recovered one — the fencing move that invalidates any stale in-flight
+// state from the pre-crash incarnation.
+func (h *Harness) resumePrimaryFromDisk(n *Node, st *durable.State) {
+	p, err := core.NewPrimary(core.Config{
+		Clock:      h.clk,
+		Port:       n.Port,
+		Ell:        h.sc.Ell,
+		Scheduling: h.sc.Scheduling,
+		Costs:      h.sc.Costs,
+		Governor:   h.sc.Governor,
+		FrameBatch: h.sc.FrameBatch,
+		Durable:    n.Dur,
+	})
+	if err != nil {
+		h.violationf("restart-from-disk %s: %v", n.Name, err)
+		return
+	}
+	seeded := 0
+	for i := range st.Objects {
+		d := &st.Objects[i]
+		spec := core.ObjectSpec{
+			Name:         d.Name,
+			Size:         int(d.Size),
+			UpdatePeriod: time.Duration(d.Period),
+			Constraint: temporal.ExternalConstraint{
+				DeltaP: time.Duration(d.DeltaP),
+				DeltaB: time.Duration(d.DeltaB),
+			},
+			Critical: d.Critical,
+		}
+		if dec := p.Register(spec); !dec.Accepted {
+			h.violationf("restart-from-disk %s: recovered object %q rejected: %s",
+				n.Name, d.Name, dec.Reason)
+			continue
+		}
+		if d.HasData {
+			if err := p.SeedObject(d.Name, d.Value, time.Unix(0, d.Version)); err != nil {
+				h.violationf("restart-from-disk %s: seed %q: %v", n.Name, d.Name, err)
+				continue
+			}
+			seeded++
+		}
+	}
+	epoch := st.Epoch + 1
+	p.SetEpoch(epoch)
+	p.NoteDiskRestore(seeded)
+	h.wireGovernor(p)
+	n.Primary = p
+	h.active = p
+	h.activeNode = n.Name
+	if err := h.ns.Set(ServiceName, n.Addr(), epoch); err != nil {
+		h.violationf("restart-from-disk %s: directory update: %v", n.Name, err)
+	}
+	h.logf("%s resumes as primary from disk: epoch %d, %d object(s), %d value(s) seeded",
+		n.Name, epoch, len(st.Objects), seeded)
+}
+
 // wireCatchUp mirrors the backup's catch-up lifecycle into the monitor:
 // when a JoinAccept lands, every object's bound is suspended (the
 // transferred image carries no temporal guarantee); each object resumes
@@ -514,9 +737,32 @@ func (h *Harness) rejoin(name string) {
 func (h *Harness) wireCatchUp(n *Node, b *core.Backup) {
 	b.OnJoinAccept = func(epoch uint32, specs int) {
 		h.logf("%s: join accepted at epoch %d (%d specs); catch-up begins", n.Name, epoch, specs)
+		if _, rejoining := h.rejoinAt[n.Name]; rejoining {
+			if _, seen := h.joinAcceptAt[n.Name]; !seen {
+				// First accept after a rejoin: the anti-entropy transfer
+				// starts here. Its completion (OnJoined) closes the
+				// window the disk-vs-network sweep measures.
+				h.joinAcceptAt[n.Name] = h.clk.Now()
+			}
+		}
 		for _, spec := range h.sc.Objects {
 			h.mon.BeginCatchUp(n.Name, spec.Name, h.clk.Now())
 		}
+	}
+	b.OnStateTransfer = func(epoch uint32, objects int) {
+		if _, rejoining := h.rejoinAt[n.Name]; !rejoining || !b.Joined() {
+			return
+		}
+		if _, seen := h.joinedAt[n.Name]; seen {
+			return
+		}
+		// The final chunk just landed: this instant — not the rejoiner's
+		// next poll — closes the transfer window the disk-vs-network
+		// sweep measures.
+		h.joinedAt[n.Name] = h.clk.Now()
+		h.logf("%s: anti-entropy streamed %d entr%s at epoch %d, %v after the join was accepted",
+			n.Name, objects, plural(objects, "y", "ies"), epoch,
+			h.clk.Now().Sub(h.joinAcceptAt[n.Name]).Round(100*time.Microsecond))
 	}
 	b.OnCatchUp = func(_ uint32, object string, staleness time.Duration) {
 		h.mon.EndCatchUp(n.Name, object)
@@ -530,25 +776,39 @@ func (h *Harness) wireCatchUp(n *Node, b *core.Backup) {
 	}
 }
 
-// startWriters begins the periodic client workload against the active
-// primary, one writer per object.
+// startWriters begins the client workload against the active primary:
+// one periodic writer per hot object, one staggered early write per
+// cold object (Scenario.HotObjects; zero means everything is hot).
 func (h *Harness) startWriters() {
-	for _, spec := range h.sc.Objects {
+	hot := h.sc.HotObjects
+	if hot <= 0 || hot > len(h.sc.Objects) {
+		hot = len(h.sc.Objects)
+	}
+	write := func(spec core.ObjectSpec) {
+		p := h.active
+		if p == nil || !p.Running() {
+			return
+		}
+		h.writeCounts[spec.Name]++
+		val := fmt.Sprintf("%s#%d@%v", spec.Name, h.writeCounts[spec.Name],
+			h.clk.Now().Sub(h.start).Round(time.Millisecond))
+		p.ClientWrite(spec.Name, []byte(val), nil)
+	}
+	for i, spec := range h.sc.Objects {
 		spec := spec
+		if i >= hot {
+			// Cold object: written once, early, then quiescent — its
+			// value still has to reach every replica, but a disk-fast
+			// rejoin should never stream it over the wire again.
+			h.clk.Schedule(time.Duration(i-hot)*5*time.Millisecond+20*time.Millisecond,
+				func() { write(spec) })
+			continue
+		}
 		period := h.sc.WritePeriod
 		if period == 0 {
 			period = spec.UpdatePeriod
 		}
-		w := clock.NewPeriodic(h.clk, 0, period, func() {
-			p := h.active
-			if p == nil || !p.Running() {
-				return
-			}
-			h.writeCounts[spec.Name]++
-			val := fmt.Sprintf("%s#%d@%v", spec.Name, h.writeCounts[spec.Name],
-				h.clk.Now().Sub(h.start).Round(time.Millisecond))
-			p.ClientWrite(spec.Name, []byte(val), nil)
-		})
+		w := clock.NewPeriodic(h.clk, 0, period, func() { write(spec) })
 		h.writers = append(h.writers, w)
 	}
 }
@@ -581,6 +841,19 @@ type Result struct {
 	// the instant the rejoined replica's final object passed catch-up
 	// (0 when the scenario injects no rejoin, or it never completed).
 	RejoinCatchUp time.Duration
+	// RejoinTransfer is the time from the rejoined replica's JoinAccept
+	// to the completion of its anti-entropy exchange — the pure transfer
+	// window the disk-vs-network sweep compares (0 if no rejoin
+	// completed). Unlike RejoinCatchUp it excludes directory polling and
+	// detector/promotion latency, which are identical across modes.
+	RejoinTransfer time.Duration
+	// RejoinSource names where the last rejoined replica's image came
+	// from: "disk+gap" after a restart-from-disk, "network" after a
+	// plain rejoin, empty when no rejoin ran.
+	RejoinSource string
+	// RestoredObjects is how many object values restarted replicas
+	// seeded from their local durable tails.
+	RestoredObjects int
 }
 
 // Failed reports whether any invariant was violated.
@@ -646,5 +919,21 @@ func Run(sc Scenario) (*Result, error) {
 			}
 		}
 	}
+	for name, done := range h.joinedAt {
+		if accepted, ok := h.joinAcceptAt[name]; ok {
+			if d := done.Sub(accepted); d > res.RejoinTransfer {
+				res.RejoinTransfer = d
+			}
+		}
+	}
+	for _, rj := range h.rejoiners {
+		if st := rj.Status(); st.Joined {
+			res.RejoinSource = st.Source
+		}
+	}
+	for _, rec := range h.recovered {
+		res.RestoredObjects += rec.objects
+	}
+	h.cleanupDurable()
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"rtpb/internal/clock"
 	"rtpb/internal/cpu"
+	"rtpb/internal/durable"
 	"rtpb/internal/netsim"
 )
 
@@ -195,6 +196,75 @@ func (f CPUHog) apply(h *Harness) {
 	h.hogs = append(h.hogs, task)
 	h.clk.Schedule(f.For, task.Stop)
 }
+
+// CrashCluster kills every node still up, in node order — the
+// full-cluster power failure. Recovery is then a pure function of what
+// reached the durable stores (plus whatever DiskFault corrupts before
+// the restart).
+type CrashCluster struct{}
+
+// String implements Fault.
+func (CrashCluster) String() string { return "crash the whole cluster" }
+
+func (CrashCluster) apply(h *Harness) {
+	for _, name := range h.order {
+		n := h.nodes[name]
+		if n.Primary == nil && n.Backup == nil {
+			continue
+		}
+		h.crash(name)
+	}
+}
+
+// DiskFault corrupts a crashed node's durable store with one of
+// internal/durable's injectable failure modes — torn tail, short fsync,
+// bit-flipped record, missing segment, torn snapshot. The node must be
+// down (a live store holds the newest segment open); the injected
+// damage is deterministic for the store's contents, so runs replay
+// byte-identically.
+type DiskFault struct {
+	// Node names the victim; its store must exist and be closed.
+	Node string
+	// Kind selects the failure mode.
+	Kind durable.FaultKind
+}
+
+// String implements Fault.
+func (f DiskFault) String() string { return fmt.Sprintf("disk fault %s on %s", f.Kind, f.Node) }
+
+func (f DiskFault) apply(h *Harness) {
+	n := h.nodes[f.Node]
+	if n == nil || n.DurDir == "" {
+		h.violationf("disk-fault: node %q has no durable store", f.Node)
+		return
+	}
+	if n.Dur != nil {
+		h.violationf("disk-fault: %s is still up; crash it first", f.Node)
+		return
+	}
+	desc, err := durable.Inject(n.DurDir, f.Kind)
+	if err != nil {
+		h.violationf("disk-fault %s on %s: %v", f.Kind, f.Node, err)
+		return
+	}
+	h.logf("%s disk: %s", f.Node, desc)
+}
+
+// RestartFromDisk revives a crashed node from its durable store: the
+// on-disk image is recovered (tolerating injected corruption by falling
+// back to the last good snapshot), and the node resumes as a fenced
+// primary if the directory still names it, or rejoins the recorded
+// successor as a backup after replaying its local tail — the disk-fast
+// rejoin path, where anti-entropy covers only the downtime gap.
+type RestartFromDisk struct {
+	// Node names the node to revive.
+	Node string
+}
+
+// String implements Fault.
+func (f RestartFromDisk) String() string { return fmt.Sprintf("restart %s from disk", f.Node) }
+
+func (f RestartFromDisk) apply(h *Harness) { h.restartFromDisk(f.Node) }
 
 // StopWriters halts the automatic client workload (so a scenario can
 // control exactly who writes last).

@@ -468,6 +468,85 @@ func (c RejoinCaughtUp) Check(h *Harness) error {
 	return nil
 }
 
+// DiskRecovered asserts a node actually restarted from its durable
+// store: recovery ran, survived whatever disk faults were injected, and
+// produced a non-trivial image.
+type DiskRecovered struct {
+	// Node names the restarted node.
+	Node string
+	// MinObjects floors the recovered object count; 0 means 1.
+	MinObjects int
+	// Source, when non-empty, pins the restart path: "disk" for a
+	// resumed primary, "disk+gap" for a backup that replayed its tail
+	// before rejoining.
+	Source string
+	// Stopped, when non-empty, pins why replay stopped ("torn-tail",
+	// "corrupt-record", "missing-segment") — the proof that an injected
+	// disk fault was actually hit and tolerated rather than silently
+	// absent.
+	Stopped string
+}
+
+// Name implements Checker.
+func (c DiskRecovered) Name() string { return fmt.Sprintf("disk-recovered-%s", c.Node) }
+
+// Check implements Checker.
+func (c DiskRecovered) Check(h *Harness) error {
+	rec, ok := h.recovered[c.Node]
+	if !ok {
+		return fmt.Errorf("%s never recovered from disk", c.Node)
+	}
+	min := c.MinObjects
+	if min == 0 {
+		min = 1
+	}
+	if rec.objects < min {
+		return fmt.Errorf("%s recovered %d object(s), want at least %d", c.Node, rec.objects, min)
+	}
+	if c.Source != "" && rec.source != c.Source {
+		return fmt.Errorf("%s recovered via %q, want %q", c.Node, rec.source, c.Source)
+	}
+	if c.Stopped != "" && rec.stats.Stopped != c.Stopped {
+		return fmt.Errorf("%s's replay stopped with %q, want %q — the injected fault was never encountered",
+			c.Node, rec.stats.Stopped, c.Stopped)
+	}
+	return nil
+}
+
+// RejoinSynced asserts a rejoined node completed its join exchange and
+// the serving primary counts it synced — the transfer-level half of
+// RejoinCaughtUp, for workloads whose cold objects legitimately never
+// complete a temporal catch-up cycle (no fresh write lands within δ_B
+// of the join, so the monitor keeps their bounds suspended).
+type RejoinSynced struct {
+	// Node names the rejoined node.
+	Node string
+}
+
+// Name implements Checker.
+func (c RejoinSynced) Name() string { return fmt.Sprintf("rejoin-synced-%s", c.Node) }
+
+// Check implements Checker.
+func (c RejoinSynced) Check(h *Harness) error {
+	n := h.nodes[c.Node]
+	if n == nil || n.Backup == nil || !n.Backup.Running() {
+		return fmt.Errorf("no running backup on %s", c.Node)
+	}
+	if !n.Backup.Joined() {
+		return fmt.Errorf("%s never completed its join exchange", c.Node)
+	}
+	if _, ok := h.joinedAt[c.Node]; !ok {
+		return fmt.Errorf("%s's join completion instant was never recorded", c.Node)
+	}
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary")
+	}
+	if got := h.active.SyncedPeers(); got < 1 {
+		return fmt.Errorf("primary counts %d synced peers; the rejoined replica never reached parity", got)
+	}
+	return nil
+}
+
 // Progress asserts every running backup applied at least a minimum
 // number of updates, guarding scenarios against passing vacuously.
 type Progress struct {

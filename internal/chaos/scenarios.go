@@ -1,9 +1,11 @@
 package chaos
 
 import (
+	"fmt"
 	"time"
 
 	"rtpb/internal/core"
+	"rtpb/internal/durable"
 	"rtpb/internal/failover"
 	"rtpb/internal/netsim"
 	"rtpb/internal/temporal"
@@ -118,6 +120,44 @@ func Catalogue() []Scenario {
 				Promotions{Want: 1}, EpochIs{Want: 2}, NoSplitBrain{},
 				RejoinCaughtUp{Node: PrimaryNode},
 				Converged{}, ActiveServes{}, PromotedAfter{Offset: ms(800)},
+			},
+		},
+		{
+			Name:        "power-cycle-recover",
+			Description: "full-cluster power failure mid-write under 10% loss; the disks are damaged while down (torn tail, bit flip), yet both nodes restart from their stores: the primary resumes fenced, the backup replays its tail and rejoins over only the gap",
+			Durable:     true,
+			Duration:    4 * time.Second,
+			Link:        netsim.LinkParams{Delay: ms(2), Jitter: ms(1), LossProb: 0.10},
+			// The loss stays on through the drain; give the final writes
+			// room to land (same reasoning as crash-failover-rejoin).
+			Settle: ms(1200),
+			Objects: []core.ObjectSpec{
+				wideObject("pressure"), wideObject("flow"),
+			},
+			// Generous miss budget for the restarted backup's detector
+			// under 10% loss; detection is not what this scenario measures.
+			Detector: failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 8},
+			Events: []FaultEvent{
+				// Power fails mid-write: both stores stop at whatever their
+				// last synchronous append was.
+				{At: ms(900), Fault: CrashCluster{}},
+				// The outage is not clean: the primary's store loses the
+				// tail of a write, the backup's store takes a bit flip.
+				{At: ms(950), Fault: DiskFault{Node: PrimaryNode, Kind: durable.FaultTornTail}},
+				{At: ms(1000), Fault: DiskFault{Node: BackupNode, Kind: durable.FaultCorruptRecord}},
+				// The primary restarts first: the directory still names it,
+				// so it resumes serving under a fenced epoch bump.
+				{At: ms(1200), Fault: RestartFromDisk{Node: PrimaryNode}},
+				// The backup restarts into a recorded successor: it replays
+				// its local tail, then anti-entropy covers only the gap.
+				{At: ms(1500), Fault: RestartFromDisk{Node: BackupNode}},
+			},
+			Invariants: []Checker{
+				DiskRecovered{Node: PrimaryNode, MinObjects: 2, Source: "disk", Stopped: "torn-tail"},
+				DiskRecovered{Node: BackupNode, MinObjects: 2, Source: "disk+gap"},
+				RejoinCaughtUp{Node: BackupNode},
+				Converged{}, ActiveServes{}, NoSplitBrain{},
+				EpochIs{Want: 2}, Promotions{Want: 0},
 			},
 		},
 		{
@@ -341,6 +381,65 @@ func RejoinBench(loss float64) Scenario {
 	return sc
 }
 
+// RejoinSweep returns the disk-vs-network rejoin measurement scenario:
+// a mostly-quiescent wide state (4 hot objects under continuous writes,
+// 96 cold objects written exactly once) whose primary crashes and later
+// rejoins the promoted successor. In network mode the rejoin is a plain
+// directory-driven join, so the anti-entropy exchange streams all ~100
+// objects chunk by chunk over the lossy link; in disk mode the node
+// restarts from its durable store first, the join digest advertises the
+// recovered values, and the exchange covers only the handful of hot
+// objects written during the downtime — catch-up cost proportional to
+// downtime, not state size. Result.RejoinTransfer is the compared
+// quantity (JoinAccept to exchange completion; directory polling and
+// failover latency are identical across modes and excluded).
+func RejoinSweep(loss float64, disk bool) Scenario {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	const hot, cold = 4, 96
+	objects := make([]core.ObjectSpec, 0, hot+cold)
+	for i := 0; i < hot; i++ {
+		objects = append(objects, wideObject(fmt.Sprintf("hot-%02d", i)))
+	}
+	for i := 0; i < cold; i++ {
+		objects = append(objects, coldObject(fmt.Sprintf("cold-%02d", i)))
+	}
+	mode := "network"
+	revive := Fault(Rejoin{Node: PrimaryNode})
+	if disk {
+		mode = "disk"
+		revive = RestartFromDisk{Node: PrimaryNode}
+	}
+	return Scenario{
+		Name: fmt.Sprintf("rejoin-sweep-%s-loss-%d", mode, int(loss*100+0.5)),
+		Description: fmt.Sprintf(
+			"wide quiescent state, %s-mode rejoin at %.0f%% loss: transfer cost of the crashed primary's return",
+			mode, loss*100),
+		Durable:    disk,
+		HotObjects: hot,
+		Duration:   8 * time.Second,
+		Settle:     ms(1200),
+		Link:       netsim.LinkParams{Delay: ms(2), Jitter: ms(1), LossProb: loss},
+		Objects:    objects,
+		// Generous miss budget: the crash itself stops every ack, so
+		// detection stays prompt; the budget only suppresses false
+		// positives under loss.
+		Detector: failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 8},
+		Events: []FaultEvent{
+			// Crash well after the cold writes have replicated; the backup
+			// promotes on detection (~400ms later) and keeps serving the
+			// hot set.
+			{At: ms(1500), Fault: Crash{Node: PrimaryNode}},
+			// Revive well after the promotion has landed in the directory,
+			// so both modes find the successor on their first poll.
+			{At: ms(2500), Fault: revive},
+		},
+		Invariants: []Checker{
+			Promotions{Want: 1}, EpochIs{Want: 2}, NoSplitBrain{},
+			RejoinSynced{Node: PrimaryNode}, ActiveServes{},
+		},
+	}
+}
+
 // standardNamed is StandardObject with a different name, for multi-object
 // scenarios.
 func standardNamed(name string) core.ObjectSpec {
@@ -356,6 +455,23 @@ func wideObject(name string) core.ObjectSpec {
 	spec := standardNamed(name)
 	spec.Constraint.DeltaB = 450 * time.Millisecond
 	return spec
+}
+
+// coldObject is a quiescent wide-state object: written once early in
+// the run and never again, with a long period and loose bounds so ~a
+// hundred of them stay admissible beside the hot set. Cold objects are
+// what make state size diverge from downtime — the axis the disk-fast
+// rejoin sweep measures.
+func coldObject(name string) core.ObjectSpec {
+	return core.ObjectSpec{
+		Name:         name,
+		Size:         64,
+		UpdatePeriod: 200 * time.Millisecond,
+		Constraint: temporal.ExternalConstraint{
+			DeltaP: 250 * time.Millisecond,
+			DeltaB: 650 * time.Millisecond,
+		},
+	}
 }
 
 // fastObject is a high-rate object with tight bounds: its admitted

@@ -53,6 +53,7 @@ func (b *Backup) observeEpoch(epoch uint32) bool {
 		// Ablation: adopt newer epochs but never reject older ones.
 		if epoch > b.epoch {
 			b.epoch = epoch
+			b.noteEpochDurable()
 		}
 		return true
 	}
@@ -62,7 +63,10 @@ func (b *Backup) observeEpoch(epoch uint32) bool {
 	if epoch < b.epoch {
 		return false
 	}
-	b.epoch = epoch
+	if epoch > b.epoch {
+		b.epoch = epoch
+		b.noteEpochDurable()
+	}
 	return true
 }
 
@@ -85,6 +89,7 @@ func (b *Backup) handleRegister(t *wire.Register) {
 			},
 		}
 		b.adm.installSpec(o, spec)
+		b.logSpec(o)
 		if b.OnRegister != nil {
 			b.OnRegister(spec)
 		}
@@ -207,6 +212,7 @@ func (b *Backup) apply(o *object, epoch uint32, seq uint64, version time.Time, p
 	if b.OnApply != nil {
 		b.OnApply(o.id, o.spec.Name, epoch, seq, version, now)
 	}
+	b.logApply(o, epoch, seq, version, payload)
 }
 
 // handleStateTransfer applies the legacy monolithic transfer. Entries

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rtpb/internal/clock"
+	"rtpb/internal/durable"
 	"rtpb/internal/sched"
 	"rtpb/internal/temporal"
 	"rtpb/internal/xkernel"
@@ -223,6 +224,19 @@ type Config struct {
 	// Governor configures the primary's overload governor; the zero value
 	// leaves it disabled.
 	Governor GovernorConfig
+	// Durable, when set, receives an asynchronous write-ahead record of
+	// every spec install, applied value, unregister, and epoch advance,
+	// plus a snapshot on every epoch advance and every SnapshotEvery
+	// applies. The replica never waits on it: appends are enqueue-only
+	// (internal/durable's bounded channel), so the paper-critical update
+	// path stays free of disk I/O. The replica does not own the Log;
+	// whoever opened it closes it after Stop.
+	Durable *durable.Log
+	// SnapshotEvery is how many logged applies trigger a periodic
+	// durable snapshot (defaults to 256). Snapshots bound both recovery
+	// replay length and log growth: each one advances the stable mark
+	// and prunes whole epoch segments below it.
+	SnapshotEvery int
 }
 
 // UnboundedSendQueue disables the per-peer send-queue bound.
@@ -336,6 +350,9 @@ func (c *Config) normalize() error {
 	}
 	if c.ChunkBytes == 0 {
 		c.ChunkBytes = 32 << 10
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
 	}
 	c.Governor.normalize(c)
 	if c.Peer != "" {

@@ -117,8 +117,8 @@ type GovernorStats struct {
 
 // governor implements the degradation ladder on the primary.
 type governor struct {
-	p       *Primary
-	cfg     GovernorConfig
+	p         *Primary
+	cfg       GovernorConfig
 	task      *clock.Periodic
 	modes     map[uint32]ObjectMode
 	healthy   int

@@ -157,6 +157,7 @@ func (p *Primary) Register(spec ObjectSpec) Decision {
 	if !d.Accepted {
 		return d
 	}
+	p.logSpec(o)
 	p.startUpdateTask(o)
 	if p.cfg.SchedTest == SchedTestDCS {
 		// S_r specialization may have re-assigned other objects' periods.
@@ -285,6 +286,10 @@ func (p *Primary) ClientWrite(name string, data []byte, done func(latency time.D
 		o.value = value
 		o.version = arrival
 		o.hasData = true
+		// The write-ahead append is enqueue-only: the client response
+		// never waits on disk (durability is off the paper-critical
+		// path; the temporal bounds are about staleness, not loss).
+		p.logApply(o, p.epoch, o.lastSentSeq, arrival, value)
 		if o.spec.Critical {
 			// Hybrid path: the response waits for backup acknowledgement
 			// (startCriticalWrite completes the callback).

@@ -63,6 +63,7 @@ func (p *Primary) RemoveObject(name string) error {
 	if err != nil {
 		return err
 	}
+	p.logUnregister(o.id)
 	if o.task != nil {
 		o.task.Stop()
 		o.task = nil
@@ -133,4 +134,5 @@ func (b *Backup) handleUnregister(t *wire.Unregister) {
 		delete(b.adm.byName, o.spec.Name)
 	}
 	delete(b.adm.objects, t.ObjectID)
+	b.logUnregister(t.ObjectID)
 }

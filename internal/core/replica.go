@@ -81,6 +81,16 @@ type Replica struct {
 	running bool
 	epoch   uint32
 
+	// --- durable persistence bookkeeping (see durable.go) ---
+
+	// durApplies counts applies logged since the last snapshot;
+	// durRestoring suppresses re-logging while RestoreDurable installs a
+	// recovered image; durRestored counts disk-seeded values (the
+	// "recovery source" the ctl LOGSTAT verb reports).
+	durApplies   int
+	durRestoring bool
+	durRestored  int
+
 	// --- primary-role state ---
 
 	peers []*replicaPeer
@@ -324,8 +334,15 @@ func (r *Replica) Transitions() int { return r.transitions }
 func (r *Replica) Epoch() uint32 { return r.epoch }
 
 // SetEpoch installs the epoch a promoted replica claimed (the failover
-// orchestrator adjusts it after winning the directory race).
-func (r *Replica) SetEpoch(e uint32) { r.epoch = e }
+// orchestrator adjusts it after winning the directory race), or the
+// fencing bump a disk-restarted primary resumes under.
+func (r *Replica) SetEpoch(e uint32) {
+	if e == r.epoch {
+		return
+	}
+	r.epoch = e
+	r.noteEpochDurable()
+}
 
 // Objects reports the number of known objects (admitted while serving,
 // replicated while backing up).
@@ -514,6 +531,10 @@ func (r *Replica) Promote(epoch uint32) error {
 	for _, o := range r.adm.ordered() {
 		r.startUpdateTask(o)
 	}
+	// Snapshot on epoch advance: the durable log rolls to a fresh
+	// segment under the new epoch and the pre-promotion image becomes
+	// prunable history.
+	r.noteEpochDurable()
 	return nil
 }
 
@@ -590,5 +611,6 @@ func (r *Replica) Demote(epoch uint32, primary xkernel.Addr) error {
 	r.seenChunks = nil
 	r.xferApplied = 0
 	r.catchingUp = 0
+	r.noteEpochDurable()
 	return nil
 }

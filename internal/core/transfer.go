@@ -473,6 +473,7 @@ func (b *Backup) handleJoinAccept(t *wire.JoinAccept) {
 					DeltaB: s.DeltaB,
 				},
 			})
+			b.logSpec(o)
 			if b.OnRegister != nil {
 				b.OnRegister(o.spec)
 			}
@@ -593,6 +594,7 @@ func (b *Backup) applyStateEntry(epoch uint32, e wire.StateEntry) int {
 				DeltaB: e.DeltaB,
 			},
 		})
+		b.logSpec(o)
 		if b.OnRegister != nil {
 			b.OnRegister(o.spec)
 		}

@@ -22,6 +22,14 @@
 //	    sent=<entries> skipped=<entries> retx=<chunks> completions=<c>]...
 //	RECRUIT <addr>
 //	  → OK <addr> | ERR <reason...>
+//	LOGSTAT
+//	  → OK segments=<n> prunable_segments=<n> prunable_epochs=<n>
+//	    pruned=<n> snapshots=<n> last_snapshot_epoch=<e> epoch=<e>
+//	    appended=<n> dropped=<n> source=<disk|network|none> restored=<n>
+//	  → ERR durable persistence not enabled
+//	SNAPSHOT
+//	  → OK snapshots=<n> last_snapshot_epoch=<e> segments=<n> pruned=<n>
+//	  → ERR durable persistence not enabled
 //
 // Durations use Go syntax (40ms, 1s).
 //
@@ -191,6 +199,10 @@ func (s *Server) handle(line string, reply func(string)) {
 		reply(s.repair())
 	case "RECRUIT":
 		reply(s.recruit(fields[1:]))
+	case "LOGSTAT":
+		reply(s.logstat())
+	case "SNAPSHOT":
+		reply(s.snapshot())
 	default:
 		reply("ERR unknown command " + cmd)
 	}
@@ -257,6 +269,33 @@ func (s *Server) repair() string {
 			st.Transfer.ChunkRetransmits, st.Transfer.Completions)
 	}
 	return b.String()
+}
+
+// logstat reports the durable store's inventory — segment and snapshot
+// counts, the portion pruning will reclaim, writer throughput — plus
+// where this replica's state came from on its last start (disk-fast
+// rejoin versus a full network transfer).
+func (s *Server) logstat() string {
+	st, ok := s.primary.DurableStats()
+	if !ok {
+		return "ERR durable persistence not enabled"
+	}
+	return fmt.Sprintf("OK segments=%d prunable_segments=%d prunable_epochs=%d pruned=%d snapshots=%d last_snapshot_epoch=%d epoch=%d appended=%d dropped=%d source=%s restored=%d",
+		st.Segments, st.PrunableSegments, st.PrunableEpochs, st.PrunedSegments,
+		st.Snapshots, st.LastSnapshotEpoch, st.Epoch, st.Appended, st.Dropped,
+		s.primary.RecoverySource(), s.primary.RestoredObjects())
+}
+
+// snapshot forces a durable snapshot now, waits for the writer to
+// commit it, and reports the resulting inventory (including the prune
+// the snapshot unlocked).
+func (s *Server) snapshot() string {
+	st, ok := s.primary.ForceDurableSnapshot()
+	if !ok {
+		return "ERR durable persistence not enabled"
+	}
+	return fmt.Sprintf("OK snapshots=%d last_snapshot_epoch=%d segments=%d pruned=%d",
+		st.Snapshots, st.LastSnapshotEpoch, st.Segments, st.PrunedSegments)
 }
 
 // recruit attaches a new backup peer; the join exchange (spec replay,

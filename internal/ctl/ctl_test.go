@@ -8,6 +8,7 @@ import (
 
 	"rtpb/internal/clock"
 	"rtpb/internal/core"
+	"rtpb/internal/durable"
 	"rtpb/internal/netsim"
 	"rtpb/internal/xkernel"
 )
@@ -15,6 +16,12 @@ import (
 // startPrimary brings up a real-clock primary over real UDP plus its
 // control server, returning a connected client.
 func startPrimary(t *testing.T) (*Client, func()) {
+	return startPrimaryDurable(t, nil)
+}
+
+// startPrimaryDurable is startPrimary with an optional durable store
+// attached to the primary (nil runs without persistence).
+func startPrimaryDurable(t *testing.T, dlog *durable.Log) (*Client, func()) {
 	t.Helper()
 	clk := clock.NewReal()
 	tr, err := netsim.NewUDP(clk, "127.0.0.1:0")
@@ -38,7 +45,8 @@ func startPrimary(t *testing.T) (*Client, func()) {
 			Clock: clk,
 			Port:  pp.(*xkernel.PortProtocol),
 			// No peer: the control interface works standalone.
-			Ell: 5 * time.Millisecond,
+			Ell:     5 * time.Millisecond,
+			Durable: dlog,
 		})
 		primary = p
 		errCh <- err
@@ -164,6 +172,52 @@ func TestControlMultipleClients(t *testing.T) {
 	reply, err := cl2.Do("STATUS")
 	if err != nil || !strings.Contains(reply, "objects=1") {
 		t.Fatalf("second client STATUS = %q err=%v", reply, err)
+	}
+}
+
+// TestControlLogstatSnapshot covers the durable-store verbs: without
+// persistence both report a clean error; with a store attached LOGSTAT
+// reports the segment/snapshot inventory and recovery source, and
+// SNAPSHOT forces a snapshot the next LOGSTAT reflects.
+func TestControlLogstatSnapshot(t *testing.T) {
+	cl, shutdown := startPrimary(t)
+	for _, cmd := range []string{"LOGSTAT", "SNAPSHOT"} {
+		reply, err := cl.Do(cmd)
+		if err != nil || reply != "ERR durable persistence not enabled" {
+			t.Fatalf("%s without a store = %q err=%v", cmd, reply, err)
+		}
+	}
+	shutdown()
+
+	dlog, err := durable.Open(durable.Config{Dir: t.TempDir(), Sync: true, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dlog.Close()
+	cl, shutdown = startPrimaryDurable(t, dlog)
+	defer shutdown()
+	if reply, _ := cl.Do("REGISTER alt 64 40ms 50ms 200ms"); !strings.HasPrefix(reply, "OK") {
+		t.Fatalf("register: %q", reply)
+	}
+	if reply, _ := cl.Write("alt", []byte("9000 ft")); !strings.HasPrefix(reply, "OK") {
+		t.Fatalf("write: %q", reply)
+	}
+	reply, err := cl.Do("LOGSTAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OK segments=", "source=network", "restored=0", "dropped=0"} {
+		if !strings.Contains(reply, want) {
+			t.Fatalf("LOGSTAT reply = %q, missing %q", reply, want)
+		}
+	}
+	reply, err = cl.Do("SNAPSHOT")
+	if err != nil || !strings.HasPrefix(reply, "OK snapshots=") {
+		t.Fatalf("SNAPSHOT reply = %q err=%v", reply, err)
+	}
+	reply, err = cl.Do("LOGSTAT")
+	if err != nil || strings.Contains(reply, "snapshots=0") {
+		t.Fatalf("LOGSTAT after SNAPSHOT = %q err=%v", reply, err)
 	}
 }
 

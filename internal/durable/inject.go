@@ -1,0 +1,151 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+)
+
+// FaultKind names an injectable disk fault. The injector mutates the
+// store's files the way real failures do — a power cut mid-append, an
+// fsync that never finished, silent media corruption, an unlinked file
+// — so the chaos harness can assert recovery survives each of them.
+type FaultKind int
+
+const (
+	// FaultTornTail truncates the newest non-empty segment mid-record:
+	// a torn write at the moment of power loss.
+	FaultTornTail FaultKind = iota
+	// FaultShortFsync truncates the newest non-empty segment to half
+	// its length: a write acknowledged but never fully flushed.
+	FaultShortFsync
+	// FaultCorruptRecord flips one bit inside a record body in the
+	// newest non-empty segment: silent media corruption caught by CRC.
+	FaultCorruptRecord
+	// FaultMissingSegment deletes the newest segment file outright.
+	FaultMissingSegment
+	// FaultTornSnapshot truncates the newest snapshot file, forcing
+	// recovery to fall back to the previous snapshot.
+	FaultTornSnapshot
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTornTail:
+		return "torn-tail"
+	case FaultShortFsync:
+		return "short-fsync"
+	case FaultCorruptRecord:
+		return "corrupt-record"
+	case FaultMissingSegment:
+		return "missing-segment"
+	case FaultTornSnapshot:
+		return "torn-snapshot"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Inject applies the fault to the store directory and returns a short
+// deterministic description of what it did (file names and offsets,
+// never absolute paths, so chaos event logs stay replay-identical).
+// Injecting into an empty or absent store is a no-op, not an error.
+func Inject(dir string, kind FaultKind) (string, error) {
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return "", err
+	}
+	newest := func() *segmentRef {
+		for i := len(segs) - 1; i >= 0; i-- {
+			if segs[i].Bytes > 0 {
+				return &segs[i]
+			}
+		}
+		return nil
+	}
+	switch kind {
+	case FaultTornTail:
+		s := newest()
+		if s == nil {
+			return "no segment to tear", nil
+		}
+		// Cut inside the last record: keep everything up to the last
+		// record's start plus half of its frame.
+		data, err := os.ReadFile(s.Path)
+		if err != nil {
+			return "", err
+		}
+		lastStart := 0
+		for off := 0; off < len(data); {
+			_, n, derr := DecodeRecord(data[off:])
+			if derr != nil || n == 0 {
+				break
+			}
+			lastStart = off
+			off += n
+		}
+		rem := len(data) - lastStart
+		cut := lastStart + rem/2
+		if cut >= len(data) {
+			cut = len(data) - 1
+		}
+		if err := os.Truncate(s.Path, int64(cut)); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("tore %s at byte %d of %d", segmentName(s.Epoch, s.Index), cut, len(data)), nil
+	case FaultShortFsync:
+		s := newest()
+		if s == nil {
+			return "no segment to truncate", nil
+		}
+		cut := s.Bytes / 2
+		if err := os.Truncate(s.Path, cut); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("truncated %s to %d of %d bytes", segmentName(s.Epoch, s.Index), cut, s.Bytes), nil
+	case FaultCorruptRecord:
+		s := newest()
+		if s == nil {
+			return "no segment to corrupt", nil
+		}
+		f, err := os.OpenFile(s.Path, os.O_RDWR, 0)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		// Flip a bit in the middle of the file: with high probability
+		// inside some record's checksummed body.
+		off := s.Bytes / 2
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			return "", err
+		}
+		b[0] ^= 0x40
+		if _, err := f.WriteAt(b[:], off); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("flipped bit at byte %d of %s", off, segmentName(s.Epoch, s.Index)), nil
+	case FaultMissingSegment:
+		if len(segs) == 0 {
+			return "no segment to delete", nil
+		}
+		s := segs[len(segs)-1]
+		if err := os.Remove(s.Path); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("deleted %s", segmentName(s.Epoch, s.Index)), nil
+	case FaultTornSnapshot:
+		if len(snaps) == 0 {
+			return "no snapshot to tear", nil
+		}
+		s := snaps[0]
+		info, err := os.Stat(s.Path)
+		if err != nil {
+			return "", err
+		}
+		cut := info.Size() * 3 / 4
+		if err := os.Truncate(s.Path, cut); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("tore %s to %d of %d bytes", snapshotName(s.Epoch, s.Index), cut, info.Size()), nil
+	}
+	return "", fmt.Errorf("durable: unknown fault kind %d", int(kind))
+}

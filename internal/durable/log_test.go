@@ -1,0 +1,226 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fillLog writes nObjects specs and nApplies values per object, then a
+// snapshot if asked, and closes the log.
+func fillLog(t *testing.T, dir string, cfg Config, nObjects, nApplies int, snapshot bool) {
+	t.Helper()
+	cfg.Dir = dir
+	cfg.NoFsync = true
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var objs []ObjectState
+	for id := uint32(1); id <= uint32(nObjects); id++ {
+		st := ObjectState{ID: id, Name: fmt.Sprintf("obj-%d", id), Size: 64, Period: 40e6, DeltaP: 50e6, DeltaB: 250e6}
+		l.AppendSpec(st)
+		objs = append(objs, st)
+	}
+	for seq := 1; seq <= nApplies; seq++ {
+		for id := uint32(1); id <= uint32(nObjects); id++ {
+			l.AppendApply(id, 1, uint64(seq), int64(seq)*1e6, []byte(fmt.Sprintf("v%d-%d", id, seq)))
+		}
+	}
+	if snapshot {
+		for i := range objs {
+			objs[i].Epoch, objs[i].Seq = 1, uint64(nApplies)
+			objs[i].Version = int64(nApplies) * 1e6
+			objs[i].HasData = true
+			objs[i].Value = []byte(fmt.Sprintf("v%d-%d", objs[i].ID, nApplies))
+		}
+		l.Snapshot(1, objs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestLogRoundTripSyncAndAsync(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"sync", true}, {"async", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fillLog(t, dir, Config{Sync: mode.sync}, 4, 10, false)
+			st, rs, err := Recover(dir)
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if len(st.Objects) != 4 {
+				t.Fatalf("recovered %d objects, want 4", len(st.Objects))
+			}
+			if rs.Stopped != "" {
+				t.Fatalf("replay stopped: %s", rs.Stopped)
+			}
+			for _, o := range st.Objects {
+				want := fmt.Sprintf("v%d-10", o.ID)
+				if !o.HasData || !bytes.Equal(o.Value, []byte(want)) {
+					t.Fatalf("object %d: value %q, want %q", o.ID, o.Value, want)
+				}
+				if o.Seq != 10 || o.Epoch != 1 {
+					t.Fatalf("object %d: epoch/seq %d/%d", o.ID, o.Epoch, o.Seq)
+				}
+				if o.Name != fmt.Sprintf("obj-%d", o.ID) || o.DeltaB != 250e6 {
+					t.Fatalf("object %d: spec not recovered: %+v", o.ID, o)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotFallbackAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Sync: true, NoFsync: true, SegmentBytes: 1 << 10}
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	spec := ObjectState{ID: 1, Name: "a", Size: 8, Period: 1e6, DeltaP: 2e6, DeltaB: 3e6}
+	l.AppendSpec(spec)
+	snap := func(seq uint64) {
+		s := spec
+		s.Epoch, s.Seq, s.Version, s.HasData = 1, seq, int64(seq), true
+		s.Value = []byte(fmt.Sprintf("s%d", seq))
+		l.Snapshot(1, []ObjectState{s})
+	}
+	for seq := uint64(1); seq <= 300; seq++ {
+		l.AppendApply(1, 1, seq, int64(seq), bytes.Repeat([]byte("x"), 64))
+		if seq%100 == 0 {
+			snap(seq)
+		}
+	}
+	st := l.Stats()
+	if st.Snapshots != 2 {
+		t.Fatalf("retained %d snapshots, want 2", st.Snapshots)
+	}
+	if st.PrunedSegments == 0 {
+		t.Fatalf("nothing pruned: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Tear the newest snapshot: recovery falls back to the previous
+	// one and replays the tail between them.
+	if _, err := Inject(dir, FaultTornSnapshot); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	rec, rs, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !rs.SnapshotUsed || rs.SnapshotsTried != 2 {
+		t.Fatalf("expected fallback to second snapshot: %+v", rs)
+	}
+	if len(rec.Objects) != 1 || rec.Objects[0].Seq != 300 {
+		t.Fatalf("tail replay after fallback: %+v", rec.Objects)
+	}
+}
+
+func TestEpochRollAndUnregister(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, Sync: true, NoFsync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	l.AppendSpec(ObjectState{ID: 1, Name: "keep", Period: 1e6, DeltaP: 1e6, DeltaB: 1e6})
+	l.AppendSpec(ObjectState{ID: 2, Name: "drop", Period: 1e6, DeltaP: 1e6, DeltaB: 1e6})
+	l.AppendApply(1, 1, 1, 10, []byte("old"))
+	l.AppendApply(2, 1, 1, 10, []byte("bye"))
+	l.AppendEpoch(2)
+	l.AppendApply(1, 2, 1, 20, []byte("new"))
+	l.AppendUnregister(2)
+	// A stale record from the old epoch must not supersede.
+	l.AppendApply(1, 1, 9, 5, []byte("stale"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st, rs, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if st.Epoch != 2 {
+		t.Fatalf("epoch %d, want 2", st.Epoch)
+	}
+	if len(st.Objects) != 1 || st.Objects[0].ID != 1 {
+		t.Fatalf("objects: %+v", st.Objects)
+	}
+	if string(st.Objects[0].Value) != "new" {
+		t.Fatalf("value %q, want new (stale epoch-1 record applied?)", st.Objects[0].Value)
+	}
+	if rs.SegmentsReplayed < 2 {
+		t.Fatalf("epoch advance did not roll the segment: %+v", rs)
+	}
+}
+
+func TestOverflowDropsToSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny queue with an async writer: flooding it must drop, flag
+	// drop-to-snapshot, and never block the caller.
+	l, err := Open(Config{Dir: dir, QueueDepth: 2, NoFsync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 10000; i++ {
+		l.AppendApply(1, 1, uint64(i), int64(i), []byte("payload"))
+	}
+	st := l.Stats()
+	if st.Appended+st.Dropped < 10000 {
+		t.Fatalf("lost track of appends: %+v", st)
+	}
+	if st.Dropped > 0 && !l.NeedsSnapshot() {
+		t.Fatalf("dropped %d records without flagging drop-to-snapshot", st.Dropped)
+	}
+	// A snapshot clears the flag and restores a complete image.
+	l.Snapshot(1, []ObjectState{{ID: 1, Name: "a", HasData: true, Epoch: 1, Seq: 9999, Version: 9999, Value: []byte("final")}})
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if l.NeedsSnapshot() {
+		t.Fatal("drop-to-snapshot flag survived the snapshot")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rec, _, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(rec.Objects) != 1 || rec.Objects[0].Seq != 9999 {
+		t.Fatalf("snapshot did not restore the image: %+v", rec.Objects)
+	}
+}
+
+func TestReopenContinuesIndexes(t *testing.T) {
+	dir := t.TempDir()
+	fillLog(t, dir, Config{Sync: true}, 2, 3, false)
+	fillLog(t, dir, Config{Sync: true}, 2, 3, false) // second process lifetime
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range segs {
+		if seen[s.Index] {
+			t.Fatalf("duplicate segment index %d", s.Index)
+		}
+		seen[s.Index] = true
+	}
+	st, rs, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rs.Stopped != "" || len(st.Objects) != 2 {
+		t.Fatalf("recover across lifetimes: stopped=%q objects=%d", rs.Stopped, len(st.Objects))
+	}
+	if st.Objects[0].Seq != 3 {
+		t.Fatalf("seq %d, want 3", st.Objects[0].Seq)
+	}
+}

@@ -1,0 +1,105 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Segment files are named wal-<epoch>-<index>.log and snapshot files
+// snap-<epoch>-<index>.snap. The index is a single monotonic counter
+// shared by both: a snapshot at index i covers every segment with
+// index < i, so the stable mark is just an index comparison and
+// pruning is unlink-below-mark. The epoch in the name is the epoch the
+// file was opened under — segments roll on epoch advance, so dropping
+// segments below the mark drops whole epochs at a time.
+
+type segmentRef struct {
+	Epoch uint32
+	Index uint64
+	Path  string
+	Bytes int64
+}
+
+type snapshotRef struct {
+	Epoch uint32
+	Index uint64 // covers all segments with Index below this
+	Path  string
+}
+
+func segmentName(epoch uint32, index uint64) string {
+	return fmt.Sprintf("wal-%010d-%012d.log", epoch, index)
+}
+
+func snapshotName(epoch uint32, index uint64) string {
+	return fmt.Sprintf("snap-%010d-%012d.snap", epoch, index)
+}
+
+// scanDir lists the segments (sorted by index ascending) and snapshots
+// (sorted by index descending, newest first) in dir. Unparseable names
+// are ignored; a missing directory yields empty lists.
+func scanDir(dir string) (segs []segmentRef, snaps []snapshotRef, err error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var epoch uint32
+		var index uint64
+		name := e.Name()
+		switch {
+		case matchName(name, "wal-", ".log", &epoch, &index):
+			info, ierr := e.Info()
+			if ierr != nil {
+				continue
+			}
+			segs = append(segs, segmentRef{Epoch: epoch, Index: index, Path: filepath.Join(dir, name), Bytes: info.Size()})
+		case matchName(name, "snap-", ".snap", &epoch, &index):
+			snaps = append(snaps, snapshotRef{Epoch: epoch, Index: index, Path: filepath.Join(dir, name)})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Index < segs[j].Index })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Index > snaps[j].Index })
+	return segs, snaps, nil
+}
+
+// matchName parses "<prefix><epoch>-<index><suffix>" with fixed-width
+// decimal fields, rejecting anything else.
+func matchName(name, prefix, suffix string, epoch *uint32, index *uint64) bool {
+	if len(name) != len(prefix)+10+1+12+len(suffix) {
+		return false
+	}
+	if name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	var e uint64
+	for i := 0; i < 10; i++ {
+		c := mid[i]
+		if c < '0' || c > '9' {
+			return false
+		}
+		e = e*10 + uint64(c-'0')
+	}
+	if mid[10] != '-' {
+		return false
+	}
+	var ix uint64
+	for i := 11; i < 23; i++ {
+		c := mid[i]
+		if c < '0' || c > '9' {
+			return false
+		}
+		ix = ix*10 + uint64(c-'0')
+	}
+	*epoch = uint32(e)
+	*index = ix
+	return true
+}

@@ -1,0 +1,185 @@
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+)
+
+// ObjectState is one object's full durable image: the admitted spec
+// plus the last applied value and its supersession coordinates. It is
+// the unit of both snapshots and recovery output, and deliberately uses
+// only primitive fields so core can depend on durable without a cycle.
+type ObjectState struct {
+	ID       uint32
+	Name     string
+	Size     uint32
+	Period   int64 // nanoseconds
+	DeltaP   int64
+	DeltaB   int64
+	Critical bool
+
+	Epoch   uint32
+	Seq     uint64
+	Version int64 // UnixNano
+	HasData bool
+	Value   []byte
+}
+
+// Snapshot file layout: u32 magic, u32 body length, u32 CRC-32 (IEEE)
+// of the body, then the body — epoch, cover index, object count, and
+// each object encoded with the same field order as ObjectState. The
+// whole-body CRC means a torn or short-fsynced snapshot is detected as
+// a unit and recovery falls back to the previous one.
+const snapMagic = 0x52545053 // "RTPS"
+
+func encodeSnapshot(epoch uint32, cover uint64, objs []ObjectState) []byte {
+	body := make([]byte, 0, 64+len(objs)*64)
+	body = binary.LittleEndian.AppendUint32(body, epoch)
+	body = binary.LittleEndian.AppendUint64(body, cover)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(objs)))
+	for i := range objs {
+		o := &objs[i]
+		body = binary.LittleEndian.AppendUint32(body, o.ID)
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(o.Name)))
+		body = append(body, o.Name...)
+		body = binary.LittleEndian.AppendUint32(body, o.Size)
+		body = binary.LittleEndian.AppendUint64(body, uint64(o.Period))
+		body = binary.LittleEndian.AppendUint64(body, uint64(o.DeltaP))
+		body = binary.LittleEndian.AppendUint64(body, uint64(o.DeltaB))
+		flags := byte(0)
+		if o.Critical {
+			flags |= 1
+		}
+		if o.HasData {
+			flags |= 2
+		}
+		body = append(body, flags)
+		body = binary.LittleEndian.AppendUint32(body, o.Epoch)
+		body = binary.LittleEndian.AppendUint64(body, o.Seq)
+		body = binary.LittleEndian.AppendUint64(body, uint64(o.Version))
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(o.Value)))
+		body = append(body, o.Value...)
+	}
+	out := make([]byte, 0, 12+len(body))
+	out = binary.LittleEndian.AppendUint32(out, snapMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
+	return append(out, body...)
+}
+
+// decodeSnapshot validates and decodes a snapshot file's contents.
+// Any structural problem — bad magic, short body, CRC mismatch,
+// truncated object — invalidates the whole snapshot.
+func decodeSnapshot(data []byte) (epoch uint32, cover uint64, objs []ObjectState, ok bool) {
+	if len(data) < 12 || binary.LittleEndian.Uint32(data) != snapMagic {
+		return 0, 0, nil, false
+	}
+	n := binary.LittleEndian.Uint32(data[4:])
+	crc := binary.LittleEndian.Uint32(data[8:])
+	if uint32(len(data)-12) != n {
+		return 0, 0, nil, false
+	}
+	body := data[12:]
+	if crc32.Checksum(body, crcTable) != crc {
+		return 0, 0, nil, false
+	}
+	p := body
+	u16 := func() (uint16, bool) {
+		if len(p) < 2 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint16(p)
+		p = p[2:]
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if len(p) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(p) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		return v, true
+	}
+	var ok1, ok2, ok3 bool
+	epoch, ok1 = u32()
+	cover, ok2 = u64()
+	count, ok3 := u32()
+	if !(ok1 && ok2 && ok3) {
+		return 0, 0, nil, false
+	}
+	objs = make([]ObjectState, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var o ObjectState
+		var okf bool
+		if o.ID, okf = u32(); !okf {
+			return 0, 0, nil, false
+		}
+		nameLen, okf := u16()
+		if !okf || len(p) < int(nameLen) {
+			return 0, 0, nil, false
+		}
+		o.Name = string(p[:nameLen])
+		p = p[nameLen:]
+		var period, dp, db, seq, version uint64
+		if o.Size, okf = u32(); !okf {
+			return 0, 0, nil, false
+		}
+		if period, okf = u64(); !okf {
+			return 0, 0, nil, false
+		}
+		if dp, okf = u64(); !okf {
+			return 0, 0, nil, false
+		}
+		if db, okf = u64(); !okf {
+			return 0, 0, nil, false
+		}
+		if len(p) < 1 {
+			return 0, 0, nil, false
+		}
+		flags := p[0]
+		p = p[1:]
+		o.Period, o.DeltaP, o.DeltaB = int64(period), int64(dp), int64(db)
+		o.Critical, o.HasData = flags&1 != 0, flags&2 != 0
+		if o.Epoch, okf = u32(); !okf {
+			return 0, 0, nil, false
+		}
+		if seq, okf = u64(); !okf {
+			return 0, 0, nil, false
+		}
+		if version, okf = u64(); !okf {
+			return 0, 0, nil, false
+		}
+		o.Seq, o.Version = seq, int64(version)
+		valLen, okf := u32()
+		if !okf || len(p) < int(valLen) {
+			return 0, 0, nil, false
+		}
+		if valLen > 0 {
+			o.Value = append([]byte(nil), p[:valLen]...)
+		}
+		p = p[valLen:]
+		objs = append(objs, o)
+	}
+	if len(p) != 0 {
+		return 0, 0, nil, false
+	}
+	return epoch, cover, objs, true
+}
+
+// loadSnapshot reads and validates one snapshot file.
+func loadSnapshot(path string) (epoch uint32, cover uint64, objs []ObjectState, ok bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, nil, false
+	}
+	return decodeSnapshot(data)
+}

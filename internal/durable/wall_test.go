@@ -1,0 +1,57 @@
+package durable
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAppendEnqueueLatencyWall pins the tentpole's hot-path promise:
+// an async append is an encode into a pooled buffer plus one channel
+// send — never a write syscall, never an fsync. The wall is set orders
+// of magnitude below fsync cost (~ms) but far above the observed
+// enqueue cost (~100ns), so it trips on a blocking regression, not on
+// a noisy CI machine.
+func TestAppendEnqueueLatencyWall(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), QueueDepth: 1 << 16})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	payload := make([]byte, 64)
+	const n = 50000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		l.AppendApply(1, 1, uint64(i), int64(i), payload)
+	}
+	mean := time.Since(start) / n
+	t.Logf("append-enqueue mean %v over %d appends", mean, n)
+	if mean > 20*time.Microsecond {
+		t.Fatalf("append enqueue mean %v exceeds 20µs wall: the hot path is blocking on I/O", mean)
+	}
+}
+
+// TestAppendEnqueueZeroAlloc is the allocation wall: steady-state
+// async appends reuse pooled buffers and allocate nothing (the same
+// contract as the wire hot path's ZeroAlloc wall). Drops on a full
+// queue are fine here — dropping is also allocation-free.
+func TestAppendEnqueueZeroAlloc(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), QueueDepth: 64, NoFsync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	payload := make([]byte, 64)
+	// Warm the pool.
+	for i := 0; i < 1000; i++ {
+		l.AppendApply(1, 1, uint64(i), int64(i), payload)
+	}
+	allocs := testing.AllocsPerRun(5000, func() {
+		l.AppendApply(1, 1, 1, 1, payload)
+	})
+	// The background writer allocates occasionally (segment rolls, pool
+	// refills after GC), so the wall is amortized-below-one rather than
+	// exactly zero like the single-goroutine wire wall.
+	if allocs >= 1 {
+		t.Fatalf("append enqueue allocates %.2f allocs/op, want amortized 0", allocs)
+	}
+}

@@ -40,6 +40,16 @@ type RejoinerConfig struct {
 	// the first JoinRequest — the hook where callers re-attach backup-side
 	// observers (monitor taps, failure detector).
 	OnDemoted func(b *core.Backup)
+	// Restore, when set, runs right after Start constructs the backup
+	// and before the first JoinRequest: the disk half of disk-fast
+	// rejoin. The hook replays the replica's local durable tail
+	// (typically core.Replica.RestoreDurable over internal/durable's
+	// Recover) into the fresh table, so the join digest advertises the
+	// recovered state and the chunked anti-entropy streams only the gap
+	// accumulated while the node was down — catch-up cost proportional
+	// to downtime, not state size. It returns how many object values
+	// were seeded from disk.
+	Restore func(b *core.Backup) (int, error)
 	// Interval is the poll/retry period; defaults to 250ms.
 	Interval time.Duration
 	// Announce registers Self in the directory's candidate list once the
@@ -61,6 +71,12 @@ type RejoinerStatus struct {
 	Primary xkernel.Addr
 	// Joined reports completion.
 	Joined bool
+	// RestoredObjects is how many object values the Restore hook seeded
+	// from the local durable tail before the join; Source names where
+	// the replica's image came from: "disk+gap" when a disk restore
+	// preceded the anti-entropy exchange, "network" otherwise.
+	RestoredObjects int
+	Source          string
 }
 
 // Rejoiner drives a restarted replica — including a fenced old primary —
@@ -145,9 +161,20 @@ func (r *Rejoiner) tick() {
 				return
 			}
 			r.b = b
+			if r.cfg.Restore != nil {
+				// Disk-tail replay before the first JoinRequest: whatever
+				// the local log preserved never crosses the network again.
+				if n, err := r.cfg.Restore(b); err == nil {
+					r.status.RestoredObjects = n
+				}
+			}
 		}
 		r.primary = addr
 		r.status.Primary = addr
+		r.status.Source = "network"
+		if r.status.RestoredObjects > 0 {
+			r.status.Source = "disk+gap"
+		}
 	}
 	if r.b.Joined() {
 		r.finish()
