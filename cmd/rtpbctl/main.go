@@ -11,6 +11,7 @@
 //	rtpbctl -addr 127.0.0.1:7777 recruit 10.0.0.9:7000
 //	rtpbctl -addr 127.0.0.1:7777 logstat             # durable store inventory
 //	rtpbctl -addr 127.0.0.1:7777 snapshot            # force a durable snapshot
+//	rtpbctl -addr 127.0.0.1:7777 clock               # clock-sync estimate and θ
 //	rtpbctl -addr 127.0.0.1:7777 bench alt 40ms 5s   # periodic writes
 //
 // Against a sharded cluster's control endpoint (internal/ctl.ShardServer)
@@ -47,7 +48,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|repair|recruit|logstat|snapshot|bench> args...")
+		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|repair|recruit|logstat|snapshot|clock|bench> args...")
 	}
 
 	// Validate the subcommand before touching the network.
@@ -65,6 +66,7 @@ func run(args []string) error {
 		"recruit":  {2, "recruit <addr>"},
 		"logstat":  {1, "logstat"},
 		"snapshot": {1, "snapshot"},
+		"clock":    {1, "clock"},
 		"bench":    {4, "bench <name> <period> <duration>"},
 		"shards":   {1, "shards"},
 		"route":    {2, "route <object>"},
@@ -114,6 +116,8 @@ func run(args []string) error {
 		return printLogstat(reply)
 	case "snapshot":
 		return doPrint(c, "SNAPSHOT")
+	case "clock":
+		return doPrint(c, "CLOCK")
 	case "shards":
 		reply, err := c.Do("SHARDS")
 		if err != nil {

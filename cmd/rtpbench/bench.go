@@ -102,6 +102,10 @@ type benchReport struct {
 	// shape to read is batched rows beating the batch=1 baseline on
 	// msgs_per_sec and encode_allocs_per_op pinned at 0.
 	Wire []wirePoint `json:"wire,omitempty"`
+	// ClockSync is the skew-tolerance sweep ("rtpbench clocksync"):
+	// admitted capacity and verified-bound accounting versus per-node
+	// clock skew, with clock-sync correction on and off.
+	ClockSync []clocksyncPoint `json:"clocksync,omitempty"`
 }
 
 // runBench measures the resilience-layer benchmark matrix — a fixed

@@ -27,6 +27,9 @@
 //
 //	rtpbench rejoin             # disk-vs-network rejoin transfer sweep
 //	rtpbench rejoin -json       # merge the sweep into BENCH_rtpb.json
+//
+//	rtpbench clocksync          # skew tolerance: admitted capacity + verified bounds vs clock skew
+//	rtpbench clocksync -json    # merge the sweep into BENCH_rtpb.json
 package main
 
 import (
@@ -53,6 +56,8 @@ func main() {
 		err = runWireCmd(args[1:])
 	} else if len(args) > 0 && args[0] == "rejoin" {
 		err = runRejoinCmd(args[1:])
+	} else if len(args) > 0 && args[0] == "clocksync" {
+		err = runClocksyncCmd(args[1:])
 	} else {
 		err = run(args)
 	}

@@ -39,6 +39,34 @@ func TestTakeoverSweepIsInPlace(t *testing.T) {
 	}
 }
 
+func TestClocksyncSweepSeparatesArms(t *testing.T) {
+	// The sweep's own gates (zero corrected violations, uncorrected
+	// violations at the top skew, monotone admission) run inside
+	// clocksyncSweep; this pins the shape of what it returns.
+	points, err := clocksyncSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(clocksyncSkews) {
+		t.Fatalf("got %d points, want %d", len(points), len(clocksyncSkews))
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.Admitted != first.Offered {
+		t.Fatalf("zero margin admitted %d/%d, want the full ladder", first.Admitted, first.Offered)
+	}
+	if last.Admitted >= first.Admitted {
+		t.Fatalf("max margin admitted %d, want fewer than the zero-margin %d", last.Admitted, first.Admitted)
+	}
+	if last.RawViolationMs <= 0 {
+		t.Fatalf("uncorrected arm at max skew shows no violation; the hazard is gone")
+	}
+	for _, p := range points {
+		if p.SyncViolationMs != 0 {
+			t.Fatalf("corrected arm charged %.3fms at %gms skew", p.SyncViolationMs, p.SkewMs)
+		}
+	}
+}
+
 func TestRunSingleFigureSmokes(t *testing.T) {
 	// A tiny virtual interval keeps this fast; output goes to stdout.
 	if err := run([]string{"-figure", "13", "-duration", "500ms"}); err != nil {

@@ -104,6 +104,18 @@ type Scenario struct {
 	// ablation, the knob used to demonstrate that the split-brain
 	// invariant actually catches the regression it exists for.
 	DisableFencing bool
+	// ClockSync enables clock-sync estimation on every backup (probes
+	// piggybacked on heartbeats) and wires the harness's skew-aware
+	// monitoring: applied stamps are mapped onto the upstream timeline
+	// through each node's offset estimate, and the estimator's error
+	// bound θ is streamed into the monitor, which tightens every external
+	// bound by θ and marks it unverifiable — suspended, never silently
+	// violated — when θ exceeds the slack.
+	ClockSync bool
+	// ClockSyncMaxDriftPPM is the worst-case relative clock drift the
+	// estimators assume when aging their error bounds between probes
+	// (parts per million; zero means the clocksync default, 200).
+	ClockSyncMaxDriftPPM float64
 	// Events is the fault schedule, applied at their At offsets.
 	Events []FaultEvent
 	// Invariants are evaluated after the settle phase; streaming

@@ -56,7 +56,7 @@ func TestChaosCatalogue(t *testing.T) {
 // degradation ladder and the CPU model — must be a pure function of
 // (scenario, seed).
 func TestChaosDeterminism(t *testing.T) {
-	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover", "crash-failover-rejoin", "power-cycle-recover"} {
+	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover", "crash-failover-rejoin", "power-cycle-recover", "clock-step-false-failover", "drift-erodes-bounds"} {
 		sc, ok := Find(name)
 		if !ok {
 			t.Fatalf("scenario %q missing from catalogue", name)
@@ -129,6 +129,20 @@ func TestChaosCatchesFencingRegression(t *testing.T) {
 	}
 	t.Errorf("fencing disabled: violations fired but none is the split-brain check:\n  %s",
 		strings.Join(res.Violations, "\n  "))
+}
+
+// TestChaosClockStepAblationFalseFailover pins the hazard the hardened
+// detector exists for: the identical outage-plus-step scenario re-run
+// with the WallClockElapsed ablation must manufacture exactly one false
+// failover (the control arm's own invariants assert the promotion and
+// epoch bump). If this starts failing, the catalogue's
+// clock-step-false-failover pass no longer demonstrates anything.
+func TestChaosClockStepAblationFalseFailover(t *testing.T) {
+	res := runScenario(t, ClockStepScenario(true))
+	if res.Promotions != 1 {
+		t.Fatalf("ablation arm promoted %d times, want exactly 1 false failover\nevent log:\n%s",
+			res.Promotions, strings.Join(res.Log, "\n"))
+	}
 }
 
 // TestFindUnknown pins Find's miss behavior.

@@ -34,6 +34,14 @@ const (
 type Node struct {
 	// Name is the node's host name on the fabric.
 	Name string
+	// Clk is the node's own timebase: a clock.SkewedClock over the
+	// harness clock, transparent until a clock fault (ClockSkew,
+	// ClockDrift, ClockStep) perturbs it. Every component the node runs —
+	// replica, detector, rejoiner — reads this clock, never the fabric's,
+	// so per-node clock faults reach exactly the code a faulty oscillator
+	// would reach on a real machine. It survives crashes and restarts:
+	// the machine's clock fault outlives the process.
+	Clk *clock.SkewedClock
 	// EP is the node's network attachment (SetDown models crashes).
 	EP *netsim.Endpoint
 	// Port is the node's x-kernel port protocol.
@@ -84,6 +92,9 @@ type Harness struct {
 
 	govCheckpoints map[string]govCheckpoint
 	hogs           []*clock.Periodic
+
+	uncertaintyFeeds []*clock.Periodic
+	honestChecks     map[string]*honestBoundsEvidence
 
 	rejoiners  map[string]*repair.Rejoiner
 	rejoinAt   map[string]time.Time
@@ -165,6 +176,8 @@ func newHarness(sc Scenario) (*Harness, error) {
 		recovered:    make(map[string]diskRecovery),
 		joinAcceptAt: make(map[string]time.Time),
 		joinedAt:     make(map[string]time.Time),
+
+		honestChecks: make(map[string]*honestBoundsEvidence),
 	}
 	h.start = h.clk.Now()
 	h.net = netsim.New(h.clk, sc.Seed)
@@ -189,7 +202,12 @@ func newHarness(sc Scenario) (*Harness, error) {
 			return nil, err
 		}
 		proto, _ := g.Protocol("uport")
-		n := &Node{Name: name, EP: ep, Port: proto.(*xkernel.PortProtocol)}
+		n := &Node{
+			Name: name,
+			Clk:  clock.NewSkewed(h.clk),
+			EP:   ep,
+			Port: proto.(*xkernel.PortProtocol),
+		}
 		h.nodes[name] = n
 		h.order = append(h.order, name)
 	}
@@ -219,7 +237,7 @@ func newHarness(sc Scenario) (*Harness, error) {
 		peers = append(peers, h.nodes[name].Addr())
 	}
 	primary, err := core.NewPrimary(core.Config{
-		Clock:      h.clk,
+		Clock:      h.nodes[PrimaryNode].Clk,
 		Port:       h.nodes[PrimaryNode].Port,
 		Peers:      peers,
 		Ell:        sc.Ell,
@@ -281,16 +299,18 @@ func newHarness(sc Scenario) (*Harness, error) {
 // takeover.
 func (h *Harness) backupConfig(n *Node, primary xkernel.Addr) core.Config {
 	return core.Config{
-		Clock:               h.clk,
-		Port:                n.Port,
-		Peer:                primary,
-		Durable:             n.Dur,
-		Ell:                 h.sc.Ell,
-		Scheduling:          h.sc.Scheduling,
-		Costs:               h.sc.Costs,
-		Governor:            h.sc.Governor,
-		FrameBatch:          h.sc.FrameBatch,
-		DisableEpochFencing: h.sc.DisableFencing,
+		Clock:                n.Clk,
+		Port:                 n.Port,
+		Peer:                 primary,
+		Durable:              n.Dur,
+		Ell:                  h.sc.Ell,
+		Scheduling:           h.sc.Scheduling,
+		Costs:                h.sc.Costs,
+		Governor:             h.sc.Governor,
+		FrameBatch:           h.sc.FrameBatch,
+		DisableEpochFencing:  h.sc.DisableFencing,
+		ClockSync:            h.sc.ClockSync,
+		ClockSyncMaxDriftPPM: h.sc.ClockSyncMaxDriftPPM,
 	}
 }
 
@@ -349,13 +369,13 @@ func (h *Harness) wireBackup(n *Node) error {
 		// against the announced effective bound.
 		h.logf("%s: %q now %s (effective bound %v)", n.Name, name, mode, bound)
 		if mode == core.ModeShed {
-			h.mon.Suspend(n.Name, name, h.clk.Now())
+			h.mon.Suspend(n.Name, name, n.Clk.Now())
 			return
 		}
 		h.mon.Resume(n.Name, name)
-		h.mon.SetBound(n.Name, name, h.clk.Now(), bound)
+		h.mon.SetBound(n.Name, name, n.Clk.Now(), bound)
 	}
-	det, err := failover.NewDetector(h.clk, h.sc.Detector, b.SendPing, func() {
+	det, err := failover.NewDetector(n.Clk, h.sc.Detector, b.SendPing, func() {
 		h.onPrimaryDead(n)
 	})
 	if err != nil {
@@ -364,13 +384,70 @@ func (h *Harness) wireBackup(n *Node) error {
 	b.OnPingAck = det.OnAck
 	n.Det = det
 	det.Start()
+	if h.sc.ClockSync {
+		h.startUncertaintyFeed(n, b)
+	}
 	return nil
+}
+
+// unknownTheta is the uncertainty published before the first sync probe
+// completes: the upstream offset is unknown, not zero, so every bound
+// starts unverifiable instead of being judged against stamps that may
+// carry the node's whole boot-time clock offset.
+const unknownTheta = time.Hour
+
+// startUncertaintyFeed streams the backup's clock-sync error bound into
+// the temporal monitor: every tick, the current θ is attached to every
+// tracked object at the node's site, so the monitor tightens its bounds
+// by exactly the uncertainty the node itself admits to — and suspends
+// (rather than lies) when θ exceeds the slack. The feed instant is mapped
+// onto the upstream timeline through the estimated offset, the same
+// correction observeApply applies to update stamps.
+func (h *Harness) startUncertaintyFeed(n *Node, b *core.Backup) {
+	feed := clock.NewPeriodic(h.clk, 0, 10*time.Millisecond, func() {
+		if n.Backup != b || !b.Running() {
+			return
+		}
+		rep, ok := b.ClockSyncReport()
+		if !ok {
+			return
+		}
+		at, theta := n.Clk.Now(), time.Duration(unknownTheta)
+		if rep.Valid {
+			at, theta = at.Add(rep.Offset), rep.Theta
+		}
+		for _, spec := range h.sc.Objects {
+			wasUnv := h.mon.Unverifiable(n.Name, spec.Name)
+			h.mon.SetUncertainty(n.Name, spec.Name, at, theta)
+			if nowUnv := h.mon.Unverifiable(n.Name, spec.Name); nowUnv != wasUnv {
+				if nowUnv {
+					h.logf("%s: θ=%v exceeds %q's slack; bound unverifiable",
+						n.Name, theta.Round(100*time.Microsecond), spec.Name)
+				} else {
+					h.logf("%s: θ=%v back under %q's slack; bound verifiable again",
+						n.Name, theta.Round(100*time.Microsecond), spec.Name)
+				}
+			}
+		}
+	})
+	h.uncertaintyFeeds = append(h.uncertaintyFeeds, feed)
 }
 
 // observeApply is the streaming invariant hook: every applied update is
 // fed to the monitor and checked for epoch and version monotonicity.
 func (h *Harness) observeApply(n *Node, object string, epoch uint32, version, at time.Time) {
 	n.applies++
+	if h.sc.ClockSync && n.Backup != nil {
+		// The applied stamp comes from the node's own (possibly faulty)
+		// clock while the version stamp comes from the primary's; naively
+		// differencing them would charge the clock offset to the protocol.
+		// Map the applied instant onto the upstream timeline through the
+		// node's own offset estimate — its residual error is bounded by θ,
+		// which the uncertainty feed subtracts from the bound.
+		if rep, ok := n.Backup.ClockSyncReport(); ok && rep.Valid {
+			at = at.Add(rep.Offset)
+		}
+	}
 	h.mon.RecordUpdate(n.Name, object, version, at)
 
 	if max := h.maxEpoch[n.Name]; epoch != 0 && epoch < max {
@@ -578,7 +655,7 @@ func (h *Harness) startRejoiner(n *Node, st *durable.State) {
 		}
 	}
 	cfg := repair.RejoinerConfig{
-		Clock:     h.clk,
+		Clock:     n.Clk,
 		Service:   ServiceName,
 		Directory: h.ns,
 		Self:      n.Addr(),
@@ -677,7 +754,7 @@ func (h *Harness) restartFromDisk(name string) {
 // state from the pre-crash incarnation.
 func (h *Harness) resumePrimaryFromDisk(n *Node, st *durable.State) {
 	p, err := core.NewPrimary(core.Config{
-		Clock:      h.clk,
+		Clock:      n.Clk,
 		Port:       n.Port,
 		Ell:        h.sc.Ell,
 		Scheduling: h.sc.Scheduling,
@@ -746,7 +823,7 @@ func (h *Harness) wireCatchUp(n *Node, b *core.Backup) {
 			}
 		}
 		for _, spec := range h.sc.Objects {
-			h.mon.BeginCatchUp(n.Name, spec.Name, h.clk.Now())
+			h.mon.BeginCatchUp(n.Name, spec.Name, n.Clk.Now())
 		}
 	}
 	b.OnStateTransfer = func(epoch uint32, objects int) {
@@ -854,6 +931,15 @@ type Result struct {
 	// RestoredObjects is how many object values restarted replicas
 	// seeded from their local durable tails.
 	RestoredObjects int
+	// BoundViolation, UnverifiableTime, and EndTheta aggregate the
+	// external-consistency accounting across every tracked
+	// (site, object) pair at the end of the run: the worst per-object
+	// violation time, the worst per-object unverifiable (gray-band)
+	// time, and the largest clock-uncertainty bound θ still in force —
+	// the quantities the clocksync bench sweep reports.
+	BoundViolation   time.Duration
+	UnverifiableTime time.Duration
+	EndTheta         time.Duration
 }
 
 // Failed reports whether any invariant was violated.
@@ -911,6 +997,23 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if h.active != nil && h.active.Running() {
 		res.FinalEpoch = h.active.Epoch()
+	}
+	for _, name := range h.order {
+		for _, spec := range sc.Objects {
+			r, ok := h.mon.ExternalReport(name, spec.Name)
+			if !ok {
+				continue
+			}
+			if r.ViolationTime > res.BoundViolation {
+				res.BoundViolation = r.ViolationTime
+			}
+			if r.UnverifiableTime > res.UnverifiableTime {
+				res.UnverifiableTime = r.UnverifiableTime
+			}
+			if r.Theta > res.EndTheta {
+				res.EndTheta = r.Theta
+			}
+		}
 	}
 	for name, done := range h.caughtUpAt {
 		if started, ok := h.rejoinAt[name]; ok {

@@ -197,6 +197,79 @@ func (f CPUHog) apply(h *Harness) {
 	h.clk.Schedule(f.For, task.Stop)
 }
 
+// nodeClock resolves a clock fault's victim, reporting a violation for
+// an unknown node.
+func (h *Harness) nodeClock(name, fault string) *clock.SkewedClock {
+	n := h.nodes[name]
+	if n == nil {
+		h.violationf("%s: unknown node %q", fault, name)
+		return nil
+	}
+	return n.Clk
+}
+
+// ClockSkew sets a node's wall-clock offset from true time — the standing
+// miscalibration a machine boots with. Timers keep their true firing
+// points; only the clock's readings (and every timestamp derived from
+// them) move.
+type ClockSkew struct {
+	// Node names the victim.
+	Node string
+	// Offset is the reading displacement (positive = fast clock).
+	Offset time.Duration
+}
+
+// String implements Fault.
+func (f ClockSkew) String() string { return fmt.Sprintf("clock on %s skewed %v", f.Node, f.Offset) }
+
+func (f ClockSkew) apply(h *Harness) {
+	if c := h.nodeClock(f.Node, "clock-skew"); c != nil {
+		c.SetOffset(f.Offset)
+	}
+}
+
+// ClockDrift sets a node's oscillator error in parts per million: the
+// clock's readings, monotonic reckoning, and timer durations all run fast
+// (positive) or slow (negative) by the given rate from injection onward.
+type ClockDrift struct {
+	// Node names the victim.
+	Node string
+	// PPM is the rate error in parts per million (10000 = +1%).
+	PPM float64
+}
+
+// String implements Fault.
+func (f ClockDrift) String() string {
+	return fmt.Sprintf("clock on %s drifts %+.0fppm", f.Node, f.PPM)
+}
+
+func (f ClockDrift) apply(h *Harness) {
+	if c := h.nodeClock(f.Node, "clock-drift"); c != nil {
+		c.SetDrift(f.PPM)
+	}
+}
+
+// ClockStep jumps a node's wall clock by a delta — an NTP step, a manual
+// reset, a VM migration. Forward steps appear instantly; a backward step
+// latches the reading (the clock parks until true time catches up, the
+// behaviour of a monotonic-conditioned system clock), so time never runs
+// backwards for the node's software either way.
+type ClockStep struct {
+	// Node names the victim.
+	Node string
+	// Delta is the jump (negative steps park the clock at its latch).
+	Delta time.Duration
+}
+
+// String implements Fault.
+func (f ClockStep) String() string { return fmt.Sprintf("clock on %s steps %+v", f.Node, f.Delta) }
+
+func (f ClockStep) apply(h *Harness) {
+	if c := h.nodeClock(f.Node, "clock-step"); c != nil {
+		c.Step(f.Delta)
+	}
+}
+
 // CrashCluster kills every node still up, in node order — the
 // full-cluster power failure. Recovery is then a pure function of what
 // reached the durable stores (plus whatever DiskFault corrupts before

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"rtpb/internal/clock"
 	"rtpb/internal/core"
 	"rtpb/internal/temporal"
 )
@@ -543,6 +544,154 @@ func (c RejoinSynced) Check(h *Harness) error {
 	}
 	if got := h.active.SyncedPeers(); got < 1 {
 		return fmt.Errorf("primary counts %d synced peers; the rejoined replica never reached parity", got)
+	}
+	return nil
+}
+
+// honestBoundsEvidence accumulates one HonestBounds armer's mid-run
+// observations.
+type honestBoundsEvidence struct {
+	checks   int
+	worstErr time.Duration
+	failures []string
+}
+
+// HonestBounds is the clock-sync honesty invariant: at a fixed cadence
+// during the run, the backup's estimated offset is compared against the
+// injected ground truth (the difference of the two nodes' SkewedClock
+// true offsets, which no protocol participant can see), and the true
+// error must never exceed the θ the estimator reports. An estimator that
+// under-reports θ — claims a tighter bound than it has — fails here even
+// if every scenario assertion happens to pass.
+type HonestBounds struct {
+	// Site is the probing backup's node; empty means BackupNode.
+	Site string
+	// Every is the check cadence; zero means 25ms.
+	Every time.Duration
+	// MinChecks floors the number of checks that must have run with a
+	// valid estimate (guarding against vacuous passes); zero means 10.
+	MinChecks int
+}
+
+func (c HonestBounds) site() string {
+	if c.Site == "" {
+		return BackupNode
+	}
+	return c.Site
+}
+
+// arm schedules the periodic ground-truth comparison.
+func (c HonestBounds) arm(h *Harness) {
+	every := c.Every
+	if every == 0 {
+		every = 25 * time.Millisecond
+	}
+	ev := &honestBoundsEvidence{}
+	h.honestChecks[c.site()] = ev
+	clock.NewPeriodic(h.clk, every, every, func() {
+		n := h.nodes[c.site()]
+		if n == nil || n.Backup == nil || !n.Backup.Running() {
+			return
+		}
+		rep, ok := n.Backup.ClockSyncReport()
+		if !ok || !rep.Valid {
+			return
+		}
+		p := h.nodes[h.activeNode]
+		if p == nil {
+			return
+		}
+		// Ground truth: estimated offset targets (primary clock − backup
+		// clock), which by construction is the difference of the injected
+		// true offsets.
+		truth := p.Clk.TrueOffset() - n.Clk.TrueOffset()
+		err := rep.Offset - truth
+		if err < 0 {
+			err = -err
+		}
+		ev.checks++
+		if err > ev.worstErr {
+			ev.worstErr = err
+		}
+		if err > rep.Theta {
+			ev.failures = append(ev.failures, fmt.Sprintf(
+				"+%v: |estimate−truth| = %v exceeds reported θ=%v",
+				h.clk.Now().Sub(h.start).Round(100*time.Microsecond), err, rep.Theta))
+		}
+	})
+}
+
+// Name implements Checker.
+func (c HonestBounds) Name() string { return fmt.Sprintf("honest-bounds-%s", c.site()) }
+
+// Check implements Checker.
+func (c HonestBounds) Check(h *Harness) error {
+	ev := h.honestChecks[c.site()]
+	if ev == nil {
+		return fmt.Errorf("never armed")
+	}
+	if len(ev.failures) > 0 {
+		return fmt.Errorf("θ dishonest in %d of %d checks, first: %s",
+			len(ev.failures), ev.checks, ev.failures[0])
+	}
+	min := c.MinChecks
+	if min == 0 {
+		min = 10
+	}
+	if ev.checks < min {
+		return fmt.Errorf("only %d checks ran with a valid estimate, want at least %d", ev.checks, min)
+	}
+	return nil
+}
+
+// UnverifiableWindow asserts the monitor's suspend-not-lie behaviour was
+// actually exercised: every object at the site spent at least MinTime
+// unverifiable (θ exceeded the slack), accrued zero violations of the
+// verifiable bound, and — unless EndsUnverifiable — recovered to a
+// verifiable state by the end of the run.
+type UnverifiableWindow struct {
+	// Site is the backup node name; empty means BackupNode.
+	Site string
+	// MinTime floors each object's total unverifiable time.
+	MinTime time.Duration
+	// EndsUnverifiable, when set, expects the run to end with θ still
+	// beyond the slack.
+	EndsUnverifiable bool
+}
+
+// Name implements Checker.
+func (UnverifiableWindow) Name() string { return "unverifiable-window" }
+
+// Check implements Checker.
+func (c UnverifiableWindow) Check(h *Harness) error {
+	site := c.Site
+	if site == "" {
+		site = BackupNode
+	}
+	for _, spec := range h.sc.Objects {
+		r, ok := h.mon.ExternalReport(site, spec.Name)
+		if !ok {
+			return fmt.Errorf("no report for %s/%s", site, spec.Name)
+		}
+		if r.UnverifiableTime < c.MinTime {
+			return fmt.Errorf("%s/%s unverifiable for %v, want at least %v — θ never ate the slack",
+				site, spec.Name, r.UnverifiableTime, c.MinTime)
+		}
+		if r.UnverifiableSpells == 0 {
+			return fmt.Errorf("%s/%s recorded unverifiable time but no spell", site, spec.Name)
+		}
+		if !r.Consistent() {
+			return fmt.Errorf("%s/%s: %v charged beyond the verifiable bound — the monitor lied instead of suspending",
+				site, spec.Name, r.ViolationTime)
+		}
+		if r.Unverifiable != c.EndsUnverifiable {
+			return fmt.Errorf("%s/%s ended unverifiable=%v, want %v",
+				site, spec.Name, r.Unverifiable, c.EndsUnverifiable)
+		}
+		if r.Verified() {
+			return fmt.Errorf("%s/%s claims Verified() despite %v unverifiable — the honesty flag is broken",
+				site, spec.Name, r.UnverifiableTime)
+		}
 	}
 	return nil
 }

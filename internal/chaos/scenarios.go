@@ -215,8 +215,13 @@ func Catalogue() []Scenario {
 			},
 		},
 		{
-			Name:        "inter-object-skew",
-			Description: "related objects under jitter: the inter-object distance bound holds at the backup",
+			Name: "inter-object-skew",
+			// "Skew" here is temporal distance between two object images at
+			// the same site (|T_i − T_j| under Section 3's inter-object
+			// constraint), not clock skew between nodes — the clock-fault
+			// scenarios are clock-step-false-failover and
+			// drift-erodes-bounds.
+			Description: "related objects under jitter: the inter-object temporal-distance bound |T_i−T_j| ≤ δij holds at the backup (no clock faults here)",
 			Objects: []core.ObjectSpec{
 				standardNamed("pressure"),
 				standardNamed("temperature"),
@@ -344,6 +349,44 @@ func Catalogue() []Scenario {
 				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
 			},
 		},
+		ClockStepScenario(false),
+		{
+			Name:        "drift-erodes-bounds",
+			Description: "backup oscillator drifts with sync probes suppressed: the clock-sync error bound θ ages past the fast object's slack, the monitor suspends judgement (unverifiable, never a silent verdict), and verification resumes when probes return",
+			Duration:    5 * time.Second,
+			ClockSync:   true,
+			// The estimators assume a 2% worst-case relative drift when aging
+			// θ between probes; the injected fault drifts at 0.2%, so the
+			// aged bound honestly dominates the real error (HonestBounds
+			// checks this against ground truth throughout) while eroding
+			// fast enough for the spell to fit the run.
+			ClockSyncMaxDriftPPM: 20000,
+			// One fast object (δB=60ms): θ starts near the 2ms one-way delay
+			// and grows 20ms per suppressed second, entering the gray band
+			// around t≈2.4s and consuming the whole bound around t≈3.4s.
+			Objects: []core.ObjectSpec{fastObject("gyro")},
+			// Heartbeats carry the sync probes, so suppressing the detector
+			// is exactly what starves the estimator; the miss budget only
+			// matters for the healthy phases.
+			Detector: failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 10},
+			Events: []FaultEvent{
+				{At: ms(200), Fault: ClockDrift{Node: BackupNode, PPM: 2000}},
+				{At: ms(500), Fault: Suppress{Node: BackupNode, On: true}},
+				{At: ms(4500), Fault: Suppress{Node: BackupNode, On: false}},
+			},
+			Invariants: []Checker{
+				// Never a provable violation: staleness stays ~20ms, far from
+				// δB+θ, and the offset-corrected stamps keep it honest.
+				BoundHeld{},
+				// The erosion must actually surface as suspended judgement...
+				UnverifiableWindow{Site: BackupNode, MinTime: ms(800)},
+				// ...and the estimator's claimed θ must dominate its true
+				// error the whole way.
+				HonestBounds{Site: BackupNode},
+				Converged{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
+			},
+		},
 		{
 			Name:        "endurance-soak",
 			Description: "20s of persistent mild loss, duplication, and jitter: bounds hold the whole way",
@@ -360,6 +403,57 @@ func Catalogue() []Scenario {
 			},
 		},
 	}
+}
+
+// ClockStepScenario returns the clock-step false-failover scenario: a
+// tolerable 300ms ack outage during which the backup's wall clock steps
+// forward one second — an NTP step landing at the worst moment. The
+// hardened detector (wallClockElapsed=false, the catalogue arm) measures
+// silence on the monotonic timebase and rides the outage out; the
+// ablation arm (wallClockElapsed=true, pinned by a regression test)
+// differences wall-clock readings, conflates the step with silence, and
+// kills a live primary. Clock sync stays off: the scenario isolates the
+// detector's timebase, and the stepped backup's applied stamps are
+// knowingly wrong afterwards (hence the bound checkpoint at the
+// partition rather than a full-run bound).
+func ClockStepScenario(wallClockElapsed bool) Scenario {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	sc := Scenario{
+		Name:        "clock-step-false-failover",
+		Description: "a +1s wall-clock step on the backup during a tolerable 300ms ack outage: the monotonic-timebase detector must not manufacture a failover",
+		Duration:    ms(2500),
+		Detector: failover.DetectorConfig{
+			Interval:           ms(50),
+			Timeout:            ms(30),
+			MaxMisses:          3,
+			Adaptive:           true,
+			SuspicionThreshold: 50,
+			MaxSilence:         ms(500),
+			WallClockElapsed:   wallClockElapsed,
+		},
+		Events: []FaultEvent{
+			// Acks vanish (updates keep flowing out of the primary and
+			// dying on the cut direction): a 300ms outage, well inside
+			// MaxSilence and below the suspicion threshold.
+			{At: ms(1000), Fault: PartitionOneWay{From: PrimaryNode, To: BackupNode}},
+			// Mid-outage, the backup's clock steps forward one second.
+			{At: ms(1100), Fault: ClockStep{Node: BackupNode, Delta: time.Second}},
+			{At: ms(1300), Fault: Heal{A: PrimaryNode, B: BackupNode}},
+		},
+		Invariants: []Checker{
+			Promotions{Want: 0}, EpochIs{Want: 1}, NoSplitBrain{},
+			Converged{}, BoundHeldUntil{Until: ms(1000)}, Progress{MinApplies: 20},
+		},
+	}
+	if wallClockElapsed {
+		sc.Name = "clock-step-false-failover-ablation"
+		sc.Description = "control arm: the wall-clock-elapsed detector conflates the +1s step with silence and kills the live primary"
+		sc.Invariants = []Checker{
+			Promotions{Want: 1}, EpochIs{Want: 2}, NoSplitBrain{},
+			ActiveServes{}, PromotedAfter{Offset: ms(1100)},
+		}
+	}
+	return sc
 }
 
 // Find returns the catalogue scenario with the given name.

@@ -34,6 +34,19 @@ func (p *Periodic) tick() {
 		return
 	}
 	p.next = p.next.Add(p.period)
+	// Re-anchor across wall-clock steps. Drift-free release instants
+	// assume the clock's reading advances continuously; on a faulty
+	// timebase (SkewedClock) a backward step parks the reading, so the
+	// stored next instant runs ever further ahead of it and the cadence
+	// collapses toward zero ticks, while a forward step leaves next ever
+	// further behind and every tick fires immediately (a tick storm).
+	// When next deviates from now by more than one full period in either
+	// direction, re-anchor it one period out. On a continuous clock the
+	// deviation never exceeds a period (late ticks still catch up
+	// drift-free), so releases stay exactly start + k·period.
+	if d := p.next.Sub(p.clk.Now()); d > p.period || d <= -p.period {
+		p.next = p.clk.Now().Add(p.period)
+	}
 	p.event = p.clk.ScheduleAt(p.next, p.tick)
 	p.fn()
 }

@@ -15,6 +15,7 @@ import (
 // the loop with Post.
 type RealClock struct {
 	mu      sync.Mutex
+	start   time.Time
 	pending eventHeap
 	posted  []func()
 	seq     uint64
@@ -26,18 +27,25 @@ type RealClock struct {
 // NewReal starts a RealClock's event loop. Callers must Stop it when done.
 func NewReal() *RealClock {
 	r := &RealClock{
-		wake: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	go r.loop()
 	return r
 }
 
 var _ Clock = (*RealClock)(nil)
+var _ MonotonicClock = (*RealClock)(nil)
 
 // Now reports the current wall-clock time.
 func (r *RealClock) Now() time.Time { return time.Now() }
+
+// Monotonic reports time elapsed since the clock was started, measured on
+// the host's monotonic timebase (time.Since uses the monotonic reading
+// captured at start, so wall-clock steps do not affect it).
+func (r *RealClock) Monotonic() time.Duration { return time.Since(r.start) }
 
 // Schedule arranges for fn to run d from now on the loop goroutine.
 func (r *RealClock) Schedule(d time.Duration, fn func()) *Event {

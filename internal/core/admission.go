@@ -192,10 +192,15 @@ func (a *admission) installSpec(o *object, spec ObjectSpec) {
 }
 
 // externalPeriod derives r_i from the external constraint:
-// SlackFactor·(δ_i − ℓ), the paper's choice of half the Theorem 5 maximum
-// to leave room for loss compensation.
+// SlackFactor·(δ_i − ℓ − SkewMargin), the paper's choice of half the
+// Theorem 5 maximum to leave room for loss compensation. SkewMargin
+// (zero by default) additionally reserves clock-uncertainty headroom:
+// with replica clocks disagreeing by up to θ, a backup image that looks
+// δ-fresh on the primary's clock may be δ+θ stale on the backup's, so a
+// deployment that wants its bounds to hold on every clock must schedule
+// against the margin-tightened window.
 func (a *admission) externalPeriod(c temporal.ExternalConstraint) time.Duration {
-	window := c.Delta() - a.cfg.Ell
+	window := c.Delta() - a.cfg.Ell - a.cfg.SkewMargin
 	return time.Duration(a.cfg.SlackFactor * float64(window))
 }
 
@@ -281,12 +286,13 @@ func (a *admission) admit(spec ObjectSpec) (*object, Decision) {
 	}
 
 	// Test 2: the primary-backup window must exceed the communication
-	// delay bound (δ_i = δB − δP > ℓ), or no transmission schedule can
-	// keep the backup consistent.
-	if spec.Constraint.Delta() <= a.cfg.Ell {
-		suggest := spec.Constraint.DeltaP + 2*a.cfg.Ell + spec.UpdatePeriod
-		return reject(fmt.Sprintf("window δ=%v does not exceed ℓ=%v",
-			spec.Constraint.Delta(), a.cfg.Ell), suggest)
+	// delay bound plus the reserved clock-uncertainty margin
+	// (δ_i = δB − δP > ℓ + SkewMargin), or no transmission schedule can
+	// keep the backup consistent on every replica's clock.
+	if spec.Constraint.Delta() <= a.cfg.Ell+a.cfg.SkewMargin {
+		suggest := spec.Constraint.DeltaP + 2*(a.cfg.Ell+a.cfg.SkewMargin) + spec.UpdatePeriod
+		return reject(fmt.Sprintf("window δ=%v does not exceed ℓ=%v + skew margin %v",
+			spec.Constraint.Delta(), a.cfg.Ell, a.cfg.SkewMargin), suggest)
 	}
 
 	cand := &object{
@@ -304,7 +310,7 @@ func (a *admission) admit(spec ObjectSpec) (*object, Decision) {
 		}
 	}
 	if cand.updatePeriod <= 0 {
-		suggest := spec.Constraint.DeltaP + 2*a.cfg.Ell + spec.UpdatePeriod
+		suggest := spec.Constraint.DeltaP + 2*(a.cfg.Ell+a.cfg.SkewMargin) + spec.UpdatePeriod
 		return reject("derived update period is not positive", suggest)
 	}
 	// The update task's cost must fit its period at all.
@@ -483,4 +489,32 @@ func (a *admission) utilizationWith(spec ObjectSpec) (float64, bool) {
 		return 0, false
 	}
 	return a.taskSet(cand).Utilization(), true
+}
+
+// PlanAdmission dry-runs the admission pipeline over a sequence of
+// object specs without standing up a replica: the specs are evaluated in
+// order against a fresh controller — so capacity interactions between
+// them (the schedulability test sees every earlier acceptance) are
+// included — and one Decision per spec is returned. Only the
+// admission-relevant config fields matter (Ell, SkewMargin, SlackFactor,
+// Costs, Scheduling, SchedTest); zero values take the same defaults a
+// replica applies. cmd/rtpbench's clocksync sweep uses it to chart
+// admitted capacity against the reserved skew margin.
+func PlanAdmission(cfg Config, specs []ObjectSpec) []Decision {
+	if cfg.SlackFactor == 0 {
+		cfg.SlackFactor = 0.5
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.Scheduling == 0 {
+		cfg.Scheduling = ScheduleNormal
+	}
+	a := newAdmission(&cfg)
+	out := make([]Decision, 0, len(specs))
+	for _, spec := range specs {
+		_, d := a.admit(spec)
+		out = append(out, d)
+	}
+	return out
 }

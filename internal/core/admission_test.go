@@ -70,6 +70,40 @@ func TestAdmitRejectsWindowBelowEll(t *testing.T) {
 	}
 }
 
+func TestAdmitSkewMarginTightensWindow(t *testing.T) {
+	// A skew margin shrinks the usable replication window to δ−ℓ−margin
+	// and the derived transmission period with it; zero margin reproduces
+	// the paper's single-timebase admission exactly (pinned by
+	// TestAdmitAcceptsFeasibleObject above).
+	cfg := testConfig()
+	cfg.SkewMargin = ms(45)
+	a := newAdmission(cfg)
+	_, d := a.admit(spec("x", ms(40), ms(50), ms(150)))
+	if !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	// r = 0.5·(δB−δP−ℓ−margin) = 0.5·(100−5−45)ms = 25ms
+	if want := ms(25); d.UpdatePeriod != want {
+		t.Fatalf("UpdatePeriod = %v, want %v", d.UpdatePeriod, want)
+	}
+}
+
+func TestAdmitSkewMarginConsumesWholeWindow(t *testing.T) {
+	// A margin at or above δ−ℓ leaves no window: the object is honestly
+	// unschedulable under that much clock uncertainty, and the QoS
+	// suggestion must account for the margin when proposing a feasible δB.
+	cfg := testConfig()
+	cfg.SkewMargin = ms(95)
+	a := newAdmission(cfg)
+	_, d := a.admit(spec("x", ms(40), ms(50), ms(150)))
+	if d.Accepted {
+		t.Fatal("accepted object whose window is consumed by the skew margin")
+	}
+	if d.SuggestedDeltaB <= ms(150) {
+		t.Fatalf("suggestion %v not larger than requested δB", d.SuggestedDeltaB)
+	}
+}
+
 func TestAdmitRejectsDuplicateName(t *testing.T) {
 	a := newAdmission(testConfig())
 	if _, d := a.admit(spec("x", ms(40), ms(50), ms(150))); !d.Accepted {

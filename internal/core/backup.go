@@ -31,6 +31,17 @@ func (b *Backup) demuxBackup(msg wire.Message) {
 		if b.OnPingAck != nil {
 			b.OnPingAck(t.Seq)
 		}
+	case *wire.TimeSync:
+		if t.Receive == 0 && t.Transmit == 0 {
+			// A probe from the peer: echo it with our stamps. Receive and
+			// transmit coincide under the serial executor (zero hold
+			// time), which the estimator's rtt formula nets out anyway.
+			now := b.cfg.Clock.Now().UnixNano()
+			b.send(&wire.TimeSync{Seq: t.Seq, From: wire.RoleBackup,
+				Originate: t.Originate, Receive: now, Transmit: now})
+		} else {
+			b.observeTimeSync(t)
+		}
 	case *wire.StateTransfer:
 		b.handleStateTransfer(t)
 	case *wire.ModeChange:
@@ -138,6 +149,11 @@ func (b *Backup) handleUpdate(t *wire.Update) {
 // rate-limiting safe: under sustained loss the seed's one-request-per-gap
 // behaviour amplified every gap into extra retransmissions whose own loss
 // created further gaps (the request storm), without tightening staleness.
+//
+// The throttle window is measured on the wall clock, so a backward step
+// (or a parked clock) stretches suppression until the clock catches up:
+// gap recovery slows, nothing else — the state that arrived with the gap
+// is already applied, and staleness accounting never reads this window.
 func (b *Backup) maybeRequestRetransmit(o *object) {
 	now := b.cfg.Clock.Now()
 	if !b.cfg.DisableRetransmitThrottle && now.Before(o.retransNext) {

@@ -237,6 +237,25 @@ type Config struct {
 	// replay length and log growth: each one advances the stable mark
 	// and prunes whole epoch segments below it.
 	SnapshotEvery int
+	// ClockSync enables the Cristian-style clock-offset estimator
+	// (internal/clocksync): each heartbeat this replica sends as backup
+	// carries a wire.TimeSync probe, the peer echoes it with its own
+	// stamps, and the completed exchange yields a per-peer offset
+	// estimate with an explicit error bound θ. Both roles always answer
+	// inbound probes; this flag only controls originating them.
+	ClockSync bool
+	// ClockSyncMaxDriftPPM bounds the assumed relative oscillator drift
+	// used to age θ between probes; zero means the clocksync package
+	// default (200 ppm).
+	ClockSyncMaxDriftPPM float64
+	// SkewMargin reserves clock-uncertainty headroom in admission
+	// control: the schedulability test treats every object's
+	// replication window as δ_i − ℓ − SkewMargin, and an object whose
+	// whole window is inside the margin is rejected. A deployment that
+	// cannot synchronize clocks tighter than θ should admit only what
+	// it can still guarantee under that error. Zero (the default)
+	// reproduces the paper's single-timebase admission exactly.
+	SkewMargin time.Duration
 }
 
 // UnboundedSendQueue disables the per-peer send-queue bound.
@@ -353,6 +372,9 @@ func (c *Config) normalize() error {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 256
+	}
+	if c.SkewMargin < 0 {
+		return fmt.Errorf("core: negative SkewMargin %v", c.SkewMargin)
 	}
 	c.Governor.normalize(c)
 	if c.Peer != "" {

@@ -175,7 +175,7 @@ func (p *Primary) handleUpdateAck(from xkernel.Addr, t *wire.UpdateAck) {
 		if pa.retransmitted {
 			pr.est.SampleAck() // Karn: delivered, but the RTT is ambiguous
 		} else {
-			pr.est.SampleRTT(p.clk.Now().Sub(pa.sentAt))
+			p.sampleRTT(pr, pa.sentAt)
 		}
 	}
 	delete(pa.waiting, from)

@@ -819,12 +819,27 @@ func (p *Primary) observePingAck(pr *replicaPeer, seq uint64) {
 		return
 	}
 	delete(pr.pingSent, seq)
-	pr.est.SampleRTT(p.clk.Now().Sub(sentAt))
+	p.sampleRTT(pr, sentAt)
 	for s := range pr.pingSent {
 		if s < seq {
 			delete(pr.pingSent, s)
 			pr.est.SampleLoss()
 		}
+	}
+}
+
+// sampleRTT feeds one measured round trip (now minus sentAt) into the
+// peer's link estimator, guarding against hostile clocks: a backward
+// step between send and ack makes the apparent RTT negative, and folding
+// it in — even clamped to zero — would drag the smoothed RTT and every
+// adaptive timeout derived from it toward a value this link never
+// exhibited. Such an exchange counts as delivered with no usable RTT,
+// Karn's rule extended to clock faults.
+func (p *Primary) sampleRTT(pr *replicaPeer, sentAt time.Time) {
+	if rtt := p.clk.Now().Sub(sentAt); rtt >= 0 {
+		pr.est.SampleRTT(rtt)
+	} else {
+		pr.est.SampleAck()
 	}
 }
 
@@ -850,6 +865,18 @@ func (p *Primary) demuxPrimary(msg wire.Message, from xkernel.Addr) {
 			p.OnPing(t.Seq)
 		}
 		p.replyTo(from, &wire.PingAck{Seq: t.Seq, From: wire.RolePrimary})
+	case *wire.TimeSync:
+		if t.Receive == 0 && t.Transmit == 0 {
+			// A backup's clock-sync probe: echo it with this node's
+			// stamps (receive == transmit under the serial executor; the
+			// estimator's rtt formula nets hold time out regardless).
+			now := p.clk.Now().UnixNano()
+			p.replyTo(from, &wire.TimeSync{Seq: t.Seq, From: wire.RolePrimary,
+				Originate: t.Originate, Receive: now, Transmit: now})
+		} else {
+			// A late echo to a probe we sent while still shadowing.
+			p.observeTimeSync(t)
+		}
 	case *wire.PingAck:
 		if pr := p.peerByAddr(from); pr != nil {
 			p.observePingAck(pr, t.Seq)

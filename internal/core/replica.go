@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rtpb/internal/clock"
+	"rtpb/internal/clocksync"
 	"rtpb/internal/cpu"
 	"rtpb/internal/resilience"
 	"rtpb/internal/wire"
@@ -120,6 +121,12 @@ type Replica struct {
 	sess    xkernel.Session
 	pingSeq uint64
 
+	// csync estimates the upstream peer's clock offset from TimeSync
+	// probes piggybacked on outbound heartbeats (nil unless
+	// Config.ClockSync). It survives role flips: a promoted replica
+	// keeps its last estimate (honestly aged) until it shadows again.
+	csync *clocksync.Estimator
+
 	// gapBackoff spaces gap-recovery retransmission requests with
 	// deterministic jitter.
 	gapBackoff        *resilience.Backoff
@@ -204,6 +211,10 @@ type Replica struct {
 	// never arrived): their replicated bytes cannot be served without an
 	// identity, and this is the only record of the loss.
 	OnPlaceholderDrop func(ids []uint32)
+	// OnTimeSample, when set, observes every accepted clock-sync probe
+	// with the estimator's error bound θ as of the sample — the hook the
+	// temporal monitor's skew-aware accounting hangs off.
+	OnTimeSample func(s clocksync.Sample, theta time.Duration)
 }
 
 // Primary is the serving-role view of a Replica (see Replica); Backup is
@@ -232,6 +243,12 @@ func NewReplica(cfg Config, role Role) (*Replica, error) {
 		running: true,
 	}
 	r.adm = newAdmission(&r.cfg)
+	if cfg.ClockSync {
+		r.csync = clocksync.New(clocksync.Config{
+			MaxDriftPPM: cfg.ClockSyncMaxDriftPPM,
+			Link:        resilience.NewEstimator(resilience.EstimatorConfig{}),
+		})
+	}
 	switch role {
 	case RolePrimary:
 		r.epoch = 1
@@ -387,6 +404,14 @@ func (r *Replica) SendPing() uint64 {
 	if r.role == RoleBackup {
 		r.pingSeq++
 		r.send(&wire.Ping{Seq: r.pingSeq, From: wire.RoleBackup})
+		if r.csync != nil {
+			// Clock-sync probe rides the heartbeat: same cadence, same
+			// link, no extra timers. t1 is stamped from this node's own
+			// (possibly faulty) clock — that is the clock whose offset we
+			// are estimating.
+			r.send(&wire.TimeSync{Seq: r.pingSeq, From: wire.RoleBackup,
+				Originate: r.clk.Now().UnixNano()})
+		}
 		return r.pingSeq
 	}
 	if len(r.peers) == 0 {
@@ -394,6 +419,34 @@ func (r *Replica) SendPing() uint64 {
 	}
 	seq, _ := r.SendPingTo(r.peers[0].addr)
 	return seq
+}
+
+// observeTimeSync feeds one completed clock-sync echo into the offset
+// estimator. t4 (the reply's arrival) is stamped here from the local
+// clock; the other three instants ride in the echo.
+func (r *Replica) observeTimeSync(t *wire.TimeSync) {
+	if r.csync == nil {
+		return
+	}
+	t4 := r.clk.Now()
+	s, ok := r.csync.AddSample(
+		time.Unix(0, t.Originate), time.Unix(0, t.Receive), time.Unix(0, t.Transmit), t4)
+	if !ok {
+		return
+	}
+	if r.OnTimeSample != nil {
+		theta, _ := r.csync.Theta(t4)
+		r.OnTimeSample(s, theta)
+	}
+}
+
+// ClockSyncReport summarizes the upstream clock-offset estimator as of
+// now. ok is false when Config.ClockSync is disabled.
+func (r *Replica) ClockSyncReport() (clocksync.Report, bool) {
+	if r.csync == nil {
+		return clocksync.Report{}, false
+	}
+	return r.csync.Report(r.clk.Now()), true
 }
 
 // Demux implements xkernel.Upper: inbound RTPB datagrams are decoded once

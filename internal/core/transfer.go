@@ -340,7 +340,7 @@ func (p *Primary) handleStateChunkAck(from xkernel.Addr, t *wire.StateChunkAck) 
 	if pr.xferRetrans {
 		pr.est.SampleAck()
 	} else {
-		pr.est.SampleRTT(p.clk.Now().Sub(pr.xferSentAt))
+		p.sampleRTT(pr, pr.xferSentAt)
 	}
 	pr.xferTotal += pr.xferEntries
 	pr.xferEntries = 0

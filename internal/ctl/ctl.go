@@ -30,6 +30,11 @@
 //	SNAPSHOT
 //	  → OK snapshots=<n> last_snapshot_epoch=<e> segments=<n> pruned=<n>
 //	  → ERR durable persistence not enabled
+//	CLOCK
+//	  → OK sync=off
+//	  → OK sync=on valid=false accepted=<n> rejected=<n>
+//	  → OK sync=on valid=true offset=<d> theta=<d> rtt=<d> age=<d>
+//	    accepted=<n> rejected=<n>
 //
 // Durations use Go syntax (40ms, 1s).
 //
@@ -203,6 +208,8 @@ func (s *Server) handle(line string, reply func(string)) {
 		reply(s.logstat())
 	case "SNAPSHOT":
 		reply(s.snapshot())
+	case "CLOCK":
+		reply(s.clockStatus())
 	default:
 		reply("ERR unknown command " + cmd)
 	}
@@ -296,6 +303,23 @@ func (s *Server) snapshot() string {
 	}
 	return fmt.Sprintf("OK snapshots=%d last_snapshot_epoch=%d segments=%d pruned=%d",
 		st.Snapshots, st.LastSnapshotEpoch, st.Segments, st.PrunedSegments)
+}
+
+// clockStatus reports the replica's upstream clock-sync estimator:
+// whether probing is enabled, and the current offset estimate with its
+// explicit error bound θ. A primary that never probed (clock sync rides
+// the backup-side heartbeat exchange) reports sync=on valid=false until
+// it has been a backup with a completed probe.
+func (s *Server) clockStatus() string {
+	rep, ok := s.primary.ClockSyncReport()
+	if !ok {
+		return "OK sync=off"
+	}
+	if !rep.Valid {
+		return fmt.Sprintf("OK sync=on valid=false accepted=%d rejected=%d", rep.Accepted, rep.Rejected)
+	}
+	return fmt.Sprintf("OK sync=on valid=true offset=%v theta=%v rtt=%v age=%v accepted=%d rejected=%d",
+		rep.Offset, rep.Theta, rep.RTT, rep.Age, rep.Accepted, rep.Rejected)
 }
 
 // recruit attaches a new backup peer; the join exchange (spec replay,

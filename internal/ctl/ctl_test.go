@@ -23,6 +23,13 @@ func startPrimary(t *testing.T) (*Client, func()) {
 // attached to the primary (nil runs without persistence).
 func startPrimaryDurable(t *testing.T, dlog *durable.Log) (*Client, func()) {
 	t.Helper()
+	return startPrimaryWith(t, func(cfg *core.Config) { cfg.Durable = dlog })
+}
+
+// startPrimaryWith is startPrimary with a config mutator applied before
+// the replica starts.
+func startPrimaryWith(t *testing.T, mutate func(*core.Config)) (*Client, func()) {
+	t.Helper()
 	clk := clock.NewReal()
 	tr, err := netsim.NewUDP(clk, "127.0.0.1:0")
 	if err != nil {
@@ -41,13 +48,16 @@ func startPrimaryDurable(t *testing.T, dlog *durable.Log) (*Client, func()) {
 	var primary *core.Primary
 	errCh := make(chan error, 1)
 	clk.Post(func() {
-		p, err := core.NewPrimary(core.Config{
+		cfg := core.Config{
 			Clock: clk,
 			Port:  pp.(*xkernel.PortProtocol),
 			// No peer: the control interface works standalone.
-			Ell:     5 * time.Millisecond,
-			Durable: dlog,
-		})
+			Ell: 5 * time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		p, err := core.NewPrimary(cfg)
 		primary = p
 		errCh <- err
 	})
@@ -218,6 +228,25 @@ func TestControlLogstatSnapshot(t *testing.T) {
 	reply, err = cl.Do("LOGSTAT")
 	if err != nil || strings.Contains(reply, "snapshots=0") {
 		t.Fatalf("LOGSTAT after SNAPSHOT = %q err=%v", reply, err)
+	}
+}
+
+// TestControlClock covers the CLOCK verb: with probing disabled it
+// reports sync=off; with probing enabled but no completed probe it
+// reports an invalid estimate — never a fake zero offset.
+func TestControlClock(t *testing.T) {
+	cl, shutdown := startPrimary(t)
+	reply, err := cl.Do("CLOCK")
+	if err != nil || reply != "OK sync=off" {
+		t.Fatalf("CLOCK with sync disabled = %q err=%v", reply, err)
+	}
+	shutdown()
+
+	cl, shutdown = startPrimaryWith(t, func(cfg *core.Config) { cfg.ClockSync = true })
+	defer shutdown()
+	reply, err = cl.Do("CLOCK")
+	if err != nil || reply != "OK sync=on valid=false accepted=0 rejected=0" {
+		t.Fatalf("CLOCK with sync enabled but unprobed = %q err=%v", reply, err)
 	}
 }
 

@@ -42,6 +42,16 @@ type DetectorConfig struct {
 	// its learned distribution: any silence at least this long is fatal
 	// regardless of suspicion score. Defaults to 8×Interval.
 	MaxSilence time.Duration
+	// WallClockElapsed restores the seed's behaviour of measuring
+	// detector silences by differencing wall-clock Now() readings. The
+	// hardened default measures them on the clock's monotonic timebase
+	// (clock.MonotonicClock), which a wall-clock step cannot inflate —
+	// under the legacy behaviour a forward step makes the silence since
+	// the last ack look MaxSilence long and manufactures a false
+	// failover from a healthy peer (the chaos scenario
+	// clock-step-false-failover pins both outcomes). This knob exists as
+	// that ablation; never enable it in a deployment.
+	WallClockElapsed bool
 }
 
 // DefaultDetectorConfig returns the configuration used by the examples
@@ -233,6 +243,30 @@ func (d *Detector) onTimeout() {
 	d.sendPing()
 }
 
+// monoEpoch anchors monotonic readings as time.Time instants so they can
+// feed APIs (Suspicion) that difference instants. Only differences of
+// instants from the same timebase are ever taken, so the anchor value is
+// arbitrary.
+var monoEpoch = time.Unix(0, 0)
+
+// instant reports the detector's elapsed-time reading as an instant. All
+// of the detector's duration arithmetic (silence since last ack, the
+// suspicion scorer's inter-ack gaps) differences these instants, so they
+// are taken from the clock's monotonic timebase when it offers one: a
+// wall-clock step then cannot stretch or shrink any measured silence.
+// Miss counting needs no such care — it advances only when a real ack
+// timeout fires, and timers are step-immune by construction. The
+// WallClockElapsed ablation (or a clock with no monotonic reading) falls
+// back to differencing Now().
+func (d *Detector) instant() time.Time {
+	if !d.cfg.WallClockElapsed {
+		if m, ok := clock.Monotonic(d.clk); ok {
+			return monoEpoch.Add(m)
+		}
+	}
+	return d.clk.Now()
+}
+
 // silenceTolerable reports whether an adaptive detector should ride out
 // the current silence despite MaxMisses consecutive unanswered pings: the
 // learned gap distribution must be mature, must score the silence below
@@ -242,7 +276,7 @@ func (d *Detector) silenceTolerable() bool {
 	if !d.cfg.Adaptive || d.susp == nil || !d.susp.Ready() || !d.hasAck {
 		return false
 	}
-	now := d.clk.Now()
+	now := d.instant()
 	if now.Sub(d.lastAck) >= d.cfg.MaxSilence {
 		return false
 	}
@@ -255,7 +289,7 @@ func (d *Detector) SuspicionLevel() float64 {
 	if d.susp == nil || !d.susp.Ready() {
 		return 0
 	}
-	return d.susp.Level(d.clk.Now())
+	return d.susp.Level(d.instant())
 }
 
 // OnAck feeds a received ping acknowledgement into the detector. Acks for
@@ -274,7 +308,7 @@ func (d *Detector) OnAck(seq uint64) {
 	d.misses = 0
 	d.alive = true
 	if d.susp != nil {
-		now := d.clk.Now()
+		now := d.instant()
 		d.susp.Observe(now)
 		d.lastAck = now
 		d.hasAck = true

@@ -35,6 +35,17 @@ type extState struct {
 	suspended    bool
 	catchingUp   bool
 	catchUps     int
+	// theta is the current clock-uncertainty bound attached by
+	// SetUncertainty: the stamps being verified may err from true time by
+	// up to theta, so staleness is only provably beyond the bound past
+	// delta+theta and provably within it under delta−theta; the band
+	// between accrues in unverifiableTime. unverifiable marks spells
+	// where theta consumed the whole bound (delta − theta ≤ 0), counted
+	// in unverifiableSpells.
+	theta              time.Duration
+	unverifiable       bool
+	unverifiableTime   time.Duration
+	unverifiableSpells int
 }
 
 type interState struct {
@@ -116,7 +127,13 @@ func (s *extState) record(version, applied time.Time) {
 // accountUpTo folds the staleness trajectory on [lastApplied, t) into the
 // running statistics: staleness at the end of the interval is
 // t − lastVersion, and the image was out of bound on the suffix of the
-// interval past lastVersion+delta.
+// interval past lastVersion+delta. With a clock uncertainty theta
+// attached, the verdict is three-way: staleness past delta+theta is a
+// provable violation no uncertainty can excuse, staleness under
+// delta−theta is provably within bound, and the band between — where the
+// stamps' error could swing the verdict either way — accrues as
+// unverifiable time. At theta zero the band is empty and the split
+// reduces exactly to the classic two-way accounting.
 func (s *extState) accountUpTo(t time.Time) {
 	if !s.hasUpdate || t.Before(s.lastApplied) {
 		return
@@ -124,13 +141,27 @@ func (s *extState) accountUpTo(t time.Time) {
 	if stale := t.Sub(s.lastVersion); stale > s.maxStaleness {
 		s.maxStaleness = stale
 	}
-	violFrom := s.lastVersion.Add(s.delta)
+	violFrom := s.lastVersion.Add(s.delta + s.theta)
 	if violFrom.Before(s.lastApplied) {
 		violFrom = s.lastApplied
 	}
 	if t.After(violFrom) {
 		s.violation += t.Sub(violFrom)
 		s.excursions++
+	}
+	if s.theta == 0 {
+		return
+	}
+	grayFrom := s.lastVersion.Add(s.delta - s.theta)
+	if grayFrom.Before(s.lastApplied) {
+		grayFrom = s.lastApplied
+	}
+	grayTo := t
+	if grayTo.After(violFrom) {
+		grayTo = violFrom
+	}
+	if grayTo.After(grayFrom) {
+		s.unverifiableTime += grayTo.Sub(grayFrom)
 	}
 }
 
@@ -162,6 +193,54 @@ func (m *Monitor) FinishAt(t time.Time) {
 		st.accountUpTo(t)
 		st.finished = true
 	}
+}
+
+// SetUncertainty attaches a clock-uncertainty bound theta to the external
+// constraint for (site, object) from instant t onward: the stamps the
+// monitor verifies may err from true time by up to theta, so from t each
+// interval is judged three ways — staleness provably beyond the bound
+// (past delta+theta) is charged as violation, staleness provably within
+// it (under delta−theta) passes, and time in the band between accrues in
+// the report's UnverifiableTime: the monitor suspends judgement there
+// rather than lie in either direction. When theta consumes the whole
+// bound (delta − theta ≤ 0) the pair is additionally flagged
+// unverifiable for the spell (nothing can be affirmed at all, though a
+// gross enough staleness is still a provable violation); a later call
+// with smaller theta ends the spell. Zero theta (the default) leaves
+// every code path byte-identical to the uncertainty-free monitor.
+func (m *Monitor) SetUncertainty(site, object string, t time.Time, theta time.Duration) {
+	st, ok := m.external[extKey{site, object}]
+	if !ok || st.finished {
+		return
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	if st.theta == theta {
+		return
+	}
+	if !st.suspended {
+		// Judge the trajectory up to t under the old uncertainty, then
+		// restart the open interval so the suffix is judged under the new
+		// one (same split SetBound performs).
+		st.accountUpTo(t)
+		if st.hasUpdate && t.After(st.lastApplied) {
+			st.lastApplied = t
+		}
+	}
+	wasUnverifiable := st.unverifiable
+	st.theta = theta
+	st.unverifiable = theta >= st.delta
+	if st.unverifiable && !wasUnverifiable {
+		st.unverifiableSpells++
+	}
+}
+
+// Unverifiable reports whether clock uncertainty currently exceeds the
+// external bound for (site, object).
+func (m *Monitor) Unverifiable(site, object string) bool {
+	st, ok := m.external[extKey{site, object}]
+	return ok && st.unverifiable
 }
 
 // Suspend waives the external bound for (site, object) from instant t:
@@ -276,14 +355,37 @@ type ExternalReport struct {
 	Updates int
 	// MaxStaleness is the largest observed t − T_i(t).
 	MaxStaleness time.Duration
-	// ViolationTime is the total time the image spent beyond Delta.
+	// ViolationTime is the total time the image provably spent beyond
+	// the bound (staleness past Delta + Theta while an uncertainty was
+	// attached — an excess no stamp error can excuse).
 	ViolationTime time.Duration
-	// Excursions is the number of maximal intervals spent beyond Delta.
+	// Excursions is the number of maximal intervals charged as violation.
 	Excursions int
+	// Theta is the clock-uncertainty bound in force at the end of the
+	// run (zero unless SetUncertainty was used).
+	Theta time.Duration
+	// Unverifiable reports whether the run ended with uncertainty
+	// consuming the whole bound (Delta − Theta ≤ 0); UnverifiableSpells
+	// counts such spells over the run. UnverifiableTime totals the time
+	// spent in the gray band — staleness between Delta − Theta and
+	// Delta + Theta — where the verdict could swing either way, which
+	// includes (but is not limited to) the unverifiable spells.
+	Unverifiable       bool
+	UnverifiableTime   time.Duration
+	UnverifiableSpells int
 }
 
-// Consistent reports whether the bound held for the entire run.
+// Consistent reports whether no violation of the verifiable bound was
+// observed. It says nothing about unverifiable spells — a run can be
+// Consistent yet have spent time where the bound could not be checked;
+// Verified is the stronger claim.
 func (r ExternalReport) Consistent() bool { return r.ViolationTime == 0 }
+
+// Verified reports that the bound was affirmatively checked and held for
+// the entire run: no violations and no unverifiable time.
+func (r ExternalReport) Verified() bool {
+	return r.ViolationTime == 0 && r.UnverifiableTime == 0 && !r.Unverifiable
+}
 
 // ExternalReport returns the report for (site, object); ok is false if the
 // pair was never tracked.
@@ -292,13 +394,21 @@ func (m *Monitor) ExternalReport(site, object string) (ExternalReport, bool) {
 	if !ok {
 		return ExternalReport{}, false
 	}
+	return st.report(), true
+}
+
+func (s *extState) report() ExternalReport {
 	return ExternalReport{
-		Delta:         st.delta,
-		Updates:       st.updates,
-		MaxStaleness:  st.maxStaleness,
-		ViolationTime: st.violation,
-		Excursions:    st.excursions,
-	}, true
+		Delta:              s.delta,
+		Updates:            s.updates,
+		MaxStaleness:       s.maxStaleness,
+		ViolationTime:      s.violation,
+		Excursions:         s.excursions,
+		Theta:              s.theta,
+		Unverifiable:       s.unverifiable,
+		UnverifiableTime:   s.unverifiableTime,
+		UnverifiableSpells: s.unverifiableSpells,
+	}
 }
 
 // SnapshotExternal reports the external-consistency statistics for
@@ -316,13 +426,7 @@ func (m *Monitor) SnapshotExternal(site, object string, t time.Time) (ExternalRe
 	if !cp.finished {
 		cp.accountUpTo(t)
 	}
-	return ExternalReport{
-		Delta:         cp.delta,
-		Updates:       cp.updates,
-		MaxStaleness:  cp.maxStaleness,
-		ViolationTime: cp.violation,
-		Excursions:    cp.excursions,
-	}, true
+	return cp.report(), true
 }
 
 // InterObjectReport summarizes the observed inter-object consistency of a

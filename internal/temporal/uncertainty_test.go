@@ -1,0 +1,201 @@
+package temporal
+
+import "testing"
+
+// TestSetUncertaintyGrayBand: with theta attached, staleness between
+// delta−theta and delta+theta is provable in neither direction — the
+// trajectory that would have been a small violation under exact stamps
+// accrues as unverifiable time instead of a verdict the monitor cannot
+// back.
+func TestSetUncertaintyGrayBand(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(100))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	m.SetUncertainty("backup", "x", at(0), ms(30))
+	// Next update at 120ms: staleness peaks at 120ms, inside the
+	// 70ms..130ms gray band — 50ms of the interval (70ms→120ms) is
+	// undecidable, none of it provably violating.
+	m.RecordUpdate("backup", "x", at(ms(120)), at(ms(120)))
+	m.FinishAt(at(ms(120)))
+	r, ok := m.ExternalReport("backup", "x")
+	if !ok {
+		t.Fatal("report missing")
+	}
+	if r.ViolationTime != 0 {
+		t.Fatalf("ViolationTime = %v, want 0 (staleness 120ms is not provable beyond 100ms±30ms)", r.ViolationTime)
+	}
+	if r.UnverifiableTime != ms(50) {
+		t.Fatalf("UnverifiableTime = %v, want 50ms in the gray band", r.UnverifiableTime)
+	}
+	if r.Theta != ms(30) {
+		t.Fatalf("Theta = %v, want 30ms", r.Theta)
+	}
+	if r.Unverifiable {
+		t.Fatalf("uncertainty below the bound must not flag the pair unverifiable: %+v", r)
+	}
+	if !r.Consistent() || r.Verified() {
+		t.Fatalf("gray time must keep Consistent() but break Verified(): %+v", r)
+	}
+}
+
+// TestSetUncertaintyProvableViolationCharged: staleness beyond
+// delta+theta cannot be excused by any stamp error, so it is charged as
+// violation even with uncertainty attached.
+func TestSetUncertaintyProvableViolationCharged(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(100))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	m.SetUncertainty("backup", "x", at(0), ms(30))
+	// The image goes 250ms stale before the next apply: 130ms→250ms is a
+	// provable violation (120ms), 70ms→130ms the gray band (60ms).
+	m.RecordUpdate("backup", "x", at(0), at(ms(250)))
+	m.FinishAt(at(ms(250)))
+	r, _ := m.ExternalReport("backup", "x")
+	if r.ViolationTime != ms(120) {
+		t.Fatalf("ViolationTime = %v, want 120ms beyond delta+theta", r.ViolationTime)
+	}
+	if r.Excursions != 1 {
+		t.Fatalf("Excursions = %d, want 1", r.Excursions)
+	}
+	if r.UnverifiableTime != ms(60) {
+		t.Fatalf("UnverifiableTime = %v, want 60ms gray band", r.UnverifiableTime)
+	}
+	if r.Consistent() {
+		t.Fatal("a provable violation must break Consistent()")
+	}
+}
+
+// TestSetUncertaintySplitsTrajectoryAtCall: staleness accrued before the
+// call is judged under the old uncertainty, the suffix under the new one.
+func TestSetUncertaintySplitsTrajectoryAtCall(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(100))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	// At 90ms the image is still inside the exact bound; theta=30ms
+	// arrives then. The pre-call prefix is judged exact and clean; on the
+	// suffix the staleness (90ms→120ms) sits in the gray band, so 30ms of
+	// unverifiable time accrues and nothing is charged.
+	m.SetUncertainty("backup", "x", at(ms(90)), ms(30))
+	m.RecordUpdate("backup", "x", at(ms(120)), at(ms(120)))
+	m.FinishAt(at(ms(120)))
+	r, _ := m.ExternalReport("backup", "x")
+	if r.ViolationTime != 0 {
+		t.Fatalf("ViolationTime = %v, want 0", r.ViolationTime)
+	}
+	if r.UnverifiableTime != ms(30) {
+		t.Fatalf("UnverifiableTime = %v, want 30ms (90ms→120ms suffix only)", r.UnverifiableTime)
+	}
+}
+
+// TestUncertaintyBeyondBoundSuspendsNotLies: when theta consumes the
+// whole bound the monitor must neither charge violations it cannot prove
+// nor claim consistency it cannot prove — the whole spell accrues as
+// unverifiable time and is flagged, while updates keep being recorded.
+func TestUncertaintyBeyondBoundSuspendsNotLies(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(100))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	m.SetUncertainty("backup", "x", at(ms(50)), ms(150))
+	if !m.Unverifiable("backup", "x") {
+		t.Fatal("theta ≥ delta did not mark the pair unverifiable")
+	}
+	// Updates keep flowing with ≤100ms staleness — fine under exact
+	// stamps, undecidable under ±150ms ones.
+	for _, tk := range []int{100, 200, 300, 400, 500} {
+		m.RecordUpdate("backup", "x", at(ms(tk)), at(ms(tk)))
+	}
+	// Uncertainty heals at 500ms.
+	m.SetUncertainty("backup", "x", at(ms(500)), ms(10))
+	if m.Unverifiable("backup", "x") {
+		t.Fatal("pair still unverifiable after theta dropped below delta")
+	}
+	m.RecordUpdate("backup", "x", at(ms(520)), at(ms(520)))
+	m.FinishAt(at(ms(560)))
+	r, _ := m.ExternalReport("backup", "x")
+	if r.ViolationTime != 0 {
+		t.Fatalf("ViolationTime = %v, want 0 (nothing provable during the spell)", r.ViolationTime)
+	}
+	if r.UnverifiableTime != ms(450) {
+		t.Fatalf("UnverifiableTime = %v, want 450ms (50ms→500ms)", r.UnverifiableTime)
+	}
+	if r.UnverifiableSpells != 1 {
+		t.Fatalf("UnverifiableSpells = %d, want 1", r.UnverifiableSpells)
+	}
+	if r.Verified() {
+		t.Fatal("a run with unverifiable time must not claim Verified()")
+	}
+	if !r.Consistent() {
+		t.Fatal("no provable violation occurred; Consistent() should hold")
+	}
+}
+
+// TestUncertaintySpellCannotHideGrossViolation: even with theta beyond
+// the bound, staleness past delta+theta is a violation no stamp error can
+// explain away — the unverifiable state is a suspension of judgement, not
+// an amnesty.
+func TestUncertaintySpellCannotHideGrossViolation(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(100))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	m.SetUncertainty("backup", "x", at(0), ms(150))
+	if !m.Unverifiable("backup", "x") {
+		t.Fatal("theta ≥ delta did not mark the pair unverifiable")
+	}
+	// 400ms stale: even stamps wrong by 150ms leave ≥250ms of true
+	// staleness against a 100ms bound.
+	m.RecordUpdate("backup", "x", at(0), at(ms(400)))
+	m.FinishAt(at(ms(400)))
+	r, _ := m.ExternalReport("backup", "x")
+	if r.ViolationTime != ms(150) {
+		t.Fatalf("ViolationTime = %v, want 150ms beyond delta+theta", r.ViolationTime)
+	}
+	if r.UnverifiableTime != ms(250) {
+		t.Fatalf("UnverifiableTime = %v, want 250ms", r.UnverifiableTime)
+	}
+	if r.Consistent() {
+		t.Fatal("a provable violation must break Consistent()")
+	}
+}
+
+// TestUnverifiableSpellOpenAtFinish: an open spell keeps accruing through
+// snapshots and FinishAt, and the report keeps the Unverifiable flag.
+func TestUnverifiableSpellOpenAtFinish(t *testing.T) {
+	m := NewMonitor()
+	m.TrackExternal("backup", "x", ms(100))
+	m.RecordUpdate("backup", "x", at(0), at(0))
+	m.SetUncertainty("backup", "x", at(ms(50)), ms(300))
+	// Snapshot mid-spell sees the partial accrual without closing it.
+	snap, _ := m.SnapshotExternal("backup", "x", at(ms(300)))
+	if snap.UnverifiableTime != ms(250) || !snap.Unverifiable {
+		t.Fatalf("snapshot = %+v, want 250ms unverifiable and flagged", snap)
+	}
+	m.FinishAt(at(ms(350)))
+	r, _ := m.ExternalReport("backup", "x")
+	if r.UnverifiableTime != ms(300) || !r.Unverifiable {
+		t.Fatalf("report = %+v, want 300ms unverifiable, flag held", r)
+	}
+	if r.Verified() {
+		t.Fatal("run ending unverifiable must not claim Verified()")
+	}
+}
+
+// TestZeroUncertaintyIsByteIdentical: attaching theta=0 (or never calling
+// SetUncertainty) leaves every statistic exactly as the uncertainty-free
+// monitor produces it.
+func TestZeroUncertaintyIsByteIdentical(t *testing.T) {
+	run := func(withCall bool) ExternalReport {
+		m := NewMonitor()
+		m.TrackExternal("backup", "x", ms(50))
+		m.RecordUpdate("backup", "x", at(0), at(0))
+		if withCall {
+			m.SetUncertainty("backup", "x", at(ms(10)), 0)
+		}
+		m.RecordUpdate("backup", "x", at(ms(80)), at(ms(80)))
+		m.FinishAt(at(ms(100)))
+		r, _ := m.ExternalReport("backup", "x")
+		return r
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("theta=0 changed the report: %+v vs %+v", a, b)
+	}
+}

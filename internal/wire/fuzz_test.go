@@ -50,6 +50,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}},
 		&StateChunkAck{Epoch: 3, Xfer: 1, Chunk: 2, Applied: 1},
 		&Unregister{Epoch: 3, ObjectID: 7},
+		&TimeSync{Seq: 9, From: RoleBackup, Originate: 946_684_800_123_000_000},
+		&TimeSync{Seq: 9, From: RolePrimary, Originate: 946_684_800_123_000_000,
+			Receive: 946_684_800_125_000_000, Transmit: 946_684_800_125_500_000},
 		&Frame{Messages: []Message{
 			&Update{Epoch: 2, ObjectID: 7, Seq: 41, Version: 99, Payload: []byte("batched")},
 			&Update{Epoch: 2, ObjectID: 8, Seq: 12, Version: 100, Payload: []byte{}},

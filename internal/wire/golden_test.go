@@ -45,6 +45,12 @@ func goldenVectors() []struct {
 		{"frame_single", &Frame{Messages: []Message{
 			&Update{Epoch: 2, ObjectID: 7, Seq: 41, Version: 99, Payload: []byte("one")},
 		}}},
+		{"time_sync_request", &TimeSync{Seq: 9, From: RoleBackup,
+			Originate: 946_684_800_123_000_000}},
+		{"time_sync_reply", &TimeSync{Seq: 9, From: RolePrimary,
+			Originate: 946_684_800_123_000_000,
+			Receive:   946_684_800_125_000_000,
+			Transmit:  946_684_800_125_500_000}},
 		{"frame_multi", &Frame{Messages: []Message{
 			&Update{Epoch: 2, ObjectID: 7, Seq: 41, Version: 99, Payload: []byte("batched")},
 			&Update{Epoch: 2, ObjectID: 8, Seq: 12, Version: 100, Payload: []byte{}},

@@ -86,6 +86,12 @@ const (
 	// object matters per slot, so every pending update to one peer rides
 	// one datagram. Frames do not nest.
 	KindFrame
+	// KindTimeSync is a Cristian-style clock-sync probe piggybacked on
+	// the heartbeat exchange: the probing replica sends its origination
+	// timestamp, the responder echoes it with receive/transmit stamps
+	// from its own clock, and the probe's round trip bounds the offset
+	// estimate (internal/clocksync).
+	KindTimeSync
 )
 
 // String returns the kind name.
@@ -131,6 +137,8 @@ func (k Kind) String() string {
 		return "Unregister"
 	case KindFrame:
 		return "Frame"
+	case KindTimeSync:
+		return "TimeSync"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -178,6 +186,7 @@ var (
 	_ Message = (*StateChunkAck)(nil)
 	_ Message = (*Unregister)(nil)
 	_ Message = (*Frame)(nil)
+	_ Message = (*TimeSync)(nil)
 )
 
 // Encode serializes a message with the RTPB header into a fresh buffer.
@@ -252,6 +261,8 @@ func Decode(b []byte) (Message, error) {
 		m = &Unregister{}
 	case KindFrame:
 		m = &Frame{}
+	case KindTimeSync:
+		m = &TimeSync{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[3])
 	}
@@ -476,6 +487,48 @@ func (m *PingAck) appendBody(dst []byte) []byte {
 func (m *PingAck) decodeBody(r *reader) error {
 	m.Seq = r.uint64()
 	m.From = Role(r.uint8())
+	return r.err
+}
+
+// TimeSync is the Cristian-style clock-sync probe that rides alongside
+// the heartbeat exchange (internal/clocksync). A request carries only
+// Originate — t1, the probing node's send instant; the responder echoes
+// Originate and stamps Receive (t2) and Transmit (t3) from its own
+// clock. The probing side timestamps the reply's arrival (t4) locally
+// and feeds all four instants into the offset estimator. Timestamps are
+// Unix nanoseconds read from each node's own — possibly faulty — clock;
+// a zero Receive and Transmit marks a request.
+type TimeSync struct {
+	// Seq pairs the probe with its echo (the heartbeat sequence number
+	// it rides with).
+	Seq uint64
+	// From is the sender's role.
+	From Role
+	// Originate is t1: the prober's clock when the request was sent.
+	Originate int64
+	// Receive is t2: the responder's clock when the request arrived.
+	Receive int64
+	// Transmit is t3: the responder's clock when the echo was sent.
+	Transmit int64
+}
+
+// WireKind implements Message.
+func (*TimeSync) WireKind() Kind { return KindTimeSync }
+
+func (m *TimeSync) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = append(dst, uint8(m.From))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Originate))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Receive))
+	return binary.BigEndian.AppendUint64(dst, uint64(m.Transmit))
+}
+
+func (m *TimeSync) decodeBody(r *reader) error {
+	m.Seq = r.uint64()
+	m.From = Role(r.uint8())
+	m.Originate = int64(r.uint64())
+	m.Receive = int64(r.uint64())
+	m.Transmit = int64(r.uint64())
 	return r.err
 }
 
