@@ -20,6 +20,15 @@
 //
 //	rtpbctl -addr 127.0.0.1:7777 shards              # per-shard status table
 //	rtpbctl -addr 127.0.0.1:7777 route alt           # which shard serves alt
+//
+// Against a gateway endpoint (internal/ctl.GatewayServer, rtpbd
+// -gateway) write/read/register work the same, and the session/group
+// surface appears:
+//
+//	rtpbctl -addr 127.0.0.1:7878 bind cockpit alt speed  # group's objects
+//	rtpbctl -addr 127.0.0.1:7878 sub cockpit             # stream frames
+//	rtpbctl -addr 127.0.0.1:7878 groups
+//	rtpbctl -addr 127.0.0.1:7878 sessions
 package main
 
 import (
@@ -70,12 +79,20 @@ func run(args []string) error {
 		"bench":    {4, "bench <name> <period> <duration>"},
 		"shards":   {1, "shards"},
 		"route":    {2, "route <object>"},
+		"sub":      {2, "sub <group>"},
+		"groups":   {1, "groups"},
+		"sessions": {1, "sessions"},
+		"bind":     {-1, "bind <group> <object> [<object>...]"},
 	}
 	want, known := arity[sub]
 	if !known {
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
-	if len(rest) != want.n {
+	if want.n < 0 {
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: %s", want.usage)
+		}
+	} else if len(rest) != want.n {
 		return fmt.Errorf("usage: %s", want.usage)
 	}
 
@@ -126,8 +143,46 @@ func run(args []string) error {
 		return printShards(reply)
 	case "route":
 		return doPrint(c, "ROUTE "+rest[1])
+	case "sub":
+		return subscribe(c, rest[1])
+	case "groups":
+		return doPrint(c, "GROUPS")
+	case "sessions":
+		return doPrint(c, "SESSIONS")
+	case "bind":
+		return doPrint(c, "BIND "+strings.Join(rest[1:], " "))
 	default: // bench
 		return bench(c, rest[1], rest[2], rest[3])
+	}
+}
+
+// subscribe joins a gateway group and streams its broadcast frames (one
+// certified object image per line) until the connection closes.
+func subscribe(c *ctl.Client, group string) error {
+	reply, err := c.Do("SUB " + group)
+	if err != nil {
+		return err
+	}
+	fmt.Println(reply)
+	if !strings.HasPrefix(reply, "OK") {
+		os.Exit(2)
+	}
+	for {
+		line, err := c.ReadLine()
+		if err != nil {
+			return nil // connection closed: subscription over
+		}
+		fields := strings.Fields(line)
+		// EVENT <group> <object> <seq> <b64> <version> age=... delta=... mode=...
+		if len(fields) >= 6 && fields[0] == "EVENT" {
+			if value, err := base64.StdEncoding.DecodeString(fields[4]); err == nil {
+				fmt.Printf("%s %s seq=%s %q version=%s %s\n",
+					fields[1], fields[2], fields[3], value, fields[5],
+					strings.Join(fields[6:], " "))
+				continue
+			}
+		}
+		fmt.Println(line)
 	}
 }
 
@@ -240,12 +295,19 @@ func printLogstat(reply string) error {
 	return nil
 }
 
+// printRead renders a READ reply, including the staleness-certificate
+// fields (age=<dur> delta=<dur> mode=<m>) newer daemons append; older
+// three-field replies print without them.
 func printRead(reply string) error {
 	fields := strings.Fields(reply)
-	if len(fields) == 3 && fields[0] == "OK" {
+	if len(fields) >= 3 && fields[0] == "OK" {
 		value, err := base64.StdEncoding.DecodeString(fields[1])
 		if err == nil {
-			fmt.Printf("%q version=%s\n", value, fields[2])
+			fmt.Printf("%q version=%s", value, fields[2])
+			if len(fields) > 3 {
+				fmt.Printf(" %s", strings.Join(fields[3:], " "))
+			}
+			fmt.Println()
 			return nil
 		}
 	}

@@ -19,6 +19,19 @@
 // anti-entropy streams only the gap (disk-fast rejoin). Inspect the
 // store with rtpbctl logstat / snapshot.
 //
+// With -gateway <addr>, a primary also runs the client-facing front tier
+// of internal/gateway on a second control listener: sessions subscribe
+// to named groups and receive each bound object's staleness certificate
+// — value, admitted δ_B, last-update age — every broadcast tick, with
+// freshest-image-wins coalescing for slow consumers and admission-aware
+// session shedding when the replica's governor degrades. Drive it with
+// rtpbctl bind / sub / sessions / groups:
+//
+//	rtpbd -role primary -listen 127.0.0.1:7000 -peer 127.0.0.1:7001 \
+//	    -ctl 127.0.0.1:7777 -gateway 127.0.0.1:7778
+//	rtpbctl -addr 127.0.0.1:7778 bind cockpit alt speed
+//	rtpbctl -addr 127.0.0.1:7778 sub cockpit   # streams EVENT frames
+//
 // A two-host (or two-terminal) deployment:
 //
 //	rtpbd -role backup  -listen 127.0.0.1:7001 -peer 127.0.0.1:7000
@@ -87,6 +100,8 @@ func run(args []string) error {
 	heartbeat := fs.Bool("heartbeat", true, "run the heartbeat failure detector")
 	takeover := fs.Bool("takeover", false, "backup only: promote in place when the primary is declared dead")
 	mtu := fs.Int("mtu", 0, "fragment updates larger than this (0 = no fragmentation layer)")
+	gwAddr := fs.String("gateway", "", "primary only: client gateway listener address (sessions, groups, broadcast certificate streaming); disabled when empty")
+	gwPeriod := fs.Duration("gateway.period", 50*time.Millisecond, "gateway broadcast tick period")
 	dataDir := fs.String("data", "", "durable store directory (created if missing): async WAL + epoch snapshots; on restart the replica recovers from it — a primary resumes under a fenced epoch, a backup rejoins streaming only the gap")
 	verbose := fs.Bool("v", false, "log protocol events")
 	if err := fs.Parse(args); err != nil {
@@ -103,6 +118,9 @@ func run(args []string) error {
 	}
 	if *takeover && *role != "backup" {
 		return fmt.Errorf("-takeover applies only to -role backup")
+	}
+	if *gwAddr != "" && *role != "primary" {
+		return fmt.Errorf("-gateway applies only to -role primary")
 	}
 	switch *ctlAddr {
 	case "":
@@ -193,16 +211,17 @@ func run(args []string) error {
 	if *role == "primary" {
 		startRole = core.RolePrimary
 	}
-	return runReplica(clk, cfg, startRole, *ctlAddr, *heartbeat, *takeover, *verbose, sig, transport.LocalAddr(), recovered)
+	return runReplica(clk, cfg, startRole, *ctlAddr, *gwAddr, *gwPeriod, *heartbeat, *takeover, *verbose, sig, transport.LocalAddr(), recovered)
 }
 
 // runReplica drives one replica of either role: build it, wire the
 // verbose taps and the role-appropriate failure detector, and serve the
 // control socket until a signal arrives. Promotion does not restart the
 // process — the same replica flips roles in place.
-func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr string, heartbeat, takeover, verbose bool, sig chan os.Signal, local string, recovered *durable.State) error {
+func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr, gwAddr string, gwPeriod time.Duration, heartbeat, takeover, verbose bool, sig chan os.Signal, local string, recovered *durable.State) error {
 	errCh := make(chan error, 1)
 	var rep *core.Replica
+	var gw *rtpb.Gateway
 	clk.Post(func() {
 		r, err := core.NewReplica(cfg, role)
 		if err != nil {
@@ -210,6 +229,20 @@ func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr s
 			return
 		}
 		rep = r
+		if gwAddr != "" {
+			gw, err = rtpb.NewGateway(rtpb.GatewayConfig{
+				Clock:           clk,
+				Backend:         rtpb.ReplicaBackend{Primary: r},
+				BroadcastPeriod: gwPeriod,
+				OnEvent: func(format string, args ...any) {
+					log.Printf(format, args...)
+				},
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+		}
 		if recovered != nil {
 			if role == core.RolePrimary {
 				n := resumePrimary(r, recovered)
@@ -264,10 +297,24 @@ func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr s
 	} else {
 		log.Printf("%s up: rtpb on udp %s, peers %s", rep.Role(), local, peers)
 	}
+	if gw != nil {
+		gsrv, err := ctl.NewGatewayServer(clk, gw, gwAddr)
+		if err != nil {
+			return err
+		}
+		defer gsrv.Close()
+		log.Printf("gateway up: sessions on tcp %s, broadcast every %v", gsrv.Addr(), gwPeriod)
+	}
 	<-sig
 	log.Printf("shutting down")
 	done := make(chan struct{})
-	clk.Post(func() { rep.Stop(); close(done) })
+	clk.Post(func() {
+		if gw != nil {
+			gw.Close()
+		}
+		rep.Stop()
+		close(done)
+	})
 	<-done
 	return nil
 }

@@ -106,6 +106,11 @@ type benchReport struct {
 	// admitted capacity and verified-bound accounting versus per-node
 	// clock skew, with clock-sync correction on and off.
 	ClockSync []clocksyncPoint `json:"clocksync,omitempty"`
+	// Gateway is the front-tier fan-out sweep ("rtpbench gateway"):
+	// broadcast throughput and p99 certificate age versus session and
+	// group counts, with cert_reads_per_tick pinned to the object count
+	// (the fan-in economy claim) and bound_violations at zero.
+	Gateway []gatewayPoint `json:"gateway,omitempty"`
 }
 
 // runBench measures the resilience-layer benchmark matrix — a fixed

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGatewaySweepFanInEconomy runs the front-tier sweep and enforces
+// its two acceptance bars: every delivered certificate honors its
+// admitted bound (zero violations at every scale, 10k sessions
+// included), and the certificate-read fan-in per broadcast tick tracks
+// the object count, never the session count.
+func TestGatewaySweepFanInEconomy(t *testing.T) {
+	points, err := gatewaySweep(1, 1*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d cells, want 6", len(points))
+	}
+	perSession := make(map[int]float64) // fan-out per session, groups=1 cells
+	for _, p := range points {
+		if p.BoundViolations != 0 {
+			t.Errorf("sessions=%d groups=%d: %d certificate bound violations",
+				p.Sessions, p.Groups, p.BoundViolations)
+		}
+		if p.Broadcasts == 0 || p.FanOutPerSec == 0 {
+			t.Errorf("sessions=%d groups=%d: no broadcast traffic (ticks=%d fanout=%.1f)",
+				p.Sessions, p.Groups, p.Broadcasts, p.FanOutPerSec)
+		}
+		// Two objects per group: fan-in must equal the object count.
+		wantReads := float64(2 * p.Groups)
+		if p.CertReadsPerTick > wantReads+0.01 {
+			t.Errorf("sessions=%d groups=%d: cert reads/tick = %.2f, want ≤ %.2f (fan-in must not scale with sessions)",
+				p.Sessions, p.Groups, p.CertReadsPerTick, wantReads)
+		}
+		if p.P99AgeMs <= 0 {
+			t.Errorf("sessions=%d groups=%d: p99 age = %.3fms, want > 0", p.Sessions, p.Groups, p.P99AgeMs)
+		}
+		if p.Groups == 1 {
+			perSession[p.Sessions] = p.FanOutPerSec / float64(p.Sessions)
+		}
+	}
+	// Fan-out throughput scales with the session count: per-session
+	// delivery rate is flat across 100 → 10k (no coalescing or drops in
+	// the unloaded sweep).
+	base := perSession[100]
+	for _, sessions := range []int{1000, 10000} {
+		got := perSession[sessions]
+		if got < base*0.99 || got > base*1.01 {
+			t.Errorf("per-session fan-out at %d sessions = %.2f msg/s, want %.2f ±1%%",
+				sessions, got, base)
+		}
+	}
+}

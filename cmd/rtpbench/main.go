@@ -30,6 +30,9 @@
 //
 //	rtpbench clocksync          # skew tolerance: admitted capacity + verified bounds vs clock skew
 //	rtpbench clocksync -json    # merge the sweep into BENCH_rtpb.json
+//
+//	rtpbench gateway            # front-tier fan-out sweep: sessions × groups
+//	rtpbench gateway -json      # merge the sweep into BENCH_rtpb.json
 package main
 
 import (
@@ -58,6 +61,8 @@ func main() {
 		err = runRejoinCmd(args[1:])
 	} else if len(args) > 0 && args[0] == "clocksync" {
 		err = runClocksyncCmd(args[1:])
+	} else if len(args) > 0 && args[0] == "gateway" {
+		err = runGatewayCmd(args[1:])
 	} else {
 		err = run(args)
 	}
@@ -99,16 +104,26 @@ func runChaos(args []string) error {
 			}
 			fmt.Printf("%-26s %s seed=%-3d %s\n", sc.Name, "shard", effSeed, sc.Description)
 		}
+		for _, sc := range chaos.GatewayCatalogue() {
+			effSeed := sc.Seed
+			if effSeed == 0 {
+				effSeed = 1
+			}
+			fmt.Printf("%-26s %s seed=%-3d %s\n", sc.Name, "gway ", effSeed, sc.Description)
+		}
 		return nil
 	}
 
 	var scenarios []chaos.Scenario
 	var shardScenarios []chaos.ShardScenario
+	var gatewayScenarios []chaos.GatewayScenario
 	if *scenario != "" {
 		if sc, ok := chaos.Find(*scenario); ok {
 			scenarios = []chaos.Scenario{sc}
 		} else if ssc, ok := chaos.FindShard(*scenario); ok {
 			shardScenarios = []chaos.ShardScenario{ssc}
+		} else if gsc, ok := chaos.FindGateway(*scenario); ok {
+			gatewayScenarios = []chaos.GatewayScenario{gsc}
 		} else {
 			return fmt.Errorf("no such scenario %q (rtpbench chaos -list)", *scenario)
 		}
@@ -120,6 +135,7 @@ func runChaos(args []string) error {
 			scenarios = append(scenarios, sc)
 		}
 		shardScenarios = chaos.ShardCatalogue()
+		gatewayScenarios = chaos.GatewayCatalogue()
 	}
 
 	failed, total := 0, 0
@@ -156,6 +172,16 @@ func runChaos(args []string) error {
 			sc.Seed = *seed
 		}
 		res, err := chaos.RunShard(sc)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		report(res)
+	}
+	for _, sc := range gatewayScenarios {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		res, err := chaos.RunGateway(sc)
 		if err != nil {
 			return fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}

@@ -56,26 +56,35 @@ func TestChaosCatalogue(t *testing.T) {
 // degradation ladder and the CPU model — must be a pure function of
 // (scenario, seed).
 func TestChaosDeterminism(t *testing.T) {
-	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover", "crash-failover-rejoin", "power-cycle-recover", "clock-step-false-failover", "drift-erodes-bounds"} {
-		sc, ok := Find(name)
-		if !ok {
-			t.Fatalf("scenario %q missing from catalogue", name)
+	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover", "crash-failover-rejoin", "power-cycle-recover", "clock-step-false-failover", "drift-erodes-bounds", "gateway-shed-recover"} {
+		run := func() (*Result, error) {
+			if gsc, ok := FindGateway(name); ok {
+				if *seedFlag != 0 {
+					gsc.Seed = *seedFlag
+				}
+				return RunGateway(gsc)
+			}
+			sc, ok := Find(name)
+			if !ok {
+				t.Fatalf("scenario %q missing from catalogue", name)
+			}
+			if *seedFlag != 0 {
+				sc.Seed = *seedFlag
+			}
+			return Run(sc)
 		}
-		if *seedFlag != 0 {
-			sc.Seed = *seedFlag
-		}
-		first, err := Run(sc)
+		first, err := run()
 		if err != nil {
 			t.Fatalf("first run: %v", err)
 		}
-		second, err := Run(sc)
+		second, err := run()
 		if err != nil {
 			t.Fatalf("second run: %v", err)
 		}
 		a, b := strings.Join(first.Log, "\n"), strings.Join(second.Log, "\n")
 		if a != b {
 			t.Errorf("scenario %q seed %d: two runs diverged\n--- first ---\n%s\n--- second ---\n%s",
-				name, sc.Seed, a, b)
+				name, first.Seed, a, b)
 		}
 	}
 }

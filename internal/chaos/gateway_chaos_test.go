@@ -1,0 +1,32 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGatewayCatalogue runs every canned gateway scenario through the
+// full stack: cluster, governor, and front-tier session churn.
+func TestGatewayCatalogue(t *testing.T) {
+	for _, sc := range GatewayCatalogue() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if *seedFlag != 0 {
+				sc.Seed = *seedFlag
+			}
+			res, err := RunGateway(sc)
+			if err != nil {
+				t.Fatalf("scenario %q: %v", sc.Name, err)
+			}
+			if *verbose {
+				t.Logf("event log:\n%s", strings.Join(res.Log, "\n"))
+			}
+			if res.Failed() {
+				t.Errorf("scenario %q seed %d: %d violation(s):\n  %s\nevent log:\n%s",
+					res.Scenario, res.Seed, len(res.Violations),
+					strings.Join(res.Violations, "\n  "),
+					strings.Join(res.Log, "\n"))
+			}
+		})
+	}
+}

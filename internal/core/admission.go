@@ -89,6 +89,10 @@ type object struct {
 	mode      ObjectMode
 	modeSeq   uint64
 	modeEpoch uint32
+	// modeBound is the announced mode-effective external bound (backup
+	// role): the δ_B a Certificate served from this replica advertises
+	// while the primary has the object off the normal rung.
+	modeBound time.Duration
 
 	// catchingUp marks an object whose image was stale when a join
 	// exchange began; it clears only once an applied update or chunk

@@ -197,6 +197,7 @@ func (b *Backup) handleModeChange(t *wire.ModeChange) {
 		return
 	}
 	o.mode = mode
+	o.modeBound = t.EffectiveBound
 	if b.OnModeChange != nil {
 		b.OnModeChange(o.id, o.spec.Name, mode, t.EffectiveBound)
 	}

@@ -376,6 +376,51 @@ func (r *Replica) Value(name string) (data []byte, version time.Time, ok bool) {
 	return cp, o.version, true
 }
 
+// Certificate is an object image together with its staleness contract:
+// what a reader was handed, how old it was at hand-off, and the temporal
+// bound the replica currently maintains for backup images of the object.
+// It is the unit the gateway tier broadcasts to subscribed sessions and
+// the ctl READ verb reports alongside the bare value.
+type Certificate struct {
+	// Value and Version are the image and its last-write instant.
+	Value   []byte
+	Version time.Time
+	// Age is the image's staleness at certificate time: how long ago the
+	// value last changed, on the issuing replica's clock.
+	Age time.Duration
+	// Bound is the mode-effective external bound δ_B the replica
+	// maintains for backup images of the object: the admitted δ_B while
+	// normal, loosened by the period stretch while compressed, and zero —
+	// no guarantee — while shed.
+	Bound time.Duration
+	// Mode is the governor rung behind Bound.
+	Mode ObjectMode
+}
+
+// Certificate reports an object's current image with its staleness
+// certificate. ok is false for unknown or not-yet-written objects.
+func (r *Replica) Certificate(name string) (Certificate, bool) {
+	o, err := r.adm.byNameOrErr(name)
+	if err != nil || !o.hasData {
+		return Certificate{}, false
+	}
+	mode, _ := r.Mode(name)
+	bound := o.spec.Constraint.DeltaB
+	switch {
+	case r.role == RolePrimary && r.gov != nil:
+		bound = r.gov.effectiveBound(o, mode)
+	case r.role == RoleBackup && mode != ModeNormal:
+		bound = o.modeBound
+	}
+	cp := make([]byte, len(o.value))
+	copy(cp, o.value)
+	age := r.clk.Now().Sub(o.version)
+	if age < 0 {
+		age = 0
+	}
+	return Certificate{Value: cp, Version: o.version, Age: age, Bound: bound, Mode: mode}, true
+}
+
 // Mode reports the object's current overload-degradation rung: the
 // governor's while serving (ModeNormal when ungoverned), the primary's
 // last announcement while backing up.

@@ -13,7 +13,10 @@
 //	WRITE <name> <base64-value>
 //	  → OK <latency> | ERR <reason...>
 //	READ <name>
-//	  → OK <base64-value> <version-rfc3339nano> | ERR not found
+//	  → OK <base64-value> <version-rfc3339nano> age=<dur> delta=<dur>
+//	    mode=<normal|compressed|shed> | ERR not found
+//	  (age is the image's staleness at the read; delta the mode-effective
+//	  admitted δ_B it is certified against)
 //	STATUS
 //	  → OK role=<primary|backup> objects=<n> utilization=<u> epoch=<e>
 //	    backupAlive=<bool> transitions=<n>
@@ -50,7 +53,6 @@ import (
 	"net"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"rtpb/internal/clock"
@@ -58,109 +60,6 @@ import (
 	"rtpb/internal/temporal"
 	"rtpb/internal/xkernel"
 )
-
-// lineServer is the shared control-socket transport: a line-oriented
-// TCP listener that posts each command onto a clock executor and writes
-// the reply back. Server (one primary) and ShardServer (a sharded
-// cluster) differ only in the handler they install.
-type lineServer struct {
-	clk     clock.Clock
-	ln      net.Listener
-	handler func(line string, reply func(string))
-
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  chan struct{}
-}
-
-// newLineServer starts the control listener on addr ("host:port", ":0"
-// for ephemeral).
-func newLineServer(clk clock.Clock, addr string, handler func(string, func(string))) (*lineServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ctl: listen %q: %w", addr, err)
-	}
-	s := &lineServer{
-		clk:     clk,
-		ln:      ln,
-		handler: handler,
-		conns:   make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
-	}
-	go s.acceptLoop()
-	return s, nil
-}
-
-// Addr reports the listener's address.
-func (s *lineServer) Addr() string { return s.ln.Addr().String() }
-
-// Close stops the listener and all client connections.
-func (s *lineServer) Close() error {
-	err := s.ln.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	<-s.done
-	return err
-}
-
-func (s *lineServer) acceptLoop() {
-	defer close(s.done)
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s.serve(conn)
-		}()
-	}
-}
-
-func (s *lineServer) serve(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 2*1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		reply := s.dispatch(line)
-		if _, err := fmt.Fprintln(conn, reply); err != nil {
-			return
-		}
-	}
-}
-
-// dispatch runs one command on the clock executor and waits for its
-// reply.
-func (s *lineServer) dispatch(line string) string {
-	replyCh := make(chan string, 1)
-	s.clk.Post(func() {
-		s.handler(line, func(reply string) { replyCh <- reply })
-	})
-	select {
-	case r := <-replyCh:
-		return r
-	case <-time.After(10 * time.Second):
-		return "ERR control command timed out"
-	}
-}
 
 // Server exposes a Primary on a TCP control socket. Commands are posted
 // onto the replica's clock executor, preserving the protocol's serial
@@ -358,12 +257,19 @@ func (s *Server) read(args []string) string {
 	if len(args) != 1 {
 		return "ERR usage: READ <name>"
 	}
-	value, version, ok := s.primary.Value(args[0])
+	cert, ok := s.primary.Certificate(args[0])
 	if !ok {
 		return "ERR not found"
 	}
-	return fmt.Sprintf("OK %s %s",
-		base64.StdEncoding.EncodeToString(value), version.Format(time.RFC3339Nano))
+	return fmt.Sprintf("OK %s %s %s", base64.StdEncoding.EncodeToString(cert.Value),
+		cert.Version.Format(time.RFC3339Nano), certFields(cert))
+}
+
+// certFields renders the staleness-certificate suffix shared by READ
+// replies and gateway EVENT frames: the image's age at the snapshot and
+// the mode-effective admitted bound δ_B it is certified against.
+func certFields(cert core.Certificate) string {
+	return fmt.Sprintf("age=%v delta=%v mode=%s", cert.Age, cert.Bound, cert.Mode)
 }
 
 // Client is a minimal control-protocol client used by cmd/rtpbctl and the
@@ -392,6 +298,16 @@ func (c *Client) Do(line string) (string, error) {
 		return "", err
 	}
 	return strings.TrimSpace(reply), nil
+}
+
+// ReadLine reads one server line — used after SUB to stream the
+// gateway's asynchronous EVENT frames.
+func (c *Client) ReadLine() (string, error) {
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
 }
 
 // Write is a convenience wrapper for the WRITE command.

@@ -105,12 +105,19 @@ func TestControlRegisterWriteReadStatus(t *testing.T) {
 		t.Fatal(err)
 	}
 	fields := strings.Fields(reply)
-	if len(fields) != 3 || fields[0] != "OK" {
+	if len(fields) < 3 || fields[0] != "OK" {
 		t.Fatalf("READ reply = %q", reply)
 	}
 	value, err := base64.StdEncoding.DecodeString(fields[1])
 	if err != nil || string(value) != "9000 ft" {
 		t.Fatalf("READ value = %q err=%v", value, err)
+	}
+	// The reply carries a staleness certificate: age at the read and the
+	// mode-effective admitted bound it is certified against.
+	for _, want := range []string{"age=", "delta=", "mode=normal"} {
+		if !strings.Contains(reply, want) {
+			t.Fatalf("READ reply = %q, missing certificate field %q", reply, want)
+		}
 	}
 
 	reply, err = cl.Do("STATUS")

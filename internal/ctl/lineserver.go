@@ -1,0 +1,233 @@
+package ctl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtpb/internal/clock"
+)
+
+// This file is the shared control-socket transport extracted from the
+// Server/ShardServer pair: a line-oriented TCP listener that posts each
+// command onto a clock executor and writes the reply back. Three
+// consumers ride on it — Server (one primary), ShardServer (a sharded
+// cluster), and GatewayServer (the session/group front tier) — differing
+// only in the handler they install. The gateway consumer needed two
+// things the original transport lacked, so they live here for everyone:
+// a per-connection context (lineConn) commands can bind state to, and an
+// asynchronous push channel for server-initiated EVENT lines that must
+// never block the executor (a slow consumer sheds pushes, it does not
+// stall the pump).
+
+// ErrPushBacklog reports a push dropped because the connection's
+// outbound buffer is full — the signal a gateway session uses to enter
+// its freshest-wins slow path.
+var ErrPushBacklog = errors.New("ctl: push backlog full")
+
+// pushBacklog is the per-connection bound on queued EVENT lines.
+const pushBacklog = 64
+
+// lineConn is one client connection's server-side context. Handlers
+// (which run on the clock executor) may bind per-connection state via
+// SetOnClose and stream EVENT lines with Push; both are safe against the
+// reply path because all writes share one mutex.
+type lineConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes reply and push writes
+
+	push     chan string
+	dropped  atomic.Uint64
+	closed   chan struct{}
+	closeOne sync.Once
+
+	onClose func() // set by a handler on the executor; run once at teardown
+}
+
+func newLineConn(conn net.Conn) *lineConn {
+	c := &lineConn{
+		conn:   conn,
+		push:   make(chan string, pushBacklog),
+		closed: make(chan struct{}),
+	}
+	go c.pushLoop()
+	return c
+}
+
+// Push enqueues one asynchronous line (the caller includes any EVENT
+// framing). It never blocks: a full backlog returns ErrPushBacklog and
+// counts a drop, so the executor-side caller can coalesce instead.
+func (c *lineConn) Push(line string) error {
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	default:
+	}
+	select {
+	case c.push <- line:
+		return nil
+	default:
+		c.dropped.Add(1)
+		return ErrPushBacklog
+	}
+}
+
+// PushDropped counts pushes shed by the backlog bound.
+func (c *lineConn) PushDropped() uint64 { return c.dropped.Load() }
+
+// SetOnClose registers a teardown hook, called exactly once after the
+// connection's read loop exits (from the connection's goroutine; post to
+// an executor if needed).
+func (c *lineConn) SetOnClose(fn func()) { c.onClose = fn }
+
+// RemoteAddr names the peer.
+func (c *lineConn) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+
+func (c *lineConn) writeLine(line string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := fmt.Fprintln(c.conn, line)
+	return err
+}
+
+// pushLoop drains queued EVENT lines to the socket.
+func (c *lineConn) pushLoop() {
+	for {
+		select {
+		case line := <-c.push:
+			if c.writeLine(line) != nil {
+				c.conn.Close() // wake the read loop; teardown happens there
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+func (c *lineConn) teardown() {
+	c.closeOne.Do(func() {
+		close(c.closed)
+		c.conn.Close()
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
+}
+
+// lineServer is the shared listener: accepts connections, reads one
+// command line at a time, dispatches it onto the clock executor, and
+// writes the reply.
+type lineServer struct {
+	clk     clock.Clock
+	ln      net.Listener
+	handler func(c *lineConn, line string, reply func(string))
+
+	mu    sync.Mutex
+	conns map[*lineConn]struct{}
+	done  chan struct{}
+}
+
+// newLineServer starts the control listener on addr ("host:port", ":0"
+// for ephemeral) with a connection-blind handler (Server, ShardServer).
+func newLineServer(clk clock.Clock, addr string, handler func(string, func(string))) (*lineServer, error) {
+	return newLineConnServer(clk, addr, func(_ *lineConn, line string, reply func(string)) {
+		handler(line, reply)
+	})
+}
+
+// newLineConnServer starts the listener with a connection-aware handler
+// (GatewayServer binds sessions to connections).
+func newLineConnServer(clk clock.Clock, addr string, handler func(*lineConn, string, func(string))) (*lineServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: listen %q: %w", addr, err)
+	}
+	s := &lineServer{
+		clk:     clk,
+		ln:      ln,
+		handler: handler,
+		conns:   make(map[*lineConn]struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listener's address.
+func (s *lineServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all client connections.
+func (s *lineServer) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.conn.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return err
+}
+
+func (s *lineServer) acceptLoop() {
+	defer close(s.done)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := newLineConn(conn)
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serve(c)
+		}()
+	}
+}
+
+func (s *lineServer) serve(c *lineConn) {
+	defer func() {
+		c.teardown()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 64*1024), 2*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		reply := s.dispatch(c, line)
+		if c.writeLine(reply) != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one command on the clock executor and waits for its
+// reply.
+func (s *lineServer) dispatch(c *lineConn, line string) string {
+	replyCh := make(chan string, 1)
+	s.clk.Post(func() {
+		s.handler(c, line, func(reply string) { replyCh <- reply })
+	})
+	select {
+	case r := <-replyCh:
+		return r
+	case <-time.After(10 * time.Second):
+		return "ERR control command timed out"
+	}
+}

@@ -25,13 +25,16 @@ import (
 //	  → OK shard <i> primary <addr> epoch <e> | ERR not placed
 //	SHARDS
 //	  → OK shards=<k> [| <i> primary=<addr> epoch=<e> objects=<n>
-//	    utilization=<u> backupAlive=<bool> promotions=<p>]...
+//	    utilization=<u> backupAlive=<bool> promotions=<p> degraded=<d>
+//	    shed=<s>]...  (degraded/shed count objects the shard's overload
+//	    governor currently holds below normal mode)
 //	MIGRATE <name> <shard>
 //	  → OK <name> shard <i> | ERR <reason...>
 //	WRITE <name> <base64-value>
 //	  → OK <latency>, forwarded to the owning shard's current primary
 //	READ <name>
-//	  → OK <base64-value> <version-rfc3339nano> | ERR not found
+//	  → OK <base64-value> <version-rfc3339nano> age=<dur> delta=<dur>
+//	    mode=<m> | ERR not found
 //
 // WRITE and READ re-resolve the owning shard on every call, so clients
 // keep a single control connection across per-shard failovers.
@@ -126,8 +129,9 @@ func (s *ShardServer) shards() string {
 	statuses := s.cluster.Statuses()
 	fmt.Fprintf(&b, "OK shards=%d", len(statuses))
 	for _, st := range statuses {
-		fmt.Fprintf(&b, " | %d primary=%s epoch=%d objects=%d utilization=%.4f backupAlive=%v promotions=%d",
-			st.Index, st.PrimaryAddr, st.Epoch, st.Objects, st.Utilization, st.BackupAlive, st.Promotions)
+		fmt.Fprintf(&b, " | %d primary=%s epoch=%d objects=%d utilization=%.4f backupAlive=%v promotions=%d degraded=%d shed=%d",
+			st.Index, st.PrimaryAddr, st.Epoch, st.Objects, st.Utilization, st.BackupAlive, st.Promotions,
+			st.Degraded, st.Shed)
 	}
 	return b.String()
 }
@@ -172,10 +176,10 @@ func (s *ShardServer) read(args []string) string {
 	if len(args) != 1 {
 		return "ERR usage: READ <name>"
 	}
-	value, version, ok := s.cluster.Read(args[0])
+	cert, ok := s.cluster.Certificate(args[0])
 	if !ok {
 		return "ERR not found"
 	}
-	return fmt.Sprintf("OK %s %s",
-		base64.StdEncoding.EncodeToString(value), version.Format(time.RFC3339Nano))
+	return fmt.Sprintf("OK %s %s %s", base64.StdEncoding.EncodeToString(cert.Value),
+		cert.Version.Format(time.RFC3339Nano), certFields(cert))
 }

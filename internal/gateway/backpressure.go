@@ -1,0 +1,56 @@
+package gateway
+
+// Mode is the gateway's admission-aware backpressure rung, derived from
+// the backend's governor state rather than from any gateway-local queue
+// depth — the replica tier's own overload signal is the authority.
+//
+// The ladder is asymmetric by design: Shed refuses *new* sessions,
+// SlowPath drops *broadcast frames* for the struggling shards, and
+// neither rung ever drops a client write — write-side backpressure
+// belongs to the replica's admission control and governor.
+type Mode uint8
+
+const (
+	// Normal: sessions admitted, every shard broadcast.
+	Normal Mode = iota
+	// SlowPath: at least one shard's governor is degraded; that shard's
+	// broadcast frames are dropped at the gateway while sessions are
+	// still admitted.
+	SlowPath
+	// Shed: a shard's governor is shedding update transmissions, or the
+	// placer recently rejected an admission; new sessions are refused.
+	Shed
+)
+
+// String names the rung.
+func (m Mode) String() string {
+	switch m {
+	case Normal:
+		return "normal"
+	case SlowPath:
+		return "slow-path"
+	case Shed:
+		return "shed"
+	default:
+		return "unknown"
+	}
+}
+
+// Mode derives the gateway's current backpressure rung from backend
+// health and the placement-rejection hold.
+func (g *Gateway) Mode() Mode {
+	if g.cfg.Clock.Now().Before(g.placeRejectUntil) {
+		return Shed
+	}
+	mode := Normal
+	for i := 0; i < g.cfg.Backend.Shards(); i++ {
+		h := g.cfg.Backend.Health(i)
+		if h.Shedding() {
+			return Shed
+		}
+		if h.Overloaded() {
+			mode = SlowPath
+		}
+	}
+	return mode
+}

@@ -1,0 +1,60 @@
+package gateway
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rtpb/internal/clock"
+)
+
+// Pump is the gateway's single-pump scheduler, after nano's scheduler:
+// every session handler, group mutation, and broadcast tick runs on one
+// goroutine-owned event loop, so the gateway state machine needs no
+// locks and replays deterministically under a virtual clock. The loop
+// itself is the Clock's serial executor — SimClock in tests and chaos,
+// RealClock in the daemon — and the pump is the gateway's handle onto
+// it: Post is the one safe entry point from foreign goroutines (listener
+// accept loops, connection readers).
+type Pump struct {
+	clk    clock.Clock
+	posted atomic.Uint64
+	ticks  atomic.Uint64
+	closed atomic.Bool
+}
+
+// PumpStats counts scheduler activity.
+type PumpStats struct {
+	// Posted counts tasks handed to the event loop via Post.
+	Posted uint64
+	// Ticks counts broadcast ticks pumped.
+	Ticks uint64
+}
+
+func newPump(clk clock.Clock) *Pump { return &Pump{clk: clk} }
+
+// Post schedules fn onto the pump from any goroutine. Tasks posted after
+// close are dropped — the gateway they would mutate is gone.
+func (p *Pump) Post(fn func()) {
+	if p.closed.Load() {
+		return
+	}
+	p.posted.Add(1)
+	p.clk.Post(func() {
+		if p.closed.Load() {
+			return
+		}
+		fn()
+	})
+}
+
+// Now reads the pump's clock.
+func (p *Pump) Now() time.Time { return p.clk.Now() }
+
+// Stats snapshots scheduler counters (safe from any goroutine).
+func (p *Pump) Stats() PumpStats {
+	return PumpStats{Posted: p.posted.Load(), Ticks: p.ticks.Load()}
+}
+
+func (p *Pump) noteTick() { p.ticks.Add(1) }
+
+func (p *Pump) close() { p.closed.Store(true) }

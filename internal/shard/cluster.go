@@ -36,6 +36,15 @@ type Config struct {
 	Costs       core.CostModel
 	SchedTest   core.SchedTest
 	SlackFactor float64
+	// Governor configures every shard primary's overload governor; the
+	// zero value leaves the shards ungoverned. The per-shard ladder state
+	// is exported through Status.Degraded/Status.Shed and Health — the
+	// signal the gateway tier's admission-aware backpressure keys on.
+	Governor core.GovernorConfig
+	// DisableAdmissionControl turns off every shard's admission test
+	// (overload experiments only: it lets a workload that provably cannot
+	// be scheduled through, so the governor has something real to shed).
+	DisableAdmissionControl bool
 }
 
 func (cfg *Config) normalize() {
@@ -190,14 +199,16 @@ func (c *Cluster) buildNode(name string) (*node, error) {
 
 func (c *Cluster) primaryConfig(port *xkernel.PortProtocol, peers []xkernel.Addr) core.Config {
 	return core.Config{
-		Clock:       c.clk,
-		Port:        port,
-		Peers:       peers,
-		Ell:         c.cfg.Ell,
-		Scheduling:  c.cfg.Scheduling,
-		Costs:       c.cfg.Costs,
-		SchedTest:   c.cfg.SchedTest,
-		SlackFactor: c.cfg.SlackFactor,
+		Clock:                   c.clk,
+		Port:                    port,
+		Peers:                   peers,
+		Ell:                     c.cfg.Ell,
+		Scheduling:              c.cfg.Scheduling,
+		Costs:                   c.cfg.Costs,
+		SchedTest:               c.cfg.SchedTest,
+		SlackFactor:             c.cfg.SlackFactor,
+		Governor:                c.cfg.Governor,
+		DisableAdmissionControl: c.cfg.DisableAdmissionControl,
 	}
 }
 
@@ -261,6 +272,21 @@ func (c *Cluster) wireBackup(sh *Shard) error {
 		c.mon.EndCatchUp(site, object)
 		c.logf("shard %d: %s %q caught up (staleness %v)", sh.index, site, object,
 			staleness.Round(100*time.Microsecond))
+	}
+	// Mirror the primary governor's announced rung into the monitor, as
+	// the chaos harness does for a single pair: a shed object's image
+	// carries no temporal guarantee, and a compressed (or restored) one
+	// is judged against the announced effective bound. Without this a
+	// governed shard under overload would book δ_B violations for load
+	// it deliberately — and honestly — shed.
+	b.OnModeChange = func(_ uint32, name string, mode core.ObjectMode, bound time.Duration) {
+		c.logf("shard %d: %s %q now %s (effective bound %v)", sh.index, site, name, mode, bound)
+		if mode == core.ModeShed {
+			c.mon.Suspend(site, name, c.clk.Now())
+			return
+		}
+		c.mon.Resume(site, name)
+		c.mon.SetBound(site, name, c.clk.Now(), bound)
 	}
 	det, err := failover.NewDetector(c.clk, c.cfg.Detector, b.SendPing, func() {
 		c.onPrimaryDead(sh)
@@ -390,6 +416,47 @@ func (c *Cluster) Read(name string) (data []byte, version time.Time, ok bool) {
 		return nil, time.Time{}, false
 	}
 	return sh.primary.Value(name)
+}
+
+// Certificate returns the owning shard primary's current image with its
+// staleness certificate (value, version, age, mode-effective δ_B) — the
+// unit the gateway tier broadcasts to subscribed sessions.
+func (c *Cluster) Certificate(name string) (core.Certificate, bool) {
+	sh, err := c.owner(name)
+	if err != nil || sh.primary == nil || !sh.primary.Running() {
+		return core.Certificate{}, false
+	}
+	return sh.primary.Certificate(name)
+}
+
+// Health is one shard's overload-governor ladder state, the
+// admission-aware backpressure signal a front tier sheds on.
+type Health struct {
+	// Degraded and Shed count objects below ModeNormal and at ModeShed.
+	Degraded int
+	Shed     int
+}
+
+// Overloaded reports whether any object sits below the normal rung.
+func (h Health) Overloaded() bool { return h.Degraded > 0 }
+
+// Shedding reports whether the governor has suspended any object's
+// update transmissions — the strongest backpressure signal.
+func (h Health) Shedding() bool { return h.Shed > 0 }
+
+// Health reports shard i's governor ladder state. A shard without a
+// serving primary reports shedding (one degraded, one shed object): a
+// front tier must not direct broadcast load at it.
+func (c *Cluster) Health(i int) Health {
+	if i < 0 || i >= len(c.shards) {
+		return Health{}
+	}
+	sh := c.shards[i]
+	if sh.primary == nil || !sh.primary.Running() {
+		return Health{Degraded: 1, Shed: 1}
+	}
+	gs := sh.primary.GovernorStats()
+	return Health{Degraded: gs.Degraded, Shed: gs.Shed}
 }
 
 // Route resolves an object's owning shard.
@@ -542,6 +609,13 @@ type Status struct {
 	BackupAlive bool
 	// Promotions counts backup-to-primary takeovers on this shard.
 	Promotions int
+	// Degraded and Shed are the primary overload governor's ladder state:
+	// objects currently below ModeNormal, and of those, objects whose
+	// update transmissions are suspended entirely. Both are zero on an
+	// ungoverned shard. A front tier treats Degraded > 0 as "slow-path
+	// this shard" and Shed > 0 as "stop admitting new load".
+	Degraded int
+	Shed     int
 }
 
 // Statuses reports every shard's state, index-ordered.
@@ -560,6 +634,8 @@ func (c *Cluster) Statuses() []Status {
 			s.Objects = sh.primary.Objects()
 			s.Utilization = sh.primary.Utilization()
 			s.BackupAlive = sh.primary.BackupAlive()
+			gs := sh.primary.GovernorStats()
+			s.Degraded, s.Shed = gs.Degraded, gs.Shed
 		}
 		out[i] = s
 	}
@@ -594,6 +670,12 @@ func (c *Cluster) Schedule(d time.Duration, fn func()) { c.clk.Schedule(d, fn) }
 // Log returns the virtual-timestamped event log; identical across runs
 // with the same configuration and seed.
 func (c *Cluster) Log() []string { return append([]string(nil), c.log...) }
+
+// Logf appends one caller-supplied event to the cluster's deterministic
+// virtual-timestamped log — the seam the chaos gateway scenario uses to
+// interleave front-tier events with the cluster's own, so one replayable
+// log covers the whole stack.
+func (c *Cluster) Logf(format string, args ...any) { c.logf(format, args...) }
 
 func (c *Cluster) logf(format string, args ...any) {
 	offset := c.clk.Now().Sub(c.start).Round(100 * time.Microsecond)

@@ -35,6 +35,7 @@ import (
 	"rtpb/internal/clock"
 	"rtpb/internal/core"
 	"rtpb/internal/failover"
+	"rtpb/internal/gateway"
 	"rtpb/internal/netsim"
 	"rtpb/internal/sched"
 	"rtpb/internal/shard"
@@ -120,6 +121,40 @@ type (
 
 // ErrClusterFull reports that no shard could schedule an object.
 var ErrClusterFull = shard.ErrClusterFull
+
+// Gateway front-tier types (beyond the paper): the client-facing session
+// and group layer that broadcasts staleness certificates at scale.
+type (
+	// Gateway terminates client sessions, fans out per-group staleness
+	// certificates each broadcast tick, and sheds sessions when the
+	// backend's admission control or overload governor pushes back.
+	Gateway = gateway.Gateway
+	// GatewayConfig assembles a Gateway.
+	GatewayConfig = gateway.Config
+	// GatewayStats is the gateway's cumulative activity.
+	GatewayStats = gateway.Stats
+	// GatewaySession is one admitted client session.
+	GatewaySession = gateway.Session
+	// GatewayGroup is a named subscription set bound to objects.
+	GatewayGroup = gateway.Group
+	// GatewayFrame is one broadcast unit: an object's staleness
+	// certificate under a per-object sequence number.
+	GatewayFrame = gateway.Frame
+	// GatewaySink receives a session's broadcast frames.
+	GatewaySink = gateway.Sink
+	// GatewayBackend is the replicated store a gateway fronts.
+	GatewayBackend = gateway.Backend
+	// ReplicaBackend fronts a single primary replica.
+	ReplicaBackend = gateway.ReplicaBackend
+	// ClusterBackend fronts a sharded cluster.
+	ClusterBackend = gateway.ClusterBackend
+	// Certificate is a bounded-staleness read: value, version, age, and
+	// the mode-effective staleness bound the replica currently honors.
+	Certificate = core.Certificate
+)
+
+// NewGateway builds and starts a gateway front tier over a backend.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
 
 // Infrastructure types.
 type (
