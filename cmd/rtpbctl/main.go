@@ -8,6 +8,7 @@
 //	rtpbctl -addr 127.0.0.1:7777 read alt
 //	rtpbctl -addr 127.0.0.1:7777 status
 //	rtpbctl -addr 127.0.0.1:7777 repair               # peer repair-cycle state
+//	rtpbctl -addr 127.0.0.1:7777 observers           # observer tier and chain position
 //	rtpbctl -addr 127.0.0.1:7777 recruit 10.0.0.9:7000
 //	rtpbctl -addr 127.0.0.1:7777 logstat             # durable store inventory
 //	rtpbctl -addr 127.0.0.1:7777 snapshot            # force a durable snapshot
@@ -57,7 +58,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|repair|recruit|logstat|snapshot|clock|bench> args...")
+		return fmt.Errorf("usage: rtpbctl [-addr host:port] <register|relate|write|read|status|repair|observers|recruit|logstat|snapshot|clock|bench> args...")
 	}
 
 	// Validate the subcommand before touching the network.
@@ -66,23 +67,24 @@ func run(args []string) error {
 		n     int
 		usage string
 	}{
-		"register": {6, "register <name> <size> <period> <deltaP> <deltaB>"},
-		"relate":   {4, "relate <nameI> <nameJ> <deltaIJ>"},
-		"write":    {3, "write <name> <value>"},
-		"read":     {2, "read <name>"},
-		"status":   {1, "status"},
-		"repair":   {1, "repair"},
-		"recruit":  {2, "recruit <addr>"},
-		"logstat":  {1, "logstat"},
-		"snapshot": {1, "snapshot"},
-		"clock":    {1, "clock"},
-		"bench":    {4, "bench <name> <period> <duration>"},
-		"shards":   {1, "shards"},
-		"route":    {2, "route <object>"},
-		"sub":      {2, "sub <group>"},
-		"groups":   {1, "groups"},
-		"sessions": {1, "sessions"},
-		"bind":     {-1, "bind <group> <object> [<object>...]"},
+		"register":  {6, "register <name> <size> <period> <deltaP> <deltaB>"},
+		"relate":    {4, "relate <nameI> <nameJ> <deltaIJ>"},
+		"write":     {3, "write <name> <value>"},
+		"read":      {2, "read <name>"},
+		"status":    {1, "status"},
+		"repair":    {1, "repair"},
+		"observers": {1, "observers"},
+		"recruit":   {2, "recruit <addr>"},
+		"logstat":   {1, "logstat"},
+		"snapshot":  {1, "snapshot"},
+		"clock":     {1, "clock"},
+		"bench":     {4, "bench <name> <period> <duration>"},
+		"shards":    {1, "shards"},
+		"route":     {2, "route <object>"},
+		"sub":       {2, "sub <group>"},
+		"groups":    {1, "groups"},
+		"sessions":  {1, "sessions"},
+		"bind":      {-1, "bind <group> <object> [<object>...]"},
 	}
 	want, known := arity[sub]
 	if !known {
@@ -123,6 +125,12 @@ func run(args []string) error {
 		return printStatus(reply)
 	case "repair":
 		return doPrint(c, "REPAIR")
+	case "observers":
+		reply, err := c.Do("OBSERVERS")
+		if err != nil {
+			return err
+		}
+		return printObservers(reply)
 	case "recruit":
 		return doPrint(c, "RECRUIT "+rest[1])
 	case "logstat":
@@ -292,6 +300,45 @@ func printLogstat(reply string) error {
 		fmt.Sprintf("%s(%sep)", kv["prunable_segments"], kv["prunable_epochs"]),
 		kv["pruned"], kv["snapshots"], kv["last_snapshot_epoch"], kv["epoch"],
 		kv["appended"], kv["dropped"], kv["source"], kv["restored"])
+	return nil
+}
+
+// printObservers renders the OBSERVERS reply
+//
+//	OK observers=<n> depth=<d> theta=<dur> [| <addr> alive=<bool>
+//	  syncing=<bool>]...
+//
+// as a summary line plus one row per attached observer peer.
+func printObservers(reply string) error {
+	if !strings.HasPrefix(reply, "OK ") {
+		fmt.Println(reply)
+		os.Exit(2)
+	}
+	segments := strings.Split(reply, " | ")
+	kv := map[string]string{}
+	for _, f := range strings.Fields(segments[0])[1:] {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			kv[k] = v
+		}
+	}
+	fmt.Printf("observers=%s chain depth=%s theta=%s\n",
+		kv["observers"], kv["depth"], kv["theta"])
+	if len(segments) > 1 {
+		fmt.Printf("%-24s %-7s %s\n", "OBSERVER", "ALIVE", "SYNCING")
+		for _, seg := range segments[1:] {
+			fields := strings.Fields(seg)
+			if len(fields) == 0 {
+				continue
+			}
+			skv := map[string]string{}
+			for _, f := range fields[1:] {
+				if k, v, ok := strings.Cut(f, "="); ok {
+					skv[k] = v
+				}
+			}
+			fmt.Printf("%-24s %-7s %s\n", fields[0], skv["alive"], skv["syncing"])
+		}
+	}
 	return nil
 }
 

@@ -46,6 +46,18 @@
 //	rtpbd -role backup  -listen 127.0.0.1:7002 -peer 127.0.0.1:7000
 //	rtpbd -role primary -listen 127.0.0.1:7000 \
 //	    -peer 127.0.0.1:7001 -peer 127.0.0.1:7002 -ctl 127.0.0.1:7777
+//
+// With -observe <upstream>, the process runs as a read-only observer
+// subscribed to the upstream's update stream — a primary, or another
+// observer (chained fan-out). The observer attaches itself through the
+// chunked anti-entropy join, serves READ certificates (with chain-
+// accumulated θ and depth) on its control socket, relays the stream to
+// downstream observers that subscribe to it, and is never promoted or
+// counted in any quorum:
+//
+//	rtpbd -observe 127.0.0.1:7000 -listen 127.0.0.1:7010 -ctl 127.0.0.1:7779
+//	rtpbd -observe 127.0.0.1:7010 -listen 127.0.0.1:7011   # chained hop
+//	rtpbctl -addr 127.0.0.1:7779 read alt                  # age=… theta=… depth=…
 package main
 
 import (
@@ -89,7 +101,8 @@ func (p *peerList) Set(v string) error {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rtpbd", flag.ContinueOnError)
-	role := fs.String("role", "", "replica role: primary or backup (required)")
+	role := fs.String("role", "", "replica role: primary or backup (required unless -observe)")
+	observe := fs.String("observe", "", "run as a read-only observer subscribed to this upstream UDP address (a primary or another observer); replaces -role/-peer")
 	listen := fs.String("listen", "127.0.0.1:7000", "UDP address to listen on")
 	var peers peerList
 	fs.Var(&peers, "peer", "peer replica's UDP address (required; repeatable on the primary)")
@@ -107,8 +120,19 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *role != "primary" && *role != "backup" {
-		return fmt.Errorf("-role must be primary or backup")
+	if *observe != "" {
+		if *role != "" {
+			return fmt.Errorf("-observe and -role are mutually exclusive")
+		}
+		if len(peers) > 0 {
+			return fmt.Errorf("-observe names the upstream; -peer does not apply")
+		}
+		if *takeover {
+			return fmt.Errorf("-takeover does not apply to an observer (observers are never promoted)")
+		}
+		peers = peerList{*observe}
+	} else if *role != "primary" && *role != "backup" {
+		return fmt.Errorf("-role must be primary or backup (or use -observe <upstream>)")
 	}
 	if len(peers) == 0 {
 		return fmt.Errorf("-peer is required")
@@ -170,7 +194,7 @@ func run(args []string) error {
 	for _, p := range peers {
 		cfg.Peers = append(cfg.Peers, rtpb.Addr(fmt.Sprintf("%s:%d", p, rtpb.RTPBPort)))
 	}
-	if *role == "backup" {
+	if *role == "backup" || *observe != "" {
 		cfg.Peer, cfg.Peers = cfg.Peers[0], nil
 	}
 
@@ -208,7 +232,10 @@ func run(args []string) error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 
 	startRole := core.RoleBackup
-	if *role == "primary" {
+	switch {
+	case *observe != "":
+		startRole = core.RoleObserver
+	case *role == "primary":
 		startRole = core.RolePrimary
 	}
 	return runReplica(clk, cfg, startRole, *ctlAddr, *gwAddr, *gwPeriod, *heartbeat, *takeover, *verbose, sig, transport.LocalAddr(), recovered)
@@ -266,7 +293,20 @@ func runReplica(clk *clock.RealClock, cfg core.Config, role core.Role, ctlAddr, 
 				log.Printf("gap on object %d: have seq %d, got %d; requesting retransmit", id, have, got)
 			}
 		}
-		if heartbeat {
+		if role == core.RoleObserver {
+			// An observer drives its own attach: re-send the join request
+			// until the anti-entropy exchange completes, and heartbeat the
+			// upstream to solicit its chain-position advertisement (depth,
+			// accumulated θ) so READ certificates compound honestly. No
+			// failure detector: an observer never takes over, and a dead
+			// upstream simply lets its certificates age out of bound.
+			clock.NewPeriodic(clk, 0, 500*time.Millisecond, func() {
+				if !r.Joined() {
+					r.Join()
+				}
+			})
+			clock.NewPeriodic(clk, 250*time.Millisecond, 500*time.Millisecond, func() { r.SendPing() })
+		} else if heartbeat {
 			if role == core.RolePrimary {
 				err = wirePrimaryDetector(clk, r)
 			} else {

@@ -111,6 +111,12 @@ type benchReport struct {
 	// group counts, with cert_reads_per_tick pinned to the object count
 	// (the fan-in economy claim) and bound_violations at zero.
 	Gateway []gatewayPoint `json:"gateway,omitempty"`
+	// Observers is the observer-tier read-offload sweep ("rtpbench
+	// observers"): served certificate-read throughput versus tier size
+	// and chain depth, with the 16-observer cells gating ≥4× scaling
+	// over the primary-only baseline, p99 served age within δ_B, and
+	// honesty_violations pinned at zero.
+	Observers []observerPoint `json:"observers,omitempty"`
 }
 
 // runBench measures the resilience-layer benchmark matrix — a fixed

@@ -33,6 +33,9 @@
 //
 //	rtpbench gateway            # front-tier fan-out sweep: sessions × groups
 //	rtpbench gateway -json      # merge the sweep into BENCH_rtpb.json
+//
+//	rtpbench observers          # observer-tier read offload: tier size × chain depth
+//	rtpbench observers -json    # merge the sweep into BENCH_rtpb.json
 package main
 
 import (
@@ -63,6 +66,8 @@ func main() {
 		err = runClocksyncCmd(args[1:])
 	} else if len(args) > 0 && args[0] == "gateway" {
 		err = runGatewayCmd(args[1:])
+	} else if len(args) > 0 && args[0] == "observers" {
+		err = runObserversCmd(args[1:])
 	} else {
 		err = run(args)
 	}

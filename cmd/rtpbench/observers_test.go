@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestObserversSweepReadScaling runs the observer-tier sweep and
+// enforces its acceptance bars: the 16-observer cells scale aggregate
+// certificate-read throughput at least 4× over the primary-only
+// baseline at every chain depth, every cell serves p99 within the
+// admitted δ_B with zero honesty violations, observer-served depth
+// never exceeds the configured chain depth, and the tier actually
+// absorbs reads (the offload is real, not a fallback to the primary).
+func TestObserversSweepReadScaling(t *testing.T) {
+	const deltaBMs = 120.0
+	points, err := observersSweep(1, 1*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("got %d cells, want 10 ({0}×{1} + {1,4,16}×{1,2,3})", len(points))
+	}
+	for _, p := range points {
+		if p.ReadsPerSec <= 0 {
+			t.Errorf("observers=%d depth=%d: no reads served", p.Observers, p.ChainDepth)
+		}
+		if p.HonestyViolations != 0 {
+			t.Errorf("observers=%d depth=%d: %d certificate honesty violations",
+				p.Observers, p.ChainDepth, p.HonestyViolations)
+		}
+		if p.P99AgeMs > deltaBMs {
+			t.Errorf("observers=%d depth=%d: p99 served age %.3fms exceeds δ_B=%.0fms",
+				p.Observers, p.ChainDepth, p.P99AgeMs, deltaBMs)
+		}
+		if p.MaxServedDepth > p.ChainDepth {
+			t.Errorf("observers=%d depth=%d: served a depth-%d certificate beyond the chain",
+				p.Observers, p.ChainDepth, p.MaxServedDepth)
+		}
+		if p.Observers > 0 && p.ObserverShare <= 0 {
+			t.Errorf("observers=%d depth=%d: tier served nothing (share=%.3f)",
+				p.Observers, p.ChainDepth, p.ObserverShare)
+		}
+		if p.Observers == 0 && (p.ObserverShare != 0 || p.MaxServedDepth != 0) {
+			t.Errorf("baseline cell reports observer traffic (share=%.3f depth=%d)",
+				p.ObserverShare, p.MaxServedDepth)
+		}
+		if p.Observers == 16 && p.Scaling < 4 {
+			t.Errorf("observers=16 depth=%d: read scaling %.2f×, want ≥4× over primary-only",
+				p.ChainDepth, p.Scaling)
+		}
+	}
+}

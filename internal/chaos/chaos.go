@@ -116,6 +116,13 @@ type Scenario struct {
 	// estimators assume when aging their error bounds between probes
 	// (parts per million; zero means the clocksync default, 200).
 	ClockSyncMaxDriftPPM float64
+	// Observers attaches read-only observer nodes, each subscribed to the
+	// primary or to another observer (chained fan-out). Observer nodes
+	// live outside the failover lattice: no detector, no quorum weight,
+	// no recruitment — they drive their own join and heartbeat loops and
+	// serve certificate reads whose honesty the observer invariants
+	// sample against ground truth.
+	Observers []ObserverSpec
 	// Events is the fault schedule, applied at their At offsets.
 	Events []FaultEvent
 	// Invariants are evaluated after the settle phase; streaming
@@ -124,6 +131,18 @@ type Scenario struct {
 	Invariants []Checker
 	// Full marks long-running scenarios skipped in -quick mode.
 	Full bool
+}
+
+// ObserverSpec attaches one read-only observer node to the harnessed
+// cluster. Chains are declared by naming another observer as the
+// upstream; specs are attached in order, so an upstream must appear
+// before its subscribers.
+type ObserverSpec struct {
+	// Name is the observer node's host name on the fabric.
+	Name string
+	// Upstream names the node the observer subscribes to: PrimaryNode,
+	// or an earlier observer's Name for a chained hop.
+	Upstream string
 }
 
 // FaultEvent is one scheduled fault injection.

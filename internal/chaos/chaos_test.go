@@ -56,7 +56,7 @@ func TestChaosCatalogue(t *testing.T) {
 // degradation ladder and the CPU model — must be a pure function of
 // (scenario, seed).
 func TestChaosDeterminism(t *testing.T) {
-	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover", "crash-failover-rejoin", "power-cycle-recover", "clock-step-false-failover", "drift-erodes-bounds", "gateway-shed-recover"} {
+	for _, name := range []string{"loss-burst", "split-brain-fencing", "overload-degrade-recover", "crash-failover-rejoin", "power-cycle-recover", "clock-step-false-failover", "drift-erodes-bounds", "gateway-shed-recover", "observer-chain-partition"} {
 		run := func() (*Result, error) {
 			if gsc, ok := FindGateway(name); ok {
 				if *seedFlag != 0 {

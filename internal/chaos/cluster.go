@@ -24,6 +24,11 @@ const (
 	BackupNode = "backup"
 	// StandbyNode hosts the optional second backup (Scenario.Standby).
 	StandbyNode = "standby"
+	// ObserverANode and ObserverBNode are the conventional names for the
+	// first two observer nodes (Scenario.Observers); scenarios may name
+	// observers freely, these just keep the catalogue consistent.
+	ObserverANode = "observer-a"
+	ObserverBNode = "observer-b"
 	// ServiceName is the replicated service's name-service entry.
 	ServiceName = "chaos"
 )
@@ -50,6 +55,10 @@ type Node struct {
 	Primary *core.Primary
 	// Backup is the node's backup replica, if it currently runs one.
 	Backup *core.Backup
+	// Observer is the node's read-only observer replica, if it runs one
+	// (Scenario.Observers). Observer nodes never host a detector: they
+	// have no failover verdict to reach.
+	Observer *core.Observer
 	// Det is the backup-side failure detector, when Backup is set.
 	Det *failover.Detector
 	// Dur is the node's durable store (Scenario.Durable); crash closes
@@ -65,6 +74,17 @@ type Node struct {
 // Addr is the node's RTPB address on the fabric.
 func (n *Node) Addr() xkernel.Addr { return xkernel.Addr(n.Name + ":" + fmt.Sprint(core.RTPBPort)) }
 
+// shadow returns the node's stream-applying replica view — its backup or
+// its observer — or nil when the node currently runs neither. The apply
+// instrumentation is role-agnostic: both roles run the same upstream
+// handlers.
+func (n *Node) shadow() *core.Replica {
+	if n.Backup != nil {
+		return n.Backup
+	}
+	return n.Observer
+}
+
 // Harness is a running chaos cluster: the simulated fabric, the nodes,
 // the monitor, and the accumulated event log and violations.
 type Harness struct {
@@ -75,6 +95,13 @@ type Harness struct {
 	mon   *temporal.Monitor
 	nodes map[string]*Node
 	order []string
+	// obsOrder names the observer nodes in attach order. They live
+	// outside order on purpose: the primary's peer bootstrap, the
+	// failover machinery, CrashCluster, and the cluster-wide end-state
+	// aggregations all iterate order — exactly the circles the observer
+	// role is excluded from.
+	obsOrder []string
+	obsTasks []*clock.Periodic
 
 	active     *core.Primary
 	activeNode string
@@ -95,6 +122,7 @@ type Harness struct {
 
 	uncertaintyFeeds []*clock.Periodic
 	honestChecks     map[string]*honestBoundsEvidence
+	obsChecks        map[string]*observerCertEvidence
 
 	rejoiners  map[string]*repair.Rejoiner
 	rejoinAt   map[string]time.Time
@@ -178,6 +206,7 @@ func newHarness(sc Scenario) (*Harness, error) {
 		joinedAt:     make(map[string]time.Time),
 
 		honestChecks: make(map[string]*honestBoundsEvidence),
+		obsChecks:    make(map[string]*observerCertEvidence),
 	}
 	h.start = h.clk.Now()
 	h.net = netsim.New(h.clk, sc.Seed)
@@ -190,25 +219,9 @@ func newHarness(sc Scenario) (*Harness, error) {
 		names = append(names, StandbyNode)
 	}
 	for _, name := range names {
-		ep, err := h.net.Endpoint(name)
-		if err != nil {
+		if _, err := h.buildNode(name); err != nil {
 			return nil, err
 		}
-		g, err := xkernel.BuildGraph([]xkernel.Spec{
-			{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
-			{Name: "driver", Build: xkernel.DriverFactory(ep)},
-		})
-		if err != nil {
-			return nil, err
-		}
-		proto, _ := g.Protocol("uport")
-		n := &Node{
-			Name: name,
-			Clk:  clock.NewSkewed(h.clk),
-			EP:   ep,
-			Port: proto.(*xkernel.PortProtocol),
-		}
-		h.nodes[name] = n
 		h.order = append(h.order, name)
 	}
 
@@ -288,8 +301,112 @@ func newHarness(sc Scenario) (*Harness, error) {
 		}
 	}
 
+	for _, ospec := range sc.Observers {
+		if err := h.attachObserver(ospec); err != nil {
+			h.cleanupDurable()
+			return nil, err
+		}
+	}
+
 	h.startWriters()
 	return h, nil
+}
+
+// buildNode attaches one named machine to the fabric: an endpoint, its
+// x-kernel protocol graph, and its own skewed clock.
+func (h *Harness) buildNode(name string) (*Node, error) {
+	ep, err := h.net.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := xkernel.BuildGraph([]xkernel.Spec{
+		{Name: "uport", Below: "driver", Build: xkernel.PortFactory()},
+		{Name: "driver", Build: xkernel.DriverFactory(ep)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	proto, _ := g.Protocol("uport")
+	n := &Node{
+		Name: name,
+		Clk:  clock.NewSkewed(h.clk),
+		EP:   ep,
+		Port: proto.(*xkernel.PortProtocol),
+	}
+	h.nodes[name] = n
+	return n, nil
+}
+
+// attachObserver builds one observer node and subscribes it to its
+// upstream. The observer drives its own attach exactly like a real
+// deployment (rtpbd -observe): periodic JoinRequests until the chunked
+// exchange completes, then heartbeats that carry the clock-sync probes
+// and solicit the upstream's ChainStatus. No detector, no peer-table
+// surgery on the primary — the JoinRequest's Observer flag is the whole
+// contract.
+func (h *Harness) attachObserver(spec ObserverSpec) error {
+	up := h.nodes[spec.Upstream]
+	if up == nil {
+		return fmt.Errorf("chaos: observer %q: unknown upstream %q", spec.Name, spec.Upstream)
+	}
+	if h.nodes[spec.Name] != nil {
+		return fmt.Errorf("chaos: observer %q: node name already in use", spec.Name)
+	}
+	n, err := h.buildNode(spec.Name)
+	if err != nil {
+		return err
+	}
+	h.obsOrder = append(h.obsOrder, spec.Name)
+	obs, err := core.NewObserver(h.backupConfig(n, up.Addr()))
+	if err != nil {
+		return err
+	}
+	n.Observer = obs
+	n.peer = up.Addr()
+	h.wireObserver(n)
+	for _, os := range h.sc.Objects {
+		h.mon.TrackExternal(spec.Name, os.Name, os.Constraint.DeltaB)
+	}
+	join := clock.NewPeriodic(h.clk, 0, 100*time.Millisecond, func() {
+		if n.Observer == obs && obs.Running() && !obs.Joined() {
+			obs.Join()
+		}
+	})
+	ping := clock.NewPeriodic(h.clk, 50*time.Millisecond, 100*time.Millisecond, func() {
+		if n.Observer == obs && obs.Running() {
+			obs.SendPing()
+		}
+	})
+	h.obsTasks = append(h.obsTasks, join, ping)
+	h.logf("%s observes %s", spec.Name, spec.Upstream)
+	return nil
+}
+
+// wireObserver attaches the monitor hooks to an observer node: the same
+// streaming apply/mode/catch-up instrumentation a backup gets, minus the
+// failure detector and the rejoin bookkeeping — an observer has no
+// failover verdict to reach and no degree to restore.
+func (h *Harness) wireObserver(n *Node) {
+	obs := n.Observer
+	obs.OnApply = func(_ uint32, name string, epoch uint32, _ uint64, version, at time.Time) {
+		h.observeApply(n, name, epoch, version, at)
+	}
+	obs.OnModeChange = h.modeChangeHook(n)
+	obs.OnJoinAccept = func(epoch uint32, specs int) {
+		h.logf("%s: observer subscription accepted at epoch %d (%d specs); catch-up begins",
+			n.Name, epoch, specs)
+		for _, spec := range h.sc.Objects {
+			h.mon.BeginCatchUp(n.Name, spec.Name, n.Clk.Now())
+		}
+	}
+	obs.OnCatchUp = func(_ uint32, object string, staleness time.Duration) {
+		h.mon.EndCatchUp(n.Name, object)
+		h.logf("%s: %q caught up (staleness %v)", n.Name, object,
+			staleness.Round(100*time.Microsecond))
+	}
+	if h.sc.ClockSync {
+		h.startUncertaintyFeed(n, obs)
+	}
 }
 
 // backupConfig builds a backup replica's configuration. It carries the
@@ -362,19 +479,7 @@ func (h *Harness) wireBackup(n *Node) error {
 	b.OnApply = func(_ uint32, name string, epoch uint32, _ uint64, version, at time.Time) {
 		h.observeApply(n, name, epoch, version, at)
 	}
-	b.OnModeChange = func(_ uint32, name string, mode core.ObjectMode, bound time.Duration) {
-		// Retarget the monitor at the instant the backup learns of the
-		// mode change: a shed object's image carries no temporal
-		// guarantee; a compressed (or restored) object is judged
-		// against the announced effective bound.
-		h.logf("%s: %q now %s (effective bound %v)", n.Name, name, mode, bound)
-		if mode == core.ModeShed {
-			h.mon.Suspend(n.Name, name, n.Clk.Now())
-			return
-		}
-		h.mon.Resume(n.Name, name)
-		h.mon.SetBound(n.Name, name, n.Clk.Now(), bound)
-	}
+	b.OnModeChange = h.modeChangeHook(n)
 	det, err := failover.NewDetector(n.Clk, h.sc.Detector, b.SendPing, func() {
 		h.onPrimaryDead(n)
 	})
@@ -390,6 +495,24 @@ func (h *Harness) wireBackup(n *Node) error {
 	return nil
 }
 
+// modeChangeHook retargets the monitor at the instant a shadowing
+// replica (backup or observer) learns of a governor mode change: a shed
+// object's image carries no temporal guarantee; a compressed (or
+// restored) object is judged against the announced effective bound.
+// Observers receive ModeChange through the relay, so downstream bounds
+// track the governor exactly like a backup's.
+func (h *Harness) modeChangeHook(n *Node) func(uint32, string, core.ObjectMode, time.Duration) {
+	return func(_ uint32, name string, mode core.ObjectMode, bound time.Duration) {
+		h.logf("%s: %q now %s (effective bound %v)", n.Name, name, mode, bound)
+		if mode == core.ModeShed {
+			h.mon.Suspend(n.Name, name, n.Clk.Now())
+			return
+		}
+		h.mon.Resume(n.Name, name)
+		h.mon.SetBound(n.Name, name, n.Clk.Now(), bound)
+	}
+}
+
 // unknownTheta is the uncertainty published before the first sync probe
 // completes: the upstream offset is unknown, not zero, so every bound
 // starts unverifiable instead of being judged against stamps that may
@@ -403,9 +526,9 @@ const unknownTheta = time.Hour
 // (rather than lies) when θ exceeds the slack. The feed instant is mapped
 // onto the upstream timeline through the estimated offset, the same
 // correction observeApply applies to update stamps.
-func (h *Harness) startUncertaintyFeed(n *Node, b *core.Backup) {
+func (h *Harness) startUncertaintyFeed(n *Node, b *core.Replica) {
 	feed := clock.NewPeriodic(h.clk, 0, 10*time.Millisecond, func() {
-		if n.Backup != b || !b.Running() {
+		if n.shadow() != b || !b.Running() {
 			return
 		}
 		rep, ok := b.ClockSyncReport()
@@ -437,14 +560,14 @@ func (h *Harness) startUncertaintyFeed(n *Node, b *core.Backup) {
 // fed to the monitor and checked for epoch and version monotonicity.
 func (h *Harness) observeApply(n *Node, object string, epoch uint32, version, at time.Time) {
 	n.applies++
-	if h.sc.ClockSync && n.Backup != nil {
+	if sh := n.shadow(); h.sc.ClockSync && sh != nil {
 		// The applied stamp comes from the node's own (possibly faulty)
 		// clock while the version stamp comes from the primary's; naively
 		// differencing them would charge the clock offset to the protocol.
 		// Map the applied instant onto the upstream timeline through the
 		// node's own offset estimate — its residual error is bounded by θ,
 		// which the uncertainty feed subtracts from the bound.
-		if rep, ok := n.Backup.ClockSyncReport(); ok && rep.Valid {
+		if rep, ok := sh.ClockSyncReport(); ok && rep.Valid {
 			at = at.Add(rep.Offset)
 		}
 	}
@@ -469,7 +592,7 @@ func (h *Harness) observeApply(n *Node, object string, epoch uint32, version, at
 	// an object catching up, the monitor must have its bound suspended —
 	// an image with no temporal guarantee yet must never be reported
 	// consistent.
-	if n.Backup != nil && n.Backup.CatchingUp(object) && !h.mon.Suspended(n.Name, object) {
+	if sh := n.shadow(); sh != nil && sh.CatchingUp(object) && !h.mon.Suspended(n.Name, object) {
 		h.violationf("catch-up: %s applied %q while catching up but the monitor counted it consistent",
 			n.Name, object)
 	}
@@ -558,6 +681,13 @@ func (h *Harness) crash(name string) {
 		if h.active != nil && h.active.Running() && h.activeNode != name {
 			h.active.SetPeerAlive(n.Addr(), false)
 		}
+	}
+	if n.Observer != nil {
+		// An observer's death costs the cluster nothing it must react to:
+		// no degree to restore, no detector verdict to deliver. Downstream
+		// subscribers simply go stale — which their certificates must say.
+		n.Observer.Stop()
+		n.Observer = nil
 	}
 	if n.Dur != nil {
 		// Power goes out: the store's handle dies with the process, but

@@ -696,6 +696,229 @@ func (c UnverifiableWindow) Check(h *Harness) error {
 	return nil
 }
 
+// observerCertEvidence accumulates one ObserverHonestCerts armer's
+// samples.
+type observerCertEvidence struct {
+	samples  int
+	stale    int
+	fresh    int
+	failures []string
+}
+
+// ObserverHonestCerts is the certificate-honesty invariant for an
+// observer under fault: at a fixed cadence inside a window — typically a
+// partition — every certificate the observer serves is compared against
+// ground truth. Version stamps ride the relay stream unchanged, so the
+// true staleness of the observer's image is exactly the fabric-clock age
+// of its version stamp; the certificate must never understate it
+// (Age+Theta < truth would mean a relay restamped or renumbered the
+// stream — staleness laundering), and once the truth exceeds the
+// object's δ_B the certificate must have stopped claiming Fresh: stale
+// is served as provably stale, never silently fresh. MinStale and
+// MinFresh floor the samples that actually landed on each side of the
+// bound, so a pass can't be vacuous.
+type ObserverHonestCerts struct {
+	// Node names the observer to sample.
+	Node string
+	// From and To bound the sampling window (offsets from start).
+	From, To time.Duration
+	// Every is the sampling cadence; zero means 20ms.
+	Every time.Duration
+	// MinStale floors the provably-stale (non-Fresh) samples; zero means
+	// no staleness is required of the window.
+	MinStale int
+	// MinFresh floors the Fresh samples; zero means none required.
+	MinFresh int
+}
+
+func (c ObserverHonestCerts) key() string {
+	return fmt.Sprintf("%s@%v-%v", c.Node, c.From, c.To)
+}
+
+// arm schedules the periodic ground-truth comparison across the window.
+func (c ObserverHonestCerts) arm(h *Harness) {
+	every := c.Every
+	if every == 0 {
+		every = 20 * time.Millisecond
+	}
+	ev := &observerCertEvidence{}
+	h.obsChecks[c.key()] = ev
+	task := clock.NewPeriodic(h.clk, c.From, every, func() {
+		n := h.nodes[c.Node]
+		if n == nil || n.Observer == nil || !n.Observer.Running() {
+			return
+		}
+		now := h.clk.Now()
+		for _, spec := range h.sc.Objects {
+			cert, ok := n.Observer.Certificate(spec.Name)
+			if !ok {
+				continue
+			}
+			// Ground truth: the version stamp was written by the primary's
+			// unskewed clock, so its fabric-clock age is the image's true
+			// staleness — a quantity no chain participant can see directly.
+			truth := now.Sub(cert.Version)
+			if truth < 0 {
+				truth = 0
+			}
+			ev.samples++
+			if cert.Age+cert.Theta < truth {
+				ev.failures = append(ev.failures, fmt.Sprintf(
+					"+%v: %q age=%v θ=%v understates true staleness %v",
+					now.Sub(h.start).Round(100*time.Microsecond),
+					spec.Name, cert.Age, cert.Theta, truth))
+			}
+			if truth > spec.Constraint.DeltaB && cert.Fresh() {
+				ev.failures = append(ev.failures, fmt.Sprintf(
+					"+%v: %q claims fresh (age=%v θ=%v within δB=%v) while truly %v stale",
+					now.Sub(h.start).Round(100*time.Microsecond),
+					spec.Name, cert.Age, cert.Theta, cert.Bound, truth))
+			}
+			if cert.Fresh() {
+				ev.fresh++
+			} else {
+				ev.stale++
+			}
+		}
+	})
+	h.clk.Schedule(c.To, task.Stop)
+}
+
+// Name implements Checker.
+func (c ObserverHonestCerts) Name() string {
+	return fmt.Sprintf("observer-honest-certs-%s@%v", c.Node, c.From)
+}
+
+// Check implements Checker.
+func (c ObserverHonestCerts) Check(h *Harness) error {
+	ev := h.obsChecks[c.key()]
+	if ev == nil {
+		return fmt.Errorf("never armed")
+	}
+	if len(ev.failures) > 0 {
+		return fmt.Errorf("%d of %d samples dishonest, first: %s",
+			len(ev.failures), ev.samples, ev.failures[0])
+	}
+	if ev.samples == 0 {
+		return fmt.Errorf("no certificate was ever sampled in the window — the observer never served")
+	}
+	if ev.stale < c.MinStale {
+		return fmt.Errorf("only %d of %d samples were provably stale, want at least %d — the fault never bit",
+			ev.stale, ev.samples, c.MinStale)
+	}
+	if ev.fresh < c.MinFresh {
+		return fmt.Errorf("only %d of %d samples were fresh, want at least %d — the chain never recovered",
+			ev.fresh, ev.samples, c.MinFresh)
+	}
+	return nil
+}
+
+// ObserverExcluded asserts the role lattice's exclusion held to the end:
+// every observer is still an observer (no promotion or recruitment ever
+// flipped one into the failover lattice), every observer completed its
+// subscription join, the serving primary counts exactly the voting
+// backups as synced, and its peer table marks every directly-attached
+// observer as such.
+type ObserverExcluded struct {
+	// SyncedPeers is the expected voting peer count at the primary.
+	SyncedPeers int
+}
+
+// Name implements Checker.
+func (ObserverExcluded) Name() string { return "observer-excluded" }
+
+// Check implements Checker.
+func (c ObserverExcluded) Check(h *Harness) error {
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary")
+	}
+	if len(h.obsOrder) == 0 {
+		return fmt.Errorf("scenario attaches no observers")
+	}
+	for _, name := range h.obsOrder {
+		n := h.nodes[name]
+		if n.Observer == nil || !n.Observer.Running() {
+			return fmt.Errorf("%s is not running an observer", name)
+		}
+		if role := n.Observer.Role(); role != core.RoleObserver {
+			return fmt.Errorf("%s ended as %v — an observer entered the failover lattice", name, role)
+		}
+		if !n.Observer.Joined() {
+			return fmt.Errorf("%s never completed its subscription join", name)
+		}
+	}
+	if got := h.active.SyncedPeers(); got != c.SyncedPeers {
+		return fmt.Errorf("primary counts %d synced peers, want %d — an observer leaked into the quorum",
+			got, c.SyncedPeers)
+	}
+	direct := 0
+	for _, spec := range h.sc.Observers {
+		if spec.Upstream == h.activeNode {
+			direct++
+		}
+	}
+	if got := h.active.ObserverPeers(); got != direct {
+		return fmt.Errorf("primary marks %d observer peer(s), want %d", got, direct)
+	}
+	return nil
+}
+
+// ObserverConverged asserts every observer ended holding the active
+// primary's exact value for every object, at its correct hop depth —
+// the chain healed, the relayed stream (plus downstream gap recovery)
+// drained the divergence, and the depth accounting survived the fault
+// schedule. Freshness at the end is NOT asserted here: the settle phase
+// stops the writers, so every certificate legitimately ages out; a
+// post-heal ObserverHonestCerts window asserts recovery while the
+// workload still runs.
+type ObserverConverged struct{}
+
+// Name implements Checker.
+func (ObserverConverged) Name() string { return "observer-converged" }
+
+// Check implements Checker.
+func (ObserverConverged) Check(h *Harness) error {
+	if h.active == nil || !h.active.Running() {
+		return fmt.Errorf("no running primary")
+	}
+	if len(h.obsOrder) == 0 {
+		return fmt.Errorf("scenario attaches no observers")
+	}
+	depth := map[string]int{}
+	for _, spec := range h.sc.Observers {
+		if spec.Upstream == PrimaryNode {
+			depth[spec.Name] = 1
+		} else {
+			depth[spec.Name] = depth[spec.Upstream] + 1
+		}
+	}
+	for _, name := range h.obsOrder {
+		n := h.nodes[name]
+		if n.Observer == nil || !n.Observer.Running() {
+			return fmt.Errorf("%s is not running an observer", name)
+		}
+		for _, spec := range h.sc.Objects {
+			want, _, ok := h.active.Value(spec.Name)
+			if !ok {
+				return fmt.Errorf("primary has no value for %q", spec.Name)
+			}
+			cert, ok := n.Observer.Certificate(spec.Name)
+			if !ok {
+				return fmt.Errorf("%s has no certificate for %q", name, spec.Name)
+			}
+			if !bytes.Equal(cert.Value, want) {
+				return fmt.Errorf("%s diverged on %q: %q != primary's %q",
+					name, spec.Name, cert.Value, want)
+			}
+			if cert.Depth != depth[name] {
+				return fmt.Errorf("%s serves %q at depth %d, want %d",
+					name, spec.Name, cert.Depth, depth[name])
+			}
+		}
+	}
+	return nil
+}
+
 // Progress asserts every running backup applied at least a minimum
 // number of updates, guarding scenarios against passing vacuously.
 type Progress struct {

@@ -388,6 +388,41 @@ func Catalogue() []Scenario {
 			},
 		},
 		{
+			Name:        "observer-chain-partition",
+			Description: "a two-hop observer chain loses its inner link: the cut observer's certificates age honestly (age ≥ true staleness, never silently fresh beyond δB), the chain re-converges after the heal, and no observer ever enters a quorum or gets promoted",
+			Duration:    3 * time.Second,
+			ClockSync:   true,
+			Detector:    failover.DetectorConfig{Interval: ms(50), Timeout: ms(30), MaxMisses: 10},
+			Observers: []ObserverSpec{
+				{Name: ObserverANode, Upstream: PrimaryNode},
+				{Name: ObserverBNode, Upstream: ObserverANode},
+			},
+			Events: []FaultEvent{
+				// Cut the chain's inner hop: observer-b keeps serving reads
+				// but its stream source is gone. The primary, backup, and
+				// observer-a never notice — exactly the failure the
+				// certificate must surface on its own.
+				{At: ms(800), Fault: Partition{A: ObserverANode, B: ObserverBNode}},
+				{At: ms(2000), Fault: Heal{A: ObserverANode, B: ObserverBNode}},
+			},
+			Invariants: []Checker{
+				// During the cut, every certificate observer-b serves must
+				// carry the truth: age+θ dominates the real staleness, and
+				// once the image is truly past δB the certificate must have
+				// stopped claiming Fresh (at 40ms writes and δB=250ms the
+				// window yields dozens of provably-stale samples).
+				ObserverHonestCerts{Node: ObserverBNode, From: ms(900), To: ms(2000), MinStale: 10},
+				// After the heal — while the writers still run — the relayed
+				// stream plus downstream gap recovery must bring observer-b
+				// back under its bound: certificates go Fresh again.
+				ObserverHonestCerts{Node: ObserverBNode, From: ms(2400), To: ms(3000), MinFresh: 5},
+				ObserverExcluded{SyncedPeers: 1},
+				ObserverConverged{},
+				Converged{}, BoundHeld{}, NoSplitBrain{},
+				Promotions{Want: 0}, EpochIs{Want: 1}, Progress{MinApplies: 20},
+			},
+		},
+		{
 			Name:        "endurance-soak",
 			Description: "20s of persistent mild loss, duplication, and jitter: bounds hold the whole way",
 			Duration:    20 * time.Second,

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the single home of staleness-certificate semantics: the
+// Certificate type, the one constructor every serving path goes through
+// (Replica.Certificate for all three roles, and through it the gateway
+// broadcast frames and the ctl READ verbs), the freshness predicate, and
+// the canonical wire-visible field rendering. Concentrating the
+// age/δ_B/θ/mode arithmetic here is what keeps observer, gateway, and
+// ctl reads from drifting apart.
+
+// UnknownTheta is the clock-uncertainty sentinel a replica admits to
+// when clock sync is enabled but no probe has completed yet: with no
+// estimate there is no bound, and an honest certificate must report the
+// offset as unknown — a gray zone far outside any admissible δ_B —
+// rather than as zero.
+const UnknownTheta = time.Hour
+
+// Certificate is an object image together with its staleness contract:
+// what a reader was handed, how old it was at hand-off, the temporal
+// bound the replica currently maintains for backup images of the
+// object, and the clock uncertainty accumulated along the path the
+// image travelled. It is the unit the gateway tier broadcasts to
+// subscribed sessions and the ctl READ verb reports alongside the bare
+// value.
+type Certificate struct {
+	// Value and Version are the image and its last-write instant.
+	Value   []byte
+	Version time.Time
+	// Age is the image's staleness at certificate time: how long ago the
+	// value last changed, on the issuing replica's clock. Version stamps
+	// ride the update stream unchanged, so along an observer chain the
+	// age a downstream node reports already includes every upstream
+	// link's delay — a partitioned observer's certificates go stale,
+	// they never lie fresh.
+	Age time.Duration
+	// Bound is the mode-effective external bound δ_B the replica
+	// maintains for backup images of the object: the admitted δ_B while
+	// normal, loosened by the period stretch while compressed, and zero —
+	// no guarantee — while shed.
+	Bound time.Duration
+	// Mode is the governor rung behind Bound.
+	Mode ObjectMode
+	// Theta is the clock uncertainty accumulated from the serving
+	// primary to this replica: each hop adds its own clocksync θ to what
+	// its upstream advertised (ChainStatus), so Age ± Theta brackets the
+	// true staleness even under per-node clock faults. Zero on the
+	// primary, and on unsynced deployments that share a fault-free
+	// clock.
+	Theta time.Duration
+	// Depth is the issuing replica's hop count from the serving primary:
+	// 0 on the primary itself, 1 on a backup or a directly attached
+	// observer, one more per chained observer hop.
+	Depth int
+}
+
+// newCertificate is the shared certificate constructor: every read path
+// funnels through it so the clamping and field semantics exist exactly
+// once. value must already be the caller's private copy.
+func newCertificate(value []byte, version, now time.Time, bound time.Duration, mode ObjectMode, theta time.Duration, depth int) Certificate {
+	age := now.Sub(version)
+	if age < 0 {
+		age = 0
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	return Certificate{
+		Value:   value,
+		Version: version,
+		Age:     age,
+		Bound:   bound,
+		Mode:    mode,
+		Theta:   theta,
+		Depth:   depth,
+	}
+}
+
+// Fresh reports whether the certificate proves its bound: the image's
+// age plus the admitted clock uncertainty still fits inside the
+// mode-effective bound. A certificate with no bound — a shed object, or
+// one registered without δ_B — proves nothing and is never fresh;
+// neither is one whose chain uncertainty is unknown (UnknownTheta).
+func (c Certificate) Fresh() bool {
+	return c.Bound > 0 && c.Age+c.Theta <= c.Bound
+}
+
+// Fields renders the certificate's wire-visible staleness fields in the
+// canonical form the ctl READ verbs and the gateway EVENT stream share:
+// `age=… delta=… mode=… theta=… depth=…`.
+func (c Certificate) Fields() string {
+	return fmt.Sprintf("age=%v delta=%v mode=%s theta=%v depth=%d",
+		c.Age, c.Bound, c.Mode, c.Theta, c.Depth)
+}
+
+// chainTheta is the clock uncertainty this replica must admit to on
+// every certificate it serves: nothing on a primary (readers get the
+// writer's own clock), the local estimator's θ on a shadowing replica,
+// plus — on an observer — everything its upstream chain admitted to.
+// Clock sync enabled but not yet converged reports UnknownTheta: honest
+// suspension, never a silent zero.
+func (r *Replica) chainTheta() time.Duration {
+	if r.role == RolePrimary {
+		return 0
+	}
+	var theta time.Duration
+	if r.csync != nil {
+		if th, ok := r.csync.Theta(r.clk.Now()); ok {
+			theta = th
+		} else {
+			theta = UnknownTheta
+		}
+	}
+	if r.role == RoleObserver {
+		theta += r.upstreamTheta
+	}
+	return theta
+}
+
+// chainDepth is this replica's hop count from the serving primary: 0
+// serving, 1 shadowing, upstream's advertised depth plus one observing
+// (the upstream is presumed to be the primary until its first
+// ChainStatus says otherwise).
+func (r *Replica) chainDepth() int {
+	switch r.role {
+	case RolePrimary:
+		return 0
+	case RoleObserver:
+		return int(r.upstreamDepth) + 1
+	default:
+		return 1
+	}
+}
+
+// ChainDepth reports the replica's current hop distance from the
+// serving primary (see chainDepth) — status surfaces render it.
+func (r *Replica) ChainDepth() int { return r.chainDepth() }
+
+// ChainTheta reports the accumulated clock uncertainty the replica
+// stamps on certificates (see chainTheta).
+func (r *Replica) ChainTheta() time.Duration { return r.chainTheta() }

@@ -49,8 +49,10 @@ func (p *Primary) startCriticalWrite(o *object, arrival time.Time, done func(tim
 		// A syncing peer is excluded from the quorum: it may hold
 		// arbitrarily stale state, so its ack proves nothing about
 		// redundancy (it still receives the update through the regular
-		// broadcast, which is what completes its catch-up).
-		if pr.alive && !pr.syncing {
+		// broadcast, which is what completes its catch-up). Observer
+		// peers are read-only bystanders: their acks are never
+		// solicited and never count.
+		if pr.alive && !pr.syncing && !pr.observer {
 			waiting[pr.addr] = true
 		}
 	}

@@ -24,6 +24,10 @@ type replicaPeer struct {
 	alive      bool
 	pingSeq    uint64
 	registered map[uint32]bool
+	// observer marks a read-only subscriber: it receives the full update
+	// stream and the anti-entropy exchange but never counts toward
+	// quorums, critical-write waits, or the replication degree.
+	observer bool
 
 	// est tracks the link's RTT and loss rate from heartbeat and update
 	// acks; every retry path toward this peer derives its timeout from it.
@@ -865,6 +869,12 @@ func (p *Primary) demuxPrimary(msg wire.Message, from xkernel.Addr) {
 			p.OnPing(t.Seq)
 		}
 		p.replyTo(from, &wire.PingAck{Seq: t.Seq, From: wire.RolePrimary})
+		if t.From == wire.RoleObserver {
+			// An observer heartbeat doubles as a chain-position probe:
+			// the primary is the root of every fan-out tree, so it
+			// advertises depth 0 and no accumulated uncertainty.
+			p.replyTo(from, &wire.ChainStatus{Epoch: p.epoch, Depth: 0, Theta: 0})
+		}
 	case *wire.TimeSync:
 		if t.Receive == 0 && t.Transmit == 0 {
 			// A backup's clock-sync probe: echo it with this node's

@@ -15,9 +15,11 @@ import (
 )
 
 // Role is the replica state machine's current state: every replica is one
-// automaton that either serves (primary) or shadows (backup). Failover
-// flips the role in place — the object table, admission ledger, and epoch
-// fence all carry across the transition untouched.
+// automaton serving (primary), shadowing (backup), or observing
+// (read-only). Failover flips primary ⇄ backup in place — the object
+// table, admission ledger, and epoch fence all carry across the
+// transition untouched. Observers sit outside the failover lattice: they
+// apply the same update stream but can never be promoted.
 type Role uint8
 
 const (
@@ -27,6 +29,14 @@ const (
 	// RolePrimary serves clients: admission control, client writes, and
 	// the decoupled update transmission schedule toward its peers.
 	RolePrimary
+	// RoleObserver is a read-only replica subscribed to an upstream — a
+	// primary or another observer (chained fan-out). It applies the same
+	// update/frame stream through the backup handlers, serves
+	// certificate reads with chain-accumulated uncertainty, and
+	// re-broadcasts the stream to its own downstream subscribers; it is
+	// excluded from quorums, admission, failover candidacy, and repair
+	// recruitment.
+	RoleObserver
 )
 
 func (r Role) String() string {
@@ -35,8 +45,45 @@ func (r Role) String() string {
 		return "primary"
 	case RoleBackup:
 		return "backup"
+	case RoleObserver:
+		return "observer"
 	}
 	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// IsWritable reports whether the role accepts client writes and runs
+// admission control. Only the primary writes.
+func (r Role) IsWritable() bool { return r == RolePrimary }
+
+// CanVote reports whether the role participates in quorums and counts
+// toward the replication degree: primaries and backups do, observers
+// are read-only bystanders.
+func (r Role) CanVote() bool { return r == RolePrimary || r == RoleBackup }
+
+// ServesReads reports whether the role serves certificate reads. Every
+// role does — honesty lives in the certificate (age, θ, mode), not in
+// refusing the read.
+func (r Role) ServesReads() bool { return true }
+
+// Shadows reports whether the role maintains an upstream session and
+// applies a replicated update stream (backup and observer).
+func (r Role) Shadows() bool { return r == RoleBackup || r == RoleObserver }
+
+// FansOut reports whether the role serves downstream subscribers
+// through the join/update fan-out path: the primary toward its peers,
+// and observers re-broadcasting along a chain.
+func (r Role) FansOut() bool { return r == RolePrimary || r == RoleObserver }
+
+// wireRole maps the replica role onto its wire representation.
+func (r Role) wireRole() wire.Role {
+	switch r {
+	case RolePrimary:
+		return wire.RolePrimary
+	case RoleObserver:
+		return wire.RoleObserver
+	default:
+		return wire.RoleBackup
+	}
 }
 
 // Role-transition errors: primary-only operations (admission, client
@@ -146,6 +193,17 @@ type Replica struct {
 	digestAttempt int
 	joinBackoff   *resilience.Backoff
 
+	// --- observer-role state ---
+
+	// upstreamDepth and upstreamTheta hold the upstream's advertised
+	// chain position from its latest ChainStatus: hops from the serving
+	// primary and the clock uncertainty accumulated up to the upstream.
+	// Until the first status arrives the upstream is assumed to be the
+	// primary (depth 0, nothing inherited) — age still compounds
+	// through the version timestamp regardless.
+	upstreamDepth uint32
+	upstreamTheta time.Duration
+
 	// --- callbacks (role-relevant subsets fire; the rest stay silent) ---
 
 	// OnSend, when set, observes every update transmission (after the
@@ -218,10 +276,12 @@ type Replica struct {
 }
 
 // Primary is the serving-role view of a Replica (see Replica); Backup is
-// the shadowing-role view. They are the same state machine.
+// the shadowing-role view; Observer is the read-only fan-out view. They
+// are the same state machine.
 type (
-	Primary = Replica
-	Backup  = Replica
+	Primary  = Replica
+	Backup   = Replica
+	Observer = Replica
 )
 
 var _ xkernel.Upper = (*Replica)(nil)
@@ -264,7 +324,7 @@ func NewReplica(cfg Config, role Role) (*Replica, error) {
 				return nil, err
 			}
 		}
-	case RoleBackup:
+	case RoleBackup, RoleObserver:
 		r.seedBackupLink(cfg.Peer)
 		if err := cfg.Port.EnablePort(cfg.LocalPort, r); err != nil {
 			return nil, err
@@ -288,6 +348,12 @@ func NewPrimary(cfg Config) (*Primary, error) { return NewReplica(cfg, RolePrima
 
 // NewBackup builds a replica shadowing as backup.
 func NewBackup(cfg Config) (*Backup, error) { return NewReplica(cfg, RoleBackup) }
+
+// NewObserver builds a read-only replica observing cfg.Peer — a primary
+// or another observer. The caller drives Join() to subscribe through
+// the chunked anti-entropy exchange, and SendPing for heartbeat,
+// clock-sync, and chain-status traffic toward the upstream.
+func NewObserver(cfg Config) (*Observer, error) { return NewReplica(cfg, RoleObserver) }
 
 // seedBackupLink derives the backup-role jitter streams for the upstream
 // link toward addr.
@@ -376,29 +442,11 @@ func (r *Replica) Value(name string) (data []byte, version time.Time, ok bool) {
 	return cp, o.version, true
 }
 
-// Certificate is an object image together with its staleness contract:
-// what a reader was handed, how old it was at hand-off, and the temporal
-// bound the replica currently maintains for backup images of the object.
-// It is the unit the gateway tier broadcasts to subscribed sessions and
-// the ctl READ verb reports alongside the bare value.
-type Certificate struct {
-	// Value and Version are the image and its last-write instant.
-	Value   []byte
-	Version time.Time
-	// Age is the image's staleness at certificate time: how long ago the
-	// value last changed, on the issuing replica's clock.
-	Age time.Duration
-	// Bound is the mode-effective external bound δ_B the replica
-	// maintains for backup images of the object: the admitted δ_B while
-	// normal, loosened by the period stretch while compressed, and zero —
-	// no guarantee — while shed.
-	Bound time.Duration
-	// Mode is the governor rung behind Bound.
-	Mode ObjectMode
-}
-
 // Certificate reports an object's current image with its staleness
-// certificate. ok is false for unknown or not-yet-written objects.
+// certificate, built through the one shared constructor in cert.go so
+// primary, backup, observer, gateway, and ctl READ paths cannot drift
+// on age/δ_B/θ/mode semantics. ok is false for unknown or
+// not-yet-written objects.
 func (r *Replica) Certificate(name string) (Certificate, bool) {
 	o, err := r.adm.byNameOrErr(name)
 	if err != nil || !o.hasData {
@@ -409,16 +457,12 @@ func (r *Replica) Certificate(name string) (Certificate, bool) {
 	switch {
 	case r.role == RolePrimary && r.gov != nil:
 		bound = r.gov.effectiveBound(o, mode)
-	case r.role == RoleBackup && mode != ModeNormal:
+	case r.role.Shadows() && mode != ModeNormal:
 		bound = o.modeBound
 	}
 	cp := make([]byte, len(o.value))
 	copy(cp, o.value)
-	age := r.clk.Now().Sub(o.version)
-	if age < 0 {
-		age = 0
-	}
-	return Certificate{Value: cp, Version: o.version, Age: age, Bound: bound, Mode: mode}, true
+	return newCertificate(cp, o.version, r.clk.Now(), bound, mode, r.chainTheta(), r.chainDepth()), true
 }
 
 // Mode reports the object's current overload-degradation rung: the
@@ -441,20 +485,22 @@ func (r *Replica) Mode(name string) (ObjectMode, bool) {
 	return ModeNormal, true
 }
 
-// SendPing emits one heartbeat: toward the upstream primary when backing
-// up, toward the first attached backup when serving (the single-backup
-// form used by the paper's deployment; multi-backup deployments use
-// SendPingTo per peer). It returns the heartbeat's sequence number.
+// SendPing emits one heartbeat: toward the upstream when shadowing
+// (backup or observer), toward the first attached backup when serving
+// (the single-backup form used by the paper's deployment; multi-backup
+// deployments use SendPingTo per peer). An observer's ping additionally
+// solicits the upstream's ChainStatus so chained certificates compound
+// staleness honestly. It returns the heartbeat's sequence number.
 func (r *Replica) SendPing() uint64 {
-	if r.role == RoleBackup {
+	if r.role.Shadows() {
 		r.pingSeq++
-		r.send(&wire.Ping{Seq: r.pingSeq, From: wire.RoleBackup})
+		r.send(&wire.Ping{Seq: r.pingSeq, From: r.role.wireRole()})
 		if r.csync != nil {
 			// Clock-sync probe rides the heartbeat: same cadence, same
 			// link, no extra timers. t1 is stamped from this node's own
 			// (possibly faulty) clock — that is the clock whose offset we
 			// are estimating.
-			r.send(&wire.TimeSync{Seq: r.pingSeq, From: wire.RoleBackup,
+			r.send(&wire.TimeSync{Seq: r.pingSeq, From: r.role.wireRole(),
 				Originate: r.clk.Now().UnixNano()})
 		}
 		return r.pingSeq
@@ -523,9 +569,12 @@ func (r *Replica) Demux(m *xkernel.Message, from xkernel.Addr) error {
 
 // dispatch routes one decoded message to the current role's handler.
 func (r *Replica) dispatch(msg wire.Message, from xkernel.Addr) {
-	if r.role == RolePrimary {
+	switch r.role {
+	case RolePrimary:
 		r.demuxPrimary(msg, from)
-	} else {
+	case RoleObserver:
+		r.demuxObserver(msg, from)
+	default:
 		r.demuxBackup(msg)
 	}
 }
@@ -541,6 +590,12 @@ func (r *Replica) dispatch(msg wire.Message, from xkernel.Addr) {
 // The promoted replica starts with no peers; the failover orchestrator
 // re-attaches surviving backups with AddPeer, which drives them through
 // the anti-entropy exchange under the new epoch.
+//
+// Only a backup may be promoted. An observer holds the same replicated
+// state but sits outside the fault-tolerance contract — it was never
+// counted in any quorum, its staleness is only bounded best-effort
+// through its chain — so promoting one would seat an authority nobody
+// admitted. The role guard makes that a hard error, not a policy.
 func (r *Replica) Promote(epoch uint32) error {
 	if !r.running {
 		return ErrStopped

@@ -148,6 +148,14 @@ func (p *Primary) handleJoinRequest(from xkernel.Addr, t *wire.JoinRequest) {
 	if !p.running {
 		return
 	}
+	if p.role == RoleObserver && !p.joined {
+		// A chained subscriber is asking to join through us before our own
+		// upstream join has landed: we have no spec table to accept it
+		// against, and a 0-spec accept would strand it (a completed join is
+		// never retried). Stay silent — the subscriber's join loop retries
+		// until the chain upstream of us is ready.
+		return
+	}
 	if t.Epoch > p.epoch {
 		// The joiner has observed a newer primary than us: we are the
 		// stale one. Never accept — our own demotion is the failure
@@ -169,6 +177,10 @@ func (p *Primary) handleJoinRequest(from xkernel.Addr, t *wire.JoinRequest) {
 		}
 		pr.alive = true
 	}
+	// The joiner declares its role: an observer peer receives the same
+	// stream and the same exchange but never counts toward quorums, the
+	// replication degree, or critical-write waits.
+	pr.observer = t.Observer
 	p.beginJoin(pr)
 	p.maybeStartPump()
 }
@@ -373,6 +385,10 @@ type PeerStatus struct {
 	// Syncing reports an anti-entropy exchange still in flight; a syncing
 	// peer does not count toward quorums or the replication degree.
 	Syncing bool
+	// Observer reports a read-only subscriber: it never counts toward
+	// quorums or the replication degree, and the repair layer must not
+	// mistake it for a recruited backup.
+	Observer bool
 	// Transfer holds the peer's lifetime anti-entropy counters.
 	Transfer TransferStats
 }
@@ -382,19 +398,23 @@ type PeerStatus struct {
 func (p *Primary) PeerStates() []PeerStatus {
 	out := make([]PeerStatus, 0, len(p.peers))
 	for _, pr := range p.peers {
-		out = append(out, PeerStatus{Addr: pr.addr, Alive: pr.alive, Syncing: pr.syncing, Transfer: pr.xfer})
+		out = append(out, PeerStatus{Addr: pr.addr, Alive: pr.alive, Syncing: pr.syncing,
+			Observer: pr.observer, Transfer: pr.xfer})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
 
-// SyncedPeers reports how many live peers have completed their
+// SyncedPeers reports how many live voting peers have completed their
 // anti-entropy exchange — the cluster's effective replication degree
-// (excluding the primary itself).
+// (excluding the primary itself). Observer peers receive the same
+// stream but are read-only bystanders: they never count here, in
+// critical-write quorums, or anywhere else the cluster's fate is
+// decided.
 func (p *Primary) SyncedPeers() int {
 	n := 0
 	for _, pr := range p.peers {
-		if pr.alive && !pr.syncing {
+		if pr.alive && !pr.syncing && !pr.observer {
 			n++
 		}
 	}
@@ -411,17 +431,20 @@ func (p *Primary) TransferStatsFor(addr xkernel.Addr) (TransferStats, bool) {
 
 // --- backup side ---
 
-// Join asks the current primary to take this replica back as a backup:
-// the first step of the rejoin protocol. The request announces the
-// highest epoch this replica has observed (so a fenced old primary
-// rejoins already demoted) and is answered by a JoinAccept. Join is
-// fire-and-forget; callers (repair.Rejoiner) retry it until Joining or
-// catch-up reports progress.
+// Join asks the upstream to take this replica as a subscriber: a backup
+// rejoining the cluster, or an observer attaching to its fan-out
+// upstream — both ride the same chunked anti-entropy exchange with
+// catch-up temporal semantics. The request announces the highest epoch
+// this replica has observed (so a fenced old primary rejoins already
+// demoted) and whether it subscribes read-only; it is answered by a
+// JoinAccept. Join is fire-and-forget; callers (repair.Rejoiner, the
+// observer wiring) retry it until Joining or catch-up reports progress.
 func (b *Backup) Join() {
-	if !b.running || b.role != RoleBackup {
+	if !b.running || !b.role.Shadows() {
 		return
 	}
-	b.send(&wire.JoinRequest{Epoch: b.epoch, Addr: string(b.cfg.SelfAddr)})
+	b.send(&wire.JoinRequest{Epoch: b.epoch, Addr: string(b.cfg.SelfAddr),
+		Observer: b.role == RoleObserver})
 }
 
 // Joining reports whether a join exchange is in flight (accepted but not

@@ -14,15 +14,23 @@
 //	  → OK <latency> | ERR <reason...>
 //	READ <name>
 //	  → OK <base64-value> <version-rfc3339nano> age=<dur> delta=<dur>
-//	    mode=<normal|compressed|shed> | ERR not found
+//	    mode=<normal|compressed|shed> theta=<dur> depth=<n> | ERR not found
 //	  (age is the image's staleness at the read; delta the mode-effective
-//	  admitted δ_B it is certified against)
+//	  admitted δ_B it is certified against; theta the clock uncertainty
+//	  accumulated from the serving primary; depth the issuing replica's
+//	  hop count from it)
 //	STATUS
 //	  → OK role=<primary|backup> objects=<n> utilization=<u> epoch=<e>
 //	    backupAlive=<bool> transitions=<n>
 //	REPAIR
 //	  → OK synced=<n> peers=<m> [| <addr> alive=<bool> syncing=<bool>
-//	    sent=<entries> skipped=<entries> retx=<chunks> completions=<c>]...
+//	    observer=<bool> sent=<entries> skipped=<entries> retx=<chunks>
+//	    completions=<c>]...
+//	OBSERVERS
+//	  → OK observers=<n> depth=<d> theta=<dur>
+//	    [| <addr> alive=<bool> syncing=<bool>]...
+//	  (n counts attached read-only subscribers; depth/theta are this
+//	  replica's own chain position — 0/0s on a serving primary)
 //	RECRUIT <addr>
 //	  → OK <addr> | ERR <reason...>
 //	LOGSTAT
@@ -101,6 +109,8 @@ func (s *Server) handle(line string, reply func(string)) {
 			s.primary.BackupAlive(), s.primary.Transitions()))
 	case "REPAIR":
 		reply(s.repair())
+	case "OBSERVERS":
+		reply(s.observers())
 	case "RECRUIT":
 		reply(s.recruit(fields[1:]))
 	case "LOGSTAT":
@@ -169,10 +179,27 @@ func (s *Server) repair() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "OK synced=%d peers=%d", s.primary.SyncedPeers(), len(states))
 	for _, st := range states {
-		fmt.Fprintf(&b, " | %s alive=%v syncing=%v sent=%d skipped=%d retx=%d completions=%d",
-			st.Addr, st.Alive, st.Syncing,
+		fmt.Fprintf(&b, " | %s alive=%v syncing=%v observer=%v sent=%d skipped=%d retx=%d completions=%d",
+			st.Addr, st.Alive, st.Syncing, st.Observer,
 			st.Transfer.EntriesSent, st.Transfer.EntriesSkipped,
 			st.Transfer.ChunkRetransmits, st.Transfer.Completions)
+	}
+	return b.String()
+}
+
+// observers reports the read-only subscriber tier attached to this
+// replica, plus the replica's own chain position (hop distance from the
+// serving primary and the accumulated clock uncertainty it stamps on
+// certificates — 0 and 0s on a serving primary).
+func (s *Server) observers() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OK observers=%d depth=%d theta=%v",
+		s.primary.ObserverPeers(), s.primary.ChainDepth(), s.primary.ChainTheta())
+	for _, st := range s.primary.PeerStates() {
+		if !st.Observer {
+			continue
+		}
+		fmt.Fprintf(&b, " | %s alive=%v syncing=%v", st.Addr, st.Alive, st.Syncing)
 	}
 	return b.String()
 }
@@ -266,10 +293,12 @@ func (s *Server) read(args []string) string {
 }
 
 // certFields renders the staleness-certificate suffix shared by READ
-// replies and gateway EVENT frames: the image's age at the snapshot and
-// the mode-effective admitted bound δ_B it is certified against.
+// replies and gateway EVENT frames. The rendering itself lives on
+// core.Certificate so every serving surface — replica reads, gateway
+// frames, ctl verbs — reports the same age/δ_B/mode/θ/depth fields and
+// cannot drift.
 func certFields(cert core.Certificate) string {
-	return fmt.Sprintf("age=%v delta=%v mode=%s", cert.Age, cert.Bound, cert.Mode)
+	return cert.Fields()
 }
 
 // Client is a minimal control-protocol client used by cmd/rtpbctl and the

@@ -130,10 +130,12 @@ func (r *Recruiter) Stop() {
 // Stats reports the loop's lifetime counters.
 func (r *Recruiter) Stats() RecruiterStats { return r.stats }
 
-// tick is one probe round: count the live peers (synced or mid-join —
-// a syncing peer is on its way, so no second candidate is probed for
-// the same slot), and attach candidates until the target degree is
-// covered.
+// tick is one probe round: count the live voting peers (synced or
+// mid-join — a syncing peer is on its way, so no second candidate is
+// probed for the same slot), and attach candidates until the target
+// degree is covered. Observer peers never satisfy the degree: a
+// read-only subscriber holds state but cannot take over, so it counts
+// for nothing here no matter how healthy its link looks.
 func (r *Recruiter) tick() {
 	p := r.p
 	if !p.Running() {
@@ -143,7 +145,7 @@ func (r *Recruiter) tick() {
 	attached := make(map[xkernel.Addr]bool)
 	for _, st := range p.PeerStates() {
 		attached[st.Addr] = true
-		if st.Alive {
+		if st.Alive && !st.Observer {
 			have++
 		}
 	}

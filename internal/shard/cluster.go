@@ -45,6 +45,17 @@ type Config struct {
 	// (overload experiments only: it lets a workload that provably cannot
 	// be scheduled through, so the governor has something real to shed).
 	DisableAdmissionControl bool
+	// Observers attaches this many read-only observer replicas to each
+	// shard; defaults to 0 (no observer tier). Observers serve
+	// certificate reads (Cluster.Certificate prefers the least-stale
+	// fresh one) but never count toward quorums or failover.
+	Observers int
+	// ObserverChainDepth arranges each shard's observers into fan-out
+	// chains of this length: 1 (the default) subscribes every observer
+	// directly to the primary; 2 chains them pairwise
+	// (primary→obs→obs), and so on. Deeper chains offload the primary's
+	// fan-out at the price of compounded certificate staleness.
+	ObserverChainDepth int
 }
 
 func (cfg *Config) normalize() {
@@ -65,6 +76,12 @@ func (cfg *Config) normalize() {
 		cfg.Headroom = DefaultHeadroom
 	case cfg.Headroom < 0:
 		cfg.Headroom = 0
+	}
+	if cfg.Observers < 0 {
+		cfg.Observers = 0
+	}
+	if cfg.ObserverChainDepth <= 0 {
+		cfg.ObserverChainDepth = 1
 	}
 }
 
@@ -97,6 +114,14 @@ type Shard struct {
 	det        *failover.Detector
 	peer       xkernel.Addr // primary address the backup replicates from
 	promotions int
+
+	// The shard's observer tier: read-only replicas subscribed to the
+	// primary (or chained off each other), chain-ordered. obsTasks holds
+	// the periodics that drive each observer's join exchange and
+	// chain-position heartbeats.
+	oHosts    []*node
+	observers []*core.Observer
+	obsTasks  []*clock.Periodic
 }
 
 // Utilization implements Target with the shard primary's resident
@@ -241,7 +266,48 @@ func (c *Cluster) buildShard(i int) (*Shard, error) {
 	if err := c.wireBackup(sh); err != nil {
 		return nil, err
 	}
+	for j := 0; j < c.cfg.Observers; j++ {
+		if err := c.attachObserver(sh, j); err != nil {
+			return nil, err
+		}
+	}
 	return sh, nil
+}
+
+// attachObserver builds observer j of a shard's tier on its own node
+// ("shardI-oJ") and starts the loops that keep it attached: a join
+// driver that re-sends the JoinRequest until the chunked anti-entropy
+// exchange completes, and a heartbeat that solicits the upstream's
+// chain-position advertisement (depth, accumulated θ) so the observer's
+// certificates compound staleness honestly. Chain placement follows
+// ObserverChainDepth: the first observer of each chain subscribes to
+// the primary, the rest to the observer before them.
+func (c *Cluster) attachObserver(sh *Shard, j int) error {
+	host, err := c.buildNode(fmt.Sprintf("shard%d-o%d", sh.index, j))
+	if err != nil {
+		return err
+	}
+	upstream := sh.pHost.addr()
+	if j%c.cfg.ObserverChainDepth != 0 {
+		upstream = sh.oHosts[j-1].addr()
+	}
+	ocfg := c.primaryConfig(host.port, nil)
+	ocfg.Peer = upstream
+	obs, err := core.NewObserver(ocfg)
+	if err != nil {
+		return err
+	}
+	sh.oHosts = append(sh.oHosts, host)
+	sh.observers = append(sh.observers, obs)
+	join := clock.NewPeriodic(c.clk, 0, 100*time.Millisecond, func() {
+		if !obs.Joined() {
+			obs.Join()
+		}
+	})
+	ping := clock.NewPeriodic(c.clk, 50*time.Millisecond, 100*time.Millisecond, func() { obs.SendPing() })
+	sh.obsTasks = append(sh.obsTasks, join, ping)
+	c.logf("shard %d: observer %s subscribes to %v", sh.index, host.name, upstream)
+	return nil
 }
 
 // wireBackup attaches the monitor hooks and a fresh failure detector to
@@ -418,16 +484,52 @@ func (c *Cluster) Read(name string) (data []byte, version time.Time, ok bool) {
 	return sh.primary.Value(name)
 }
 
-// Certificate returns the owning shard primary's current image with its
-// staleness certificate (value, version, age, mode-effective δ_B) — the
-// unit the gateway tier broadcasts to subscribed sessions.
+// Certificate returns the owning shard's current image with its
+// staleness certificate (value, version, age, mode-effective δ_B, chain
+// θ and depth) — the unit the gateway tier broadcasts to subscribed
+// sessions. With an observer tier attached, the read is served by the
+// least-stale observer that can still prove its bound, offloading the
+// primary; it falls back to the primary when no observer certificate is
+// fresh (attach-time catch-up, a partitioned chain, or unconverged
+// clock sync — the honest cases).
 func (c *Cluster) Certificate(name string) (core.Certificate, bool) {
 	sh, err := c.owner(name)
-	if err != nil || sh.primary == nil || !sh.primary.Running() {
+	if err != nil {
+		return core.Certificate{}, false
+	}
+	if cert, ok := sh.ObserverCertificate(name); ok {
+		return cert, true
+	}
+	if sh.primary == nil || !sh.primary.Running() {
 		return core.Certificate{}, false
 	}
 	return sh.primary.Certificate(name)
 }
+
+// ObserverCertificate serves a read from the shard's observer tier: the
+// fresh certificate with the smallest age+θ wins. ok=false when no
+// observer currently holds a provably in-bound image — the caller must
+// fall back to the primary rather than serve a stale read.
+func (sh *Shard) ObserverCertificate(name string) (core.Certificate, bool) {
+	var best core.Certificate
+	found := false
+	for _, obs := range sh.observers {
+		if obs == nil || !obs.Running() {
+			continue
+		}
+		cert, ok := obs.Certificate(name)
+		if !ok || !cert.Fresh() {
+			continue
+		}
+		if !found || cert.Age+cert.Theta < best.Age+best.Theta {
+			best, found = cert, true
+		}
+	}
+	return best, found
+}
+
+// Observers exposes the shard's observer replicas, chain-ordered.
+func (sh *Shard) Observers() []*core.Observer { return sh.observers }
 
 // Health is one shard's overload-governor ladder state, the
 // admission-aware backpressure signal a front tier sheds on.
@@ -616,6 +718,8 @@ type Status struct {
 	// this shard" and Shed > 0 as "stop admitting new load".
 	Degraded int
 	Shed     int
+	// Observers counts the shard's attached read-only observer replicas.
+	Observers int
 }
 
 // Statuses reports every shard's state, index-ordered.
@@ -628,6 +732,7 @@ func (c *Cluster) Statuses() []Status {
 			PrimaryHost: sh.pHost.name,
 			PrimaryAddr: sh.pHost.addr(),
 			Promotions:  sh.promotions,
+			Observers:   len(sh.observers),
 		}
 		if sh.primary != nil && sh.primary.Running() {
 			s.Epoch = sh.primary.Epoch()
@@ -689,6 +794,13 @@ func (c *Cluster) Stop() {
 		if sh.det != nil {
 			sh.det.Stop()
 			sh.det = nil
+		}
+		for _, task := range sh.obsTasks {
+			task.Stop()
+		}
+		sh.obsTasks = nil
+		for _, obs := range sh.observers {
+			obs.Stop()
 		}
 		if sh.backup != nil {
 			sh.backup.Stop()

@@ -37,6 +37,8 @@ func FuzzWireRoundTrip(f *testing.F) {
 		&UpdateAck{ObjectID: 7, Seq: 41},
 		&ModeChange{Epoch: 2, ObjectID: 7, Mode: 3, Seq: 5, EffectiveBound: 250 * time.Millisecond},
 		&JoinRequest{Epoch: 3, Addr: "standby:7000"},
+		&JoinRequest{Epoch: 3, Addr: "observer:7000", Observer: true},
+		&ChainStatus{Epoch: 3, Depth: 2, Theta: 3 * time.Millisecond},
 		&JoinAccept{Epoch: 3, Specs: []SpecEntry{
 			{ObjectID: 1, Name: "pressure", Size: 64, Period: 20 * time.Millisecond,
 				DeltaP: 25 * time.Millisecond, DeltaB: 200 * time.Millisecond},

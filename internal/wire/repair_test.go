@@ -15,6 +15,22 @@ func TestRoundTripJoinRequest(t *testing.T) {
 	}
 }
 
+func TestRoundTripJoinRequestObserver(t *testing.T) {
+	in := &JoinRequest{Epoch: 4, Addr: "obs1:7000", Observer: true}
+	out := roundTrip(t, in).(*JoinRequest)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestRoundTripChainStatus(t *testing.T) {
+	in := &ChainStatus{Epoch: 7, Depth: 3, Theta: 2500 * time.Microsecond}
+	out := roundTrip(t, in).(*ChainStatus)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
 func TestRoundTripJoinRequestEmptyAddr(t *testing.T) {
 	out := roundTrip(t, &JoinRequest{Epoch: 1}).(*JoinRequest)
 	if out.Addr != "" {
@@ -133,6 +149,7 @@ func TestDecodeRejectsTruncatedRepairBodies(t *testing.T) {
 			{ObjectID: 1, Seq: 10, Version: 111, Name: "p", Size: 8, Payload: []byte("x")},
 		}},
 		&StateChunkAck{Epoch: 6, Xfer: 1, Chunk: 0, Applied: 1},
+		&ChainStatus{Epoch: 6, Depth: 2, Theta: time.Millisecond},
 	}
 	for _, m := range msgs {
 		full := Encode(m)

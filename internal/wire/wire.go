@@ -92,6 +92,13 @@ const (
 	// from its own clock, and the probe's round trip bounds the offset
 	// estimate (internal/clocksync).
 	KindTimeSync
+	// KindChainStatus advertises a fan-out node's position in an
+	// observer chain: its hop depth from the serving primary and the
+	// clock uncertainty accumulated along its upstream chain. Sent in
+	// reply to an observer's heartbeat so certificates served further
+	// downstream compound staleness honestly instead of resetting it
+	// per hop.
+	KindChainStatus
 )
 
 // String returns the kind name.
@@ -139,6 +146,8 @@ func (k Kind) String() string {
 		return "Frame"
 	case KindTimeSync:
 		return "TimeSync"
+	case KindChainStatus:
+		return "ChainStatus"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -187,6 +196,7 @@ var (
 	_ Message = (*Unregister)(nil)
 	_ Message = (*Frame)(nil)
 	_ Message = (*TimeSync)(nil)
+	_ Message = (*ChainStatus)(nil)
 )
 
 // Encode serializes a message with the RTPB header into a fresh buffer.
@@ -263,6 +273,8 @@ func Decode(b []byte) (Message, error) {
 		m = &Frame{}
 	case KindTimeSync:
 		m = &TimeSync{}
+	case KindChainStatus:
+		m = &ChainStatus{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[3])
 	}
@@ -432,6 +444,9 @@ type Role uint8
 const (
 	RolePrimary Role = iota + 1
 	RoleBackup
+	// RoleObserver marks a read-only replica subscribed for the update
+	// stream (directly to a primary or chained under another observer).
+	RoleObserver
 )
 
 // String returns the role name.
@@ -441,6 +456,8 @@ func (r Role) String() string {
 		return "primary"
 	case RoleBackup:
 		return "backup"
+	case RoleObserver:
+		return "observer"
 	default:
 		return fmt.Sprintf("Role(%d)", uint8(r))
 	}
@@ -529,6 +546,39 @@ func (m *TimeSync) decodeBody(r *reader) error {
 	m.Originate = int64(r.uint64())
 	m.Receive = int64(r.uint64())
 	m.Transmit = int64(r.uint64())
+	return r.err
+}
+
+// ChainStatus advertises a fan-out node's position in an observer
+// chain, sent in reply to an observer peer's heartbeat. The primary is
+// the chain root (depth 0, no inherited uncertainty); an observer
+// re-advertises its upstream's values plus one hop and its own link's
+// clocksync θ, so a certificate served anywhere in the tree carries the
+// whole chain's accumulated clock uncertainty — staleness compounds
+// honestly instead of resetting per hop.
+type ChainStatus struct {
+	// Epoch is the sender's current epoch (fencing).
+	Epoch uint32
+	// Depth is the sender's hop count from the serving primary.
+	Depth uint32
+	// Theta is the clock uncertainty the sender has accumulated along
+	// its upstream chain (zero at the primary).
+	Theta time.Duration
+}
+
+// WireKind implements Message.
+func (*ChainStatus) WireKind() Kind { return KindChainStatus }
+
+func (m *ChainStatus) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
+	dst = binary.BigEndian.AppendUint32(dst, m.Depth)
+	return appendDuration(dst, m.Theta)
+}
+
+func (m *ChainStatus) decodeBody(r *reader) error {
+	m.Epoch = r.uint32()
+	m.Depth = r.uint32()
+	m.Theta = r.duration()
 	return r.err
 }
 
@@ -797,6 +847,10 @@ type JoinRequest struct {
 	Epoch uint32
 	// Addr is the joiner's replication address as it knows it.
 	Addr string
+	// Observer marks a read-only subscriber: the upstream runs the same
+	// chunked anti-entropy exchange but never counts the peer toward
+	// quorums, the replication degree, or critical-write waits.
+	Observer bool
 }
 
 // WireKind implements Message.
@@ -804,12 +858,14 @@ func (*JoinRequest) WireKind() Kind { return KindJoinRequest }
 
 func (m *JoinRequest) appendBody(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Epoch)
-	return appendString(dst, m.Addr)
+	dst = appendString(dst, m.Addr)
+	return appendBool(dst, m.Observer)
 }
 
 func (m *JoinRequest) decodeBody(r *reader) error {
 	m.Epoch = r.uint32()
 	m.Addr = r.string()
+	m.Observer = r.bool()
 	return r.err
 }
 
